@@ -1,0 +1,269 @@
+(* The full benchmark and experiment harness.
+
+   Running `dune exec bench/main.exe` first regenerates every experiment
+   table of the reproduction (E1..E16, covering all figures and theorems of
+   the paper — see DESIGN.md section 3 and EXPERIMENTS.md), then runs
+   Bechamel microbenchmarks of the core operations.
+
+   `dune exec bench/main.exe -- E6 E7` runs only the named experiments;
+   `dune exec bench/main.exe -- --micro` runs only the microbenchmarks. *)
+
+open Bechamel
+open Toolkit
+open Haec
+module Registry = Haec_experiments.Registry
+module Op = Model.Op
+module Value = Model.Value
+module Vclock = Clock.Vclock
+
+(* ---------- microbenchmark fixtures ---------- *)
+
+let vclock_pair =
+  let a = Array.init 16 (fun i -> (i * 37) mod 101) in
+  let b = Array.init 16 (fun i -> (i * 53) mod 97) in
+  (Vclock.of_array a, Vclock.of_array b)
+
+let bench_vclock_merge =
+  let a, b = vclock_pair in
+  Test.make ~name:"vclock/merge-n16" (Staged.stage (fun () -> Vclock.merge a b))
+
+let bench_vclock_compare =
+  let a, b = vclock_pair in
+  Test.make ~name:"vclock/compare-n16" (Staged.stage (fun () -> Vclock.compare_causal a b))
+
+let sample_update =
+  {
+    Store.Mvr_object.vv = Vclock.of_array (Array.init 8 (fun i -> i * 1000));
+    dot = Clock.Dot.make ~replica:3 ~seq:3000;
+    value = Value.Pair (3000, 3);
+  }
+
+let bench_wire_encode =
+  Test.make ~name:"wire/encode-update"
+    (Staged.stage (fun () ->
+         Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update)))
+
+let encoded_update = Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update)
+
+let bench_wire_decode =
+  Test.make ~name:"wire/decode-update"
+    (Staged.stage (fun () -> Wire.decode encoded_update Store.Mvr_object.decode_update))
+
+(* a warmed-up MVR store state *)
+let warm_mvr =
+  let st = ref (Store.Mvr_store.init ~n:4 ~me:0) in
+  for i = 1 to 64 do
+    let st', _, _ = Store.Mvr_store.do_op !st ~obj:(i mod 8) (Op.Write (Value.Int i)) in
+    st := st'
+  done;
+  let st', _ = Store.Mvr_store.send !st in
+  st'
+
+let bench_mvr_write =
+  Test.make ~name:"store/mvr-write"
+    (Staged.stage (fun () -> Store.Mvr_store.do_op warm_mvr ~obj:3 (Op.Write (Value.Int 9))))
+
+let bench_mvr_read =
+  Test.make ~name:"store/mvr-read"
+    (Staged.stage (fun () -> Store.Mvr_store.do_op warm_mvr ~obj:3 Op.Read))
+
+let causal_payload =
+  let st = Store.Causal_mvr_store.init ~n:4 ~me:1 in
+  let st, _, _ = Store.Causal_mvr_store.do_op st ~obj:0 (Op.Write (Value.Int 1)) in
+  let st, _, _ = Store.Causal_mvr_store.do_op st ~obj:1 (Op.Write (Value.Int 2)) in
+  snd (Store.Causal_mvr_store.send st)
+
+let fresh_causal = Store.Causal_mvr_store.init ~n:4 ~me:0
+
+let bench_causal_receive =
+  Test.make ~name:"store/causal-receive"
+    (Staged.stage (fun () ->
+         Store.Causal_mvr_store.receive fresh_causal ~sender:1 causal_payload))
+
+let sample_exec =
+  let module R = Sim.Runner.Make (Store.Mvr_store) in
+  let rng = Util.Rng.create 5 in
+  let sim = R.create ~seed:5 ~n:4 ~policy:(Sim.Net_policy.random_delay ()) () in
+  let steps = Sim.Workload.generate ~rng ~n:4 ~objects:4 ~ops:60 Sim.Workload.register_mix in
+  Sim.Workload.run
+    (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  (R.execution sim, R.witness_abstract sim)
+
+let bench_hb_compute =
+  let exec, _ = sample_exec in
+  Test.make ~name:"model/hb-compute" (Staged.stage (fun () -> Model.Hb.compute exec))
+
+let bench_spec_check =
+  let _, witness = sample_exec in
+  Test.make ~name:"spec/check-correct"
+    (Staged.stage (fun () -> Spec.Spec.is_correct ~spec_of:(fun _ -> Spec.Spec.mvr) witness))
+
+let occ_sample = Construction.Occ_gen.planted (Util.Rng.create 6) ~n:4 ~groups:4 ~readers:2 ()
+
+let bench_occ_check =
+  Test.make ~name:"consistency/occ-check"
+    (Staged.stage (fun () -> Consistency.Occ.is_occ occ_sample))
+
+let revealed_sample = fst (Construction.Revealing.make_revealing occ_sample)
+
+module T6 = Construction.Theorem6.Make (Store.Mvr_store)
+
+let bench_theorem6 =
+  Test.make ~name:"construction/theorem6-planted"
+    (Staged.stage (fun () -> T6.construct revealed_sample))
+
+module T12 = Construction.Theorem12.Make (Store.Causal_mvr_store)
+
+let bench_theorem12 =
+  Test.make ~name:"construction/theorem12-n5-k16"
+    (Staged.stage (fun () -> T12.encode_decode ~n:5 ~s:4 ~k:16 ~g:[| 7; 16; 3 |]))
+
+let search_target =
+  Consistency.Search.target_of_events ~n:3
+    [
+      { Model.Event.replica = 0; obj = 1; op = Op.Write (Value.Int 100); rval = Op.Ok };
+      { Model.Event.replica = 0; obj = 0; op = Op.Write (Value.Int 1); rval = Op.Ok };
+      { Model.Event.replica = 1; obj = 0; op = Op.Write (Value.Int 2); rval = Op.Ok };
+      {
+        Model.Event.replica = 2;
+        obj = 0;
+        op = Op.Read;
+        rval = Op.vals [ Value.Int 1; Value.Int 2 ];
+      };
+    ]
+
+let bench_search =
+  Test.make ~name:"consistency/search-4ev"
+    (Staged.stage (fun () ->
+         Consistency.Search.search ~spec_of:(fun _ -> Spec.Spec.mvr) search_target))
+
+(* fixtures for the newer modules *)
+let audit_history =
+  let module R = Sim.Runner.Make (Store.Causal_reg_store) in
+  let rng = Util.Rng.create 21 in
+  let sim = R.create ~seed:21 ~n:4 ~policy:(Sim.Net_policy.random_delay ()) () in
+  let steps = Sim.Workload.generate ~rng ~n:4 ~objects:4 ~ops:150 Sim.Workload.register_mix in
+  Sim.Workload.run (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  (R.execution sim, R.witness_abstract sim)
+
+let bench_causal_hist =
+  let exec, _ = audit_history in
+  Test.make ~name:"consistency/causal-hist-150ops"
+    (Staged.stage (fun () -> Consistency.Causal_hist.check exec))
+
+let bench_session =
+  let _, witness = audit_history in
+  Test.make ~name:"consistency/session-guarantees"
+    (Staged.stage (fun () -> Consistency.Session.check witness))
+
+let bench_trace_roundtrip =
+  let exec, _ = audit_history in
+  let encoded = Model.Trace_io.to_string exec in
+  Test.make ~name:"model/trace-decode"
+    (Staged.stage (fun () -> Model.Trace_io.of_string encoded))
+
+let state_pair =
+  let mk seed =
+    let st = ref (Store.Mvr_object.empty ~n:4) in
+    let rng = Util.Rng.create seed in
+    for i = 1 to 10 do
+      let me = Util.Rng.int rng 4 in
+      let st', _ = Store.Mvr_object.local_write !st ~me (Value.Int (seed + i)) in
+      st := st'
+    done;
+    !st
+  in
+  (mk 100, mk 200)
+
+let bench_state_join =
+  let a, b = state_pair in
+  Test.make ~name:"store/mvr-state-join"
+    (Staged.stage (fun () -> Store.Mvr_object.join a b))
+
+let orset_state =
+  let st = ref (Store.Orset_store.init ~n:3 ~me:0) in
+  for i = 1 to 32 do
+    let st', _, _ = Store.Orset_store.do_op !st ~obj:0 (Op.Add (Value.Int (i mod 8))) in
+    st := st'
+  done;
+  !st
+
+let bench_orset_remove =
+  Test.make ~name:"store/orset-remove"
+    (Staged.stage (fun () -> Store.Orset_store.do_op orset_state ~obj:0 (Op.Remove (Value.Int 3))))
+
+let tests =
+  Test.make_grouped ~name:"haec"
+    [
+      bench_causal_hist;
+      bench_session;
+      bench_trace_roundtrip;
+      bench_state_join;
+      bench_orset_remove;
+      bench_vclock_merge;
+      bench_vclock_compare;
+      bench_wire_encode;
+      bench_wire_decode;
+      bench_mvr_write;
+      bench_mvr_read;
+      bench_causal_receive;
+      bench_hb_compute;
+      bench_spec_check;
+      bench_occ_check;
+      bench_theorem6;
+      bench_theorem12;
+      bench_search;
+    ]
+
+let run_micro () =
+  print_newline ();
+  print_endline "Microbenchmarks (Bechamel, monotonic clock)";
+  print_endline "===========================================";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      let est =
+        match Analyze.OLS.estimates ols with
+        | Some (t :: _) -> Printf.sprintf "%14.1f ns/run" t
+        | Some [] | None -> "           n/a"
+      in
+      let r2 =
+        match Analyze.OLS.r_square ols with
+        | Some r -> Printf.sprintf "  (r2=%.3f)" r
+        | None -> ""
+      in
+      Printf.printf "%-42s %s%s\n" name est r2)
+    rows
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let micro_only = List.mem "--micro" args in
+  let experiment_ids = List.filter (fun a -> a <> "--micro") args in
+  let ppf = Format.std_formatter in
+  if not micro_only then begin
+    print_endline "Experiment tables (paper figures and theorems; see EXPERIMENTS.md)";
+    print_endline "===================================================================";
+    (match experiment_ids with
+    | [] -> Registry.run_all ppf
+    | ids ->
+      List.iter
+        (fun id ->
+          match Registry.find id with
+          | Some e -> e.Registry.run ppf
+          | None -> Format.printf "unknown experiment %S@." id)
+        ids);
+    Format.pp_print_flush ppf ()
+  end;
+  if experiment_ids = [] then run_micro ()

@@ -1,0 +1,304 @@
+(* Command-line interface: run simulations, experiments and the theorem
+   constructions from the shell.
+
+     haec_cli list
+     haec_cli experiment E6 E7
+     haec_cli simulate --store causal --net lossy --ops 500 --replicas 5
+     haec_cli theorem12 --replicas 6 --objects 5 --writes 64
+     haec_cli theorem6 --groups 4 *)
+
+open Cmdliner
+open Haec
+module Registry = Haec_experiments.Registry
+module Op = Model.Op
+module Value = Model.Value
+
+let ppf = Format.std_formatter
+
+(* ---------- experiment commands ---------- *)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun e -> Format.printf "%-4s %s@." e.Registry.id e.Registry.title)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List every experiment of the reproduction")
+    Term.(const run $ const ())
+
+let experiment_cmd =
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (default: all)")
+  in
+  let run ids =
+    match ids with
+    | [] ->
+      Registry.run_all ppf;
+      `Ok ()
+    | ids ->
+      let rec go = function
+        | [] -> `Ok ()
+        | id :: rest -> (
+          match Registry.find id with
+          | Some e ->
+            e.Registry.run ppf;
+            go rest
+          | None -> `Error (false, Printf.sprintf "unknown experiment %S" id))
+      in
+      go ids
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate experiment tables (paper figures/theorems)")
+    Term.(ret (const run $ ids))
+
+(* ---------- simulate ---------- *)
+
+type store_choice = Mvr | Causal | Cops | State | Orset | Lww | Counter | Gossip | Delayed | Gsp
+
+let store_conv =
+  Arg.enum
+    [
+      ("mvr", Mvr);
+      ("causal", Causal);
+      ("cops", Cops);
+      ("state", State);
+      ("orset", Orset);
+      ("lww", Lww);
+      ("counter", Counter);
+      ("gossip", Gossip);
+      ("delayed", Delayed);
+      ("gsp", Gsp);
+    ]
+
+type net_choice = Fifo | Reorder | Lossy | Partition
+
+let net_conv =
+  Arg.enum
+    [ ("fifo", Fifo); ("reorder", Reorder); ("lossy", Lossy); ("partition", Partition) ]
+
+let policy_of = function
+  | Fifo -> Sim.Net_policy.reliable_fifo ()
+  | Reorder -> Sim.Net_policy.random_delay ()
+  | Lossy -> Sim.Net_policy.lossy ()
+  | Partition -> Sim.Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:30.0 ()
+
+let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) ~seed ~n
+    ~objects ~ops ~policy ~mix ~verbose ~dump =
+  let module R = Sim.Runner.Make (S) in
+  let rng = Util.Rng.create seed in
+  let sim = R.create ~seed ~n ~policy () in
+  let steps = Sim.Workload.generate ~rng ~n ~objects ~ops mix in
+  Sim.Workload.run
+    (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  let quiescent_at =
+    List.length (Model.Execution.do_events (R.execution sim))
+  in
+  Format.printf "store=%s net ops=%d replicas=%d objects=%d@." S.name ops n objects;
+  Format.printf "final state (one read per object per replica):@.";
+  for obj = 0 to objects - 1 do
+    Format.printf "  object %d:" obj;
+    for replica = 0 to n - 1 do
+      let r = R.op sim ~replica ~obj Op.Read in
+      Format.printf " %a" Op.pp_response r
+    done;
+    Format.printf "@."
+  done;
+  let exec = R.execution sim in
+  Format.printf "events=%d messages=%d bytes=%d@." (Model.Execution.length exec)
+    (List.length (Model.Execution.messages_sent exec))
+    (Model.Execution.total_message_bits exec / 8);
+  let report = Sim.Checks.validate ~quiescent_at exec (R.witness_abstract sim) in
+  Format.printf "checks: %a@." Sim.Checks.pp_report report;
+  let session = Consistency.Session.check (R.witness_abstract sim) in
+  Format.printf "session guarantees: %s@."
+    (String.concat ", " (Consistency.Session.holding session));
+  (match dump with
+  | Some path ->
+    Model.Trace_io.save path exec;
+    Format.printf "trace written to %s@." path
+  | None -> ());
+  if verbose then Format.printf "@.%a@." Model.Execution.pp exec
+
+let simulate_cmd =
+  let store =
+    Arg.(
+      value & opt store_conv Mvr
+      & info [ "store" ]
+          ~doc:"Store: mvr|causal|cops|state|orset|lww|counter|gossip|delayed|gsp")
+  in
+  let net = Arg.(value & opt net_conv Reorder & info [ "net" ] ~doc:"Network: fifo|reorder|lossy|partition") in
+  let n = Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~doc:"Number of replicas") in
+  let objects = Arg.(value & opt int 3 & info [ "objects" ] ~doc:"Number of objects") in
+  let ops = Arg.(value & opt int 50 & info [ "ops" ] ~doc:"Number of client operations") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Dump the full execution") in
+  let dump =
+    Arg.(value & opt (some string) None & info [ "dump" ] ~doc:"Write the trace to FILE")
+  in
+  let run store net n objects ops seed verbose dump =
+    let policy = policy_of net in
+    let go (module S : Store.Store_intf.S) mix =
+      simulate_store (module S) ~seed ~n ~objects ~ops ~policy ~mix ~verbose ~dump
+    in
+    match store with
+    | Mvr -> go (module Store.Mvr_store) Sim.Workload.register_mix
+    | Causal -> go (module Store.Causal_mvr_store) Sim.Workload.register_mix
+    | Cops -> go (module Store.Cops_store) Sim.Workload.register_mix
+    | State -> go (module Store.State_mvr_store) Sim.Workload.register_mix
+    | Orset -> go (module Store.Orset_store) Sim.Workload.orset_mix
+    | Lww -> go (module Store.Lww_store) Sim.Workload.register_mix
+    | Counter -> go (module Store.Counter_store.Causal) Sim.Workload.orset_mix
+    | Gossip -> go (module Store.Gossip_relay_store) Sim.Workload.register_mix
+    | Delayed -> go (module Store.Delayed_store.K3) Sim.Workload.register_mix
+    | Gsp -> go (module Store.Gsp_store) Sim.Workload.register_mix
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a random workload on a store over a simulated network")
+    Term.(const run $ store $ net $ n $ objects $ ops $ seed $ verbose $ dump)
+
+(* ---------- theorem demos ---------- *)
+
+let theorem12_cmd =
+  let n = Arg.(value & opt int 6 & info [ "replicas"; "n" ] ~doc:"Replicas (>= 3)") in
+  let s = Arg.(value & opt int 5 & info [ "objects"; "s" ] ~doc:"Objects (>= 2)") in
+  let k = Arg.(value & opt int 16 & info [ "writes"; "k" ] ~doc:"Writes per writer") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed for g") in
+  let run n s k seed =
+    let module T12 = Construction.Theorem12.Make (Store.Causal_mvr_store) in
+    let r = T12.run_random (Util.Rng.create seed) ~n ~s ~k in
+    Format.printf "g       = [%s]@."
+      (String.concat "; " (Array.to_list (Array.map string_of_int r.T12.g)));
+    Format.printf "decoded = [%s]  (%s)@."
+      (String.concat "; " (Array.to_list (Array.map string_of_int r.T12.decoded)))
+      (if r.T12.ok then "ok" else "MISMATCH");
+    Format.printf "|m_g| = %d bits, lower bound = %.1f bits (n'=%d)@." r.T12.m_g_bits
+      r.T12.lower_bound_bits r.T12.n'
+  in
+  Cmd.v
+    (Cmd.info "theorem12" ~doc:"Encode/decode a random g through one store message (Fig 4)")
+    Term.(const run $ n $ s $ k $ seed)
+
+let theorem6_cmd =
+  let groups = Arg.(value & opt int 3 & info [ "groups" ] ~doc:"Figure 3c gadgets to plant") in
+  let n = Arg.(value & opt int 4 & info [ "replicas"; "n" ] ~doc:"Replicas (>= 3)") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  let run groups n seed =
+    let module T6 = Construction.Theorem6.Make (Store.Mvr_store) in
+    let a = Construction.Occ_gen.planted (Util.Rng.create seed) ~n ~groups () in
+    let a, _ = Construction.Revealing.make_revealing a in
+    let r = T6.construct a in
+    Format.printf "OCC abstract execution: %d events (revealing)@." (Spec.Abstract.length a);
+    Format.printf "construction delivered %d messages@." r.T6.delivered;
+    (match r.T6.mismatches with
+    | [] -> Format.printf "all %d responses match: the store realized A@." (Spec.Abstract.length a)
+    | ms -> Format.printf "%d MISMATCHES (theorem violated?!)@." (List.length ms))
+  in
+  Cmd.v
+    (Cmd.info "theorem6" ~doc:"Run the Theorem 6 construction against the MVR store")
+    Term.(const run $ groups $ n $ seed)
+
+(* ---------- replay ---------- *)
+
+let replay_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file") in
+  let run file =
+    let exec = Model.Trace_io.load file in
+    Format.printf "trace: %d events, %d replicas, %d do events@."
+      (Model.Execution.length exec)
+      (Model.Execution.n_replicas exec)
+      (List.length (Model.Execution.do_events exec));
+    (match Model.Execution.check_well_formed exec with
+    | Ok () -> Format.printf "well-formed: yes@."
+    | Error m -> Format.printf "well-formed: NO (%s)@." m);
+    Format.printf "messages: %d, total %d bytes, largest %d bytes@."
+      (List.length (Model.Execution.messages_sent exec))
+      (Model.Execution.total_message_bits exec / 8)
+      (Model.Execution.max_message_bits exec / 8);
+    (* small traces: decide compliance with a causally consistent abstract
+       execution by exhaustive search *)
+    let dos = List.length (Model.Execution.do_events exec) in
+    if dos > 0 && dos <= 8 then begin
+      let target = Consistency.Search.target_of_execution exec in
+      match Consistency.Search.search ~spec_of:(fun _ -> Spec.Spec.mvr) target with
+      | Consistency.Search.Found _ ->
+        Format.printf "causal compliance (exhaustive, MVR spec): yes@."
+      | Consistency.Search.No_solution ->
+        Format.printf "causal compliance (exhaustive, MVR spec): NO@."
+      | Consistency.Search.Gave_up ->
+        Format.printf "causal compliance: search budget exceeded@."
+    end;
+    Format.printf "@.%a@." Model.Execution.pp exec
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Load a saved trace, validate and pretty-print it")
+    Term.(const run $ file)
+
+(* ---------- render ---------- *)
+
+let render_cmd =
+  let store =
+    Arg.(
+      value & opt store_conv Mvr
+      & info [ "store" ]
+          ~doc:"Store: mvr|causal|cops|state|orset|lww|counter|gossip|delayed|gsp")
+  in
+  let ops = Arg.(value & opt int 8 & info [ "ops" ] ~doc:"Number of client operations") in
+  let n = Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~doc:"Number of replicas") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed") in
+  let what =
+    Arg.(
+      value
+      & opt (enum [ ("witness", `Witness); ("execution", `Execution) ]) `Witness
+      & info [ "what" ] ~doc:"Render the witness abstract execution or the raw execution")
+  in
+  let run store n ops seed what =
+    let go (module S : Store.Store_intf.S) mix =
+      let module R = Sim.Runner.Make (S) in
+      let rng = Util.Rng.create seed in
+      let sim = R.create ~seed ~n ~policy:(Sim.Net_policy.random_delay ()) () in
+      let steps = Sim.Workload.generate ~rng ~n ~objects:2 ~ops mix in
+      Sim.Workload.run
+        (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+        ~advance:(R.advance_to sim) steps;
+      R.run_until_quiescent sim;
+      let dot =
+        match what with
+        | `Witness ->
+          Viz.Render.abstract_to_dot ~title:(S.name ^ " witness") (R.witness_abstract sim)
+        | `Execution -> Viz.Render.execution_to_dot ~title:S.name (R.execution sim)
+      in
+      print_string dot
+    in
+    match store with
+    | Mvr -> go (module Store.Mvr_store) Sim.Workload.register_mix
+    | Causal -> go (module Store.Causal_mvr_store) Sim.Workload.register_mix
+    | Cops -> go (module Store.Cops_store) Sim.Workload.register_mix
+    | State -> go (module Store.State_mvr_store) Sim.Workload.register_mix
+    | Orset -> go (module Store.Orset_store) Sim.Workload.orset_mix
+    | Lww -> go (module Store.Lww_store) Sim.Workload.register_mix
+    | Counter -> go (module Store.Counter_store.Causal) Sim.Workload.orset_mix
+    | Gossip -> go (module Store.Gossip_relay_store) Sim.Workload.register_mix
+    | Delayed -> go (module Store.Delayed_store.K3) Sim.Workload.register_mix
+    | Gsp -> go (module Store.Gsp_store) Sim.Workload.register_mix
+  in
+  Cmd.v
+    (Cmd.info "render" ~doc:"Emit a graphviz dot drawing of a simulated run")
+    Term.(const run $ store $ n $ ops $ seed $ what)
+
+let main =
+  let doc = "Limitations of highly-available eventually-consistent data stores, executable" in
+  Cmd.group
+    (Cmd.info "haec_cli" ~version:Haec.version ~doc)
+    [
+      list_cmd;
+      experiment_cmd;
+      simulate_cmd;
+      theorem12_cmd;
+      theorem6_cmd;
+      render_cmd;
+      replay_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

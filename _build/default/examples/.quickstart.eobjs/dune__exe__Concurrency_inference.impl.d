@@ -1,0 +1,1 @@
+examples/concurrency_inference.ml: Consistency Format Haec List Model Option Sim Spec Store String

@@ -1,0 +1,1 @@
+examples/consistency_audit.ml: Consistency Format Haec Model Sim Store

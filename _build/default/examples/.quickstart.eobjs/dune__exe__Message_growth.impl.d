@@ -1,0 +1,1 @@
+examples/message_growth.ml: Array Construction Format Haec Store String

@@ -1,0 +1,1 @@
+examples/photo_acl.ml: Format Haec Model Option Sim Spec Store

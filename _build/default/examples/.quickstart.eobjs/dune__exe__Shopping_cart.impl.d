@@ -1,0 +1,1 @@
+examples/shopping_cart.ml: Format Haec Model Sim Spec Store

@@ -1,0 +1,1 @@
+examples/shopping_cart.mli:

@@ -1,0 +1,78 @@
+(* Figure 2 of the paper, end to end: with several objects, clients can use
+   causality to *infer* that two writes were concurrent — so a causally
+   consistent store cannot pretend they were ordered.
+
+   Schedule: R0 writes y=100 then x=1 (two messages); R1 writes x=2;
+   R2 receives only the x messages and reads x, then y.
+
+   Run with: dune exec examples/concurrency_inference.exe *)
+
+open Haec
+module R = Sim.Runner.Make (Store.Mvr_store)
+module Op = Model.Op
+module Value = Model.Value
+module Search = Consistency.Search
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let x = 0
+
+let y = 1
+
+let mvr_spec _ = Spec.Spec.mvr
+
+let () =
+  say "-- what a real (honest) MVR store answers on the Figure 2 schedule --";
+  let sim = R.create ~n:3 ~auto_send:false () in
+  ignore (R.op sim ~replica:0 ~obj:y (Op.Write (Value.Int 100)));
+  let m_y = Option.get (R.flush sim ~replica:0) in
+  ignore (R.op sim ~replica:0 ~obj:x (Op.Write (Value.Int 1)));
+  let m_x1 = Option.get (R.flush sim ~replica:0) in
+  ignore (R.op sim ~replica:1 ~obj:x (Op.Write (Value.Int 2)));
+  let m_x2 = Option.get (R.flush sim ~replica:1) in
+  (* R2 receives the two x-writes but not the y-write *)
+  R.deliver_msg sim ~dst:2 m_x1;
+  R.deliver_msg sim ~dst:2 m_x2;
+  let r_x = R.op sim ~replica:2 ~obj:x Op.Read in
+  let r_y = R.op sim ~replica:2 ~obj:y Op.Read in
+  say "r_x = %a   r_y = %a" Op.pp_response r_x Op.pp_response r_y;
+  say "(the store returns both x values: it exposes the concurrency)";
+  ignore m_y;
+
+  say "";
+  say "-- could any causally consistent store have hidden it? --";
+  (* Candidate response pattern: r_x = {2} (pretending write(1) was
+     causally overwritten) and r_y = {} (y never seen). Exhaustive search
+     over all abstract executions: *)
+  let target r_x_vals r_y_vals =
+    Search.target_of_events ~n:3
+      ~post_quiescent:[ (2, 0) ] (* r_x must eventually see both writes *)
+      [
+        { Model.Event.replica = 0; obj = y; op = Op.Write (Value.Int 100); rval = Op.Ok };
+        { Model.Event.replica = 0; obj = x; op = Op.Write (Value.Int 1); rval = Op.Ok };
+        { Model.Event.replica = 1; obj = x; op = Op.Write (Value.Int 2); rval = Op.Ok };
+        { Model.Event.replica = 2; obj = x; op = Op.Read; rval = Op.vals r_x_vals };
+        { Model.Event.replica = 2; obj = y; op = Op.Read; rval = Op.vals r_y_vals };
+      ]
+  in
+  let describe rx ry outcome =
+    say "  r_x = {%s}, r_y = {%s}:  %s"
+      (String.concat "," (List.map Value.to_string rx))
+      (String.concat "," (List.map Value.to_string ry))
+      (match outcome with
+      | Search.Found _ -> "consistent (an abstract execution exists)"
+      | Search.No_solution -> "IMPOSSIBLE for any causally consistent store"
+      | Search.Gave_up -> "search budget exceeded")
+  in
+  let try_pattern rx ry =
+    describe rx ry (Search.search ~spec_of:mvr_spec (target rx ry))
+  in
+  try_pattern [ Value.Int 1; Value.Int 2 ] [ Value.Int 100 ];
+  try_pattern [ Value.Int 2 ] [ Value.Int 100 ];
+  try_pattern [ Value.Int 2 ] [];
+  say "";
+  say "Hiding write(1) while y is still unseen is impossible: pretending";
+  say "write(1) -> write(2) drags y's write along by transitivity, and";
+  say "visibility persists into the later read of y — which returned {}.";
+  say "This is how clients observe concurrency, and why nothing stronger";
+  say "than observable causal consistency is achievable (Theorem 6)."

@@ -1,0 +1,54 @@
+(* Auditing a store from the outside: given only the client-observable
+   history (which operations returned what, per replica), the bad-pattern
+   checker decides whether any causally consistent register store could
+   have produced it — no access to the store's internals required.
+
+   Run with: dune exec examples/consistency_audit.exe *)
+
+open Haec
+module CH = Consistency.Causal_hist
+module Sc = Sim.Scenario
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+(* The photo/ACL schedule again, but judged from the history alone. *)
+let schedule =
+  Sc.
+    [
+      op 0 ~obj:0 (write 7);
+      (* Alice: acl := friends-only *)
+      send 0 "m_acl";
+      op 0 ~obj:1 (write 9);
+      (* Alice: photo := party.jpg *)
+      send 0 "m_photo";
+      deliver "m_photo" ~to_:1;
+      (* the network reorders *)
+      op 1 ~obj:1 read;
+      (* boss's replica: photo? *)
+      op 1 ~obj:0 read;
+      (* boss's replica: acl? *)
+    ]
+
+let audit name (module S : Store.Store_intf.S) =
+  let r = Sc.run (module S) ~n:2 schedule in
+  say "%s:" name;
+  say "  boss sees photo = %a, acl = %a"
+    Model.Op.pp_response (Sc.response_at r 5)
+    Model.Op.pp_response (Sc.response_at r 6);
+  say "  audit: %a" CH.pp_verdict (CH.check r.Sc.execution);
+  say ""
+
+let () =
+  say "The same reordered delivery, audited from the observable history:";
+  say "";
+  audit "eventually consistent store (no causal metadata)" (module Store.Lww_store);
+  audit "causally consistent store (dependency vectors)" (module Store.Causal_reg_store);
+  say "The checker needs no knowledge of the stores' internals: the first";
+  say "history exhibits the write-co-init-read bad pattern (an effect";
+  say "visible before its cause), which no causally consistent store can";
+  say "produce; the second history is certified consistent.";
+  say "";
+  say "The same machinery detected a real bug during development: per-object";
+  say "Lamport clocks let a causal chain through a second object contradict";
+  say "the arbitration order (a cyclic conflict order, the Cyclic_cf";
+  say "pattern) - see test_causal_hist.ml for the regression."

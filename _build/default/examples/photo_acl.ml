@@ -1,0 +1,65 @@
+(* The classic causal anomaly, and why causally consistent stores exist.
+
+   Alice removes her boss from her photo ACL, then posts an unflattering
+   photo. The two updates travel in separate messages; an eventually
+   consistent store may deliver the photo before the ACL change, so the
+   boss's replica shows the new photo under the *old* ACL. The causally
+   consistent store buffers the photo until the ACL change has arrived.
+
+   Run with: dune exec examples/photo_acl.exe *)
+
+open Haec
+module Op = Model.Op
+module Value = Model.Value
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let acl = 0
+
+let photo = 1
+
+(* Drive the same adversarially reordered schedule against a store. *)
+module Scenario (S : Store.Store_intf.S) = struct
+  module R = Sim.Runner.Make (S)
+
+  let run () =
+    (* manual mode: we play the network adversary *)
+    let sim = R.create ~n:2 ~auto_send:false () in
+    (* Alice (replica 0) restricts the ACL, then posts the photo. *)
+    ignore (R.op sim ~replica:0 ~obj:acl (Op.Write (Value.Str "friends-only")));
+    let m_acl = Option.get (R.flush sim ~replica:0) in
+    ignore (R.op sim ~replica:0 ~obj:photo (Op.Write (Value.Str "party.jpg")));
+    let m_photo = Option.get (R.flush sim ~replica:0) in
+    (* The network delivers the photo first. *)
+    R.deliver_msg sim ~dst:1 m_photo;
+    let seen_photo = R.op sim ~replica:1 ~obj:photo Op.Read in
+    let seen_acl = R.op sim ~replica:1 ~obj:acl Op.Read in
+    say "  boss sees photo: %a, acl: %a" Op.pp_response seen_photo Op.pp_response seen_acl;
+    (match (seen_photo, seen_acl) with
+    | Op.Vals [ _ ], Op.Vals [] ->
+      say "  -> ANOMALY: photo visible under the old (empty) ACL"
+    | Op.Vals [], _ -> say "  -> safe: the photo is buffered until its cause arrives"
+    | _ -> say "  -> (unexpected)");
+    (* the late message arrives; both stores eventually agree *)
+    R.deliver_msg sim ~dst:1 m_acl;
+    say "  after the ACL message: photo %a, acl %a"
+      Op.pp_response (R.op sim ~replica:1 ~obj:photo Op.Read)
+      Op.pp_response (R.op sim ~replica:1 ~obj:acl Op.Read);
+    (* a causal anomaly shows up as the closed witness losing correctness *)
+    let closed = Spec.Abstract.transitive_closure (R.witness_abstract sim) in
+    let causal_ok = Spec.Spec.is_correct ~spec_of:(fun _ -> Spec.Spec.mvr) closed in
+    say "  run complies with a causally consistent abstract execution: %b" causal_ok
+end
+
+module Eager = Scenario (Store.Mvr_store)
+module Causal = Scenario (Store.Causal_mvr_store)
+
+let () =
+  say "=== eventually consistent store (Dynamo-style, no causal buffering) ===";
+  Eager.run ();
+  say "";
+  say "=== causally consistent store (dependency vectors, Ahamad et al.) ===";
+  Causal.run ();
+  say "";
+  say "Both stores are highly available and eventually consistent; only the";
+  say "second one pays the metadata cost that Theorem 12 proves unavoidable."

@@ -1,0 +1,68 @@
+(* Quickstart: a 3-replica multi-valued-register store surviving a network
+   partition.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Haec
+module R = Sim.Runner.Make (Store.Mvr_store)
+module Op = Model.Op
+module Value = Model.Value
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let pp_resp = Op.pp_response
+
+let () =
+  (* Replicas 0 and 1 are in one data centre, replica 2 in another; the
+     link between the two groups heals at t=100. *)
+  let policy =
+    Sim.Net_policy.partitioned ~groups:(fun r -> if r < 2 then 0 else 1) ~heal_at:100.0 ()
+  in
+  let sim = R.create ~n:3 ~policy () in
+  let profile = 0 in
+
+  say "== during the partition ==";
+  (* Every operation completes immediately — that is the availability the
+     paper's model bakes in: a do event never waits for the network. *)
+  ignore (R.op sim ~replica:0 ~obj:profile (Op.Write (Value.Str "alice@old.example")));
+  R.advance_to sim 5.0;
+  (* replica 1 is on the same side, so it already sees the write *)
+  say "replica 1 reads: %a" pp_resp (R.op sim ~replica:1 ~obj:profile Op.Read);
+  (* replica 2 is cut off and sees nothing *)
+  say "replica 2 reads: %a" pp_resp (R.op sim ~replica:2 ~obj:profile Op.Read);
+
+  (* both sides update the same profile concurrently *)
+  ignore (R.op sim ~replica:1 ~obj:profile (Op.Write (Value.Str "alice@site-a.example")));
+  ignore (R.op sim ~replica:2 ~obj:profile (Op.Write (Value.Str "alice@site-b.example")));
+
+  say "";
+  say "== after the partition heals ==";
+  R.run_until_quiescent sim;
+  (* The MVR exposes the conflict: both concurrent writes survive as
+     siblings, and every replica agrees on the set (Corollary 4). *)
+  for replica = 0 to 2 do
+    say "replica %d reads: %a" replica pp_resp (R.op sim ~replica ~obj:profile Op.Read)
+  done;
+
+  (* A client resolves the conflict with a fresh write dominating both. *)
+  ignore (R.op sim ~replica:0 ~obj:profile (Op.Write (Value.Str "alice@merged.example")));
+  R.run_until_quiescent sim;
+  say "";
+  say "== after conflict resolution ==";
+  for replica = 0 to 2 do
+    say "replica %d reads: %a" replica pp_resp (R.op sim ~replica ~obj:profile Op.Read)
+  done;
+
+  (* The run complies with a correct abstract execution by construction —
+     verify it with the bundled checkers. (OCC is not asserted: the
+     multi-value read above exposed concurrency without the Definition 18
+     witness objects, which is allowed — OCC is the upper bound on what a
+     store can promise, not an obligation on every run.) *)
+  let report = Sim.Checks.validate (R.execution sim) (R.witness_abstract sim) in
+  let show name = function Ok () -> say "%-12s ok" name | Error m -> say "%-12s FAILED: %s" name m in
+  say "";
+  show "well-formed" report.Sim.Checks.well_formed;
+  show "complies" report.Sim.Checks.complies;
+  show "correct" report.Sim.Checks.correct;
+  show "causal" report.Sim.Checks.causal;
+  show "eventual" report.Sim.Checks.eventual

@@ -1,0 +1,60 @@
+(* The Dynamo shopping cart, on an observed-remove set (Figure 1c).
+
+   Two devices update the same cart during a partition: one removes an
+   item, the other re-adds it. The ORset's add-wins semantics keeps the
+   item — the behaviour Dynamo's designers wanted ("add to cart must never
+   be lost").
+
+   Run with: dune exec examples/shopping_cart.exe *)
+
+open Haec
+module R = Sim.Runner.Make (Store.Orset_store)
+module Op = Model.Op
+module Value = Model.Value
+
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let cart = 0
+
+let item name = Value.Str name
+
+let () =
+  (* the devices are connected at first; the partition bites at t=2 *)
+  let policy =
+    Sim.Net_policy.partitioned ~groups:(fun r -> r) ~start_at:2.0 ~heal_at:50.0
+      ~base:(Sim.Net_policy.reliable_fifo ~delay:0.5 ())
+      ()
+  in
+  let sim = R.create ~n:2 ~policy () in
+
+  say "phone adds: book, milk";
+  ignore (R.op sim ~replica:0 ~obj:cart (Op.Add (item "book")));
+  ignore (R.op sim ~replica:0 ~obj:cart (Op.Add (item "milk")));
+  R.advance_to sim 1.0;
+
+  say "laptop reads cart: %a" Op.pp_response (R.op sim ~replica:1 ~obj:cart Op.Read);
+  say "";
+  say "-- partition: phone and laptop diverge --";
+  R.advance_to sim 3.0;
+  (* the laptop removes the book it has seen... *)
+  ignore (R.op sim ~replica:1 ~obj:cart (Op.Remove (item "book")));
+  (* ...while the phone, cut off, adds another copy concurrently *)
+  ignore (R.op sim ~replica:0 ~obj:cart (Op.Add (item "book")));
+
+  say "phone sees:  %a" Op.pp_response (R.op sim ~replica:0 ~obj:cart Op.Read);
+  say "laptop sees: %a" Op.pp_response (R.op sim ~replica:1 ~obj:cart Op.Read);
+
+  R.run_until_quiescent sim;
+  say "";
+  say "-- after the partition heals --";
+  say "phone sees:  %a" Op.pp_response (R.op sim ~replica:0 ~obj:cart Op.Read);
+  say "laptop sees: %a" Op.pp_response (R.op sim ~replica:1 ~obj:cart Op.Read);
+  say "";
+  say "The concurrent re-add won over the remove (add-wins): the remove";
+  say "only affected the add instances it had observed.";
+
+  (* the run conforms to the ORset specification of Figure 1c *)
+  let witness = R.witness_abstract sim in
+  let ok = Spec.Spec.is_correct ~spec_of:(fun _ -> Spec.Spec.orset) witness in
+  say "";
+  say "witness abstract execution conforms to the ORset spec: %b" ok

@@ -1,0 +1,1 @@
+lib/consistency/causal.ml: Abstract Haec_spec List Printf

@@ -1,0 +1,1 @@
+lib/consistency/causal.mli: Abstract Haec_spec

@@ -1,0 +1,1 @@
+lib/consistency/causal_hist.ml: Array Bitset Event Execution Format Haec_model Haec_util Hashtbl List Op Value

@@ -1,0 +1,1 @@
+lib/consistency/causal_hist.mli: Event Execution Format Haec_model

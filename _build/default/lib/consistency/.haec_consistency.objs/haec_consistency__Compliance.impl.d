@@ -1,0 +1,1 @@
+lib/consistency/compliance.ml: Abstract Array Event Execution Haec_model Haec_spec List Op Printf

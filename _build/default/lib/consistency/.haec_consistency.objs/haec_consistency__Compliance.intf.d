@@ -1,0 +1,1 @@
+lib/consistency/compliance.mli: Abstract Execution Haec_model Haec_spec

@@ -1,0 +1,1 @@
+lib/consistency/eventual.ml: Abstract Event Execution Format Haec_model Haec_spec Hashtbl Op Printf

@@ -1,0 +1,1 @@
+lib/consistency/eventual.mli: Abstract Execution Haec_model Haec_spec

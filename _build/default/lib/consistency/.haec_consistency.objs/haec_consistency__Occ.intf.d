@@ -1,0 +1,1 @@
+lib/consistency/occ.mli: Abstract Haec_spec

@@ -1,0 +1,1 @@
+lib/consistency/search.ml: Abstract Array Bitset Event Execution Haec_model Haec_spec Haec_util Hashtbl Int List Op Spec String

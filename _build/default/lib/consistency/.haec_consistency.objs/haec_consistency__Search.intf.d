@@ -1,0 +1,1 @@
+lib/consistency/search.mli: Abstract Event Execution Haec_model Haec_spec Spec

@@ -1,0 +1,1 @@
+lib/consistency/session.ml: Abstract Event Format Haec_model Haec_spec List Op Printf

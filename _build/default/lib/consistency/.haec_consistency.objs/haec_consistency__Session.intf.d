@@ -1,0 +1,1 @@
+lib/consistency/session.mli: Abstract Format Haec_spec

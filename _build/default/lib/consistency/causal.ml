@@ -1,0 +1,23 @@
+open Haec_spec
+
+let is_causally_consistent = Abstract.is_transitive
+
+let violations a =
+  let acc = ref [] in
+  for e3 = Abstract.length a - 1 downto 0 do
+    List.iter
+      (fun e2 ->
+        List.iter
+          (fun e1 -> if not (Abstract.vis a e1 e3) then acc := (e1, e2, e3) :: !acc)
+          (Abstract.vis_preds a e2))
+      (Abstract.vis_preds a e3)
+  done;
+  !acc
+
+let check a =
+  match violations a with
+  | [] -> Ok ()
+  | (e1, e2, e3) :: _ ->
+    Error
+      (Printf.sprintf "vis not transitive: %d vis %d vis %d but not %d vis %d" e1 e2
+         e3 e1 e3)

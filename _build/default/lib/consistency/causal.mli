@@ -1,0 +1,15 @@
+(** Causal consistency (Definition 12): a correct abstract execution is
+    causally consistent iff its visibility relation is transitive. *)
+
+open Haec_spec
+
+val is_causally_consistent : Abstract.t -> bool
+(** Transitivity of [vis] only; combine with [Spec.is_correct] for the
+    full "correct and causally consistent" property. *)
+
+val check : Abstract.t -> (unit, string) result
+(** As {!is_causally_consistent}, reporting the first broken triple. *)
+
+val violations : Abstract.t -> (int * int * int) list
+(** All triples [(e1, e2, e3)] with [e1 vis e2], [e2 vis e3] but not
+    [e1 vis e3]. *)

@@ -1,0 +1,36 @@
+open Haec_model
+open Haec_spec
+
+let equal_do (a : Event.do_event) (b : Event.do_event) =
+  a.Event.replica = b.Event.replica
+  && a.Event.obj = b.Event.obj
+  && Op.equal a.Event.op b.Event.op
+  && Op.equal_response a.Event.rval b.Event.rval
+
+let check exec a =
+  let n = Execution.n_replicas exec in
+  if n <> Abstract.n_replicas a then Error "replica count mismatch"
+  else
+    let h = Abstract.events a in
+    let rec per_replica r =
+      if r >= n then Ok ()
+      else
+        let from_exec = Execution.do_projection exec r in
+        let from_h = List.filter (fun d -> d.Event.replica = r) (Array.to_list h) in
+        if List.length from_exec <> List.length from_h then
+          Error
+            (Printf.sprintf "replica %d: %d do events in execution, %d in H" r
+               (List.length from_exec) (List.length from_h))
+        else if not (List.for_all2 equal_do from_exec from_h) then
+          Error (Printf.sprintf "replica %d: do sequences differ" r)
+        else per_replica (r + 1)
+    in
+    per_replica 0
+
+let complies exec a = match check exec a with Ok () -> true | Error _ -> false
+
+let abstract_of_execution exec ~vis =
+  let h = Array.of_list (List.map snd (Execution.do_events exec)) in
+  Abstract.create ~n:(Execution.n_replicas exec) h ~vis
+
+let do_count exec = List.length (Execution.do_events exec)

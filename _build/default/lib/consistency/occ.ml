@@ -1,0 +1,108 @@
+open Haec_model
+open Haec_spec
+
+type violation = {
+  read : int;
+  w0 : int;
+  w1 : int;
+}
+
+(* The write events of object [o] whose values appear in [vs], matched by
+   value (writes write distinct values, per the paper's convention). *)
+let writes_of_values a ~obj vs =
+  let find v =
+    let hits = ref [] in
+    for i = 0 to Abstract.length a - 1 do
+      let d = Abstract.event a i in
+      match d.Event.op with
+      | Op.Write v' when d.Event.obj = obj && Value.equal v v' -> hits := i :: !hits
+      | Op.Write _ | Op.Read | Op.Add _ | Op.Remove _ -> ()
+    done;
+    match !hits with
+    | [ i ] -> Ok i
+    | [] -> Error (Format.asprintf "no write of value %a" Value.pp v)
+    | _ -> Error (Format.asprintf "multiple writes of value %a" Value.pp v)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | v :: rest -> ( match find v with Ok i -> go (i :: acc) rest | Error _ as e -> e)
+  in
+  go [] vs
+
+let all_writes a =
+  let acc = ref [] in
+  for i = Abstract.length a - 1 downto 0 do
+    if Op.is_update (Abstract.event a i).Event.op then acc := i :: !acc
+  done;
+  !acc
+
+(* Conditions of Definition 18 for the (ordered) assignment: [w0'] plays the
+   role of the witness invisible to [w0], [w1'] the witness invisible to
+   [w1]. *)
+let valid_witnesses a ~obj ~writes ~w0 ~w1 ~w0' ~w1' =
+  let cond_for wi wi' =
+    let oi' = (Abstract.event a wi').Event.obj in
+    oi' <> obj
+    && Abstract.vis a wi' (if wi = w0 then w1 else w0)
+    && (not (Abstract.vis a wi' wi))
+    (* condition 4: any write to obj(wi') visible to wi is visible to wi' *)
+    && List.for_all
+         (fun w ->
+           let d = Abstract.event a w in
+           if d.Event.obj = oi' && Abstract.vis a w wi then Abstract.vis a w wi'
+           else true)
+         writes
+  in
+  (Abstract.event a w0').Event.obj <> (Abstract.event a w1').Event.obj
+  && cond_for w0 w0' && cond_for w1 w1'
+
+let witnesses_for a ~read ~w0 ~w1 =
+  let obj = (Abstract.event a read).Event.obj in
+  let writes = all_writes a in
+  (* w1' must be visible to w0, w0' visible to w1: prune candidates. *)
+  let cands_w1' = List.filter (fun w -> Abstract.vis a w w0) writes in
+  let cands_w0' = List.filter (fun w -> Abstract.vis a w w1) writes in
+  let rec search = function
+    | [] -> None
+    | w0' :: rest ->
+      let rec inner = function
+        | [] -> search rest
+        | w1' :: rest' ->
+          if valid_witnesses a ~obj ~writes ~w0 ~w1 ~w0' ~w1' then Some (w0', w1')
+          else inner rest'
+      in
+      inner cands_w1'
+  in
+  search cands_w0'
+
+let check a =
+  let exception Unsupported of string in
+  try
+    let violations = ref [] in
+    for r = 0 to Abstract.length a - 1 do
+      let d = Abstract.event a r in
+      match (d.Event.op, d.Event.rval) with
+      | Op.Read, Op.Vals vs when List.length vs >= 2 -> (
+        match writes_of_values a ~obj:d.Event.obj vs with
+        | Error m -> raise (Unsupported m)
+        | Ok ws ->
+          (* every unordered pair of returned writes needs witnesses *)
+          let rec pairs = function
+            | [] -> ()
+            | w0 :: rest ->
+              List.iter
+                (fun w1 ->
+                  match witnesses_for a ~read:r ~w0 ~w1 with
+                  | Some _ -> ()
+                  | None -> violations := { read = r; w0; w1 } :: !violations)
+                rest;
+              pairs rest
+          in
+          pairs ws)
+      | _ -> ()
+    done;
+    Ok (List.rev !violations)
+  with Unsupported m -> Error m
+
+let is_occ a =
+  Abstract.is_transitive a && match check a with Ok [] -> true | Ok _ | Error _ -> false

@@ -1,0 +1,290 @@
+open Haec_util
+open Haec_model
+open Haec_spec
+
+type target = {
+  n : int;
+  per_replica : Event.do_event array array;
+  post_quiescent : (int * int) list;
+}
+
+type outcome =
+  | Found of Abstract.t
+  | No_solution
+  | Gave_up
+
+let target_of_execution ?(post_quiescent = []) exec =
+  let n = Execution.n_replicas exec in
+  let per_replica =
+    Array.init n (fun r -> Array.of_list (Execution.do_projection exec r))
+  in
+  { n; per_replica; post_quiescent }
+
+let target_of_events ~n ?(post_quiescent = []) events =
+  let per_replica =
+    Array.init n (fun r ->
+        Array.of_list (List.filter (fun d -> d.Event.replica = r) events))
+  in
+  { n; per_replica; post_quiescent }
+
+(* The search inserts events into H one at a time. For each new event we
+   enumerate its visibility row: the forced base (everything visible at the
+   previous same-replica event, plus that event) plus any subset of the
+   other already-inserted events — transitively closed when causal
+   consistency is required. A prefix is abandoned as soon as the inserted
+   event's recorded response contradicts its specification, which is what
+   makes exhaustion feasible. *)
+
+exception Budget_exhausted
+
+type state = {
+  target : target;
+  spec_of : int -> Spec.t;
+  require_causal : bool;
+  max_states : int;
+  total : int;
+  (* chosen events of H so far, with their source (replica, position) *)
+  h : Event.do_event array;
+  src : (int * int) array;
+  rows : Bitset.t array;
+  consumed : int array;
+  last_of : int array;
+  mutable states : int;
+  (* (replica, position) -> is post-quiescent *)
+  is_post : (int * int, unit) Hashtbl.t;
+}
+
+let make_state ?(require_causal = true) ?(max_states = 5_000_000) ~spec_of target =
+  let total = Array.fold_left (fun acc a -> acc + Array.length a) 0 target.per_replica in
+  let is_post = Hashtbl.create 8 in
+  List.iter (fun k -> Hashtbl.replace is_post k ()) target.post_quiescent;
+  let dummy =
+    { Event.replica = 0; obj = 0; op = Op.Read; rval = Op.Ok }
+  in
+  {
+    target;
+    spec_of;
+    require_causal;
+    max_states;
+    total;
+    h = Array.make (max total 1) dummy;
+    src = Array.make (max total 1) (-1, -1);
+    rows = Array.make (max total 1) (Bitset.create 0);
+    consumed = Array.make target.n 0;
+    last_of = Array.make target.n (-1);
+    states = 0;
+    is_post;
+  }
+
+(* All (replica, position) of update events on object [o]. *)
+let updates_on target o =
+  let acc = ref [] in
+  Array.iteri
+    (fun r seq ->
+      Array.iteri
+        (fun pos d ->
+          if d.Event.obj = o && Op.is_update d.Event.op then acc := (r, pos) :: !acc)
+        seq)
+    target.per_replica;
+  !acc
+
+let inserted st (r, pos) = pos < st.consumed.(r)
+
+(* Check event [m]'s recorded response against its spec, where [m]'s
+   visibility row has just been fixed. Builds the operation context as a
+   small abstract execution over the same-object visible events. *)
+let response_consistent st m =
+  let d = st.h.(m) in
+  if Op.is_update d.Event.op then Op.equal_response d.Event.rval Op.Ok
+  else begin
+    let members = ref [] in
+    Bitset.iter st.rows.(m) (fun i ->
+        if st.h.(i).Event.obj = d.Event.obj then members := i :: !members);
+    let idx = Array.of_list (List.rev !members @ [ m ]) in
+    let pos = Hashtbl.create 8 in
+    Array.iteri (fun new_i old_i -> Hashtbl.replace pos old_i new_i) idx;
+    let vis = ref [] in
+    Array.iteri
+      (fun new_j old_j ->
+        if old_j <> m then
+          Bitset.iter st.rows.(old_j) (fun old_i ->
+              match Hashtbl.find_opt pos old_i with
+              | Some new_i -> vis := (new_i, new_j) :: !vis
+              | None -> ())
+        else
+          Array.iteri
+            (fun new_i old_i -> if old_i <> m then vis := (new_i, new_j) :: !vis)
+            idx)
+      idx;
+    let ctx =
+      Abstract.create_unchecked ~n:st.target.n
+        (Array.map (fun i -> if i = m then d else st.h.(i)) idx)
+        ~vis:!vis
+    in
+    let expected = (st.spec_of d.Event.obj).Spec.apply ~ctx ~target:(Array.length idx - 1) in
+    Op.equal_response expected d.Event.rval
+  end
+
+(* Enumerate candidate visibility rows for the event about to become index
+   [m]: the forced base plus any subset of other inserted events, closed
+   under transitivity when required, deduplicated. *)
+let candidate_rows st m r =
+  let base =
+    match st.last_of.(r) with
+    | -1 -> Bitset.create (max st.total 1)
+    | prev ->
+      let b = Bitset.copy st.rows.(prev) in
+      Bitset.set b prev;
+      b
+  in
+  let optional = ref [] in
+  for i = m - 1 downto 0 do
+    if not (Bitset.get base i) then optional := i :: !optional
+  done;
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let emit row =
+    let key = String.concat "," (List.map string_of_int (Bitset.to_list row)) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      out := row :: !out
+    end
+  in
+  let rec enum row = function
+    | [] -> emit row
+    | i :: rest ->
+      enum row rest;
+      let row' = Bitset.copy row in
+      Bitset.set row' i;
+      if st.require_causal then begin
+        Bitset.union_into ~dst:row' st.rows.(i)
+      end;
+      enum row' rest
+  in
+  enum base !optional;
+  (* smaller rows first: visibility-minimal solutions found sooner *)
+  List.sort (fun a b -> Int.compare (Bitset.cardinal a) (Bitset.cardinal b)) !out
+
+let post_row_ok st m row d =
+  (* post-quiescent events must see every update on their object *)
+  let needed = updates_on st.target d.Event.obj in
+  List.for_all
+    (fun (r, pos) ->
+      (* find its H index: it must be inserted (scheduling ensured that) *)
+      let found = ref None in
+      for j = 0 to m - 1 do
+        if st.src.(j) = (r, pos) then found := Some j
+      done;
+      match !found with Some j -> Bitset.get row j | None -> false)
+    needed
+
+let run_search st =
+  let rec go m =
+    st.states <- st.states + 1;
+    if st.states > st.max_states then raise Budget_exhausted;
+    if m = st.total then begin
+      let vis = ref [] in
+      for j = 0 to st.total - 1 do
+        Bitset.iter st.rows.(j) (fun i -> vis := (i, j) :: !vis)
+      done;
+      Some (Abstract.create ~n:st.target.n (Array.sub st.h 0 st.total) ~vis:!vis)
+    end
+    else begin
+      let result = ref None in
+      let r = ref 0 in
+      while !result = None && !r < st.target.n do
+        let cr = !r in
+        if st.consumed.(cr) < Array.length st.target.per_replica.(cr) then begin
+          let pos = st.consumed.(cr) in
+          let d = st.target.per_replica.(cr).(pos) in
+          let post = Hashtbl.mem st.is_post (cr, pos) in
+          let schedulable =
+            (not post)
+            || List.for_all
+                 (fun k -> k = (cr, pos) || inserted st k)
+                 (updates_on st.target d.Event.obj)
+          in
+          if schedulable then begin
+            st.h.(m) <- d;
+            st.src.(m) <- (cr, pos);
+            st.consumed.(cr) <- pos + 1;
+            let saved_last = st.last_of.(cr) in
+            let rows = candidate_rows st m cr in
+            let rec try_rows = function
+              | [] -> ()
+              | row :: rest ->
+                if (not post) || post_row_ok st m row d then begin
+                  st.rows.(m) <- row;
+                  st.last_of.(cr) <- m;
+                  if response_consistent st m then begin
+                    match go (m + 1) with
+                    | Some _ as s -> result := s
+                    | None -> ()
+                  end;
+                  st.last_of.(cr) <- saved_last
+                end;
+                if !result = None then try_rows rest
+            in
+            try_rows rows;
+            st.consumed.(cr) <- pos
+          end
+        end;
+        incr r
+      done;
+      !result
+    end
+  in
+  go 0
+
+let search ?require_causal ?max_states ~spec_of target =
+  let st = make_state ?require_causal ?max_states ~spec_of target in
+  match run_search st with
+  | Some a -> Found a
+  | None -> No_solution
+  | exception Budget_exhausted -> Gave_up
+
+let count_solutions ?require_causal ?max_states ?(limit = 1000) ~spec_of target =
+  let st = make_state ?require_causal ?max_states ~spec_of target in
+  let count = ref 0 in
+  let exception Limit in
+  (* re-run the recursion but never stop at the first solution *)
+  let rec go m =
+    st.states <- st.states + 1;
+    if st.states > st.max_states then raise Budget_exhausted;
+    if m = st.total then begin
+      incr count;
+      if !count >= limit then raise Limit
+    end
+    else
+      for r = 0 to st.target.n - 1 do
+        if st.consumed.(r) < Array.length st.target.per_replica.(r) then begin
+          let pos = st.consumed.(r) in
+          let d = st.target.per_replica.(r).(pos) in
+          let post = Hashtbl.mem st.is_post (r, pos) in
+          let schedulable =
+            (not post)
+            || List.for_all
+                 (fun k -> k = (r, pos) || inserted st k)
+                 (updates_on st.target d.Event.obj)
+          in
+          if schedulable then begin
+            st.h.(m) <- d;
+            st.src.(m) <- (r, pos);
+            st.consumed.(r) <- pos + 1;
+            let saved_last = st.last_of.(r) in
+            List.iter
+              (fun row ->
+                if (not post) || post_row_ok st m row d then begin
+                  st.rows.(m) <- row;
+                  st.last_of.(r) <- m;
+                  if response_consistent st m then go (m + 1);
+                  st.last_of.(r) <- saved_last
+                end)
+              (candidate_rows st m r);
+            st.consumed.(r) <- pos
+          end
+        end
+      done
+  in
+  (try go 0 with Limit | Budget_exhausted -> ());
+  !count

@@ -1,0 +1,62 @@
+(** Exhaustive search for a complying abstract execution.
+
+    Given the per-replica sequences of do events of a concrete execution
+    (objects, operations and recorded responses), search for an abstract
+    execution [(H, vis)] that the execution complies with (Definition 9)
+    and that is correct (Definition 8) — optionally also causally
+    consistent, and optionally satisfying the finite eventual-consistency
+    surrogate for designated "post-quiescence" events.
+
+    A [No_solution] answer is exhaustive: *no* such abstract execution
+    exists. This is how the Figure 2 demonstration proves that a store
+    cannot hide the concurrency of two writes, and how the Section 3.4
+    demonstration shows a single-object store can.
+
+    The search enumerates interleavings of [H] and visibility rows per
+    event, pruning any prefix in which a recorded response already
+    contradicts the specification; it is meant for executions of up to
+    roughly a dozen do events. *)
+
+open Haec_model
+open Haec_spec
+
+type target = {
+  n : int;
+  per_replica : Event.do_event array array;
+      (** [per_replica.(r)] is replica [r]'s do sequence, in order. *)
+  post_quiescent : (int * int) list;
+      (** [(replica, position)] pairs marking events that model reads after
+          quiescence: each must have every update to its object visible,
+          and is only scheduled once all those updates are in [H]. *)
+}
+
+type outcome =
+  | Found of Abstract.t
+  | No_solution  (** exhaustive: no complying abstract execution exists *)
+  | Gave_up  (** state budget exceeded; nothing can be concluded *)
+
+val target_of_execution :
+  ?post_quiescent:(int * int) list -> Execution.t -> target
+
+val target_of_events :
+  n:int -> ?post_quiescent:(int * int) list -> Event.do_event list -> target
+(** Builds per-replica sequences from a global list (order within each
+    replica is kept). *)
+
+val search :
+  ?require_causal:bool ->
+  ?max_states:int ->
+  spec_of:(int -> Spec.t) ->
+  target ->
+  outcome
+(** [require_causal] defaults to [true]; [max_states] to [5_000_000]. *)
+
+val count_solutions :
+  ?require_causal:bool ->
+  ?max_states:int ->
+  ?limit:int ->
+  spec_of:(int -> Spec.t) ->
+  target ->
+  int
+(** Number of distinct [(H, vis)] solutions, stopping at [limit]
+    (default 1000). Mostly for tests. *)

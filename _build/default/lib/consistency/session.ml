@@ -1,0 +1,126 @@
+open Haec_model
+open Haec_spec
+
+type report = {
+  read_your_writes : (unit, string) result;
+  monotonic_reads : (unit, string) result;
+  monotonic_writes : (unit, string) result;
+  writes_follow_reads : (unit, string) result;
+}
+
+let check_read_your_writes a =
+  let len = Abstract.length a in
+  let exception Bad of string in
+  try
+    for w = 0 to len - 1 do
+      let dw = Abstract.event a w in
+      if Op.is_update dw.Event.op then
+        for e = w + 1 to len - 1 do
+          let de = Abstract.event a e in
+          if
+            de.Event.replica = dw.Event.replica
+            && de.Event.obj = dw.Event.obj
+            && not (Abstract.vis a w e)
+          then raise (Bad (Printf.sprintf "own update %d invisible to later event %d" w e))
+        done
+    done;
+    Ok ()
+  with Bad m -> Error m
+
+let check_monotonic_reads a =
+  let len = Abstract.length a in
+  let exception Bad of string in
+  try
+    for e = 0 to len - 1 do
+      let de = Abstract.event a e in
+      for e' = e + 1 to len - 1 do
+        let de' = Abstract.event a e' in
+        if de'.Event.replica = de.Event.replica then
+          List.iter
+            (fun w ->
+              if not (Abstract.vis a w e') then
+                raise
+                  (Bad (Printf.sprintf "update %d visible to %d but not to later %d" w e e')))
+            (Abstract.vis_preds a e)
+      done
+    done;
+    Ok ()
+  with Bad m -> Error m
+
+let check_monotonic_writes a =
+  let len = Abstract.length a in
+  let exception Bad of string in
+  try
+    for w = 0 to len - 1 do
+      let dw = Abstract.event a w in
+      if Op.is_update dw.Event.op then
+        (* earlier updates of the issuer, on any object *)
+        for w' = 0 to w - 1 do
+          let dw' = Abstract.event a w' in
+          if dw'.Event.replica = dw.Event.replica && Op.is_update dw'.Event.op then
+            for e = w + 1 to len - 1 do
+              if Abstract.vis a w e && not (Abstract.vis a w' e) then
+                raise
+                  (Bad
+                     (Printf.sprintf
+                        "update %d visible to %d without the issuer's earlier update %d" w
+                        e w'))
+            done
+        done
+    done;
+    Ok ()
+  with Bad m -> Error m
+
+let check_writes_follow_reads a =
+  let len = Abstract.length a in
+  let exception Bad of string in
+  try
+    for w = 0 to len - 1 do
+      let dw = Abstract.event a w in
+      if Op.is_update dw.Event.op then
+        (* updates visible to the issuer at issue time, on any object *)
+        List.iter
+          (fun w' ->
+            let dw' = Abstract.event a w' in
+            if Op.is_update dw'.Event.op then
+              for e = w + 1 to len - 1 do
+                if Abstract.vis a w e && not (Abstract.vis a w' e) then
+                  raise
+                    (Bad
+                       (Printf.sprintf
+                          "update %d visible to %d without its observed predecessor %d" w e
+                          w'))
+              done)
+          (Abstract.vis_preds a w)
+    done;
+    Ok ()
+  with Bad m -> Error m
+
+let check a =
+  {
+    read_your_writes = check_read_your_writes a;
+    monotonic_reads = check_monotonic_reads a;
+    monotonic_writes = check_monotonic_writes a;
+    writes_follow_reads = check_writes_follow_reads a;
+  }
+
+let entries r =
+  [
+    ("read-your-writes", r.read_your_writes);
+    ("monotonic-reads", r.monotonic_reads);
+    ("monotonic-writes", r.monotonic_writes);
+    ("writes-follow-reads", r.writes_follow_reads);
+  ]
+
+let all_hold r = List.for_all (fun (_, res) -> res = Ok ()) (entries r)
+
+let holding r =
+  List.filter_map (fun (name, res) -> if res = Ok () then Some name else None) (entries r)
+
+let pp ppf r =
+  List.iter
+    (fun (name, res) ->
+      match res with
+      | Ok () -> Format.fprintf ppf "%s: ok@," name
+      | Error m -> Format.fprintf ppf "%s: %s@," name m)
+    (entries r)

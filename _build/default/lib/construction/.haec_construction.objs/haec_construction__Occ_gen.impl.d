@@ -1,0 +1,1 @@
+lib/construction/occ_gen.ml: Abstract Array Causal Event Fun Haec_consistency Haec_model Haec_spec Haec_util List Occ Op Rng Spec Value

@@ -1,0 +1,1 @@
+lib/construction/occ_gen.mli: Abstract Haec_spec Haec_util Rng

@@ -1,0 +1,1 @@
+lib/construction/revealing.ml: Abstract Array Event Haec_model Haec_spec Int List Op Spec

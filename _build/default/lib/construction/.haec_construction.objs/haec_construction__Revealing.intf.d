@@ -1,0 +1,1 @@
+lib/construction/revealing.mli: Abstract Haec_spec

@@ -1,0 +1,1 @@
+lib/construction/theorem12.ml: Array Haec_model Haec_sim Haec_store Haec_util Message Op Rng Value

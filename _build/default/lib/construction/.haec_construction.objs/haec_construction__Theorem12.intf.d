@@ -1,0 +1,1 @@
+lib/construction/theorem12.mli: Haec_store Haec_util Rng

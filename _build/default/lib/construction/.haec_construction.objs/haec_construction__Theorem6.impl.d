@@ -1,0 +1,1 @@
+lib/construction/theorem6.ml: Abstract Array Event Execution Haec_model Haec_sim Haec_spec Haec_store Hashtbl List Message Op

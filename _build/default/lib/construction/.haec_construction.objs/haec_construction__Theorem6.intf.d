@@ -1,0 +1,1 @@
+lib/construction/theorem6.mli: Abstract Execution Haec_model Haec_spec Haec_store Op

@@ -1,0 +1,104 @@
+open Haec_util
+open Haec_model
+open Haec_spec
+open Haec_consistency
+
+let fresh_value counter =
+  incr counter;
+  Value.Int !counter
+
+let spec_of _ = Spec.mvr
+
+let sequential rng ~n ~objects ~ops =
+  let counter = ref 0 in
+  let rec events i acc =
+    if i >= ops then List.rev acc
+    else
+      let replica = Rng.int rng n in
+      let obj = Rng.int rng objects in
+      let op = if Rng.bool rng then Op.Write (fresh_value counter) else Op.Read in
+      events (i + 1) ({ Event.replica; obj; op; rval = Op.Ok } :: acc)
+  in
+  let h = Array.of_list (events 0 []) in
+  let vis = ref [] in
+  for j = 0 to Array.length h - 1 do
+    for i = 0 to j - 1 do
+      vis := (i, j) :: !vis
+    done
+  done;
+  Spec.with_correct_responses ~spec_of
+    (Abstract.create ~n h ~vis:!vis)
+
+let planted rng ~n ~groups ?(readers = 1) ?(writers = 2) () =
+  if writers < 2 then invalid_arg "Occ_gen.planted: need writers >= 2";
+  if n < writers + 1 then invalid_arg "Occ_gen.planted: need n >= writers + 1";
+  let counter = ref 0 in
+  let events = ref [] in
+  let vis = ref [] in
+  let len = ref 0 in
+  let gadget_members = ref [] in
+  let push d =
+    events := d :: !events;
+    incr len;
+    !len - 1
+  in
+  (* each gadget uses one shared object plus one witness object per writer *)
+  let objs_per_gadget = writers + 1 in
+  for g = 0 to groups - 1 do
+    let o = objs_per_gadget * g in
+    let previous = List.concat !gadget_members in
+    (* distinct writer replicas *)
+    let replicas = Rng.shuffle_list rng (List.init n Fun.id) in
+    let writer_replicas = List.filteri (fun i _ -> i < writers) replicas in
+    (* each writer: its witness write to a private side object, then the
+       concurrent write to the shared object. Program order gives
+       witness_i vis write_i and nothing else relates them (Figure 3c,
+       generalized): every pair of shared writes keeps its Definition 18
+       witnesses *)
+    let shared_writes = ref [] in
+    let all = ref [] in
+    List.iteri
+      (fun i rw ->
+        let side = o + 1 + i in
+        let w' =
+          push { Event.replica = rw; obj = side; op = Op.Write (fresh_value counter); rval = Op.Ok }
+        in
+        let w =
+          push { Event.replica = rw; obj = o; op = Op.Write (fresh_value counter); rval = Op.Ok }
+        in
+        shared_writes := w :: !shared_writes;
+        all := w :: w' :: !all)
+      writer_replicas;
+    let members = ref !all in
+    let reader_candidates =
+      List.filter (fun r -> not (List.mem r writer_replicas)) (List.init n Fun.id)
+    in
+    for _ = 1 to readers do
+      let rc = Rng.pick rng reader_candidates in
+      let r = push { Event.replica = rc; obj = o; op = Op.Read; rval = Op.Ok } in
+      List.iter (fun i -> vis := (i, r) :: !vis) !all;
+      members := r :: !members
+    done;
+    (* order the whole gadget after every earlier gadget *)
+    List.iter
+      (fun i -> List.iter (fun j -> vis := (i, j) :: !vis) !members)
+      previous;
+    gadget_members := !members :: !gadget_members
+  done;
+  let h = Array.of_list (List.rev !events) in
+  Spec.with_correct_responses ~spec_of (Abstract.create ~n h ~vis:!vis)
+
+let generate rng ~n ~size_hint =
+  let attempt () =
+    if n >= 3 && Rng.chance rng 0.7 then
+      planted rng ~n ~groups:(max 1 (size_hint / 5)) ~readers:(1 + Rng.int rng 2) ()
+    else sequential rng ~n ~objects:(max 2 (size_hint / 4)) ~ops:size_hint
+  in
+  let rec go tries =
+    if tries > 20 then failwith "Occ_gen.generate: could not produce an OCC execution";
+    let a = attempt () in
+    if Spec.is_correct ~spec_of a && Causal.is_causally_consistent a && Occ.is_occ a
+    then a
+    else go (tries + 1)
+  in
+  go 0

@@ -1,0 +1,30 @@
+(** Generators of observably causally consistent abstract executions, used
+    to exercise the Theorem 6 construction (experiment E4).
+
+    Random abstract executions are almost never OCC — the witness writes of
+    Definition 18 must exist — so we generate from families that carry the
+    witnesses by construction (generalizing Figure 3c), plus trivially OCC
+    sequential executions, and verify membership with the checker. *)
+
+open Haec_util
+open Haec_spec
+
+val sequential : Rng.t -> n:int -> objects:int -> ops:int -> Abstract.t
+(** Fully ordered visibility: every event sees all earlier ones. Reads
+    return singletons, so OCC holds vacuously. Correct and causal by
+    construction. *)
+
+val planted :
+  Rng.t -> n:int -> groups:int -> ?readers:int -> ?writers:int -> unit -> Abstract.t
+(** [groups] independent Figure 3c gadgets: [writers] replicas (default 2)
+    each first write a witness value to its own side object, then all
+    concurrently write one shared object; [readers] (default 1) other
+    replicas then read the shared object, observing every value — with the
+    planted witnesses satisfying Definition 18 for every returned pair.
+    Consecutive gadgets are fully ordered after one another. Requires
+    [n >= writers + 1] and [writers >= 2]. *)
+
+val generate : Rng.t -> n:int -> size_hint:int -> Abstract.t
+(** A mix of the above families, roughly [size_hint] events. The result is
+    checked OCC; generation retries until a certified execution is
+    produced. *)

@@ -1,0 +1,80 @@
+open Haec_model
+open Haec_spec
+
+let make_revealing a =
+  let len = Abstract.length a in
+  (* positions of original events in the new H *)
+  let new_index = Array.make len 0 in
+  let next = ref 0 in
+  let is_update i = Op.is_update (Abstract.event a i).Event.op in
+  for i = 0 to len - 1 do
+    if is_update i then incr next;
+    new_index.(i) <- !next;
+    incr next
+  done;
+  let new_len = !next in
+  let read_pos i = new_index.(i) - 1 in
+  let h = Array.make new_len { Event.replica = 0; obj = 0; op = Op.Read; rval = Op.vals [] } in
+  for i = 0 to len - 1 do
+    let d = Abstract.event a i in
+    h.(new_index.(i)) <- d;
+    if is_update i then
+      h.(read_pos i) <-
+        { Event.replica = d.Event.replica; obj = d.Event.obj; op = Op.Read; rval = Op.vals [] }
+  done;
+  let vis = ref [] in
+  let add i j = vis := (i, j) :: !vis in
+  List.iter
+    (fun (i, j) ->
+      add new_index.(i) new_index.(j);
+      (* mirror edges onto the revealing reads *)
+      if is_update j then add new_index.(i) (read_pos j);
+      if is_update i then begin
+        add (read_pos i) new_index.(j);
+        if is_update j then add (read_pos i) (read_pos j)
+      end)
+    (Abstract.vis_pairs a);
+  let draft = Abstract.create ~n:(Abstract.n_replicas a) h ~vis:!vis in
+  (* second pass: give each revealing read its MVR-correct response *)
+  let h' = Array.copy h in
+  for i = 0 to len - 1 do
+    if is_update i then begin
+      let q = read_pos i in
+      let rval = Spec.response_in Spec.mvr draft q in
+      h'.(q) <- { (h.(q)) with Event.rval }
+    end
+  done;
+  (Abstract.create ~n:(Abstract.n_replicas a) h' ~vis:!vis, new_index)
+
+let is_revealing a =
+  let len = Abstract.length a in
+  let ok = ref true in
+  for j = 0 to len - 1 do
+    let d = Abstract.event a j in
+    if Op.is_update d.Event.op then begin
+      if j = 0 then ok := false
+      else begin
+        let r = Abstract.event a (j - 1) in
+        if
+          not
+            (Op.is_read r.Event.op
+            && r.Event.replica = d.Event.replica
+            && r.Event.obj = d.Event.obj)
+        then ok := false
+        else begin
+          (* incoming edges agree (the write additionally sees its own
+             revealing read, by program order) *)
+          let row_w = Abstract.vis_preds a j in
+          let row_r = Abstract.vis_preds a (j - 1) in
+          let expected_row_w = List.sort_uniq Int.compare ((j - 1) :: row_r) in
+          if row_w <> expected_row_w then ok := false;
+          (* outgoing edges agree *)
+          for e = 0 to len - 1 do
+            if e <> j && e <> j - 1 then
+              if Abstract.vis a (j - 1) e <> Abstract.vis a j e then ok := false
+          done
+        end
+      end
+    end
+  done;
+  !ok

@@ -1,0 +1,20 @@
+(** Revealing executions (Section 5.2.1).
+
+    An MVR abstract execution is *revealing* if immediately before every
+    write [w] the same replica performs a read [r_w] of the same object
+    whose visibility is identical to [w]'s. The read's response then
+    reveals the MVR state against which [w] executed, which is what the
+    Theorem 6 proof needs to reason about writes' contexts. *)
+
+open Haec_spec
+
+val make_revealing : Abstract.t -> Abstract.t * int array
+(** [make_revealing a] inserts an [r_w] before every update event, with
+    [r_w]'s visibility mirroring [w]'s and its response computed from the
+    MVR specification. Returns the new execution and the index map from
+    original events to their new positions. Existing events' responses are
+    unchanged. *)
+
+val is_revealing : Abstract.t -> bool
+(** Every update is immediately preceded (in H) by a same-replica
+    same-object read with matching visibility. *)

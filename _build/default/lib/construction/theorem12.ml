@@ -1,0 +1,125 @@
+open Haec_util
+open Haec_model
+
+module Make (S : Haec_store.Store_intf.S) = struct
+  module R = Haec_sim.Runner.Make (S)
+
+  type run = {
+    n : int;
+    s : int;
+    k : int;
+    n' : int;
+    g : int array;
+    decoded : int array;
+    ok : bool;
+    m_g_bits : int;
+    lower_bound_bits : float;
+    writer_msg_bits_max : int;
+    encoder_reads_ok : bool;
+  }
+
+  let n_prime ~n ~s = min (n - 2) (s - 1)
+
+  let random_g rng ~n ~s ~k =
+    Array.init (n_prime ~n ~s) (fun _ -> 1 + Rng.int rng k)
+
+  (* β: writer i broadcasts m_i^j after its j-th write of x_i. Returns
+     msgs.(i).(j-1) = m_i^j. Independent of g. *)
+  let run_beta sim ~n' ~k =
+    let msgs = Array.make_matrix n' k { Message.sender = 0; seq = 0; payload = "" } in
+    for i = 0 to n' - 1 do
+      for j = 1 to k do
+        let rval = R.op sim ~replica:i ~obj:i (Op.Write (Value.Pair (j, i))) in
+        assert (rval = Op.Ok);
+        match R.flush sim ~replica:i with
+        | Some m -> msgs.(i).(j - 1) <- m
+        | None -> failwith "Theorem12: writer had no message pending (Lemma 5 violated)"
+      done
+    done;
+    msgs
+
+  let encode_decode ~n ~s ~k ~g =
+    if n < 3 then invalid_arg "Theorem12: need n >= 3";
+    if s < 2 then invalid_arg "Theorem12: need s >= 2";
+    if k < 1 then invalid_arg "Theorem12: need k >= 1";
+    let n' = n_prime ~n ~s in
+    if Array.length g <> n' then invalid_arg "Theorem12: g has wrong domain";
+    Array.iter (fun v -> if v < 1 || v > k then invalid_arg "Theorem12: g out of range") g;
+    let y = n' in
+    let encoder = n - 2 in
+    (* --- α_g = β · γ --- *)
+    let sim = R.create ~record_witness:false ~auto_send:false ~n () in
+    let msgs = run_beta sim ~n' ~k in
+    let encoder_reads_ok = ref true in
+    for i = 0 to n' - 1 do
+      for j = 1 to g.(i) do
+        R.deliver_msg sim ~dst:encoder msgs.(i).(j - 1);
+        let rval = R.op sim ~replica:encoder ~obj:i Op.Read in
+        (* the proof asserts w_i^j ∈ rval(r_i^j); with one writer per x_i
+           the read is exactly {(j,i)} *)
+        if not (Op.equal_response rval (Op.vals [ Value.Pair (j, i) ])) then
+          encoder_reads_ok := false
+      done
+    done;
+    let rval = R.op sim ~replica:encoder ~obj:y (Op.Write (Value.Int 1)) in
+    assert (rval = Op.Ok);
+    let m_g =
+      match R.flush sim ~replica:encoder with
+      | Some m -> m
+      | None -> failwith "Theorem12: encoder had no message pending (Lemma 5 violated)"
+    in
+    (* --- decoding: d_i for every i, on a fresh decoder replica --- *)
+    let decode i =
+      let st = ref (S.init ~n ~me:(n - 1)) in
+      let recv (m : Message.t) =
+        st := S.receive !st ~sender:m.Message.sender m.Message.payload
+      in
+      let read obj =
+        let st', rval, _w = S.do_op !st ~obj Op.Read in
+        st := st';
+        rval
+      in
+      for p = 0 to n' - 1 do
+        if p <> i then
+          for j = 1 to k do
+            recv msgs.(p).(j - 1)
+          done
+      done;
+      recv m_g;
+      let rec deliver j =
+        if j > k then None
+        else begin
+          recv msgs.(i).(j - 1);
+          match read y with
+          | Op.Vals [ Value.Int 1 ] -> (
+            match read i with
+            | Op.Vals [ Value.Pair (u, i') ] when i' = i -> Some u
+            | _ -> None)
+          | _ -> deliver (j + 1)
+        end
+      in
+      deliver 1
+    in
+    let decoded = Array.init n' (fun i -> match decode i with Some u -> u | None -> -1) in
+    {
+      n;
+      s;
+      k;
+      n';
+      g = Array.copy g;
+      decoded;
+      ok = decoded = g;
+      m_g_bits = Message.size_bits m_g;
+      lower_bound_bits = float_of_int n' *. (log (float_of_int k) /. log 2.0);
+      writer_msg_bits_max =
+        Array.fold_left
+          (fun acc row ->
+            Array.fold_left (fun acc m -> max acc (Message.size_bits m)) acc row)
+          0 msgs;
+      encoder_reads_ok = !encoder_reads_ok;
+    }
+
+  let run_random rng ~n ~s ~k =
+    let g = random_g rng ~n ~s ~k in
+    encode_decode ~n ~s ~k ~g
+end

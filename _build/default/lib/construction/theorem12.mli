@@ -1,0 +1,52 @@
+(** The Theorem 12 lower-bound construction (Section 6, Figure 4),
+    executable: encode an arbitrary function [g : [n'] -> [k]] into the
+    single message [m_g], then decode it back, and measure [m_g]'s actual
+    size in bits.
+
+    Replica roles (0-based): replicas [0 .. n'-1] are the writers, replica
+    [n-2] is the encoder, replica [n-1] is the decoder, where
+    [n' = min (n-2) (s-1)]. Objects [0 .. n'-1] are the MVRs [x_i]; object
+    [n'] is [y].
+
+    - β (Fig 4a): writer [i] writes [(j, i)] to [x_i] for [j = 1..k],
+      broadcasting message [m_i^j] after each write. β is independent
+      of [g].
+    - γ (Fig 4b): the encoder receives [m_i^1 .. m_i^{g(i)}] for every
+      [i], reading [x_i] after each, then writes [1] to [y] and broadcasts
+      [m_g].
+    - Decoding (Fig 4c): a fresh decoder replica receives all writer
+      messages except [R_i]'s, then [m_g] (which the causally consistent
+      store must buffer), then [m_i^j] for increasing [j], reading [y]
+      after each; [y] becomes visible exactly when [j = g(i)], at which
+      point [x_i] reads [(g(i), i)].
+
+    Information-theoretically [m_g] must therefore carry at least
+    [n' * lg k] bits; [encode_decode] confirms decodability on a real
+    store and reports the measured size. *)
+
+open Haec_util
+
+module Make (S : Haec_store.Store_intf.S) : sig
+  type run = {
+    n : int;
+    s : int;
+    k : int;
+    n' : int;
+    g : int array;  (** the encoded function, [g.(i)] in [1..k] *)
+    decoded : int array;
+    ok : bool;  (** [decoded = g] *)
+    m_g_bits : int;  (** measured size of the encoder's message *)
+    lower_bound_bits : float;  (** [n' * log2 k] *)
+    writer_msg_bits_max : int;  (** largest β message, for comparison *)
+    encoder_reads_ok : bool;
+        (** the encoder's γ reads returned [(j, i)] as the proof asserts *)
+  }
+
+  val encode_decode : n:int -> s:int -> k:int -> g:int array -> run
+  (** Requires [n >= 3], [s >= 2], [k >= 1], [Array.length g = min (n-2)
+      (s-1)] and values in [1..k]. *)
+
+  val random_g : Rng.t -> n:int -> s:int -> k:int -> int array
+
+  val run_random : Rng.t -> n:int -> s:int -> k:int -> run
+end

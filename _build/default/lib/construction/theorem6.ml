@@ -1,0 +1,64 @@
+open Haec_model
+open Haec_spec
+
+module Make (S : Haec_store.Store_intf.S) = struct
+  module R = Haec_sim.Runner.Make (S)
+
+  type result = {
+    execution : Execution.t;
+    responses : Op.response array;
+    mismatches : (int * Op.response * Op.response) list;
+    delivered : int;
+  }
+
+  let construct a =
+    let n = Abstract.n_replicas a in
+    let len = Abstract.length a in
+    let sim = R.create ~record_witness:false ~auto_send:false ~n () in
+    (* first message sent by R(e') after e', for each H index e' *)
+    let msg_after : Message.t option array = Array.make (max len 1) None in
+    (* messages already delivered to each replica *)
+    let seen : (Message.id * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    let responses = Array.make (max len 1) Op.Ok in
+    let mismatches = ref [] in
+    let delivered = ref 0 in
+    for e = 0 to len - 1 do
+      let d = Abstract.event a e in
+      let r = d.Event.replica in
+      (* (1) deliver the message broadcast after each *update* among e's
+         visibility predecessors, in H order ([vis_preds] is ascending,
+         which is H order). Only writes transmit information (Section 5.1:
+         messages flow along write-to-read visibility edges); a write's
+         message is flushed immediately after it, so its content is
+         exactly the writer's visibility-closed past — this is what keeps
+         happens-before inside vis (Propositions 8/9). *)
+      List.iter
+        (fun e' ->
+          match msg_after.(e') with
+          | Some m when (Abstract.event a e').Event.replica <> r ->
+            if not (Hashtbl.mem seen (Message.id m, r)) then begin
+              Hashtbl.replace seen (Message.id m, r) ();
+              R.deliver_msg sim ~dst:r m;
+              incr delivered
+            end
+          | Some _ | None -> ())
+        (List.filter
+           (fun e' -> Op.is_update (Abstract.event a e').Event.op)
+           (Abstract.vis_preds a e));
+      (* (2) invoke op(e) *)
+      let rval = R.op sim ~replica:r ~obj:d.Event.obj d.Event.op in
+      responses.(e) <- rval;
+      if not (Op.equal_response rval d.Event.rval) then
+        mismatches := (e, d.Event.rval, rval) :: !mismatches;
+      (* (3) send the pending message, if any: the update's own broadcast *)
+      match R.flush sim ~replica:r with None -> () | Some m -> msg_after.(e) <- Some m
+    done;
+    {
+      execution = R.execution sim;
+      responses;
+      mismatches = List.rev !mismatches;
+      delivered = !delivered;
+    }
+
+  let complies a = (construct a).mismatches = []
+end

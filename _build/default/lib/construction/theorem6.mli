@@ -1,0 +1,36 @@
+(** The Theorem 6 construction (Section 5.2.2), executable.
+
+    Given a causally consistent (ideally observably causally consistent)
+    revealing MVR abstract execution [A = (H, vis)] and a write-propagating
+    store [S], build a concrete execution [α] of [S] by the paper's
+    recursion: for each event [e] of [H] in order, (1) deliver to [R(e)]
+    the message broadcast after each *update* [e'] with [e' vis e] (in H
+    order, if not delivered yet) — the Section 5.1 information flow along
+    write-to-read visibility edges; an update's message is flushed
+    immediately after it, which keeps the constructed happens-before
+    inside [vis] (Propositions 8/9) — then (2) invoke [op(e)], and (3)
+    flush the pending message if any.
+
+    Theorem 6 asserts that when [A] is OCC, every invoked operation returns
+    exactly [rval(e)] — i.e. [α] complies with [A]. [construct] performs
+    the recursion and reports every mismatch, so the theorem's statement
+    becomes a checkable property of a real store. *)
+
+open Haec_model
+open Haec_spec
+
+module Make (S : Haec_store.Store_intf.S) : sig
+  type result = {
+    execution : Execution.t;
+    responses : Op.response array;  (** actual responses, indexed like H *)
+    mismatches : (int * Op.response * Op.response) list;
+        (** [(H index, expected, actual)] for every event whose response
+            differs from [A]'s *)
+    delivered : int;  (** receive events issued by step (1) *)
+  }
+
+  val construct : Abstract.t -> result
+
+  val complies : Abstract.t -> bool
+  (** [construct] produced no mismatches. *)
+end

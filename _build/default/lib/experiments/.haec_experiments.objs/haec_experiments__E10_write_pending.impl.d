@@ -1,0 +1,1 @@
+lib/experiments/e10_write_pending.ml: Haec Model Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e11_theorem12_registers.ml: Construction Haec List Store Tables Util

@@ -1,0 +1,1 @@
+lib/experiments/e12_liveness_ablation.ml: Format Haec List Model Sim Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e13_session_guarantees.ml: Consistency Haec List Model Option Sim Store Tables

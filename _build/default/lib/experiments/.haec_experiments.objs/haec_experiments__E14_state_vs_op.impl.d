@@ -1,0 +1,1 @@
+lib/experiments/e14_state_vs_op.ml: Haec Harness List Sim Store Tables

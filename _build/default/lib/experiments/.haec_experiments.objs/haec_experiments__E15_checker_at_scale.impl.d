@@ -1,0 +1,1 @@
+lib/experiments/e15_checker_at_scale.ml: Consistency Haec Harness List Model Sim Store Tables Util

@@ -1,0 +1,1 @@
+lib/experiments/e16_state_growth.ml: Haec List Model Sim Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e17_dependency_tracking.ml: Construction Haec List Model Store String Tables Util

@@ -1,0 +1,1 @@
+lib/experiments/e1_spec_conformance.ml: Haec Harness List Sim Spec Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e2_fig2_inference.ml: Consistency Haec List Model Spec String Tables

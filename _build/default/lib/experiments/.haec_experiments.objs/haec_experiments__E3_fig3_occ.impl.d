@@ -1,0 +1,1 @@
+lib/experiments/e3_fig3_occ.ml: Consistency Haec List Model Spec Tables

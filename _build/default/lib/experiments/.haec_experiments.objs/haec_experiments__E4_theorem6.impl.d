@@ -1,0 +1,1 @@
+lib/experiments/e4_theorem6.ml: Construction Haec List Spec Store Tables Util

@@ -1,0 +1,1 @@
+lib/experiments/e5_visible_reads.ml: Construction Haec List Model Sim Spec Store Tables

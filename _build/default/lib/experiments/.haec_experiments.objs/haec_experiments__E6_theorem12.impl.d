@@ -1,0 +1,1 @@
+lib/experiments/e6_theorem12.ml: Construction Haec List Store Tables Util

@@ -1,0 +1,1 @@
+lib/experiments/e7_vclock_growth.ml: Haec List Model Sim Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e8_single_object.ml: Consistency Haec List Model Option Sim Spec Store Tables

@@ -1,0 +1,1 @@
+lib/experiments/e9_convergence.ml: Haec Harness List Sim Spec Store Tables

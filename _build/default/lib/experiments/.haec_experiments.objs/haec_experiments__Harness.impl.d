@@ -1,0 +1,1 @@
+lib/experiments/harness.ml: Consistency Haec List Model Sim Spec Store Util

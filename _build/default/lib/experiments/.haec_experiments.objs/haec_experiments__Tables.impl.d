@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Format List Printf String

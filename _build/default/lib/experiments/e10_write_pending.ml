@@ -1,0 +1,110 @@
+(** E10 — Section 4, Lemma 5 and Definition 15: a write-propagating store
+    must have a message pending after a write performed in an apparently
+    quiescent execution; and op-driven stores never acquire a pending
+    message from a receive alone. The gossip-relay store deliberately
+    violates the latter, placing itself outside the class the theorems
+    quantify over. *)
+
+open Haec
+module Op = Model.Op
+module Value = Model.Value
+
+let name = "E10"
+
+let title = "E10: Lemma 5 / Definition 15 - when is a message pending?"
+
+module Probe (S : Store.Store_intf.S) = struct
+  (* the store's update vocabulary: writes for registers/MVRs, adds for
+     sets and counters *)
+  let update st ~obj v =
+    match S.do_op st ~obj (Op.Write (Value.Int v)) with
+    | st, _, _ -> st
+    | exception Invalid_argument _ ->
+      let st, _, _ = S.do_op st ~obj (Op.Add (Value.Int v)) in
+      st
+
+  (* update in a quiescent state: Lemma 5 says a message must be pending *)
+  let pending_after_write () =
+    let st = S.init ~n:2 ~me:0 in
+    S.has_pending (update st ~obj:0 1)
+
+  let pending_after_write_post_exchange () =
+    (* quiesce a 2-replica exchange first, then update again *)
+    let a = S.init ~n:2 ~me:0 and b = S.init ~n:2 ~me:1 in
+    let a = update a ~obj:0 1 in
+    let a, payload = S.send a in
+    let b = S.receive b ~sender:0 payload in
+    let b = update b ~obj:0 2 in
+    let b, payload = S.send b in
+    let a = S.receive a ~sender:1 payload in
+    let a = update a ~obj:1 3 in
+    ignore b;
+    S.has_pending a
+
+  (* Definition 15 condition 2: no pending from a receive in a
+     no-pending state. The receiver is replica 0 so that the GSP store's
+     sequencer (the interesting case) is probed. *)
+  let pending_after_receive_only () =
+    let a = S.init ~n:2 ~me:1 in
+    let a = update a ~obj:0 1 in
+    let _, payload = S.send a in
+    let b = S.init ~n:2 ~me:0 in
+    let b = S.receive b ~sender:1 payload in
+    S.has_pending b
+
+  (* Definition 16: reads leave no observable trace (probe via pending) *)
+  let pending_after_read_only () =
+    let st = S.init ~n:2 ~me:0 in
+    let st, _, _ = S.do_op st ~obj:0 Op.Read in
+    S.has_pending st
+
+  let row () =
+    [
+      S.name;
+      Tables.yes_no S.op_driven;
+      Tables.yes_no (pending_after_write ());
+      Tables.yes_no (pending_after_write_post_exchange ());
+      Tables.yes_no (pending_after_receive_only ());
+      Tables.yes_no (pending_after_read_only ());
+    ]
+end
+
+let run ppf =
+  let rows =
+    [
+      (let module P = Probe (Store.Mvr_store) in
+      P.row ());
+      (let module P = Probe (Store.Causal_mvr_store) in
+      P.row ());
+      (let module P = Probe (Store.Lww_store) in
+      P.row ());
+      (let module P = Probe (Store.Orset_store) in
+      P.row ());
+      (let module P = Probe (Store.Delayed_store.K3) in
+      P.row ());
+      (let module P = Probe (Store.Gossip_relay_store) in
+      P.row ());
+      (let module P = Probe (Store.Gsp_store) in
+      P.row ());
+    ]
+  in
+  Tables.print ppf ~title
+    ~header:
+      [
+        "store";
+        "op-driven";
+        "pend. after write";
+        "after write (quiesced)";
+        "after receive only";
+        "after read only";
+      ]
+    rows;
+  Tables.note ppf
+    "Lemma 5: both write columns must be yes for every store. Definition 15:";
+  Tables.note ppf
+    "op-driven stores show no after a bare receive; the gossip relay and the";
+  Tables.note ppf
+    "GSP sequencer show yes, certifying them outside the write-propagating";
+  Tables.note ppf
+    "class the theorems quantify over. Reads never leave a message pending";
+  Tables.note ppf "(Definition 16)."

@@ -1,0 +1,47 @@
+(** E11 — Section 6, closing remark: Proposition 2, Lemma 3 and Lemma 5
+    also hold for read/write registers, so the Theorem 12 lower bound
+    applies to register stores too. We run the same Figure 4
+    encode/decode pipeline on the causally consistent LWW-register store
+    and compare its message sizes with the MVR store's. *)
+
+open Haec
+module T12_reg = Construction.Theorem12.Make (Store.Causal_reg_store)
+module T12_mvr = Construction.Theorem12.Make (Store.Causal_mvr_store)
+
+let name = "E11"
+
+let title = "E11: Theorem 12 on read/write registers (Section 6 closing remark)"
+
+let run ppf =
+  let rng = Util.Rng.create 111 in
+  let configs = [ (4, 3, 64); (6, 5, 64); (6, 5, 1024); (10, 9, 1024) ] in
+  let rows =
+    List.map
+      (fun (n, s, k) ->
+        let g = T12_reg.random_g rng ~n ~s ~k in
+        let reg = T12_reg.encode_decode ~n ~s ~k ~g in
+        let mvr = T12_mvr.encode_decode ~n ~s ~k ~g in
+        [
+          string_of_int n;
+          string_of_int s;
+          string_of_int k;
+          Tables.yes_no reg.T12_reg.ok;
+          string_of_int reg.T12_reg.m_g_bits;
+          string_of_int mvr.T12_mvr.m_g_bits;
+          Tables.f1 reg.T12_reg.lower_bound_bits;
+          Tables.f2
+            (float_of_int reg.T12_reg.m_g_bits /. reg.T12_reg.lower_bound_bits);
+        ])
+      configs
+  in
+  Tables.print ppf ~title
+    ~header:
+      [ "n"; "s"; "k"; "decoded"; "reg |m_g|"; "mvr |m_g|"; "bound bits"; "reg ratio" ]
+    rows;
+  Tables.note ppf
+    "The register store decodes g just as the MVR store does: the lower";
+  Tables.note ppf
+    "bound is not an artifact of multi-valued semantics. Register messages";
+  Tables.note ppf
+    "are leaner (no per-object version vectors) but still exceed the bound";
+  Tables.note ppf "and still grow with n' and lg k."

@@ -1,0 +1,72 @@
+(** E13 — locating the stores on the consistency ladder below OCC: the
+    four session guarantees (Terry et al.) evaluated on witness abstract
+    executions of adversarially reordered runs. Causal consistency implies
+    all four; the eager stores may violate the cross-session ones. *)
+
+open Haec
+module Op = Model.Op
+module Value = Model.Value
+
+let name = "E13"
+
+let title = "E13: session guarantees per store (adversarial reordered delivery)"
+
+module Probe (S : Store.Store_intf.S) = struct
+  module R = Sim.Runner.Make (S)
+
+  (* A schedule crafted to break monotonic-writes and writes-follow-reads
+     on stores without causal delivery: R0 updates o0 then o0 again; its
+     two messages reach R2 in reverse order... per-object version vectors
+     repair same-object reorders, so we use two objects with a causal
+     chain across replicas:
+       R0: w1 = upd(o0); R1 sees w1, then w2 = upd(o1);
+       R2 receives w2's message but not w1's, and reads both objects. *)
+  let run () =
+    let sim = R.create ~n:3 ~auto_send:false () in
+    ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (Value.Int 1)));
+    let m1 = Option.get (R.flush sim ~replica:0) in
+    R.deliver_msg sim ~dst:1 m1;
+    ignore (R.op sim ~replica:1 ~obj:1 (Op.Write (Value.Int 2)));
+    let m2 = Option.get (R.flush sim ~replica:1) in
+    R.deliver_msg sim ~dst:2 m2;
+    ignore (R.op sim ~replica:2 ~obj:1 Op.Read);
+    ignore (R.op sim ~replica:2 ~obj:0 Op.Read);
+    R.deliver_msg sim ~dst:2 m1;
+    ignore (R.op sim ~replica:2 ~obj:0 Op.Read);
+    let witness = R.witness_abstract sim in
+    (S.name, Consistency.Session.check witness)
+end
+
+module P_eager = Probe (Store.Mvr_store)
+module P_state = Probe (Store.State_mvr_store)
+module P_causal = Probe (Store.Causal_mvr_store)
+module P_cops = Probe (Store.Cops_store)
+module P_lww = Probe (Store.Lww_store)
+
+let mark = function Ok () -> "yes" | Error _ -> "no"
+
+let run ppf =
+  let rows =
+    List.map
+      (fun (name, (r : Consistency.Session.report)) ->
+        [
+          name;
+          mark r.Consistency.Session.read_your_writes;
+          mark r.Consistency.Session.monotonic_reads;
+          mark r.Consistency.Session.monotonic_writes;
+          mark r.Consistency.Session.writes_follow_reads;
+        ])
+      [ P_eager.run (); P_state.run (); P_causal.run (); P_cops.run (); P_lww.run () ]
+  in
+  Tables.print ppf ~title
+    ~header:[ "store"; "RYW"; "mono-reads"; "mono-writes"; "writes-follow-reads" ]
+    rows;
+  Tables.note ppf
+    "Schedule: a cross-replica causal chain (w1 at R0 observed by R1 before";
+  Tables.note ppf
+    "it writes w2) delivered to R2 effect-first. RYW and monotonic reads are";
+  Tables.note ppf
+    "structural in the model (Definition 4); writes-follow-reads separates";
+  Tables.note ppf
+    "the causally consistent store from the eager ones, which expose w2";
+  Tables.note ppf "without the w1 its issuer had observed."

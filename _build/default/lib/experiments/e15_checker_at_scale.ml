@@ -1,0 +1,68 @@
+(** E15 — causal-consistency checking at scale: the polynomial bad-pattern
+    checker (Bouajjani et al. style, causal-convergence variant) decides
+    hundreds-of-events register histories that the exhaustive search could
+    never touch. We measure how often each store's runs exhibit causal
+    anomalies under each network, across many seeds. *)
+
+open Haec
+module CH = Consistency.Causal_hist
+module Op = Model.Op
+
+let name = "E15"
+
+let title = "E15: causal anomalies found by the polynomial checker (register histories)"
+
+module Probe (S : Store.Store_intf.S) = struct
+  module R = Sim.Runner.Make (S)
+
+  let run_one seed policy =
+    let rng = Util.Rng.create seed in
+    let sim = R.create ~seed ~n:4 ~policy () in
+    let steps =
+      Sim.Workload.generate ~rng ~n:4 ~objects:4 ~ops:150 Sim.Workload.register_mix
+    in
+    Sim.Workload.run
+      (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+      ~advance:(R.advance_to sim) steps;
+    R.run_until_quiescent sim;
+    CH.check (R.execution sim)
+
+  let stats policy ~seeds =
+    let violations = ref 0 and consistent = ref 0 and unsupported = ref 0 in
+    for seed = 1 to seeds do
+      match run_one seed policy with
+      | CH.Consistent -> incr consistent
+      | CH.Violation _ -> incr violations
+      | CH.Unsupported _ -> incr unsupported
+    done;
+    (!consistent, !violations, !unsupported)
+end
+
+module P_lww = Probe (Store.Lww_store)
+module P_causal = Probe (Store.Causal_reg_store)
+
+let run ppf =
+  let seeds = 20 in
+  let rows =
+    List.concat_map
+      (fun (pname, policy) ->
+        let c1, v1, u1 = P_lww.stats policy ~seeds in
+        let c2, v2, u2 = P_causal.stats policy ~seeds in
+        [
+          [ "lww-register"; pname; string_of_int seeds; string_of_int c1;
+            string_of_int v1; string_of_int u1 ];
+          [ "reg-causal"; pname; string_of_int seeds; string_of_int c2;
+            string_of_int v2; string_of_int u2 ];
+        ])
+      (Harness.policies ())
+  in
+  Tables.print ppf ~title
+    ~header:[ "store"; "network"; "runs"; "consistent"; "violations"; "unsupported" ]
+    rows;
+  Tables.note ppf
+    "150-op register histories, 4 replicas. The causally consistent register";
+  Tables.note ppf
+    "store never produces an anomaly under any network; the LWW store's";
+  Tables.note ppf
+    "anomalies appear exactly under policies that can reorder causally";
+  Tables.note ppf "related messages (its timestamps are not causal delivery)."

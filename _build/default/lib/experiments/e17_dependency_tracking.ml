@@ -1,0 +1,76 @@
+(** E17 — dependency-tracking strategies under the Theorem 12 adversary.
+    The lower bound constrains *every* representation of causal
+    dependencies: the Ahamad-et-al. vector-clock store and the COPS-style
+    explicit-dependency store (the paper's reference [21]) both decode g,
+    with different constants. On ordinary workloads the explicit-deps
+    store pays a short frontier list instead of an n-entry vector per
+    update. *)
+
+open Haec
+module Op = Model.Op
+module Value = Model.Value
+module T12_vc = Construction.Theorem12.Make (Store.Causal_mvr_store)
+module T12_cops = Construction.Theorem12.Make (Store.Cops_store)
+
+let name = "E17"
+
+let title = "E17: dependency tracking - vector clocks vs explicit dependency lists"
+
+let writer_msg_bits (type s) (module S : Store.Store_intf.S with type state = s) ~n =
+  let st = S.init ~n ~me:0 in
+  let st, _, _ = S.do_op st ~obj:0 (Op.Write (Value.Int 1)) in
+  let _, payload = S.send st in
+  8 * String.length payload
+
+let run ppf =
+  (* Theorem 12 head-to-head *)
+  let rng = Util.Rng.create 17 in
+  let t12_rows =
+    List.map
+      (fun (n, s, k) ->
+        let g = T12_vc.random_g rng ~n ~s ~k in
+        let vc = T12_vc.encode_decode ~n ~s ~k ~g in
+        let cops = T12_cops.encode_decode ~n ~s ~k ~g in
+        [
+          string_of_int n;
+          string_of_int s;
+          string_of_int k;
+          Tables.yes_no (vc.T12_vc.ok && cops.T12_cops.ok);
+          string_of_int vc.T12_vc.m_g_bits;
+          string_of_int cops.T12_cops.m_g_bits;
+          Tables.f1 vc.T12_vc.lower_bound_bits;
+        ])
+      [ (4, 3, 64); (6, 5, 64); (6, 5, 1024); (10, 9, 1024); (18, 17, 256) ]
+  in
+  Tables.print ppf ~title
+    ~header:[ "n"; "s"; "k"; "both decode"; "vclock |m_g|"; "deps |m_g|"; "bound" ]
+    t12_rows;
+  (* per-update cost on a plain single-writer update, as n grows *)
+  let growth_rows =
+    List.map
+      (fun n ->
+        [
+          string_of_int n;
+          string_of_int (writer_msg_bits (module Store.Causal_mvr_store) ~n);
+          string_of_int (writer_msg_bits (module Store.Cops_store) ~n);
+        ])
+      [ 4; 8; 16; 32; 64 ]
+  in
+  Tables.print ppf ~title:"single-update message bits vs replica count"
+    ~header:[ "n"; "vclock store"; "deps store" ]
+    growth_rows;
+  Tables.note ppf
+    "Both stores decode g in every configuration: the bound constrains any";
+  Tables.note ppf
+    "dependency representation. On the adversarial workload the deps store's";
+  Tables.note ppf
+    "m_g names one frontier dot per writer - n' explicit (replica, seq)";
+  Tables.note ppf
+    "pairs, ~n' lg k bits with a slightly larger constant than the vector";
+  Tables.note ppf
+    "(a dot spells out the replica id the vector encodes by position). On";
+  Tables.note ppf
+    "plain updates the deps store wins: a short frontier list replaces the";
+  Tables.note ppf
+    "n-entry delivery vector, roughly halving the linear-in-n growth (the";
+  Tables.note ppf "MVR payload's own version vector accounts for the rest)."

@@ -1,0 +1,59 @@
+(** E6 — Theorem 12 / Figure 4: the message-size lower bound, measured.
+    For each (n, s, k), a random g : [n'] -> [k] is encoded into the single
+    message m_g of the causally consistent store and decoded back; the
+    table compares the measured wire size of m_g against the
+    information-theoretic bound min{n-2, s-1} * lg k. *)
+
+open Haec
+module T12 = Construction.Theorem12.Make (Store.Causal_mvr_store)
+
+let name = "E6"
+
+let title = "E6: Theorem 12 - measured |m_g| vs the min{n-2,s-1} lg k lower bound"
+
+let run ppf =
+  let rng = Util.Rng.create 99 in
+  let configs =
+    [
+      (4, 3, 4);
+      (4, 3, 64);
+      (4, 3, 1024);
+      (6, 5, 4);
+      (6, 5, 64);
+      (6, 5, 1024);
+      (10, 9, 64);
+      (10, 9, 1024);
+      (18, 17, 256);
+      (10, 4, 1024);  (* s binds n' *)
+      (4, 9, 1024);   (* n binds n' *)
+    ]
+  in
+  let rows =
+    List.map
+      (fun (n, s, k) ->
+        let r = T12.run_random rng ~n ~s ~k in
+        [
+          string_of_int n;
+          string_of_int s;
+          string_of_int k;
+          string_of_int r.T12.n';
+          Tables.yes_no r.T12.ok;
+          string_of_int r.T12.m_g_bits;
+          Tables.f1 r.T12.lower_bound_bits;
+          Tables.f2 (float_of_int r.T12.m_g_bits /. r.T12.lower_bound_bits);
+          string_of_int r.T12.writer_msg_bits_max;
+        ])
+      configs
+  in
+  Tables.print ppf ~title
+    ~header:
+      [ "n"; "s"; "k"; "n'"; "decoded"; "|m_g| bits"; "bound bits"; "ratio"; "max beta msg" ]
+    rows;
+  Tables.note ppf
+    "decoded=yes certifies that m_g really carries g (Figure 4c ran on a";
+  Tables.note ppf
+    "fresh replica). The ratio stays a small constant as n'*lg k grows:";
+  Tables.note ppf
+    "the store's vector clocks meet the lower bound up to constant factor,";
+  Tables.note ppf
+    "matching the paper's remark that Ahamad et al.'s algorithm is tight for s >= n."

@@ -1,0 +1,72 @@
+(** Shared machinery: run a store on a random workload under a network
+    policy, drive to quiescence, append one read per object per replica,
+    and validate everything. *)
+
+open Haec
+module Op = Model.Op
+module Execution = Model.Execution
+
+type stats = {
+  report : Sim.Checks.report;
+  ops : int;
+  messages : int;
+  total_bits : int;
+  max_bits : int;
+  quiesce_time : float;
+  events : int;
+}
+
+module Run (S : Store.Store_intf.S) = struct
+  module R = Sim.Runner.Make (S)
+
+  let random ?(spec_of = fun (_ : int) -> Spec.Spec.mvr) ~seed ~n ~objects ~ops ~policy mix
+      () =
+    let rng = Util.Rng.create seed in
+    let sim = R.create ~seed ~n ~policy () in
+    let steps = Sim.Workload.generate ~rng ~n ~objects ~ops mix in
+    Sim.Workload.run
+      (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+      ~advance:(R.advance_to sim) steps;
+    let last_op_time = R.now sim in
+    R.run_until_quiescent sim;
+    (* how long past the final client operation until the network drained *)
+    let quiesce_time = R.now sim -. last_op_time in
+    let quiescent_at = List.length (Execution.do_events (R.execution sim)) in
+    for obj = 0 to objects - 1 do
+      for replica = 0 to n - 1 do
+        ignore (R.op sim ~replica ~obj Op.Read)
+      done
+    done;
+    let exec = R.execution sim in
+    let witness = R.witness_abstract sim in
+    let report = Sim.Checks.validate ~spec_of ~quiescent_at exec witness in
+    let report =
+      (* fold read agreement (Lemma 3) into the eventual check *)
+      match
+        ( report.Sim.Checks.eventual,
+          Consistency.Eventual.check_reads_agree exec ~suffix:(n * objects) )
+      with
+      | Ok (), (Error _ as e) -> { report with Sim.Checks.eventual = e }
+      | _ -> report
+    in
+    {
+      report;
+      ops;
+      messages = List.length (Execution.messages_sent exec);
+      total_bits = Execution.total_message_bits exec;
+      max_bits = Execution.max_message_bits exec;
+      quiesce_time;
+      events = Execution.length exec;
+    }
+end
+
+let policies () =
+  [
+    ("fifo", Sim.Net_policy.reliable_fifo ());
+    ("reorder", Sim.Net_policy.random_delay ());
+    ("lossy+dup", Sim.Net_policy.lossy ());
+    ( "partition",
+      Sim.Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:30.0 () );
+  ]
+
+let ok = function Ok () -> true | Error _ -> false

@@ -1,0 +1,15 @@
+(** The experiment registry: every table/figure of the paper, reproducible
+    by id. See DESIGN.md section 3 for the per-experiment index. *)
+
+type t = {
+  id : string;  (** e.g. "E6" *)
+  title : string;
+  run : Format.formatter -> unit;
+}
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_all : Format.formatter -> unit

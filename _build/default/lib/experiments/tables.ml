@@ -1,0 +1,31 @@
+let print ppf ~title ~header rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Tables.print: row arity mismatch")
+    rows;
+  let all = header :: rows in
+  let widths =
+    List.mapi
+      (fun i _ -> List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 all)
+      header
+  in
+  let pad s w = s ^ String.make (w - String.length s) ' ' in
+  let line row = String.concat "  " (List.map2 pad row widths) in
+  let rule = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  Format.fprintf ppf "@.%s@." title;
+  Format.fprintf ppf "%s@." (line header);
+  Format.fprintf ppf "%s@." rule;
+  List.iter (fun row -> Format.fprintf ppf "%s@." (line row)) rows
+
+let section ppf title =
+  let bar = String.make (String.length title) '=' in
+  Format.fprintf ppf "@.%s@.%s@." title bar
+
+let note ppf s = Format.fprintf ppf "  %s@." s
+
+let yes_no b = if b then "yes" else "no"
+
+let f1 x = Printf.sprintf "%.1f" x
+
+let f2 x = Printf.sprintf "%.2f" x

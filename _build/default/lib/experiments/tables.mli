@@ -1,0 +1,17 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val print :
+  Format.formatter -> title:string -> header:string list -> string list list -> unit
+(** Column widths are computed from the content; every row must have the
+    same arity as the header. *)
+
+val section : Format.formatter -> string -> unit
+
+val note : Format.formatter -> string -> unit
+
+val yes_no : bool -> string
+
+val f1 : float -> string
+(** one decimal *)
+
+val f2 : float -> string

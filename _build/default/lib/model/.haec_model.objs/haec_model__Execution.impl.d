@@ -1,0 +1,1 @@
+lib/model/execution.ml: Array Event Format Hashtbl List Message Printf

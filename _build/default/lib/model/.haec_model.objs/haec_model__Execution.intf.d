@@ -1,0 +1,1 @@
+lib/model/execution.mli: Event Format Message

@@ -1,0 +1,1 @@
+lib/model/hb.ml: Array Event Execution Hashtbl Message

@@ -1,0 +1,1 @@
+lib/model/hb.mli: Execution

@@ -1,0 +1,1 @@
+lib/model/message.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/model/message.mli: Format

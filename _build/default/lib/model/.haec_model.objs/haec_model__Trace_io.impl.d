@@ -1,0 +1,1 @@
+lib/model/trace_io.ml: Event Execution Fun Haec_wire Message Op Printf Value Wire

@@ -1,0 +1,1 @@
+lib/model/trace_io.mli: Execution Haec_wire Wire

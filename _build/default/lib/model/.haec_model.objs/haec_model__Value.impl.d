@@ -1,0 +1,1 @@
+lib/model/value.ml: Format Haec_wire Int Printf String Wire

@@ -1,0 +1,49 @@
+type do_event = {
+  replica : int;
+  obj : int;
+  op : Op.t;
+  rval : Op.response;
+}
+
+type t =
+  | Do of do_event
+  | Send of { replica : int; msg : Message.t }
+  | Receive of { replica : int; msg : Message.t }
+
+type action =
+  | Act_do
+  | Act_send
+  | Act_receive
+
+let replica = function
+  | Do { replica; _ } | Send { replica; _ } | Receive { replica; _ } -> replica
+
+let act = function
+  | Do _ -> Act_do
+  | Send _ -> Act_send
+  | Receive _ -> Act_receive
+
+let msg = function
+  | Do _ -> None
+  | Send { msg; _ } | Receive { msg; _ } -> Some msg
+
+let as_do = function Do d -> Some d | Send _ | Receive _ -> None
+
+let is_do = function Do _ -> true | Send _ | Receive _ -> false
+
+let is_write_do = function
+  | Do { op; _ } -> Op.is_update op
+  | Send _ | Receive _ -> false
+
+let is_read_do = function
+  | Do { op; _ } -> Op.is_read op
+  | Send _ | Receive _ -> false
+
+let pp_do ppf { replica; obj; op; rval } =
+  Format.fprintf ppf "do@%d(o%d, %a) -> %a" replica obj Op.pp op Op.pp_response rval
+
+let pp ppf = function
+  | Do d -> pp_do ppf d
+  | Send { replica; msg } -> Format.fprintf ppf "send@%d(%a)" replica Message.pp msg
+  | Receive { replica; msg } ->
+    Format.fprintf ppf "recv@%d(%a)" replica Message.pp msg

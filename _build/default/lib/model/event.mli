@@ -1,0 +1,44 @@
+(** Events of a concrete execution (Section 2).
+
+    Three kinds, exactly as in the paper: a [do] models a client invoking an
+    operation and immediately receiving a response (high availability: no
+    communication happens inside a [do]); [send] broadcasts a message;
+    [receive] delivers one. *)
+
+type do_event = {
+  replica : int;
+  obj : int;
+  op : Op.t;
+  rval : Op.response;
+}
+
+type t =
+  | Do of do_event
+  | Send of { replica : int; msg : Message.t }
+  | Receive of { replica : int; msg : Message.t }
+
+type action =
+  | Act_do
+  | Act_send
+  | Act_receive
+
+val replica : t -> int
+(** [R(e)]: the replica at which the event occurs. *)
+
+val act : t -> action
+
+val msg : t -> Message.t option
+(** The message attribute of a [send]/[receive]; [None] for a [do]. *)
+
+val as_do : t -> do_event option
+
+val is_do : t -> bool
+
+val is_write_do : t -> bool
+(** A [do] event whose operation is an update. *)
+
+val is_read_do : t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_do : Format.formatter -> do_event -> unit

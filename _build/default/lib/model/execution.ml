@@ -1,0 +1,92 @@
+type t = { n : int; events : Event.t array }
+
+let of_array ~n events =
+  if n <= 0 then invalid_arg "Execution.of_array: n must be positive";
+  { n; events = Array.copy events }
+
+let of_list ~n events = of_array ~n (Array.of_list events)
+
+let empty ~n = of_array ~n [||]
+
+let n_replicas t = t.n
+
+let length t = Array.length t.events
+
+let get t i = t.events.(i)
+
+let events t = Array.to_list t.events
+
+let to_array t = Array.copy t.events
+
+let append t e = { t with events = Array.append t.events [| e |] }
+
+let concat t es = { t with events = Array.append t.events (Array.of_list es) }
+
+let indices_at_replica t r =
+  let acc = ref [] in
+  Array.iteri (fun i e -> if Event.replica e = r then acc := i :: !acc) t.events;
+  List.rev !acc
+
+let at_replica t r = List.map (get t) (indices_at_replica t r)
+
+let do_events t =
+  let acc = ref [] in
+  Array.iteri
+    (fun i e -> match Event.as_do e with Some d -> acc := (i, d) :: !acc | None -> ())
+    t.events;
+  List.rev !acc
+
+let do_projection t r =
+  List.filter_map
+    (fun (_, d) -> if d.Event.replica = r then Some d else None)
+    (do_events t)
+
+let check_well_formed t =
+  let sent : (Message.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let exception Bad of string in
+  try
+    Array.iteri
+      (fun i e ->
+        let r = Event.replica e in
+        if r < 0 || r >= t.n then
+          raise (Bad (Printf.sprintf "event %d at out-of-range replica %d" i r));
+        match e with
+        | Event.Send { msg; _ } ->
+          if msg.Message.sender <> r then
+            raise (Bad (Printf.sprintf "event %d: send by %d of a message stamped %d" i r msg.Message.sender));
+          if Hashtbl.mem sent (Message.id msg) then
+            raise (Bad (Printf.sprintf "event %d: duplicate send of message" i));
+          Hashtbl.add sent (Message.id msg) i
+        | Event.Receive { msg; _ } ->
+          (match Hashtbl.find_opt sent (Message.id msg) with
+          | None -> raise (Bad (Printf.sprintf "event %d: receive before send" i))
+          | Some _ ->
+            if msg.Message.sender = r then
+              raise (Bad (Printf.sprintf "event %d: replica %d receives its own message" i r)))
+        | Event.Do _ -> ())
+      t.events;
+    Ok ()
+  with Bad m -> Error m
+
+let is_well_formed t = match check_well_formed t with Ok () -> true | Error _ -> false
+
+let subsequence t ~keep =
+  let acc = ref [] in
+  Array.iteri (fun i e -> if keep i then acc := e :: !acc) t.events;
+  { t with events = Array.of_list (List.rev !acc) }
+
+let messages_sent t =
+  List.filter_map
+    (function Event.Send { msg; _ } -> Some msg | Event.Do _ | Event.Receive _ -> None)
+    (events t)
+
+let total_message_bits t =
+  List.fold_left (fun acc m -> acc + Message.size_bits m) 0 (messages_sent t)
+
+let max_message_bits t =
+  List.fold_left (fun acc m -> max acc (Message.size_bits m)) 0 (messages_sent t)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  Array.iteri (fun i e -> Format.fprintf ppf "%3d: %a@," i Event.pp e) t.events;
+  Format.fprintf ppf "@]"

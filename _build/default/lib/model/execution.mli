@@ -1,0 +1,62 @@
+(** Concrete executions: interleaved sequences of events (Section 2).
+
+    An execution carries the number of replicas [n]; replicas are numbered
+    [0 .. n-1]. Events are addressed by their index in the sequence. *)
+
+type t
+
+val of_list : n:int -> Event.t list -> t
+
+val of_array : n:int -> Event.t array -> t
+(** Copies its argument. *)
+
+val empty : n:int -> t
+
+val n_replicas : t -> int
+
+val length : t -> int
+
+val get : t -> int -> Event.t
+
+val events : t -> Event.t list
+
+val to_array : t -> Event.t array
+(** Fresh copy. *)
+
+val append : t -> Event.t -> t
+
+val concat : t -> Event.t list -> t
+
+val indices_at_replica : t -> int -> int list
+(** Indices of the subsequence [α|R], in order. *)
+
+val at_replica : t -> int -> Event.t list
+(** The subsequence [α|R]. *)
+
+val do_events : t -> (int * Event.do_event) list
+(** All [do] events with their indices, in execution order. *)
+
+val do_projection : t -> int -> Event.do_event list
+(** [α|R^do]: the subsequence of do events at replica [R] (Definition 9). *)
+
+val check_well_formed : t -> (unit, string) result
+(** The structural half of Definition 1: every [receive(m)] is preceded by
+    the [send(m)] event of a different replica, and each replica's send
+    sequence numbers are distinct. (State-machine well-formedness — that
+    each replica's subsequence is a run of its transition function — is
+    guaranteed by construction when executions are produced by the
+    simulator, and checked there.) *)
+
+val is_well_formed : t -> bool
+
+val subsequence : t -> keep:(int -> bool) -> t
+(** The events whose indices satisfy [keep], in order. *)
+
+val messages_sent : t -> Message.t list
+
+val total_message_bits : t -> int
+
+val max_message_bits : t -> int
+(** Size of the largest message sent; 0 if none. *)
+
+val pp : Format.formatter -> t -> unit

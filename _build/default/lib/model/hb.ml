@@ -1,0 +1,62 @@
+type t = {
+  exec : Execution.t;
+  labels : int array array;
+}
+
+let compute exec =
+  (match Execution.check_well_formed exec with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Hb.compute: execution not well-formed: " ^ m));
+  let n = Execution.n_replicas exec in
+  let len = Execution.length exec in
+  let labels = Array.make len [||] in
+  let last = Array.make n (-1) in
+  let send_index : (Message.id, int) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to len - 1 do
+    let e = Execution.get exec i in
+    let r = Event.replica e in
+    let base =
+      if last.(r) >= 0 then Array.copy labels.(last.(r)) else Array.make n (-1)
+    in
+    (match e with
+    | Event.Receive { msg; _ } ->
+      let j = Hashtbl.find send_index (Message.id msg) in
+      let sender_label = labels.(j) in
+      for p = 0 to n - 1 do
+        if sender_label.(p) > base.(p) then base.(p) <- sender_label.(p)
+      done
+    | Event.Send { msg; _ } -> Hashtbl.replace send_index (Message.id msg) i
+    | Event.Do _ -> ());
+    base.(r) <- i;
+    labels.(i) <- base;
+    last.(r) <- i
+  done;
+  { exec; labels }
+
+let execution t = t.exec
+
+let hb_or_eq t i j =
+  let r = Event.replica (Execution.get t.exec i) in
+  t.labels.(j).(r) >= i
+
+let hb t i j = i <> j && hb_or_eq t i j
+
+let concurrent t i j = i <> j && (not (hb t i j)) && not (hb t j i)
+
+let label t i = Array.copy t.labels.(i)
+
+let past t i =
+  let acc = ref [] in
+  for j = Execution.length t.exec - 1 downto 0 do
+    if hb t j i then acc := j :: !acc
+  done;
+  !acc
+
+let future t i =
+  let acc = ref [] in
+  for j = Execution.length t.exec - 1 downto i + 1 do
+    if hb t i j then acc := j :: !acc
+  done;
+  !acc
+
+let past_closure_keep t i j = j = i || hb t j i

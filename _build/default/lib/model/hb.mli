@@ -1,0 +1,37 @@
+(** Happens-before (Definition 2) over a concrete execution.
+
+    Computed once in O(length * n) by labelling each event with, per
+    replica, the index of the latest event at that replica that
+    happens-before-or-equals it (a vector-clock labelling of the event DAG).
+    Queries are then O(1). *)
+
+type t
+
+val compute : Execution.t -> t
+(** Requires a well-formed execution ([Invalid_argument] otherwise). *)
+
+val execution : t -> Execution.t
+
+val hb : t -> int -> int -> bool
+(** [hb t i j] iff event [i] happens before event [j] (strict). *)
+
+val hb_or_eq : t -> int -> int -> bool
+
+val concurrent : t -> int -> int -> bool
+(** Neither happens before the other, and [i <> j]. *)
+
+val label : t -> int -> int array
+(** [label t i] has, at position [r], the index of the latest event at
+    replica [r] happening-before-or-equal to event [i], or [-1]. The
+    returned array is fresh. *)
+
+val past : t -> int -> int list
+(** Indices of all events that happen before event [i] (the downward
+    closure of Proposition 1, excluding [i] itself), in execution order. *)
+
+val future : t -> int -> int list
+(** Indices of all events that event [i] happens before. *)
+
+val past_closure_keep : t -> int -> int -> bool
+(** [past_closure_keep t i j] iff [j = i] or [hb t j i]: the predicate
+    defining the well-formed subsequence of Proposition 1(2). *)

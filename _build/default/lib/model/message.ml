@@ -1,0 +1,26 @@
+type t = {
+  sender : int;
+  seq : int;
+  payload : string;
+}
+
+type id = int * int
+
+let id t = (t.sender, t.seq)
+
+let size_bits t = 8 * String.length t.payload
+
+let size_bytes t = String.length t.payload
+
+let compare a b =
+  match Int.compare a.sender b.sender with
+  | 0 -> (
+    match Int.compare a.seq b.seq with
+    | 0 -> String.compare a.payload b.payload
+    | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf t =
+  Format.fprintf ppf "m%d.%d(%dB)" t.sender t.seq (String.length t.payload)

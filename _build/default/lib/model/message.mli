@@ -1,0 +1,33 @@
+(** Broadcast messages.
+
+    In the paper a message is an opaque value determined by the sender's
+    state; here it is a serialized payload plus an identity [(sender, seq)]
+    so that a [receive] event can be matched to its unique [send] event when
+    checking well-formedness (Definition 1) and computing happens-before
+    (Definition 2, rule 2). The same message may be *delivered* any number
+    of times (the network may duplicate), but it is *sent* once.
+
+    [size_bits] counts the payload only — deliberately generous to the data
+    store, since the Theorem 12 lower bound must hold even for the leanest
+    possible framing. *)
+
+type t = {
+  sender : int;  (** replica that broadcast the message *)
+  seq : int;  (** per-sender send counter, starting at 0 *)
+  payload : string;  (** store-defined serialized content *)
+}
+
+type id = int * int
+(** [(sender, seq)]. *)
+
+val id : t -> id
+
+val size_bits : t -> int
+
+val size_bytes : t -> int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

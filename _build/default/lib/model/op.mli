@@ -1,0 +1,37 @@
+(** Client operations and their responses.
+
+    The operation vocabulary covers all object types of Figure 1:
+    [Read]/[Write] apply to registers and MVRs, [Add]/[Remove]/[Read] to
+    ORsets. Responses are normalized: a value set is a sorted duplicate-free
+    list, so responses compare with structural equality. *)
+
+type t =
+  | Read
+  | Write of Value.t
+  | Add of Value.t
+  | Remove of Value.t
+
+type response =
+  | Ok  (** response of every update operation (Figure 1) *)
+  | Vals of Value.t list
+      (** response of a read: the set of current values (singleton or empty
+          for a register, possibly larger for an MVR or an ORset) *)
+
+val is_read : t -> bool
+
+val is_update : t -> bool
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val vals : Value.t list -> response
+(** Canonicalize (sort, dedup) and wrap. *)
+
+val compare_response : response -> response -> int
+
+val equal_response : response -> response -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val pp_response : Format.formatter -> response -> unit

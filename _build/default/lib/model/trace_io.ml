@@ -1,0 +1,114 @@
+open Haec_wire
+
+let magic = "HAEC"
+
+let version = 1
+
+let encode_op enc op =
+  match op with
+  | Op.Read -> Wire.Encoder.uint enc 0
+  | Op.Write v ->
+    Wire.Encoder.uint enc 1;
+    Value.encode enc v
+  | Op.Add v ->
+    Wire.Encoder.uint enc 2;
+    Value.encode enc v
+  | Op.Remove v ->
+    Wire.Encoder.uint enc 3;
+    Value.encode enc v
+
+let decode_op dec =
+  match Wire.Decoder.uint dec with
+  | 0 -> Op.Read
+  | 1 -> Op.Write (Value.decode dec)
+  | 2 -> Op.Add (Value.decode dec)
+  | 3 -> Op.Remove (Value.decode dec)
+  | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad op tag %d" tag))
+
+let encode_response enc = function
+  | Op.Ok -> Wire.Encoder.uint enc 0
+  | Op.Vals vs ->
+    Wire.Encoder.uint enc 1;
+    Wire.Encoder.list enc Value.encode vs
+
+let decode_response dec =
+  match Wire.Decoder.uint dec with
+  | 0 -> Op.Ok
+  | 1 -> Op.vals (Wire.Decoder.list dec Value.decode)
+  | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad response tag %d" tag))
+
+let encode_message enc (m : Message.t) =
+  Wire.Encoder.uint enc m.Message.sender;
+  Wire.Encoder.uint enc m.Message.seq;
+  Wire.Encoder.string enc m.Message.payload
+
+let decode_message dec =
+  let sender = Wire.Decoder.uint dec in
+  let seq = Wire.Decoder.uint dec in
+  let payload = Wire.Decoder.string dec in
+  { Message.sender; seq; payload }
+
+let encode_event enc = function
+  | Event.Do { replica; obj; op; rval } ->
+    Wire.Encoder.uint enc 0;
+    Wire.Encoder.uint enc replica;
+    Wire.Encoder.uint enc obj;
+    encode_op enc op;
+    encode_response enc rval
+  | Event.Send { replica; msg } ->
+    Wire.Encoder.uint enc 1;
+    Wire.Encoder.uint enc replica;
+    encode_message enc msg
+  | Event.Receive { replica; msg } ->
+    Wire.Encoder.uint enc 2;
+    Wire.Encoder.uint enc replica;
+    encode_message enc msg
+
+let decode_event dec =
+  match Wire.Decoder.uint dec with
+  | 0 ->
+    let replica = Wire.Decoder.uint dec in
+    let obj = Wire.Decoder.uint dec in
+    let op = decode_op dec in
+    let rval = decode_response dec in
+    Event.Do { replica; obj; op; rval }
+  | 1 ->
+    let replica = Wire.Decoder.uint dec in
+    let msg = decode_message dec in
+    Event.Send { replica; msg }
+  | 2 ->
+    let replica = Wire.Decoder.uint dec in
+    let msg = decode_message dec in
+    Event.Receive { replica; msg }
+  | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad event tag %d" tag))
+
+let encode_execution enc exec =
+  Wire.Encoder.string enc magic;
+  Wire.Encoder.uint enc version;
+  Wire.Encoder.uint enc (Execution.n_replicas exec);
+  Wire.Encoder.list enc encode_event (Execution.events exec)
+
+let decode_execution dec =
+  let m = Wire.Decoder.string dec in
+  if m <> magic then raise (Wire.Decoder.Malformed "not a haec trace");
+  let v = Wire.Decoder.uint dec in
+  if v <> version then
+    raise (Wire.Decoder.Malformed (Printf.sprintf "unsupported trace version %d" v));
+  let n = Wire.Decoder.uint dec in
+  if n <= 0 then raise (Wire.Decoder.Malformed "bad replica count");
+  let events = Wire.Decoder.list dec decode_event in
+  Execution.of_list ~n events
+
+let to_string exec = Wire.encode (fun enc -> encode_execution enc exec)
+
+let of_string s = Wire.decode s decode_execution
+
+let save path exec =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string exec))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))

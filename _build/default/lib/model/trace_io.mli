@@ -1,0 +1,22 @@
+(** Serialization of executions to the wire format, so simulated traces
+    can be saved, shipped, diffed and replayed through the checkers
+    (`haec_cli replay`). The format embeds a magic and version byte;
+    decoding rejects anything else. *)
+
+open Haec_wire
+
+val encode_execution : Wire.Encoder.t -> Execution.t -> unit
+
+val decode_execution : Wire.Decoder.t -> Execution.t
+
+val to_string : Execution.t -> string
+
+val of_string : string -> Execution.t
+(** Raises {!Wire.Decoder.Malformed} on framing or version errors. *)
+
+val save : string -> Execution.t -> unit
+(** Write to a file path. *)
+
+val load : string -> Execution.t
+(** Raises [Sys_error] on IO errors, {!Wire.Decoder.Malformed} on bad
+    content. *)

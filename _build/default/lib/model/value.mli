@@ -1,0 +1,23 @@
+(** Values written to / stored in replicated objects.
+
+    [Pair (j, i)] exists because the Theorem 12 construction writes the
+    pair (j, i) as the j-th value of object x_i (Figure 4a). *)
+
+open Haec_wire
+
+type t =
+  | Int of int
+  | Str of string
+  | Pair of int * int
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val encode : Wire.Encoder.t -> t -> unit
+
+val decode : Wire.Decoder.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

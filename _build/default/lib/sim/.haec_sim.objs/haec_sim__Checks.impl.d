@@ -1,0 +1,1 @@
+lib/sim/checks.ml: Abstract Compliance Eventual Execution Format Haec_consistency Haec_model Haec_spec List Occ Printf Spec

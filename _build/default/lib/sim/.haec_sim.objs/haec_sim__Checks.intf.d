@@ -1,0 +1,1 @@
+lib/sim/checks.mli: Abstract Execution Format Haec_model Haec_spec Spec

@@ -1,0 +1,1 @@
+lib/sim/net_policy.ml: Haec_util Printf Rng

@@ -1,0 +1,1 @@
+lib/sim/net_policy.mli: Haec_util Rng

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Abstract Array Dot Event Execution Haec_model Haec_spec Haec_store Haec_util Haec_vclock Hashtbl Lazy List Message Net_policy Pqueue Rng

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Abstract Execution Haec_model Haec_spec Haec_store Message Net_policy Op

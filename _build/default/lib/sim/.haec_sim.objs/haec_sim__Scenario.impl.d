@@ -1,0 +1,1 @@
+lib/sim/scenario.ml: Abstract Execution Haec_model Haec_spec Haec_store Hashtbl List Message Op Printf Runner Value

@@ -1,0 +1,1 @@
+lib/sim/scenario.mli: Abstract Execution Haec_model Haec_spec Haec_store Op

@@ -1,0 +1,1 @@
+lib/sim/workload.ml: Haec_model Haec_util List Op Rng Value

@@ -1,0 +1,1 @@
+lib/sim/workload.mli: Haec_model Haec_util Op Rng

@@ -1,0 +1,60 @@
+open Haec_util
+
+type t = {
+  name : string;
+  fifo : bool;
+  delay : Rng.t -> now:float -> src:int -> dst:int -> float;
+  duplicate : Rng.t -> now:float -> float option;
+}
+
+let no_duplicate _rng ~now:_ = None
+
+let reliable_fifo ?(delay = 1.0) () =
+  {
+    name = "reliable-fifo";
+    fifo = true;
+    delay = (fun _rng ~now:_ ~src:_ ~dst:_ -> delay);
+    duplicate = no_duplicate;
+  }
+
+let random_delay ?(min_delay = 0.5) ?(max_delay = 5.0) () =
+  {
+    name = "random-delay";
+    fifo = false;
+    delay =
+      (fun rng ~now:_ ~src:_ ~dst:_ -> min_delay +. Rng.float rng (max_delay -. min_delay));
+    duplicate = no_duplicate;
+  }
+
+let lossy ?(min_delay = 0.5) ?(max_delay = 5.0) ?(drop_p = 0.2) ?(retry_after = 3.0)
+    ?(dup_p = 0.1) () =
+  let base_delay rng = min_delay +. Rng.float rng (max_delay -. min_delay) in
+  {
+    name = Printf.sprintf "lossy(drop=%.2f,dup=%.2f)" drop_p dup_p;
+    fifo = false;
+    delay =
+      (fun rng ~now:_ ~src:_ ~dst:_ ->
+        (* each dropped attempt costs one retransmission interval *)
+        let rec attempts acc =
+          if Rng.chance rng drop_p then attempts (acc +. retry_after) else acc
+        in
+        attempts 0.0 +. base_delay rng);
+    duplicate =
+      (fun rng ~now:_ ->
+        if Rng.chance rng dup_p then Some (base_delay rng) else None);
+  }
+
+let partitioned ~groups ~heal_at ?(start_at = 0.0) ?base () =
+  let base = match base with Some b -> b | None -> random_delay () in
+  {
+    name = Printf.sprintf "partitioned(heal@%.1f,%s)" heal_at base.name;
+    fifo = base.fifo;
+    delay =
+      (fun rng ~now ~src ~dst ->
+        let d = base.delay rng ~now ~src ~dst in
+        if groups src <> groups dst && now >= start_at && now < heal_at then
+          (* buffered by the network until the partition heals *)
+          heal_at -. now +. d
+        else d);
+    duplicate = base.duplicate;
+  }

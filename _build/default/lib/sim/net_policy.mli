@@ -1,0 +1,39 @@
+(** Network behaviour policies for the discrete-event simulator.
+
+    A policy decides, per broadcast and destination, when the message is
+    delivered and whether a duplicate delivery also occurs. Delays may be
+    arbitrarily long (modelling drops followed by retransmission, and
+    partitions that heal), but every message is eventually delivered — the
+    "sufficiently connected" requirement (Definition 3) that eventual
+    consistency presupposes. Reordering arises naturally from independent
+    random delays; FIFO links clamp delivery times to be monotone per
+    link. *)
+
+open Haec_util
+
+type t = {
+  name : string;
+  fifo : bool;  (** enforce per-link delivery order *)
+  delay : Rng.t -> now:float -> src:int -> dst:int -> float;
+      (** delivery delay (>= 0) for this destination *)
+  duplicate : Rng.t -> now:float -> float option;
+      (** optional extra delivery of the same message, after this delay *)
+}
+
+val reliable_fifo : ?delay:float -> unit -> t
+(** Constant-delay FIFO links: the friendliest network. *)
+
+val random_delay : ?min_delay:float -> ?max_delay:float -> unit -> t
+(** Independent uniform delays: arbitrary reordering across and within
+    links. *)
+
+val lossy : ?min_delay:float -> ?max_delay:float -> ?drop_p:float -> ?retry_after:float -> ?dup_p:float -> unit -> t
+(** Each delivery attempt is dropped with probability [drop_p] and
+    retransmitted [retry_after] later (geometric number of attempts), and
+    delivered twice with probability [dup_p] — exercising idempotence. *)
+
+val partitioned :
+  groups:(int -> int) -> heal_at:float -> ?start_at:float -> ?base:t -> unit -> t
+(** Messages crossing group boundaries between [start_at] (default 0) and
+    [heal_at] are delayed until just after the partition heals; other
+    traffic uses [base] (default {!random_delay}). *)

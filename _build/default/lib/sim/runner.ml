@@ -1,0 +1,193 @@
+open Haec_util
+open Haec_model
+open Haec_spec
+open Haec_vclock
+
+module Make (S : Haec_store.Store_intf.S) = struct
+  type delivery = { dst : int; msg : Message.t }
+
+  type t = {
+    n : int;
+    rng : Rng.t;
+    policy : Net_policy.t option;
+    auto_send : bool;
+    record_witness : bool;
+    states : S.state array;
+    mutable events_rev : Event.t list;
+    send_seq : int array;
+    queue : delivery Pqueue.t;
+    mutable now_ : float;
+    (* witness bookkeeping, indexed by do-event position in H *)
+    mutable do_count : int;
+    dot_pos : (int * Dot.t, int) Hashtbl.t;  (* (obj, dot) -> do index *)
+    mutable wit_rev : (int * (int * Dot.t) list) list;
+    mutable do_rev : Event.do_event list;
+    (* per-link monotone delivery times, for FIFO policies *)
+    mutable fifo_last : float array;
+  }
+
+  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?policy ~n () =
+    if n <= 0 then invalid_arg "Runner.create: n must be positive";
+    {
+      n;
+      rng = Rng.create seed;
+      policy;
+      auto_send;
+      record_witness;
+      states = Array.init n (fun me -> S.init ~n ~me);
+      events_rev = [];
+      send_seq = Array.make n 0;
+      queue = Pqueue.create ();
+      now_ = 0.0;
+      do_count = 0;
+      dot_pos = Hashtbl.create 64;
+      wit_rev = [];
+      do_rev = [];
+      fifo_last = Array.make (n * n) 0.0;
+    }
+
+  let n_replicas t = t.n
+
+  let now t = t.now_
+
+  let has_pending t ~replica = S.has_pending t.states.(replica)
+
+  let record t e = t.events_rev <- e :: t.events_rev
+
+  let schedule_deliveries t ~src msg =
+    match t.policy with
+    | None -> ()
+    | Some p ->
+      for dst = 0 to t.n - 1 do
+        if dst <> src then begin
+          let d = p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst in
+          let at = t.now_ +. max 0.0 d in
+          let at =
+            if p.Net_policy.fifo then begin
+              let link = (src * t.n) + dst in
+              let clamped = max at (t.fifo_last.(link) +. 1e-9) in
+              t.fifo_last.(link) <- clamped;
+              clamped
+            end
+            else at
+          in
+          Pqueue.add t.queue ~priority:at { dst; msg };
+          match p.Net_policy.duplicate t.rng ~now:t.now_ with
+          | Some extra -> Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg }
+          | None -> ()
+        end
+      done
+
+  let flush t ~replica =
+    if not (S.has_pending t.states.(replica)) then None
+    else begin
+      let state, payload = S.send t.states.(replica) in
+      t.states.(replica) <- state;
+      let msg = { Message.sender = replica; seq = t.send_seq.(replica); payload } in
+      t.send_seq.(replica) <- t.send_seq.(replica) + 1;
+      record t (Event.Send { replica; msg });
+      schedule_deliveries t ~src:replica msg;
+      Some msg
+    end
+
+  let auto_flush t ~replica =
+    if t.auto_send then ignore (flush t ~replica)
+
+  let op t ~replica ~obj o =
+    let state, rval, witness = S.do_op t.states.(replica) ~obj o in
+    t.states.(replica) <- state;
+    let d = { Event.replica; obj; op = o; rval } in
+    record t (Event.Do d);
+    if t.record_witness then begin
+      let w = Lazy.force witness in
+      t.wit_rev <- (t.do_count, w.Haec_store.Store_intf.visible) :: t.wit_rev;
+      (match w.Haec_store.Store_intf.self with
+      | Some dot -> Hashtbl.replace t.dot_pos (obj, dot) t.do_count
+      | None -> ())
+    end;
+    t.do_rev <- d :: t.do_rev;
+    t.do_count <- t.do_count + 1;
+    auto_flush t ~replica;
+    rval
+
+  let deliver_msg t ~dst msg =
+    if dst = msg.Message.sender then
+      invalid_arg "Runner.deliver_msg: replica cannot receive its own message";
+    t.states.(dst) <- S.receive t.states.(dst) ~sender:msg.Message.sender msg.Message.payload;
+    record t (Event.Receive { replica = dst; msg });
+    (* non-op-driven stores may now have a message pending *)
+    auto_flush t ~replica:dst
+
+  let step t =
+    match Pqueue.pop t.queue with
+    | None -> false
+    | Some (at, { dst; msg }) ->
+      t.now_ <- max t.now_ at;
+      deliver_msg t ~dst msg;
+      true
+
+  let advance_to t time =
+    let rec go () =
+      match Pqueue.peek t.queue with
+      | Some (at, _) when at <= time ->
+        ignore (step t);
+        go ()
+      | Some _ | None -> t.now_ <- max t.now_ time
+    in
+    go ()
+
+  let in_flight t = Pqueue.length t.queue
+
+  let run_until_quiescent ?(max_events = 1_000_000) t =
+    if t.policy = None then invalid_arg "Runner.run_until_quiescent: no policy";
+    let budget = ref max_events in
+    let rec go () =
+      if !budget <= 0 then failwith "Runner.run_until_quiescent: event budget exceeded";
+      decr budget;
+      if step t then go ()
+      else begin
+        (* queue empty: flush any pending messages and keep going *)
+        let flushed = ref false in
+        for r = 0 to t.n - 1 do
+          if S.has_pending t.states.(r) then begin
+            ignore (flush t ~replica:r);
+            flushed := true
+          end
+        done;
+        if !flushed then go ()
+      end
+    in
+    go ()
+
+  let replica_state t r = t.states.(r)
+
+  let execution t = Execution.of_list ~n:t.n (List.rev t.events_rev)
+
+  let messages_sent t =
+    List.filter_map
+      (function Event.Send { msg; _ } -> Some msg | Event.Do _ | Event.Receive _ -> None)
+      (List.rev t.events_rev)
+
+  let last_message t ~replica =
+    let rec find = function
+      | [] -> None
+      | Event.Send { msg; _ } :: _ when msg.Message.sender = replica -> Some msg
+      | _ :: rest -> find rest
+    in
+    find t.events_rev
+
+  let witness_abstract t =
+    if not t.record_witness then failwith "Runner.witness_abstract: recording disabled";
+    let h = Array.of_list (List.rev t.do_rev) in
+    let vis = ref [] in
+    List.iter
+      (fun (j, visible) ->
+        List.iter
+          (fun key ->
+            match Hashtbl.find_opt t.dot_pos key with
+            | Some i when i <> j -> vis := (i, j) :: !vis
+            | Some _ | None -> ())
+          visible)
+      t.wit_rev;
+    Abstract.create ~n:t.n h ~vis:!vis
+  end

@@ -1,0 +1,77 @@
+(** Discrete-event simulation of one data store over a network.
+
+    Two layers share one trace:
+
+    - a {b manual} layer ([op]/[flush]/[deliver_msg]) giving exact control
+      over the schedule — this is what the Theorem 6 and Theorem 12
+      constructions use to build their adversarial executions; and
+    - a {b scheduled} layer driven by a {!Net_policy.t}: [flush] enqueues
+      deliveries at policy-chosen times, [advance_to]/[run_until_quiescent]
+      process them.
+
+    The runner records every do/send/receive event, producing a well-formed
+    {!Haec_model.Execution.t}, and (unless disabled) collects each
+    operation's visibility witness, from which {!witness_abstract} builds an
+    abstract execution the run complies with by construction. *)
+
+open Haec_model
+open Haec_spec
+
+module Make (S : Haec_store.Store_intf.S) : sig
+  type t
+
+  val create :
+    ?seed:int ->
+    ?record_witness:bool ->
+    ?auto_send:bool ->
+    ?policy:Net_policy.t ->
+    n:int ->
+    unit ->
+    t
+  (** [auto_send] (default [true]) flushes a replica right after any event
+      that leaves a message pending (client op, or receive for non-op-driven
+      stores). Without a [policy], sent messages are only recorded and
+      returned — delivery is up to the caller. *)
+
+  val n_replicas : t -> int
+
+  val now : t -> float
+
+  val op : t -> replica:int -> obj:int -> Op.t -> Op.response
+  (** Execute a client operation (immediately, availability!); records the
+      do event; auto-sends if configured. *)
+
+  val has_pending : t -> replica:int -> bool
+
+  val flush : t -> replica:int -> Message.t option
+  (** If a message is pending, send it: record the send event, schedule
+      deliveries when a policy is present, and return the message. *)
+
+  val deliver_msg : t -> dst:int -> Message.t -> unit
+  (** Manually deliver a previously sent message to [dst] (any number of
+      times — the network may duplicate). Records the receive event. *)
+
+  val advance_to : t -> float -> unit
+  (** Process all scheduled deliveries up to the given time. *)
+
+  val run_until_quiescent : ?max_events:int -> t -> unit
+  (** Drive the network until no message is in flight and no replica has a
+      message pending (Definition 17). Requires a policy. Raises [Failure]
+      if [max_events] (default 1_000_000) deliveries are exceeded. *)
+
+  val in_flight : t -> int
+
+  val replica_state : t -> int -> S.state
+
+  val execution : t -> Execution.t
+
+  val messages_sent : t -> Message.t list
+  (** In send order. *)
+
+  val last_message : t -> replica:int -> Message.t option
+  (** The most recent message sent by the given replica. *)
+
+  val witness_abstract : t -> Abstract.t
+  (** The witness abstract execution of the run so far. Raises [Failure] if
+      witness recording was disabled. *)
+end

@@ -1,0 +1,75 @@
+open Haec_model
+open Haec_spec
+
+type step =
+  | Sop of { replica : int; obj : int; op : Op.t }
+  | Ssend of { replica : int; name : string; required : bool }
+  | Sdeliver of { name : string; to_ : int }
+  | Sdeliver_all of { to_ : int }
+
+let op replica ~obj o = Sop { replica; obj; op = o }
+
+let write v = Op.Write (Value.Int v)
+
+let read = Op.Read
+
+let add v = Op.Add (Value.Int v)
+
+let remove v = Op.Remove (Value.Int v)
+
+let send replica name = Ssend { replica; name; required = true }
+
+let send_opt replica name = Ssend { replica; name; required = false }
+
+let deliver name ~to_ = Sdeliver { name; to_ }
+
+let deliver_all ~to_ = Sdeliver_all { to_ }
+
+type result = {
+  execution : Execution.t;
+  witness : Abstract.t;
+  responses : (int * Op.response) list;
+}
+
+let run (module S : Haec_store.Store_intf.S) ~n ?(seed = 42) steps =
+  let module R = Runner.Make (S) in
+  let sim = R.create ~seed ~auto_send:false ~n () in
+  (* named messages, in binding order *)
+  let bound = ref [] in
+  let delivered : (string * int, unit) Hashtbl.t = Hashtbl.create 16 in
+  let responses = ref [] in
+  let fail i fmt = Printf.ksprintf (fun m -> failwith (Printf.sprintf "step %d: %s" i m)) fmt in
+  List.iteri
+    (fun i step ->
+      match step with
+      | Sop { replica; obj; op } ->
+        let rval = R.op sim ~replica ~obj op in
+        responses := (i, rval) :: !responses
+      | Ssend { replica; name; required } -> (
+        match R.flush sim ~replica with
+        | Some m ->
+          if List.mem_assoc name !bound then fail i "message name %S already bound" name;
+          bound := !bound @ [ (name, m) ]
+        | None -> if required then fail i "replica %d had nothing to send" replica)
+      | Sdeliver { name; to_ } -> (
+        match List.assoc_opt name !bound with
+        | Some m ->
+          R.deliver_msg sim ~dst:to_ m;
+          Hashtbl.replace delivered (name, to_) ()
+        | None -> fail i "unbound message %S" name)
+      | Sdeliver_all { to_ } ->
+        List.iter
+          (fun (name, m) ->
+            if m.Message.sender <> to_ && not (Hashtbl.mem delivered (name, to_)) then begin
+              R.deliver_msg sim ~dst:to_ m;
+              Hashtbl.replace delivered (name, to_) ()
+            end)
+          !bound)
+    steps;
+  {
+    execution = R.execution sim;
+    witness = R.witness_abstract sim;
+    responses = List.rev !responses;
+  }
+
+let response_at result i = List.assoc i result.responses

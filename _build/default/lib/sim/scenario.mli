@@ -1,0 +1,68 @@
+(** A small DSL for hand-written adversarial schedules (the paper's
+    Figures 2-4 are exactly such schedules): client operations, explicit
+    sends with named message handles, and explicit deliveries.
+
+    {[
+      let open Scenario in
+      run (module Store.Mvr_store) ~n:3
+        [
+          op 0 ~obj:1 (write 100);
+          send 0 "m_y";
+          op 0 ~obj:0 (write 1);
+          send 0 "m_x1";
+          op 1 ~obj:0 (write 2);
+          send 1 "m_x2";
+          deliver "m_x1" ~to_:2;
+          deliver "m_x2" ~to_:2;
+          op 2 ~obj:0 read;
+          op 2 ~obj:1 read;
+        ]
+    ]} *)
+
+open Haec_model
+open Haec_spec
+
+type step
+
+val op : int -> obj:int -> Op.t -> step
+(** Client operation at the given replica. *)
+
+val write : int -> Op.t
+(** Shorthand: [Op.Write (Value.Int v)]. *)
+
+val read : Op.t
+
+val add : int -> Op.t
+
+val remove : int -> Op.t
+
+val send : int -> string -> step
+(** Flush the replica's pending message and bind it to the name. Fails the
+    run if nothing is pending. *)
+
+val send_opt : int -> string -> step
+(** Like {!send} but a no-op when nothing is pending. *)
+
+val deliver : string -> to_:int -> step
+(** Deliver a previously bound message (repeatable: duplication). Fails if
+    the name is unbound. *)
+
+val deliver_all : to_:int -> step
+(** Deliver every bound message this replica has not received yet, in
+    binding order (skipping its own). *)
+
+type result = {
+  execution : Execution.t;
+  witness : Abstract.t;
+  responses : (int * Op.response) list;
+      (** responses of the do events, in step order, keyed by step index *)
+}
+
+val run :
+  (module Haec_store.Store_intf.S) -> n:int -> ?seed:int -> step list -> result
+(** Execute the schedule. Raises [Failure] with the step index on any
+    violated expectation. *)
+
+val response_at : result -> int -> Op.response
+(** The response of the do event created by the given step index; raises
+    [Not_found] if that step was not an operation. *)

@@ -1,0 +1,61 @@
+open Haec_util
+open Haec_model
+
+type step = {
+  replica : int;
+  obj : int;
+  op : Op.t;
+  at : float;
+}
+
+type mix = {
+  read_w : int;
+  write_w : int;
+  add_w : int;
+  remove_w : int;
+}
+
+let register_mix = { read_w = 1; write_w = 1; add_w = 0; remove_w = 0 }
+
+let orset_mix = { read_w = 2; write_w = 0; add_w = 2; remove_w = 1 }
+
+let pick_op rng mix ~value_pool ~next_value =
+  let total = mix.read_w + mix.write_w + mix.add_w + mix.remove_w in
+  if total <= 0 then invalid_arg "Workload.generate: empty mix";
+  let roll = Rng.int rng total in
+  if roll < mix.read_w then Op.Read
+  else if roll < mix.read_w + mix.write_w then begin
+    let v = !next_value in
+    incr next_value;
+    Op.Write (Value.Int v)
+  end
+  else if roll < mix.read_w + mix.write_w + mix.add_w then
+    Op.Add (Value.Int (Rng.int rng value_pool))
+  else Op.Remove (Value.Int (Rng.int rng value_pool))
+
+let generate ~rng ~n ~objects ~ops ?(spacing = 1.0) ?(value_pool = 8) mix =
+  if n <= 0 || objects <= 0 || ops < 0 then invalid_arg "Workload.generate";
+  let next_value = ref 1000 in
+  (* explicit loop: the RNG is stateful and [List.init] does not specify
+     its application order *)
+  let rec go i acc =
+    if i >= ops then List.rev acc
+    else
+      let s =
+        {
+          replica = Rng.int rng n;
+          obj = Rng.int rng objects;
+          op = pick_op rng mix ~value_pool ~next_value;
+          at = float_of_int (i + 1) *. spacing;
+        }
+      in
+      go (i + 1) (s :: acc)
+  in
+  go 0 []
+
+let run do_op ~advance steps =
+  List.iter
+    (fun s ->
+      advance s.at;
+      ignore (do_op ~replica:s.replica ~obj:s.obj s.op))
+    steps

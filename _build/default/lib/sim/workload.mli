@@ -1,0 +1,50 @@
+(** Workload generation for simulator runs.
+
+    Writes always carry globally distinct values (the paper's convention,
+    also required by the OCC checker to map returned values back to write
+    events). *)
+
+open Haec_util
+open Haec_model
+
+type step = {
+  replica : int;
+  obj : int;
+  op : Op.t;
+  at : float;  (** virtual time of the client invocation *)
+}
+
+type mix = {
+  read_w : int;
+  write_w : int;
+  add_w : int;
+  remove_w : int;
+}
+
+val register_mix : mix
+(** 50/50 reads and writes, no set operations. *)
+
+val orset_mix : mix
+(** Reads, adds and removes; no register writes. *)
+
+val generate :
+  rng:Rng.t ->
+  n:int ->
+  objects:int ->
+  ops:int ->
+  ?spacing:float ->
+  ?value_pool:int ->
+  mix ->
+  step list
+(** [ops] client operations at uniformly random replicas and objects,
+    spaced [spacing] (default 1.0) time units apart. [value_pool] bounds
+    the distinct values used by set operations (default 8); register writes
+    ignore it and stay globally unique. *)
+
+val run :
+  (replica:int -> obj:int -> Op.t -> Op.response) ->
+  advance:(float -> unit) ->
+  step list ->
+  unit
+(** Feed the steps to a runner: [advance] is called with each step's time
+    before the operation executes. *)

@@ -1,0 +1,1 @@
+lib/spec/abstract.ml: Array Bitset Event Format Haec_model Haec_util Hashtbl List Op Printf

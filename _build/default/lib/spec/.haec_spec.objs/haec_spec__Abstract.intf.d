@@ -1,0 +1,1 @@
+lib/spec/abstract.mli: Bitset Event Format Haec_model Haec_util

@@ -1,0 +1,1 @@
+lib/spec/spec.ml: Abstract Array Event Format Haec_model Op Value

@@ -1,0 +1,1 @@
+lib/spec/spec.mli: Abstract Haec_model Op

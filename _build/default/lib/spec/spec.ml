@@ -1,0 +1,111 @@
+open Haec_model
+
+type t = {
+  name : string;
+  apply : ctx:Abstract.t -> target:int -> Op.response;
+}
+
+(* All update operations return Ok in every Figure 1 specification; only
+   reads consult the context. *)
+let on_read name read =
+  {
+    name;
+    apply =
+      (fun ~ctx ~target ->
+        match (Abstract.event ctx target).Event.op with
+        | Op.Read -> read ctx target
+        | Op.Write _ | Op.Add _ | Op.Remove _ -> Op.Ok);
+  }
+
+let rw_register =
+  on_read "rw-register" (fun ctx target ->
+      (* the last write event in H' *)
+      let rec last_write i =
+        if i < 0 then Op.vals []
+        else
+          match (Abstract.event ctx i).Event.op with
+          | Op.Write v -> Op.vals [ v ]
+          | Op.Read | Op.Add _ | Op.Remove _ -> last_write (i - 1)
+      in
+      last_write (target - 1))
+
+let mvr =
+  on_read "mvr" (fun ctx target ->
+      let values = ref [] in
+      for e1 = 0 to target - 1 do
+        match (Abstract.event ctx e1).Event.op with
+        | Op.Write v ->
+          let dominated = ref false in
+          for e2 = e1 + 1 to target - 1 do
+            match (Abstract.event ctx e2).Event.op with
+            | Op.Write _ -> if Abstract.vis ctx e1 e2 then dominated := true
+            | Op.Read | Op.Add _ | Op.Remove _ -> ()
+          done;
+          if not !dominated then values := v :: !values
+        | Op.Read | Op.Add _ | Op.Remove _ -> ()
+      done;
+      Op.vals !values)
+
+let orset =
+  on_read "orset" (fun ctx target ->
+      let values = ref [] in
+      for e1 = 0 to target - 1 do
+        match (Abstract.event ctx e1).Event.op with
+        | Op.Add v ->
+          let removed = ref false in
+          for e2 = e1 + 1 to target - 1 do
+            match (Abstract.event ctx e2).Event.op with
+            | Op.Remove v' -> if Value.equal v v' && Abstract.vis ctx e1 e2 then removed := true
+            | Op.Read | Op.Write _ | Op.Add _ -> ()
+          done;
+          if not !removed then values := v :: !values
+        | Op.Read | Op.Write _ | Op.Remove _ -> ()
+      done;
+      Op.vals !values)
+
+let counter =
+  on_read "counter" (fun ctx target ->
+      let total = ref 0 in
+      for e1 = 0 to target - 1 do
+        match (Abstract.event ctx e1).Event.op with
+        | Op.Add _ -> incr total
+        | Op.Remove _ -> decr total
+        | Op.Read | Op.Write _ -> ()
+      done;
+      Op.vals [ Value.Int !total ])
+
+let response_in spec a e =
+  let ctx, target = Abstract.context a e in
+  spec.apply ~ctx ~target
+
+let check_event spec a e =
+  let expected = response_in spec a e in
+  let actual = (Abstract.event a e).Event.rval in
+  if Op.equal_response expected actual then Ok ()
+  else
+    Error
+      (Format.asprintf "event %d (%a): expected %a, recorded %a" e Event.pp_do
+         (Abstract.event a e) Op.pp_response expected Op.pp_response actual)
+
+let check_correct ~spec_of a =
+  let rec go e =
+    if e >= Abstract.length a then Ok ()
+    else
+      let spec = spec_of (Abstract.event a e).Event.obj in
+      match check_event spec a e with Ok () -> go (e + 1) | Error _ as err -> err
+  in
+  go 0
+
+let is_correct ~spec_of a = match check_correct ~spec_of a with Ok () -> true | Error _ -> false
+
+let with_correct_responses ~spec_of a =
+  (* Responses never influence other events' specified responses, so one
+     pass over the original suffices. *)
+  let h = Abstract.events a in
+  let h' =
+    Array.mapi
+      (fun e d ->
+        { d with Event.rval = response_in (spec_of d.Event.obj) a e })
+      h
+  in
+  Abstract.create ~n:(Abstract.n_replicas a) h' ~vis:(Abstract.vis_pairs a)

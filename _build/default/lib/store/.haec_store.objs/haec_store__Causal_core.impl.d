@@ -1,0 +1,1 @@
+lib/store/causal_core.ml: Haec_model Haec_vclock Haec_wire Int Lazy List Map Object_layer Op Printf Store_intf Vclock Wire

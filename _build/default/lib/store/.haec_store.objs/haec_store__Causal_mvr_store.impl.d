@@ -1,0 +1,1 @@
+lib/store/causal_mvr_store.ml: Causal_core Object_layer

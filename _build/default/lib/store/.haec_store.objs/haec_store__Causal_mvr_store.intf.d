@@ -1,0 +1,1 @@
+lib/store/causal_mvr_store.mli: Store_intf

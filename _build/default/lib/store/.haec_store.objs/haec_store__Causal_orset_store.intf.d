@@ -1,0 +1,1 @@
+lib/store/causal_orset_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/causal_reg_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/cops_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/counter_store.ml: Causal_core Eager_core Object_layer

@@ -1,0 +1,1 @@
+lib/store/counter_store.mli: Store_intf

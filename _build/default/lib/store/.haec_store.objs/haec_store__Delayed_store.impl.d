@@ -1,0 +1,1 @@
+lib/store/delayed_store.ml: Causal_core Object_layer Printf

@@ -1,0 +1,1 @@
+lib/store/delayed_store.mli: Store_intf

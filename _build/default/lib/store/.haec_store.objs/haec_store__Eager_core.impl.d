@@ -1,0 +1,1 @@
+lib/store/eager_core.ml: Haec_wire Int Lazy List Map Object_layer Store_intf Wire

@@ -1,0 +1,1 @@
+lib/store/gossip_relay_store.ml: Dot Haec_model Haec_vclock Haec_wire Int Lazy List Map Mvr_object Op Store_intf Wire

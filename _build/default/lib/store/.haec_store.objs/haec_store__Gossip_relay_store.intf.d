@@ -1,0 +1,1 @@
+lib/store/gossip_relay_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/gsp_store.ml: Dot Haec_model Haec_vclock Haec_wire Int List Map Op Printf Store_intf Value Wire

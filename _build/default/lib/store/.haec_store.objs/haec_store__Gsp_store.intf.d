@@ -1,0 +1,1 @@
+lib/store/gsp_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/lww_store.ml: Dot Haec_model Haec_vclock Haec_wire Int Lamport Lazy List Map Op Store_intf Value Wire

@@ -1,0 +1,1 @@
+lib/store/lww_store.mli: Store_intf

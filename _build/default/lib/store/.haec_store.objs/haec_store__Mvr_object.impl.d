@@ -1,0 +1,1 @@
+lib/store/mvr_object.ml: Dot Haec_model Haec_vclock Haec_wire List Value Vclock Wire

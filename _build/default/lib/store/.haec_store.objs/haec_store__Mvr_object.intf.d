@@ -1,0 +1,1 @@
+lib/store/mvr_object.mli: Dot Haec_model Haec_vclock Haec_wire Value Vclock Wire

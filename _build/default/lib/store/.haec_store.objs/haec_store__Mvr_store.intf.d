@@ -1,0 +1,1 @@
+lib/store/mvr_store.mli: Store_intf

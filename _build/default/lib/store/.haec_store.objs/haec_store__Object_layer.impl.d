@@ -1,0 +1,1 @@
+lib/store/object_layer.ml: Dot Haec_model Haec_vclock Haec_wire Lamport List Mvr_object Op Printf Value Wire

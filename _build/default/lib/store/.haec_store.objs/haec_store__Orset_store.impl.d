@@ -1,0 +1,1 @@
+lib/store/orset_store.ml: Eager_core Object_layer

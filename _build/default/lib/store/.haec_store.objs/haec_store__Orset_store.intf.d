@@ -1,0 +1,1 @@
+lib/store/orset_store.mli: Store_intf

@@ -1,0 +1,1 @@
+lib/store/state_mvr_store.ml: Haec_model Haec_wire Int Lazy List Map Mvr_object Op Store_intf Wire

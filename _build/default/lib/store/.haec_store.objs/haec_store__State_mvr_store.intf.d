@@ -1,0 +1,1 @@
+lib/store/state_mvr_store.mli: Store_intf

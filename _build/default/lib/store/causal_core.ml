@@ -1,0 +1,190 @@
+(** Causal-broadcast delivery layer, generic over the object layer and an
+    exposure policy.
+
+    Delivery: every local update gets a per-replica sequence number and
+    carries its dependency vector (the origin's update-vector at creation
+    time), in the style of Ahamad et al.'s causal memory — this is the
+    baseline whose Theta(n lg k)-bit messages Section 6 of the paper
+    compares against. Received updates are buffered until their
+    dependencies are satisfied, so the store complies with a causally
+    consistent abstract execution under *any* network behaviour.
+
+    The exposure policy reproduces the Section 5.3 counter-example: with
+    [expose_after_reads = 0] updates reach the object layer immediately and
+    reads are invisible (the plain causally consistent store); with [K > 0]
+    a delivered remote update is hidden until [K] further local reads have
+    executed, which makes reads state-changing — deliberately violating
+    Definition 16 and thereby escaping Theorem 6. *)
+
+open Haec_wire
+open Haec_vclock
+open Haec_model
+module Int_map = Map.Make (Int)
+
+module type POLICY = sig
+  val name : string
+
+  val expose_after_reads : int
+end
+
+module Immediate = struct
+  let expose_after_reads = 0
+end
+
+module Make (Obj : Object_layer.OBJECT) (P : POLICY) = struct
+  type update_record = {
+    origin : int;
+    useq : int;  (** per-origin update sequence number, from 1 *)
+    dep : Vclock.t;  (** origin's update-vector just before this update *)
+    obj : int;
+    u : Obj.update;
+  }
+
+  let encode_record enc r =
+    Wire.Encoder.uint enc r.origin;
+    Wire.Encoder.uint enc r.useq;
+    Vclock.encode enc r.dep;
+    Wire.Encoder.uint enc r.obj;
+    Obj.encode_update enc r.u
+
+  let decode_record dec =
+    let origin = Wire.Decoder.uint dec in
+    let useq = Wire.Decoder.uint dec in
+    let dep = Vclock.decode dec in
+    let obj = Wire.Decoder.uint dec in
+    let u = Obj.decode_update dec in
+    { origin; useq; dep; obj; u }
+
+  type state = {
+    n : int;
+    me : int;
+    clock : int;  (** witnesses the time of every applied update *)
+    uv : Vclock.t;  (** update-vector: applied updates per origin *)
+    objects : Obj.t Int_map.t;
+    pending : update_record list;  (** local updates not yet broadcast, newest first *)
+    buffer : update_record list;  (** remote updates awaiting dependencies *)
+    hidden : (update_record * int) list;
+        (** delivered but unexposed updates with read countdowns, oldest first *)
+  }
+
+  let name = P.name
+
+  let invisible_reads = P.expose_after_reads = 0
+
+  let op_driven = true
+
+  let init ~n ~me =
+    {
+      n;
+      me;
+      clock = 0;
+      uv = Vclock.zero ~n;
+      objects = Int_map.empty;
+      pending = [];
+      buffer = [];
+      hidden = [];
+    }
+
+  let obj_state t obj =
+    match Int_map.find_opt obj t.objects with Some o -> o | None -> Obj.empty ~n:t.n
+
+  let apply_remote o u =
+    try Obj.apply o u
+    with Invalid_argument m -> raise (Wire.Decoder.Malformed ("invalid update: " ^ m))
+
+  let expose t r =
+    { t with objects = Int_map.add r.obj (apply_remote (obj_state t r.obj) r.u) t.objects }
+
+  let deliverable t r = Vclock.get t.uv r.origin = r.useq - 1 && Vclock.leq r.dep t.uv
+
+  (* Mark one update applied at the delivery layer and route it to the
+     object layer or the hidden queue. *)
+  let deliver t r =
+    let t =
+      { t with uv = Vclock.tick t.uv r.origin; clock = max t.clock (Obj.time_of r.u) }
+    in
+    if P.expose_after_reads = 0 then expose t r
+    else { t with hidden = t.hidden @ [ (r, P.expose_after_reads) ] }
+
+  let rec drain t =
+    let rec pick acc = function
+      | [] -> None
+      | r :: rest ->
+        if deliverable t r then Some (r, List.rev_append acc rest) else pick (r :: acc) rest
+    in
+    match pick [] t.buffer with
+    | None -> t
+    | Some (r, buffer) -> drain (deliver { t with buffer } r)
+
+  let visible_now t =
+    Int_map.fold
+      (fun obj o acc ->
+        List.fold_left (fun acc d -> (obj, d) :: acc) acc (Obj.visible_dots o))
+      t.objects []
+
+  (* A local read decrements every hidden countdown and exposes the ripe
+     prefix, in delivery order. *)
+  let tick_hidden t =
+    let counted = List.map (fun (r, c) -> (r, c - 1)) t.hidden in
+    let rec expose_ready t = function
+      | (r, c) :: rest when c <= 0 -> expose_ready (expose t r) rest
+      | rest -> { t with hidden = rest }
+    in
+    expose_ready t counted
+
+  let do_op t ~obj op =
+    let t = if Op.is_read op && P.expose_after_reads > 0 then tick_hidden t else t in
+    let visible_before = lazy (visible_now t) in
+    let now = t.clock + 1 in
+    let o, rval, update = Obj.do_op (obj_state t obj) ~me:t.me ~now op in
+    match update with
+    | None ->
+      let witness = lazy { Store_intf.visible = Lazy.force visible_before; self = None } in
+      ({ t with objects = Int_map.add obj o t.objects }, rval, witness)
+    | Some u ->
+      let r = { origin = t.me; useq = Vclock.get t.uv t.me + 1; dep = t.uv; obj; u } in
+      let t =
+        {
+          t with
+          clock = now;
+          uv = Vclock.tick t.uv t.me;
+          objects = Int_map.add obj o t.objects;
+          pending = r :: t.pending;
+        }
+      in
+      let witness =
+        lazy { Store_intf.visible = Lazy.force visible_before; self = Some (Obj.dot_of u) }
+      in
+      (t, rval, witness)
+
+  let has_pending t = t.pending <> []
+
+  let send t =
+    if not (has_pending t) then invalid_arg (P.name ^ ".send: nothing pending");
+    let payload =
+      Wire.encode (fun enc -> Wire.Encoder.list enc encode_record (List.rev t.pending))
+    in
+    ({ t with pending = [] }, payload)
+
+  let receive t ~sender:_ payload =
+    let records = Wire.decode payload (fun dec -> Wire.Decoder.list dec decode_record) in
+    (* structural validation beyond parsing: origins and vector sizes must
+       fit this deployment, or buffering/merging would fail later *)
+    List.iter
+      (fun r ->
+        if r.origin < 0 || r.origin >= t.n then
+          raise (Wire.Decoder.Malformed (Printf.sprintf "origin %d out of range" r.origin));
+        if Vclock.size r.dep <> t.n then
+          raise
+            (Wire.Decoder.Malformed
+               (Printf.sprintf "dependency vector has %d entries, expected %d"
+                  (Vclock.size r.dep) t.n));
+        if r.useq < 1 then raise (Wire.Decoder.Malformed "non-positive update sequence"))
+      records;
+    let fresh r =
+      r.useq > Vclock.get t.uv r.origin
+      && not (List.exists (fun b -> b.origin = r.origin && b.useq = r.useq) t.buffer)
+    in
+    let t = { t with buffer = t.buffer @ List.filter fresh records } in
+    drain t
+end

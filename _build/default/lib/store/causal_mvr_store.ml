@@ -1,0 +1,8 @@
+include
+  Causal_core.Make
+    (Object_layer.Mvr)
+    (struct
+      let name = "mvr-causal"
+
+      include Causal_core.Immediate
+    end)

@@ -1,0 +1,8 @@
+include
+  Causal_core.Make
+    (Object_layer.Orset)
+    (struct
+      let name = "orset-causal"
+
+      include Causal_core.Immediate
+    end)

@@ -1,0 +1,6 @@
+(** Observed-remove set over causal-broadcast delivery: add-wins semantics
+    with the additional guarantee that cross-object causal dependencies
+    are respected (a remove is never applied before the adds it causally
+    follows, on any object). *)
+
+include Store_intf.S

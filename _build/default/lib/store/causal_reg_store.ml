@@ -1,0 +1,8 @@
+include
+  Causal_core.Make
+    (Object_layer.Lww_register)
+    (struct
+      let name = "reg-causal"
+
+      include Causal_core.Immediate
+    end)

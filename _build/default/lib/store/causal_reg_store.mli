@@ -1,0 +1,9 @@
+(** Causally consistent last-writer-wins register store: causal-broadcast
+    delivery over the LWW register object layer.
+
+    This is the data store used by the read/write-register variant of the
+    Theorem 12 lower bound (the paper's closing remark of Section 6:
+    Proposition 2, Lemma 3 and Lemma 5 hold for registers, so the message
+    lower bound does too). *)
+
+include Store_intf.S

@@ -1,0 +1,136 @@
+open Haec_wire
+open Haec_vclock
+open Haec_model
+module Int_map = Map.Make (Int)
+
+(* Global update identifiers: (replica, per-replica update counter),
+   distinct from the MVR object layer's per-object dots. *)
+type update_record = {
+  dot : Dot.t;  (** global id of this update *)
+  obj : int;
+  u : Mvr_object.update;
+  deps : Dot.Set.t;  (** nearest dependencies (global dots) *)
+}
+
+let encode_record enc r =
+  Dot.encode enc r.dot;
+  Wire.Encoder.uint enc r.obj;
+  Mvr_object.encode_update enc r.u;
+  Dot.encode_set enc r.deps
+
+let decode_record dec =
+  let dot = Dot.decode dec in
+  let obj = Wire.Decoder.uint dec in
+  let u = Mvr_object.decode_update dec in
+  let deps = Dot.decode_set dec in
+  { dot; obj; u; deps }
+
+type state = {
+  n : int;
+  me : int;
+  next_seq : int;
+  applied : Dot.Set.t;  (** global dots of applied updates (incl. own) *)
+  ctx : Dot.Set.t;  (** the dependency frontier: applied updates not yet
+                        subsumed by a later applied update's deps *)
+  objects : Mvr_object.t Int_map.t;
+  pending : update_record list;  (** newest first *)
+  buffer : update_record list;
+}
+
+let name = "mvr-cops-deps"
+
+let invisible_reads = true
+
+let op_driven = true
+
+let init ~n ~me =
+  {
+    n;
+    me;
+    next_seq = 1;
+    applied = Dot.Set.empty;
+    ctx = Dot.Set.empty;
+    objects = Int_map.empty;
+    pending = [];
+    buffer = [];
+  }
+
+let obj_state t obj =
+  match Int_map.find_opt obj t.objects with
+  | Some o -> o
+  | None -> Mvr_object.empty ~n:t.n
+
+let visible_now t =
+  Int_map.fold
+    (fun obj o acc ->
+      List.fold_left (fun acc d -> (obj, d) :: acc) acc (Mvr_object.visible_dots o))
+    t.objects []
+
+(* Apply an update to the object layer and fold it into the dependency
+   frontier: the update subsumes its own dependencies, so they leave the
+   context. Keeping only the frontier is what makes dependency lists
+   short — on the Theorem 12 workload, exactly one dot per writer. *)
+let apply_obj t r =
+  {
+    t with
+    applied = Dot.Set.add r.dot t.applied;
+    ctx = Dot.Set.add r.dot (Dot.Set.diff t.ctx r.deps);
+    objects = Int_map.add r.obj (Mvr_object.apply (obj_state t r.obj) r.u) t.objects;
+  }
+
+let deliverable t r = Dot.Set.subset r.deps t.applied
+
+let rec drain t =
+  let rec pick acc = function
+    | [] -> None
+    | r :: rest ->
+      if deliverable t r then Some (r, List.rev_append acc rest) else pick (r :: acc) rest
+  in
+  match pick [] t.buffer with
+  | None -> t
+  | Some (r, buffer) -> drain (apply_obj { t with buffer } r)
+
+let do_op t ~obj op =
+  match op with
+  | Op.Read ->
+    (* reads change nothing (invisible reads): the dependency context
+       already covers everything applied, folded in by [apply_obj] *)
+    let o = obj_state t obj in
+    let witness = lazy { Store_intf.visible = visible_now t; self = None } in
+    (t, Op.vals (Mvr_object.read o), witness)
+  | Op.Write v ->
+    let visible_before = lazy (visible_now t) in
+    let o, u = Mvr_object.local_write (obj_state t obj) ~me:t.me v in
+    let dot = Dot.make ~replica:t.me ~seq:t.next_seq in
+    let r = { dot; obj; u; deps = t.ctx } in
+    let t = { t with next_seq = t.next_seq + 1; pending = r :: t.pending } in
+    (* apply_obj folds the write into the frontier: its deps (the whole
+       previous context) leave, the new dot enters *)
+    let t = apply_obj { t with objects = Int_map.add obj o t.objects } r in
+    let witness =
+      lazy { Store_intf.visible = Lazy.force visible_before; self = Some u.Mvr_object.dot }
+    in
+    (t, Op.Ok, witness)
+  | Op.Add _ | Op.Remove _ -> invalid_arg "Cops_store: only read/write supported"
+
+let has_pending t = t.pending <> []
+
+let send t =
+  if not (has_pending t) then invalid_arg "Cops_store.send: nothing pending";
+  let payload =
+    Wire.encode (fun enc -> Wire.Encoder.list enc encode_record (List.rev t.pending))
+  in
+  ({ t with pending = [] }, payload)
+
+let receive t ~sender:_ payload =
+  let records = Wire.decode payload (fun dec -> Wire.Decoder.list dec decode_record) in
+  List.iter
+    (fun r ->
+      if r.dot.Dot.replica < 0 || r.dot.Dot.replica >= t.n then
+        raise (Wire.Decoder.Malformed "update origin out of range"))
+    records;
+  let fresh r =
+    (not (Dot.Set.mem r.dot t.applied))
+    && not (List.exists (fun b -> Dot.equal b.dot r.dot) t.buffer)
+  in
+  drain { t with buffer = t.buffer @ List.filter fresh records }

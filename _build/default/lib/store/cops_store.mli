@@ -1,0 +1,20 @@
+(** A COPS-style causally consistent MVR store (after Lloyd et al., the
+    paper's reference [21]): instead of vector clocks, every update carries
+    an explicit list of its *nearest dependencies* — the frontier of
+    updates its replica had applied that no later applied update already
+    subsumes — and a receiver buffers the update until those dependencies
+    (and transitively theirs) have been applied. (COPS proper tracks the
+    client session's reads; we track the replica's applied frontier, which
+    is what replica-level causal consistency in the paper's model needs.)
+
+    The interesting contrast with the Ahamad-et-al. store
+    ({!Causal_mvr_store}): the *delivery layer* carries O(#deps) dots
+    instead of an n-entry vector (the MVR payload's per-object version
+    vector still grows with n either way, so total message growth in n
+    roughly halves rather than vanishes) — and the Theorem 12 adversary
+    still forces Ω(min{n−2,s−1}·lg k) bits, because the encoder's y-write
+    must name one dependency per writer (experiment E17). The lower bound
+    constrains every dependency representation, exactly as the paper
+    asserts. *)
+
+include Store_intf.S

@@ -1,0 +1,15 @@
+module Eager =
+  Eager_core.Make
+    (Object_layer.Pn_counter)
+    (struct
+      let name = "counter-eager"
+    end)
+
+module Causal =
+  Causal_core.Make
+    (Object_layer.Pn_counter)
+    (struct
+      let name = "counter-causal"
+
+      include Causal_core.Immediate
+    end)

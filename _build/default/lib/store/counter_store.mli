@@ -1,0 +1,7 @@
+(** Replicated op-based PN-counters, in eager and causally consistent
+    variants — an extension object (beyond Figure 1) exercising the same
+    framework with the counter specification of [Haec_spec.Spec]. *)
+
+module Eager : Store_intf.S
+
+module Causal : Store_intf.S

@@ -1,0 +1,15 @@
+module Make (K : sig
+  val k : int
+end) =
+Causal_core.Make
+  (Object_layer.Mvr)
+  (struct
+    let name = Printf.sprintf "mvr-delayed-expose-%d" K.k
+
+    let expose_after_reads =
+      if K.k < 1 then invalid_arg "Delayed_store.Make: k must be >= 1" else K.k
+  end)
+
+module K3 = Make (struct
+  let k = 3
+end)

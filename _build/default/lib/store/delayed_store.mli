@@ -1,0 +1,19 @@
+(** The Section 5.3 counter-example: a causally consistent store with
+    *visible* reads.
+
+    A delivered remote update is not exposed to reads until [K] further
+    local read operations have executed, so reads change the replica state
+    (Definition 16 fails). The store is still eventually consistent, but it
+    refuses executions that every write-propagating store must admit — a
+    write at one replica immediately readable at another — and therefore
+    satisfies a consistency model *stronger* than OCC, showing the
+    invisible-reads assumption of Theorem 6 is necessary.
+
+    [Make] produces the store for a given exposure delay [K >= 1]. [K3] is
+    the instance used by tests and experiments. *)
+
+module Make (K : sig
+  val k : int
+end) : Store_intf.S
+
+module K3 : Store_intf.S

@@ -1,0 +1,10 @@
+(** An MVR store *without* op-driven messages (Definition 15 deliberately
+    violated): receiving a message with fresh updates makes the replica want
+    to relay them onward, so a message can become pending with no client
+    operation involved.
+
+    Each update is relayed at most once per replica, so relaying terminates.
+    Used by experiment E10 to exhibit a store outside the write-propagating
+    class that Theorems 6 and 12 quantify over. *)
+
+include Store_intf.S

@@ -1,0 +1,17 @@
+(** A simplified Global Sequence Protocol store (Burckhardt et al., cited
+    in the paper's Section 5.3 comparison): replica 0 acts as sequencer
+    and assigns every write a position in one global order; replicas apply
+    the order contiguously; reads return the globally last confirmed write
+    overlaid with the replica's own unconfirmed writes (read-your-writes).
+
+    The interesting contrasts with the write-propagating stores:
+
+    - writes are never exposed as concurrent — the store satisfies a
+      consistency model stronger than OCC;
+    - it pays with *liveness*: while the sequencer is partitioned away,
+      writes of the other replicas never become visible to each other, so
+      eventual consistency fails on that suffix (experiment E12);
+    - it is not op-driven (Definition 15): the sequencer's ordering
+      message becomes pending upon a receive. *)
+
+include Store_intf.S

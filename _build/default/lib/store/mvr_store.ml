@@ -1,0 +1,6 @@
+include
+  Eager_core.Make
+    (Object_layer.Mvr)
+    (struct
+      let name = "mvr-eager"
+    end)

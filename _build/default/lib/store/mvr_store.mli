@@ -1,0 +1,11 @@
+(** Eager (Dynamo-style) multi-valued register store.
+
+    Write-propagating: reads are invisible and messages are generated only
+    by client writes. Received updates are applied immediately, with no
+    cross-object causal buffering — so the store is eventually consistent
+    and per-object sound, but complies with a *causally consistent*
+    abstract execution only when the network happens to deliver messages in
+    causal order. It is the canonical member of the class quantified over
+    by Theorem 6. *)
+
+include Store_intf.S

@@ -1,0 +1,6 @@
+include
+  Eager_core.Make
+    (Object_layer.Orset)
+    (struct
+      let name = "orset"
+    end)

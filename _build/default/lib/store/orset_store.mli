@@ -1,0 +1,9 @@
+(** Observed-remove set store (Figure 1c).
+
+    Add-wins semantics: each [add] gets a unique dot; a [remove] deletes
+    exactly the add-dots its replica had observed, so an add concurrent
+    with a remove of the same value survives. Tombstones guard against an
+    add arriving after a remove that already covered it. Write-propagating
+    and eventually consistent. *)
+
+include Store_intf.S

@@ -1,0 +1,8 @@
+(** State-based (CvRDT) multi-valued register store: after each update the
+    replica broadcasts its *entire state* (every object's sibling set and
+    causal context); receivers join. Convergence is immediate per message
+    — one message carries everything — but message size grows with the
+    store's whole content, the trade-off quantified in experiment E14
+    against the op-based stores. Write-propagating like the eager store. *)
+
+include Store_intf.S

@@ -1,0 +1,57 @@
+(** The data-store interface: one replica's state machine (Section 2).
+
+    A store is a pure state machine. [do_op] handles a client operation
+    without any communication (high availability); [send] serializes
+    everything the replica wants to broadcast and clears the pending flag
+    (the paper's "a send event relays everything the replica has to send");
+    [receive] applies a (possibly duplicated, reordered) message.
+
+    Beyond the paper's model, [do_op] also returns a {!witness}: the
+    visibility information the replica itself used to answer, from which
+    the simulator assembles a witness abstract execution that the run
+    complies with by construction. This sidesteps the (NP-hard) search for
+    a complying abstract execution on large runs; the witness is then fed
+    to the correctness / causality / OCC / eventual-consistency checkers. *)
+
+open Haec_model
+open Haec_vclock
+
+type witness = {
+  visible : (int * Dot.t) list;
+      (** [(obj, dot)] of every update visible to this operation. Dots are
+          store-defined update identifiers, unique per object. *)
+  self : Dot.t option;
+      (** the dot this store assigned to the operation, if it is an update *)
+}
+
+let empty_witness = { visible = []; self = None }
+
+module type S = sig
+  type state
+
+  val name : string
+
+  val invisible_reads : bool
+  (** Definition 16: client reads do not change the replica state. *)
+
+  val op_driven : bool
+  (** Definition 15: messages become pending only due to client operations,
+      never merely from receiving a message. *)
+
+  val init : n:int -> me:int -> state
+  (** Initial state of replica [me] out of [n]. *)
+
+  val do_op : state -> obj:int -> Op.t -> state * Op.response * witness Lazy.t
+  (** The witness is lazy because enumerating visible dots is the most
+      expensive part of an operation; large benchmark runs that do not
+      check consistency never force it. *)
+
+  val has_pending : state -> bool
+  (** Whether a send event is enabled ("has a message pending"). *)
+
+  val send : state -> state * string
+  (** The pending broadcast payload, deterministic in the state; afterwards
+      no message is pending. Raises [Invalid_argument] if none pending. *)
+
+  val receive : state -> sender:int -> string -> state
+end

@@ -1,0 +1,1 @@
+lib/util/sorted_list.ml: List

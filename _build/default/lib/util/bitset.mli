@@ -1,0 +1,41 @@
+(** Fixed-capacity mutable bitsets.
+
+    Visibility relations over abstract executions are stored as one bitset
+    row per event, which keeps the transitivity and OCC checks cheap even
+    for executions with thousands of events. *)
+
+type t
+
+val create : int -> t
+(** All bits clear. Capacity is fixed. *)
+
+val capacity : t -> int
+
+val copy : t -> t
+
+val set : t -> int -> unit
+
+val clear : t -> int -> unit
+
+val get : t -> int -> bool
+
+val union_into : dst:t -> t -> unit
+(** [union_into ~dst src] ors [src] into [dst]. Requires equal capacity. *)
+
+val equal : t -> t -> bool
+
+val is_subset : t -> t -> bool
+(** [is_subset a b] iff every bit of [a] is set in [b]. *)
+
+val cardinal : t -> int
+
+val iter : t -> (int -> unit) -> unit
+(** Calls the function on each set bit, ascending. *)
+
+val fold : t -> init:'a -> f:('a -> int -> 'a) -> 'a
+
+val to_list : t -> int list
+
+val exists : t -> (int -> bool) -> bool
+
+val for_all : t -> (int -> bool) -> bool

@@ -1,0 +1,26 @@
+(** Mutable binary min-heap keyed by [(priority, sequence)].
+
+    The sequence number breaks ties FIFO, which keeps the discrete-event
+    simulator deterministic: two messages scheduled for the same instant are
+    delivered in the order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> priority:float -> 'a -> unit
+(** Insert with the given priority; ties resolve in insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val clear : 'a t -> unit
+
+val to_list : 'a t -> (float * 'a) list
+(** All elements in ascending order; does not modify the queue. *)

@@ -1,0 +1,64 @@
+let of_list ~compare l =
+  let sorted = List.sort_uniq compare l in
+  sorted
+
+let rec mem ~compare x = function
+  | [] -> false
+  | y :: rest ->
+    let c = compare x y in
+    if c = 0 then true else if c < 0 then false else mem ~compare x rest
+
+let rec add ~compare x = function
+  | [] -> [ x ]
+  | y :: rest as l ->
+    let c = compare x y in
+    if c = 0 then l
+    else if c < 0 then x :: l
+    else y :: add ~compare x rest
+
+let rec remove ~compare x = function
+  | [] -> []
+  | y :: rest as l ->
+    let c = compare x y in
+    if c = 0 then rest else if c < 0 then l else y :: remove ~compare x rest
+
+let rec union ~compare a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then x :: union ~compare xs ys
+    else if c < 0 then x :: union ~compare xs b
+    else y :: union ~compare a ys
+
+let rec inter ~compare a b =
+  match (a, b) with
+  | [], _ | _, [] -> []
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then x :: inter ~compare xs ys
+    else if c < 0 then inter ~compare xs b
+    else inter ~compare a ys
+
+let rec diff ~compare a b =
+  match (a, b) with
+  | [], _ -> []
+  | l, [] -> l
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then diff ~compare xs ys
+    else if c < 0 then x :: diff ~compare xs b
+    else diff ~compare a ys
+
+let rec subset ~compare a b =
+  match (a, b) with
+  | [], _ -> true
+  | _, [] -> false
+  | x :: xs, y :: ys ->
+    let c = compare x y in
+    if c = 0 then subset ~compare xs ys
+    else if c < 0 then false
+    else subset ~compare a ys
+
+let equal ~compare a b =
+  List.length a = List.length b && List.for_all2 (fun x y -> compare x y = 0) a b

@@ -1,0 +1,24 @@
+(** Sorted duplicate-free lists used as small canonical sets.
+
+    Responses of replicated objects (e.g. the value set returned by an MVR
+    read) must compare equal regardless of the order the store enumerated
+    them in, so they are normalized to a sorted duplicate-free list. *)
+
+val of_list : compare:('a -> 'a -> int) -> 'a list -> 'a list
+(** Sort and deduplicate. *)
+
+val mem : compare:('a -> 'a -> int) -> 'a -> 'a list -> bool
+
+val add : compare:('a -> 'a -> int) -> 'a -> 'a list -> 'a list
+
+val remove : compare:('a -> 'a -> int) -> 'a -> 'a list -> 'a list
+
+val union : compare:('a -> 'a -> int) -> 'a list -> 'a list -> 'a list
+
+val inter : compare:('a -> 'a -> int) -> 'a list -> 'a list -> 'a list
+
+val diff : compare:('a -> 'a -> int) -> 'a list -> 'a list -> 'a list
+
+val subset : compare:('a -> 'a -> int) -> 'a list -> 'a list -> bool
+
+val equal : compare:('a -> 'a -> int) -> 'a list -> 'a list -> bool

@@ -1,0 +1,1 @@
+lib/vclock/dot.ml: Format Haec_wire Int Map Set Wire

@@ -1,0 +1,1 @@
+lib/vclock/dot.mli: Format Haec_wire Map Set Wire

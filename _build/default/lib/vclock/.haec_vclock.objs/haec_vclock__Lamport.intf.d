@@ -1,0 +1,1 @@
+lib/vclock/lamport.mli: Format Haec_wire Wire

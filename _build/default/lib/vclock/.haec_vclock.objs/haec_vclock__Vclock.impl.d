@@ -1,0 +1,1 @@
+lib/vclock/vclock.ml: Array Format Haec_wire Stdlib Wire

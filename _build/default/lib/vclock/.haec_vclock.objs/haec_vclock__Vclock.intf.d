@@ -1,0 +1,1 @@
+lib/vclock/vclock.mli: Format Haec_wire Wire

@@ -1,0 +1,34 @@
+open Haec_wire
+
+module T = struct
+  type t = { replica : int; seq : int }
+
+  let compare a b =
+    match Int.compare a.replica b.replica with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+end
+
+include T
+
+let make ~replica ~seq = { replica; seq }
+
+let equal a b = compare a b = 0
+
+let encode enc t =
+  Wire.Encoder.uint enc t.replica;
+  Wire.Encoder.uint enc t.seq
+
+let decode dec =
+  let replica = Wire.Decoder.uint dec in
+  let seq = Wire.Decoder.uint dec in
+  { replica; seq }
+
+let pp ppf t = Format.fprintf ppf "%d.%d" t.replica t.seq
+
+module Set = Set.Make (T)
+module Map = Map.Make (T)
+
+let encode_set enc s = Wire.Encoder.list enc encode (Set.elements s)
+
+let decode_set dec = Set.of_list (Wire.Decoder.list dec decode)

@@ -1,0 +1,29 @@
+(** Dots: globally unique event identifiers [(replica, seq)].
+
+    A dot names the [seq]-th update issued by [replica]. Stores tag writes
+    and ORset additions with dots; the visibility *witness* a store reports
+    for each operation is a set of dots (see [Haec_store.Store_intf]). *)
+
+open Haec_wire
+
+type t = { replica : int; seq : int }
+
+val make : replica:int -> seq:int -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val encode : Wire.Encoder.t -> t -> unit
+
+val decode : Wire.Decoder.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+
+module Map : Map.S with type key = t
+
+val encode_set : Wire.Encoder.t -> Set.t -> unit
+
+val decode_set : Wire.Decoder.t -> Set.t

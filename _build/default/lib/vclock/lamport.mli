@@ -1,0 +1,29 @@
+(** Lamport scalar clocks with replica-id tie-breaking.
+
+    Used by the last-writer-wins register store: timestamps are totally
+    ordered, so concurrent writes are (arbitrarily but deterministically)
+    ordered — the concurrency-hiding behaviour discussed in Section 3.4. *)
+
+open Haec_wire
+
+type t = { time : int; replica : int }
+
+val zero : replica:int -> t
+
+val tick : t -> t
+(** Advance local time by one. *)
+
+val witness : t -> t -> t
+(** [witness local remote] is the local clock advanced past [remote]
+    (Lamport's receive rule). The replica id of [local] is kept. *)
+
+val compare : t -> t -> int
+(** Total order: by time, ties broken by replica id. *)
+
+val equal : t -> t -> bool
+
+val encode : Wire.Encoder.t -> t -> unit
+
+val decode : Wire.Decoder.t -> t
+
+val pp : Format.formatter -> t -> unit

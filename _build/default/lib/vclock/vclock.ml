@@ -1,0 +1,68 @@
+open Haec_wire
+
+type t = int array
+
+type order = Equal | Before | After | Concurrent
+
+let zero ~n =
+  if n <= 0 then invalid_arg "Vclock.zero: n must be positive";
+  Array.make n 0
+
+let of_array a =
+  Array.iter (fun x -> if x < 0 then invalid_arg "Vclock.of_array: negative entry") a;
+  Array.copy a
+
+let to_array = Array.copy
+
+let size = Array.length
+
+let get v r = v.(r)
+
+let tick v r =
+  let v' = Array.copy v in
+  v'.(r) <- v'.(r) + 1;
+  v'
+
+let check_sizes a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Vclock: size mismatch"
+
+let merge a b =
+  check_sizes a b;
+  Array.mapi (fun i x -> max x b.(i)) a
+
+let compare_causal a b =
+  check_sizes a b;
+  let some_lt = ref false and some_gt = ref false in
+  for i = 0 to Array.length a - 1 do
+    if a.(i) < b.(i) then some_lt := true;
+    if a.(i) > b.(i) then some_gt := true
+  done;
+  match (!some_lt, !some_gt) with
+  | false, false -> Equal
+  | true, false -> Before
+  | false, true -> After
+  | true, true -> Concurrent
+
+let leq a b = match compare_causal a b with Equal | Before -> true | After | Concurrent -> false
+
+let lt a b = compare_causal a b = Before
+
+let concurrent a b = compare_causal a b = Concurrent
+
+let equal a b = Array.length a = Array.length b && compare_causal a b = Equal
+
+let compare = Stdlib.compare
+
+let sum = Array.fold_left ( + ) 0
+
+let encode enc v = Wire.Encoder.array enc Wire.Encoder.uint v
+
+let decode dec = Wire.Decoder.array dec Wire.Decoder.uint
+
+let pp ppf v =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    v

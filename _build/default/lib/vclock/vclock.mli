@@ -1,0 +1,59 @@
+(** Vector clocks over a fixed set of [n] replicas (Fidge/Mattern).
+
+    A vector clock is the canonical device for tracking potential causality;
+    the causally consistent store of Section 6 of the paper uses them, which
+    is exactly why its messages cost Theta(n lg k) bits. *)
+
+open Haec_wire
+
+type t
+(** Immutable vector of [n] non-negative counters. *)
+
+type order =
+  | Equal
+  | Before  (** strictly dominated: happens-before *)
+  | After  (** strictly dominates *)
+  | Concurrent
+
+val zero : n:int -> t
+
+val of_array : int array -> t
+(** Copies its argument. Requires all entries non-negative. *)
+
+val to_array : t -> int array
+(** Fresh copy. *)
+
+val size : t -> int
+(** Number of replicas [n]. *)
+
+val get : t -> int -> int
+
+val tick : t -> int -> t
+(** [tick v r] increments component [r]. *)
+
+val merge : t -> t -> t
+(** Component-wise maximum. Requires equal sizes. *)
+
+val compare_causal : t -> t -> order
+
+val leq : t -> t -> bool
+(** [leq a b] iff every component of [a] is [<=] the one of [b]. *)
+
+val lt : t -> t -> bool
+(** [leq a b] and [a <> b]. *)
+
+val concurrent : t -> t -> bool
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (lexicographic) for use in sets/maps; unrelated to causality. *)
+
+val sum : t -> int
+(** Sum of components: the number of events the clock accounts for. *)
+
+val encode : Wire.Encoder.t -> t -> unit
+
+val decode : Wire.Decoder.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/viz/render.ml: Abstract Buffer Event Execution Format Haec_model Haec_spec Hashtbl List Message Op Printf String

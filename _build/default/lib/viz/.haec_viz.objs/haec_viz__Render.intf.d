@@ -1,0 +1,1 @@
+lib/viz/render.mli: Abstract Execution Haec_model Haec_spec

@@ -1,0 +1,96 @@
+open Haec_model
+open Haec_spec
+
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let do_label d =
+  escape
+    (Format.asprintf "%a -> %a" Op.pp d.Event.op Op.pp_response d.Event.rval)
+
+let lane buf ~name ~label nodes =
+  Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%s {\n" name);
+  Buffer.add_string buf (Printf.sprintf "    label=\"%s\";\n" label);
+  Buffer.add_string buf "    style=dashed; color=gray;\n";
+  List.iter (fun line -> Buffer.add_string buf ("    " ^ line ^ "\n")) nodes;
+  Buffer.add_string buf "  }\n"
+
+let abstract_to_dot ?(title = "abstract execution") ?(transitive_edges = false) a =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph abstract_execution {\n";
+  Buffer.add_string buf (Printf.sprintf "  label=\"%s\"; rankdir=LR;\n" (escape title));
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let len = Abstract.length a in
+  for r = 0 to Abstract.n_replicas a - 1 do
+    let nodes = ref [] in
+    for e = len - 1 downto 0 do
+      let d = Abstract.event a e in
+      if d.Event.replica = r then
+        nodes := Printf.sprintf "e%d [label=\"%d: %s\"];" e e (do_label d) :: !nodes
+    done;
+    if !nodes <> [] then lane buf ~name:(string_of_int r) ~label:(Printf.sprintf "R%d" r) !nodes
+  done;
+  (* visibility edges, optionally skipping ones implied by transitivity *)
+  let implied i j =
+    List.exists
+      (fun k -> k <> i && k <> j && Abstract.vis a i k && Abstract.vis a k j)
+      (Abstract.vis_preds a j)
+  in
+  for j = 0 to len - 1 do
+    List.iter
+      (fun i ->
+        if transitive_edges || not (implied i j) then
+          Buffer.add_string buf (Printf.sprintf "  e%d -> e%d [style=dashed, color=blue];\n" i j))
+      (Abstract.vis_preds a j)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let event_label = function
+  | Event.Do d -> do_label d
+  | Event.Send { msg; _ } -> escape (Format.asprintf "send %a" Message.pp msg)
+  | Event.Receive { msg; _ } -> escape (Format.asprintf "recv %a" Message.pp msg)
+
+let execution_to_dot ?(title = "execution") exec =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph execution {\n";
+  Buffer.add_string buf (Printf.sprintf "  label=\"%s\"; rankdir=LR;\n" (escape title));
+  Buffer.add_string buf "  node [shape=box, fontsize=10];\n";
+  let len = Execution.length exec in
+  for r = 0 to Execution.n_replicas exec - 1 do
+    let nodes = ref [] in
+    for i = len - 1 downto 0 do
+      let e = Execution.get exec i in
+      if Event.replica e = r then
+        nodes := Printf.sprintf "n%d [label=\"%d: %s\"];" i i (event_label e) :: !nodes
+    done;
+    if !nodes <> [] then lane buf ~name:(string_of_int r) ~label:(Printf.sprintf "R%d" r) !nodes
+  done;
+  (* program order *)
+  let last = Hashtbl.create 8 in
+  let sends = Hashtbl.create 16 in
+  for i = 0 to len - 1 do
+    let e = Execution.get exec i in
+    let r = Event.replica e in
+    (match Hashtbl.find_opt last r with
+    | Some j -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" j i)
+    | None -> ());
+    Hashtbl.replace last r i;
+    match e with
+    | Event.Send { msg; _ } -> Hashtbl.replace sends (Message.id msg) i
+    | Event.Receive { msg; _ } -> (
+      match Hashtbl.find_opt sends (Message.id msg) with
+      | Some j ->
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [color=red, constraint=false];\n" j i)
+      | None -> ())
+    | Event.Do _ -> ()
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+lib/wire/wire.ml: Array Buffer Char List Printf String Sys

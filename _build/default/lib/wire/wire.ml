@@ -1,0 +1,142 @@
+module Encoder = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 64
+
+  (* Emit the word as an unsigned bit pattern (logical shifts), so zigzag
+     patterns whose top bit is set — from [max_int]/[min_int] — survive. *)
+  let uint_bits buf n =
+    let rec go n =
+      if n >= 0 && n < 0x80 then Buffer.add_char buf (Char.chr n)
+      else begin
+        Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
+        go (n lsr 7)
+      end
+    in
+    go n
+
+  let uint buf n =
+    if n < 0 then invalid_arg "Wire.Encoder.uint: negative";
+    uint_bits buf n
+
+  (* Zigzag: 0,-1,1,-2,2,... -> 0,1,2,3,4,... so small magnitudes of either
+     sign encode in one byte. *)
+  let int buf n = uint_bits buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+
+  let bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+
+  let string buf s =
+    uint buf (String.length s);
+    Buffer.add_string buf s
+
+  let list buf f l =
+    uint buf (List.length l);
+    List.iter (f buf) l
+
+  let array buf f a =
+    uint buf (Array.length a);
+    Array.iter (f buf) a
+
+  let option buf f = function
+    | None -> bool buf false
+    | Some x ->
+      bool buf true;
+      f buf x
+
+  let pair buf f g (a, b) =
+    f buf a;
+    g buf b
+
+  let to_string = Buffer.contents
+
+  let size_bytes = Buffer.length
+
+  let size_bits buf = 8 * Buffer.length buf
+end
+
+module Decoder = struct
+  type t = { input : string; mutable pos : int }
+
+  exception Malformed of string
+
+  let of_string input = { input; pos = 0 }
+
+  let byte t =
+    if t.pos >= String.length t.input then raise (Malformed "truncated input");
+    let c = Char.code t.input.[t.pos] in
+    t.pos <- t.pos + 1;
+    c
+
+  let uint t =
+    let rec go shift acc =
+      if shift > Sys.int_size then raise (Malformed "varint overflow");
+      let b = byte t in
+      let acc = acc lor ((b land 0x7F) lsl shift) in
+      if b land 0x80 = 0 then acc else go (shift + 7) acc
+    in
+    go 0 0
+
+  let int t =
+    let z = uint t in
+    (z lsr 1) lxor (-(z land 1))
+
+  let bool t =
+    match byte t with
+    | 0 -> false
+    | 1 -> true
+    | b -> raise (Malformed (Printf.sprintf "bad bool byte %d" b))
+
+  let string t =
+    let len = uint t in
+    if len < 0 || t.pos + len > String.length t.input then
+      raise (Malformed "string length exceeds input");
+    let s = String.sub t.input t.pos len in
+    t.pos <- t.pos + len;
+    s
+
+  (* [List.init]/[Array.init] do not specify the order in which they apply
+     their function, so decode into an explicit accumulator instead. *)
+  let list t f =
+    let len = uint t in
+    if len < 0 || len > String.length t.input - t.pos then
+      raise (Malformed "list length exceeds input");
+    let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f t :: acc) in
+    go len []
+
+  let array t f =
+    let len = uint t in
+    if len < 0 || len > String.length t.input - t.pos then
+      raise (Malformed "array length exceeds input");
+    let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f t :: acc) in
+    Array.of_list (go len [])
+
+  let option t f = if bool t then Some (f t) else None
+
+  let pair t f g =
+    let a = f t in
+    let b = g t in
+    (a, b)
+
+  let at_end t = t.pos = String.length t.input
+
+  let expect_end t =
+    if not (at_end t) then
+      raise
+        (Malformed
+           (Printf.sprintf "trailing garbage: %d of %d bytes unread"
+              (String.length t.input - t.pos)
+              (String.length t.input)))
+end
+
+let encode f =
+  let e = Encoder.create () in
+  f e;
+  Encoder.to_string e
+
+let decode s f =
+  let d = Decoder.of_string s in
+  let v = f d in
+  Decoder.expect_end d;
+  v
+
+let size_bits s = 8 * String.length s

@@ -1,0 +1,83 @@
+(** Compact binary wire format.
+
+    Every message a store broadcasts is serialized through this module, so
+    that the message-size measurements of the Theorem 12 experiment count
+    real bytes rather than abstract estimates.
+
+    Integers use LEB128 varints (7 payload bits per byte); signed integers
+    are zigzag-mapped first, so small magnitudes of either sign stay short.
+    Lists and strings are length-prefixed. *)
+
+module Encoder : sig
+  type t
+
+  val create : unit -> t
+
+  val uint : t -> int -> unit
+  (** LEB128 varint. Requires a non-negative argument. *)
+
+  val int : t -> int -> unit
+  (** Zigzag + LEB128; accepts any int. *)
+
+  val bool : t -> bool -> unit
+
+  val string : t -> string -> unit
+  (** Length-prefixed bytes. *)
+
+  val list : t -> (t -> 'a -> unit) -> 'a list -> unit
+  (** Length-prefixed sequence. *)
+
+  val array : t -> (t -> 'a -> unit) -> 'a array -> unit
+
+  val option : t -> (t -> 'a -> unit) -> 'a option -> unit
+
+  val pair : t -> (t -> 'a -> unit) -> (t -> 'b -> unit) -> 'a * 'b -> unit
+
+  val to_string : t -> string
+  (** The bytes accumulated so far. *)
+
+  val size_bytes : t -> int
+
+  val size_bits : t -> int
+end
+
+module Decoder : sig
+  type t
+
+  exception Malformed of string
+  (** Raised when the input cannot be decoded: truncation, varint overflow,
+      or a length prefix exceeding the remaining input. *)
+
+  val of_string : string -> t
+
+  val uint : t -> int
+
+  val int : t -> int
+
+  val bool : t -> bool
+
+  val string : t -> string
+
+  val list : t -> (t -> 'a) -> 'a list
+
+  val array : t -> (t -> 'a) -> 'a array
+
+  val option : t -> (t -> 'a) -> 'a option
+
+  val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
+
+  val at_end : t -> bool
+
+  val expect_end : t -> unit
+  (** Raises [Malformed] unless all input has been consumed. *)
+end
+
+val encode : (Encoder.t -> unit) -> string
+(** [encode f] runs [f] on a fresh encoder and returns the bytes. *)
+
+val decode : string -> (Decoder.t -> 'a) -> 'a
+(** [decode s f] decodes with [f] and checks the whole input was consumed.
+    Raises {!Decoder.Malformed} on any framing error. *)
+
+val size_bits : string -> int
+(** Size of a serialized message in bits (8 per byte). *)

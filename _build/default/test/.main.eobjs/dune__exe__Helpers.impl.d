@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Consistency Haec List Model QCheck2 QCheck_alcotest Spec Util

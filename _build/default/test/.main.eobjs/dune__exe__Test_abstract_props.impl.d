@@ -1,0 +1,1 @@
+test/test_abstract_props.ml: Abstract Alcotest Array Causal Compliance Construction Haec Helpers Int List Model QCheck2 Rng Sim Specf Store String Viz

@@ -1,0 +1,1 @@
+test/test_causal_hist.ml: Alcotest Consistency Haec Helpers List Model Printf QCheck2 Rng Search Sim Specf Store

@@ -1,0 +1,1 @@
+test/test_consistency.ml: Abstract Alcotest Causal Compliance Event Eventual Execution Haec Helpers List Message Occ Specf

@@ -1,0 +1,1 @@
+test/test_construction.ml: Abstract Alcotest Array Causal Compliance Construction Haec Helpers List Model Occ Rng Specf Store String

@@ -1,0 +1,1 @@
+test/test_cops.ml: Abstract Alcotest Array Consistency Construction Haec Helpers Model Rng Sim Specf Store String

@@ -1,0 +1,1 @@
+test/test_edges.ml: Abstract Alcotest Eventual Haec Helpers List Model Occ Search Sim Specf Store

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Buffer Format Haec_experiments Helpers List Option String

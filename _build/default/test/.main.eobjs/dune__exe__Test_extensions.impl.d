@@ -1,0 +1,1 @@
+test/test_extensions.ml: Abstract Alcotest Compliance Construction Haec Helpers List Model Option Rng Sim Specf Store

@@ -1,0 +1,1 @@
+test/test_gsp.ml: Alcotest Haec Helpers List Model Rng Sim Store

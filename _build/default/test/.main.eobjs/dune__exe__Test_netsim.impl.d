@@ -1,0 +1,1 @@
+test/test_netsim.ml: Alcotest Haec Helpers List Model Rng Sim Store

@@ -1,0 +1,1 @@
+test/test_properties.ml: Abstract Array Causal Clock Compliance Construction Haec Hashtbl Helpers List Model Occ QCheck2 Rng Search Sim Specf Store Wire

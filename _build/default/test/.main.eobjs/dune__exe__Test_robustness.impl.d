@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Haec Helpers Model QCheck2 Store Wire

@@ -1,0 +1,1 @@
+test/test_scenario.ml: Alcotest Haec Helpers List Model Sim Specf Store

@@ -1,0 +1,1 @@
+test/test_search.ml: Abstract Alcotest Causal Haec Helpers Search Specf

@@ -1,0 +1,1 @@
+test/test_session_state.ml: Abstract Alcotest Array Consistency Haec Helpers List Model Option QCheck2 Rng Sim Specf Store

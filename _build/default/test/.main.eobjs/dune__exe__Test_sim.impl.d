@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Consistency Haec Helpers List Model Option Rng Sim Spec Store

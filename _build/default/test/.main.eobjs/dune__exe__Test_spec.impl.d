@@ -1,0 +1,1 @@
+test/test_spec.ml: Abstract Alcotest Array Haec Helpers List Specf

@@ -1,0 +1,1 @@
+test/test_stores.ml: Alcotest Causal_mvr_store Compliance Delayed_store Gossip_relay_store Haec Helpers Lww_store Mvr_store Orset_store Rng Specf Store_intf

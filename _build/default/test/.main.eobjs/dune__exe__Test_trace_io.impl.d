@@ -1,0 +1,1 @@
+test/test_trace_io.ml: Alcotest Event Filename Format Fun Haec Helpers List Model QCheck2 Rng Sim Store Sys Wire

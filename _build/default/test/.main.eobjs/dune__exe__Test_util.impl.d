@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Haec Helpers Int Int64 List QCheck2 Rng

@@ -1,0 +1,1 @@
+test/test_vclock.ml: Alcotest Array Format Haec Helpers QCheck2

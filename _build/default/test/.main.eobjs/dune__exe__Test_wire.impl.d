@@ -1,0 +1,1 @@
+test/test_wire.ml: Alcotest Haec Helpers List QCheck2 String

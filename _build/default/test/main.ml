@@ -1,0 +1,27 @@
+let () =
+  Alcotest.run "haec"
+    [
+      Test_util.suite;
+      Test_wire.suite;
+      Test_vclock.suite;
+      Test_model.suite;
+      Test_spec.suite;
+      Test_consistency.suite;
+      Test_search.suite;
+      Test_stores.suite;
+      Test_sim.suite;
+      Test_construction.suite;
+      Test_properties.suite;
+      Test_extensions.suite;
+      Test_gsp.suite;
+      Test_netsim.suite;
+      Test_experiments.suite;
+      Test_session_state.suite;
+      Test_abstract_props.suite;
+      Test_scenario.suite;
+      Test_trace_io.suite;
+      Test_causal_hist.suite;
+      Test_robustness.suite;
+      Test_edges.suite;
+      Test_cops.suite;
+    ]

@@ -1,0 +1,197 @@
+open Helpers
+module A = Abstract
+
+(* ---------- causal consistency (Definition 12) ---------- *)
+
+let test_causal_transitive () =
+  let a =
+    A.create ~n:3 [| w_ 0 0 1; w_ 1 1 2; rd_ 2 0 [ 1 ] |] ~vis:[ (0, 1); (1, 2); (0, 2) ]
+  in
+  Alcotest.(check bool) "transitive" true (Causal.is_causally_consistent a)
+
+let test_causal_violation () =
+  let a = A.create ~n:3 [| w_ 0 0 1; w_ 1 1 2; rd_ 2 0 [] |] ~vis:[ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "not transitive" false (Causal.is_causally_consistent a);
+  (match Causal.violations a with
+  | [ (0, 1, 2) ] -> ()
+  | other -> Alcotest.failf "unexpected violations (%d)" (List.length other));
+  match Causal.check a with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "check should fail"
+
+(* ---------- OCC (Definition 18) ---------- *)
+
+(* Figure 3c gadget: concurrent writes to x with planted witnesses on p,q. *)
+let fig3c ?(read_vals = [ 3; 4 ]) () =
+  (* H: w0'(p,1)@R0, w1'(q,2)@R1, w0(x,3)@R0, w1(x,4)@R1, r(x)@R2 *)
+  A.create ~n:3
+    [|
+      w_ 0 1 1;  (* w0' to p *)
+      w_ 1 2 2;  (* w1' to q *)
+      w_ 0 0 3;  (* w0 to x *)
+      w_ 1 0 4;  (* w1 to x *)
+      rd_ 2 0 read_vals;
+    |]
+    ~vis:[ (0, 4); (1, 4); (2, 4); (3, 4) ]
+
+let test_occ_fig3c () =
+  let a = fig3c () in
+  check_ok "causal+correct" (Specf.check_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "causally consistent" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "OCC with witnesses" true (Occ.is_occ a);
+  match Occ.witnesses_for a ~read:4 ~w0:2 ~w1:3 with
+  | Some (w0', w1') ->
+    (* w0' invisible to w0=2, visible to w1=3: that is the q-write (index 1);
+       symmetrically w1' is the p-write (index 0) *)
+    Alcotest.(check (pair int int)) "witness pair" (1, 0) (w0', w1')
+  | None -> Alcotest.fail "witnesses expected"
+
+let test_occ_no_witnesses () =
+  (* same concurrency, no side objects: a read returning both values has no
+     witnesses, so the execution is not OCC (the store could have hidden
+     the concurrency) *)
+  let a =
+    A.create ~n:3 [| w_ 0 0 3; w_ 1 0 4; rd_ 2 0 [ 3; 4 ] |] ~vis:[ (0, 2); (1, 2) ]
+  in
+  Alcotest.(check bool) "correct" true (Specf.is_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "not OCC" false (Occ.is_occ a);
+  match Occ.check a with
+  | Ok [ v ] ->
+    Alcotest.(check int) "violating read" 2 v.Occ.read
+  | Ok other -> Alcotest.failf "expected 1 violation, got %d" (List.length other)
+  | Error m -> Alcotest.fail m
+
+let test_occ_condition3 () =
+  (* witnesses visible to *both* writes violate condition 3 and don't count *)
+  let a =
+    A.create ~n:3
+      [|
+        w_ 0 1 1;  (* p-write visible to both x-writes *)
+        w_ 0 2 2;  (* q-write visible to both x-writes *)
+        w_ 0 0 3;
+        w_ 1 0 4;
+        rd_ 2 0 [ 3; 4 ];
+      |]
+      ~vis:[ (0, 3); (1, 3); (0, 4); (1, 4); (2, 4); (3, 4) ]
+  in
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "not OCC (condition 3)" false (Occ.is_occ a)
+
+let test_occ_condition4 () =
+  (* Figure 3b pattern: a write w-hat to the witness object, visible to w1
+     but concurrent with the witness, lets the store pretend the witness
+     was ordered; condition 4 rejects such witnesses *)
+  let a =
+    A.create ~n:4
+      [|
+        w_ 0 1 1;  (* 0: w1' (p), visible to w0 only *)
+        w_ 1 2 2;  (* 1: w0' (q), visible to w1 only *)
+        w_ 3 1 9;  (* 2: w-hat (p), concurrent with w1', visible to w1 *)
+        w_ 0 0 3;  (* 3: w0 *)
+        w_ 1 0 4;  (* 4: w1 *)
+        rd_ 2 0 [ 3; 4 ];
+      |]
+      ~vis:[ (0, 3); (1, 4); (2, 4); (0, 5); (1, 5); (2, 5); (3, 5); (4, 5) ]
+  in
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "correct" true (Specf.is_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "not OCC (condition 4)" false (Occ.is_occ a)
+
+let test_occ_single_values_vacuous () =
+  (* reads returning at most one value never trigger Definition 18 *)
+  let a =
+    A.create ~n:2 [| w_ 0 0 1; rd_ 1 0 [ 1 ] |] ~vis:[ (0, 1) ]
+  in
+  Alcotest.(check bool) "vacuously OCC" true (Occ.is_occ a)
+
+let test_occ_unsupported () =
+  (* two writes with the same value: the value->event mapping is ambiguous *)
+  let a =
+    A.create ~n:3 [| w_ 0 0 7; w_ 1 0 7; rd_ 2 0 [ 7 ] |] ~vis:[ (0, 2); (1, 2) ]
+  in
+  (* the read returns a pair of identical values collapsed to one — force a
+     two-value read with a duplicated write value *)
+  let b =
+    A.create ~n:3 [| w_ 0 0 7; w_ 1 0 8; w_ 1 0 7; rd_ 2 0 [ 7; 8 ] |]
+      ~vis:[ (0, 3); (1, 3); (2, 3) ]
+  in
+  ignore a;
+  match Occ.check b with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate write values should be unsupported"
+
+(* ---------- eventual consistency surrogate ---------- *)
+
+let test_eventual_visible_from () =
+  let a =
+    A.create ~n:2
+      [| w_ 0 0 1; w_ 1 0 2; rd_ 0 0 [ 1; 2 ]; rd_ 1 0 [ 1; 2 ] |]
+      ~vis:[ (0, 2); (1, 2); (0, 3); (1, 3) ]
+  in
+  check_ok "all updates visible post-quiescence" (Eventual.check_visible_from a ~quiescent_at:2)
+
+let test_eventual_violation () =
+  let a =
+    A.create ~n:2 [| w_ 0 0 1; rd_ 1 0 [] |] ~vis:[]
+  in
+  Alcotest.(check bool) "update invisible after quiescence" false
+    (Eventual.is_visible_from a ~quiescent_at:1);
+  Alcotest.(check int) "invisibility count" 1 (Eventual.invisibility_count a 0)
+
+let test_eventual_other_objects_ignored () =
+  let a = A.create ~n:2 [| w_ 0 0 1; rd_ 1 1 [] |] ~vis:[] in
+  check_ok "different object irrelevant" (Eventual.check_visible_from a ~quiescent_at:1)
+
+let test_reads_agree () =
+  let open Haec.Model in
+  let e =
+    Execution.of_list ~n:2
+      [ Event.Do (rd_ 0 0 [ 1 ]); Event.Do (rd_ 1 0 [ 1 ]); Event.Do (rd_ 0 1 [ 2 ]) ]
+  in
+  check_ok "agree" (Eventual.check_reads_agree e ~suffix:3);
+  let e2 = Execution.of_list ~n:2 [ Event.Do (rd_ 0 0 [ 1 ]); Event.Do (rd_ 1 0 [ 2 ]) ] in
+  match Eventual.check_reads_agree e2 ~suffix:2 with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "disagreement not caught"
+
+(* ---------- compliance (Definition 9) ---------- *)
+
+let test_compliance () =
+  let open Haec.Model in
+  let exec =
+    Execution.of_list ~n:2
+      [
+        Event.Do (w_ 0 0 1);
+        Event.Send { replica = 0; msg = { Message.sender = 0; seq = 0; payload = "m" } };
+        Event.Receive { replica = 1; msg = { Message.sender = 0; seq = 0; payload = "m" } };
+        Event.Do (rd_ 1 0 [ 1 ]);
+      ]
+  in
+  let a = Compliance.abstract_of_execution exec ~vis:[ (0, 1) ] in
+  check_ok "complies by construction" (Compliance.check exec a);
+  Alcotest.(check int) "do count" 2 (Compliance.do_count exec);
+  (* different response: no longer complies *)
+  let a2 = A.create ~n:2 [| w_ 0 0 1; rd_ 1 0 [] |] ~vis:[] in
+  Alcotest.(check bool) "response mismatch" false (Compliance.complies exec a2);
+  (* swapped replica order irrelevant across replicas, fixed within *)
+  let a3 = A.create ~n:2 [| rd_ 1 0 [ 1 ]; w_ 0 0 1 |] ~vis:[] in
+  Alcotest.(check bool) "cross-replica interleaving free" true (Compliance.complies exec a3)
+
+let suite =
+  ( "consistency",
+    [
+      tc "causal: transitive accepted" test_causal_transitive;
+      tc "causal: violation reported" test_causal_violation;
+      tc "occ: Figure 3c witnesses" test_occ_fig3c;
+      tc "occ: no witnesses, not OCC" test_occ_no_witnesses;
+      tc "occ: condition 3 (invisible to the other)" test_occ_condition3;
+      tc "occ: condition 4 (Figure 3b escape blocked)" test_occ_condition4;
+      tc "occ: single-value reads vacuous" test_occ_single_values_vacuous;
+      tc "occ: ambiguous values unsupported" test_occ_unsupported;
+      tc "eventual: visible from quiescence" test_eventual_visible_from;
+      tc "eventual: violation detected" test_eventual_violation;
+      tc "eventual: per-object only" test_eventual_other_objects_ignored;
+      tc "eventual: reads agree" test_reads_agree;
+      tc "compliance" test_compliance;
+    ] )

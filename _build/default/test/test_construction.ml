@@ -1,0 +1,298 @@
+open Helpers
+open Haec
+module A = Abstract
+module Revealing = Construction.Revealing
+module Occ_gen = Construction.Occ_gen
+module T6_eager = Construction.Theorem6.Make (Store.Mvr_store)
+module T6_causal = Construction.Theorem6.Make (Store.Causal_mvr_store)
+module T6_delayed = Construction.Theorem6.Make (Store.Delayed_store.K3)
+module T6_gsp = Construction.Theorem6.Make (Store.Gsp_store)
+module T12 = Construction.Theorem12.Make (Store.Causal_mvr_store)
+module Execution = Model.Execution
+
+(* ---------- revealing executions (Section 5.2.1) ---------- *)
+
+let test_make_revealing () =
+  let a =
+    A.create ~n:3 [| w_ 0 0 1; w_ 1 0 2; rd_ 2 0 [ 1; 2 ] |] ~vis:[ (0, 2); (1, 2) ]
+  in
+  Alcotest.(check bool) "not revealing before" false (Revealing.is_revealing a);
+  let r, idx = Revealing.make_revealing a in
+  Alcotest.(check bool) "revealing after" true (Revealing.is_revealing r);
+  Alcotest.(check int) "two reads inserted" 5 (A.length r);
+  Alcotest.(check (array int)) "index map" [| 1; 3; 4 |] idx;
+  (* existing responses unchanged, inserted reads MVR-correct *)
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec r);
+  Alcotest.check check_response "original read kept" (resp [ 1; 2 ])
+    (A.event r 4).Model.Event.rval;
+  (* the inserted r_w reads see nothing (their writes saw nothing) *)
+  Alcotest.check check_response "r_w empty" (resp []) (A.event r 0).Model.Event.rval
+
+let test_revealing_preserves_causality () =
+  let rng = Rng.create 1 in
+  let a = Occ_gen.planted rng ~n:3 ~groups:3 () in
+  let r, _ = Revealing.make_revealing a in
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent r);
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec r);
+  Alcotest.(check bool) "revealing" true (Revealing.is_revealing r)
+
+let test_revealing_sees_prior_write () =
+  (* a write that observed an earlier write gets a revealing read returning
+     that earlier value *)
+  let a = A.create ~n:2 [| w_ 0 0 1; w_ 1 0 2 |] ~vis:[ (0, 1) ] in
+  let r, idx = Revealing.make_revealing a in
+  let r_w2 = idx.(1) - 1 in
+  Alcotest.check check_response "reveals prior state" (resp [ 1 ])
+    (A.event r r_w2).Model.Event.rval
+
+(* ---------- OCC generators ---------- *)
+
+let test_gen_sequential_occ () =
+  let rng = Rng.create 2 in
+  let a = Occ_gen.sequential rng ~n:3 ~objects:4 ~ops:20 in
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "occ" true (Occ.is_occ a)
+
+let test_gen_planted_occ () =
+  let rng = Rng.create 3 in
+  let a = Occ_gen.planted rng ~n:4 ~groups:4 ~readers:2 () in
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "occ" true (Occ.is_occ a);
+  (* the gadgets really do expose concurrency *)
+  let multi =
+    Array.to_list (A.events a)
+    |> List.filter (fun d ->
+           match d.Model.Event.rval with Model.Op.Vals vs -> List.length vs >= 2 | _ -> false)
+  in
+  Alcotest.(check int) "multi-value reads" 8 (List.length multi)
+
+let test_gen_generate () =
+  let rng = Rng.create 4 in
+  for _ = 1 to 5 do
+    let a = Occ_gen.generate rng ~n:3 ~size_hint:15 in
+    Alcotest.(check bool) "occ" true (Occ.is_occ a)
+  done
+
+(* ---------- Theorem 6 (Section 5.2) ---------- *)
+
+let run_eager a =
+  let r = T6_eager.construct a in
+  (r.T6_eager.mismatches, r.T6_eager.execution)
+
+let run_causal a =
+  let r = T6_causal.construct a in
+  (r.T6_causal.mismatches, r.T6_causal.execution)
+
+let t6_roundtrip run name a =
+  let a, _ = Revealing.make_revealing a in
+  let mismatches, execution = run a in
+  (match mismatches with
+  | [] -> ()
+  | (e, expected, got) :: _ ->
+    Alcotest.failf "%s: event %d expected %a got %a" name e Model.Op.pp_response expected
+      Model.Op.pp_response got);
+  check_ok (name ^ " well-formed") (Execution.check_well_formed execution)
+
+let test_theorem6_fig3c () =
+  (* the canonical OCC execution with exposed concurrency is realized
+     verbatim by both write-propagating stores *)
+  let a =
+    A.create ~n:3
+      [| w_ 0 1 1; w_ 1 2 2; w_ 0 0 3; w_ 1 0 4; rd_ 2 0 [ 3; 4 ] |]
+      ~vis:[ (0, 4); (1, 4); (2, 4); (3, 4) ]
+  in
+  t6_roundtrip run_eager "eager" a;
+  t6_roundtrip run_causal "causal" a
+
+let test_theorem6_sequential () =
+  let rng = Rng.create 5 in
+  for seed = 1 to 5 do
+    ignore seed;
+    let a = Occ_gen.sequential rng ~n:3 ~objects:3 ~ops:15 in
+    t6_roundtrip run_eager "eager-seq" a;
+    t6_roundtrip run_causal "causal-seq" a
+  done
+
+let test_theorem6_planted () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 5 do
+    let a = Occ_gen.planted rng ~n:4 ~groups:3 ~readers:2 () in
+    t6_roundtrip run_eager "eager-planted" a;
+    t6_roundtrip run_causal "causal-planted" a
+  done
+
+let test_gen_planted_triples () =
+  (* three concurrent writers per gadget: reads return triples, and every
+     one of the three pairs needs (and has) Definition 18 witnesses *)
+  let rng = Rng.create 23 in
+  let a = Occ_gen.planted rng ~n:5 ~groups:3 ~readers:2 ~writers:3 () in
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec a);
+  Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+  Alcotest.(check bool) "occ" true (Occ.is_occ a);
+  let triples =
+    Array.to_list (A.events a)
+    |> List.filter (fun d ->
+           match d.Model.Event.rval with
+           | Model.Op.Vals vs -> List.length vs = 3
+           | _ -> false)
+  in
+  Alcotest.(check int) "triple-value reads" 6 (List.length triples)
+
+let test_theorem6_triples_realized () =
+  let rng = Rng.create 29 in
+  for _ = 1 to 3 do
+    let a = Occ_gen.planted rng ~n:5 ~groups:2 ~readers:1 ~writers:3 () in
+    t6_roundtrip run_eager "eager-triples" a;
+    t6_roundtrip run_causal "causal-triples" a
+  done
+
+let test_theorem6_hb_within_vis () =
+  (* Propositions 8/9: the construction delivers messages only along
+     visibility edges, so happens-before between do events of the
+     constructed execution is contained in A's visibility *)
+  let rng = Rng.create 17 in
+  let a0 = Occ_gen.planted rng ~n:3 ~groups:3 () in
+  let a, _ = Revealing.make_revealing a0 in
+  let res = T6_eager.construct a in
+  let exec = res.T6_eager.execution in
+  let hb = Model.Hb.compute exec in
+  (* the i-th do event of the execution corresponds to H index i *)
+  let do_indices = List.map fst (Execution.do_events exec) in
+  let arr = Array.of_list do_indices in
+  Alcotest.(check int) "one do event per H entry" (A.length a) (Array.length arr);
+  for i = 0 to Array.length arr - 1 do
+    for j = 0 to Array.length arr - 1 do
+      if i <> j && Model.Hb.hb hb arr.(i) arr.(j) && not (A.vis a i j) then
+        Alcotest.failf "hb %d -> %d not in vis" i j
+    done
+  done
+
+let test_theorem6_compliance () =
+  (* the constructed execution complies with A in the Definition 9 sense *)
+  let rng = Rng.create 7 in
+  let a0 = Occ_gen.planted rng ~n:3 ~groups:2 () in
+  let a, _ = Revealing.make_revealing a0 in
+  let res = T6_eager.construct a in
+  Alcotest.(check (list (triple int check_response check_response))) "no mismatch" []
+    res.T6_eager.mismatches;
+  check_ok "complies" (Compliance.check res.T6_eager.execution a)
+
+let test_theorem6_gsp_escapes () =
+  (* the GSP store (not op-driven) also escapes: exposed concurrency of an
+     OCC execution cannot be realized by a store that totally orders
+     writes through a sequencer *)
+  let a =
+    A.create ~n:3
+      [| w_ 0 1 1; w_ 1 2 2; w_ 0 0 3; w_ 1 0 4; rd_ 2 0 [ 3; 4 ] |]
+      ~vis:[ (0, 4); (1, 4); (2, 4); (3, 4) ]
+  in
+  let a, _ = Revealing.make_revealing a in
+  let res = T6_gsp.construct a in
+  Alcotest.(check bool) "mismatch exists" true (res.T6_gsp.mismatches <> [])
+
+let test_theorem6_delayed_store_escapes () =
+  (* the Section 5.3 store (visible reads) does NOT realize OCC executions:
+     the construction produces mismatching responses — evidence that the
+     invisible-reads assumption is necessary *)
+  let a =
+    A.create ~n:2 [| w_ 0 0 1; rd_ 1 0 [ 1 ] |] ~vis:[ (0, 1) ]
+  in
+  let a, _ = Revealing.make_revealing a in
+  let res = T6_delayed.construct a in
+  Alcotest.(check bool) "mismatch exists" true (res.T6_delayed.mismatches <> [])
+
+(* ---------- Theorem 12 (Section 6, Figure 4) ---------- *)
+
+let test_theorem12_basic () =
+  let g = [| 2; 5; 1 |] in
+  let run = T12.encode_decode ~n:5 ~s:4 ~k:5 ~g in
+  Alcotest.(check int) "n'" 3 run.T12.n';
+  Alcotest.(check bool) "encoder reads as proven" true run.T12.encoder_reads_ok;
+  Alcotest.(check (array int)) "decoded" g run.T12.decoded;
+  Alcotest.(check bool) "ok" true run.T12.ok;
+  Alcotest.(check bool) "message at least the bound" true
+    (float_of_int run.T12.m_g_bits >= run.T12.lower_bound_bits)
+
+let test_theorem12_extremes () =
+  (* boundary values of g *)
+  let k = 7 in
+  List.iter
+    (fun g ->
+      let run = T12.encode_decode ~n:4 ~s:3 ~k ~g in
+      Alcotest.(check bool) "ok" true run.T12.ok)
+    [ [| 1; 1 |]; [| k; k |]; [| 1; k |]; [| k; 1 |] ]
+
+let test_theorem12_s_limits_nprime () =
+  (* when s < n-1, the object count is the binding constraint *)
+  let run = T12.run_random (Rng.create 8) ~n:10 ~s:3 ~k:4 in
+  Alcotest.(check int) "n' = s-1" 2 run.T12.n';
+  Alcotest.(check bool) "ok" true run.T12.ok
+
+let test_theorem12_random_sweep () =
+  let rng = Rng.create 9 in
+  List.iter
+    (fun (n, s, k) ->
+      let run = T12.run_random rng ~n ~s ~k in
+      if not run.T12.ok then
+        Alcotest.failf "decode failed for n=%d s=%d k=%d: g=%s decoded=%s" n s k
+          (String.concat "," (Array.to_list (Array.map string_of_int run.T12.g)))
+          (String.concat "," (Array.to_list (Array.map string_of_int run.T12.decoded))))
+    [ (3, 2, 4); (4, 4, 8); (5, 5, 16); (6, 4, 32); (8, 8, 8) ]
+
+let test_theorem12_message_grows_with_k () =
+  (* the measured size of m_g grows with k — the unbounded-message theorem
+     made visible. Use the maximal g (= k everywhere) so the dependency
+     vector entries cross varint byte boundaries deterministically. *)
+  let bits k =
+    (T12.encode_decode ~n:5 ~s:5 ~k ~g:[| k; k; k |]).T12.m_g_bits
+  in
+  let b16 = bits 16 and b2048 = bits 2048 in
+  Alcotest.(check bool) "grows" true (b16 < b2048)
+
+module T12_eager = Construction.Theorem12.Make (Store.Mvr_store)
+
+let test_theorem12_needs_causal_buffering () =
+  (* the decoding argument relies on the store buffering m_g until its
+     causal dependencies arrive; the eager store exposes y immediately, so
+     the decoder reads 1 after the first delivery and mis-decodes any
+     g(i) > 1 *)
+  let g = [| 3; 2 |] in
+  let run = T12_eager.encode_decode ~n:4 ~s:3 ~k:4 ~g in
+  Alcotest.(check bool) "eager store fails to decode" false run.T12_eager.ok;
+  Alcotest.(check (array int)) "decodes the first delivery instead" [| 1; 1 |]
+    run.T12_eager.decoded
+
+let test_theorem12_invalid_args () =
+  let fails f = match f () with exception Invalid_argument _ -> () | _ -> Alcotest.fail "expected Invalid_argument" in
+  fails (fun () -> T12.encode_decode ~n:2 ~s:2 ~k:2 ~g:[||]);
+  fails (fun () -> T12.encode_decode ~n:4 ~s:3 ~k:2 ~g:[| 3; 1 |]);
+  fails (fun () -> T12.encode_decode ~n:4 ~s:3 ~k:2 ~g:[| 1 |])
+
+let suite =
+  ( "construction",
+    [
+      tc "revealing transform" test_make_revealing;
+      tc "revealing preserves causality" test_revealing_preserves_causality;
+      tc "revealing read sees prior write" test_revealing_sees_prior_write;
+      tc "occ gen: sequential" test_gen_sequential_occ;
+      tc "occ gen: planted fig3c gadgets" test_gen_planted_occ;
+      tc "occ gen: generate certified" test_gen_generate;
+      tc "theorem6: fig3c realized" test_theorem6_fig3c;
+      tc "theorem6: sequential executions realized" test_theorem6_sequential;
+      tc "theorem6: planted OCC realized" test_theorem6_planted;
+      tc "occ gen: triple-writer gadgets" test_gen_planted_triples;
+      tc "theorem6: triple-value reads realized" test_theorem6_triples_realized;
+      tc "theorem6: compliance (Def 9)" test_theorem6_compliance;
+      tc "theorem6: hb within vis (Prop 8/9)" test_theorem6_hb_within_vis;
+      tc "theorem6: delayed store escapes (5.3)" test_theorem6_delayed_store_escapes;
+      tc "theorem6: gsp store escapes (not op-driven)" test_theorem6_gsp_escapes;
+      tc "theorem12: encode/decode basic" test_theorem12_basic;
+      tc "theorem12: boundary g" test_theorem12_extremes;
+      tc "theorem12: s limits n'" test_theorem12_s_limits_nprime;
+      tc "theorem12: random sweep" test_theorem12_random_sweep;
+      tc "theorem12: message grows with k" test_theorem12_message_grows_with_k;
+      tc "theorem12: needs causal buffering (eager fails)" test_theorem12_needs_causal_buffering;
+      tc "theorem12: invalid arguments" test_theorem12_invalid_args;
+    ] )

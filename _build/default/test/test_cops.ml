@@ -1,0 +1,112 @@
+(* The COPS-style explicit-dependency store. *)
+
+open Helpers
+open Haec
+module R = Sim.Runner.Make (Store.Cops_store)
+module Rc = Sim.Runner.Make (Store.Causal_mvr_store)
+module Op = Model.Op
+module Sc = Sim.Scenario
+module T12_cops = Construction.Theorem12.Make (Store.Cops_store)
+module T12_vc = Construction.Theorem12.Make (Store.Causal_mvr_store)
+module Message = Model.Message
+
+let test_cops_basic () =
+  let sim = R.create ~n:3 ~policy:(Sim.Net_policy.lossy ()) () in
+  ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  ignore (R.op sim ~replica:1 ~obj:0 (Op.Write (vi 2)));
+  R.run_until_quiescent sim;
+  let r0 = R.op sim ~replica:0 ~obj:0 Op.Read in
+  Alcotest.check check_response "siblings" (resp [ 1; 2 ]) r0;
+  for r = 1 to 2 do
+    Alcotest.check check_response "agree" r0 (R.op sim ~replica:r ~obj:0 Op.Read)
+  done
+
+let test_cops_buffers_deps () =
+  (* the photo/ACL shape: an effect never shows before its cause *)
+  let steps =
+    Sc.
+      [
+        op 0 ~obj:0 (write 7);
+        send 0 "m_acl";
+        op 0 ~obj:1 (write 9);
+        send 0 "m_photo";
+        deliver "m_photo" ~to_:1;
+        op 1 ~obj:1 read;
+        op 1 ~obj:0 read;
+        deliver "m_acl" ~to_:1;
+        op 1 ~obj:1 read;
+      ]
+  in
+  let r = Sc.run (module Store.Cops_store) ~n:2 steps in
+  Alcotest.check check_response "photo buffered" (resp []) (Sc.response_at r 5);
+  Alcotest.check check_response "acl missing too" (resp []) (Sc.response_at r 6);
+  Alcotest.check check_response "photo after cause" (resp [ 9 ]) (Sc.response_at r 8);
+  (* and the audit agrees *)
+  match Consistency.Causal_hist.check r.Sc.execution with
+  | Consistency.Causal_hist.Consistent -> ()
+  | v -> Alcotest.failf "audit: %a" Consistency.Causal_hist.pp_verdict v
+
+let test_cops_causal_random () =
+  for seed = 1 to 8 do
+    let rng = Rng.create seed in
+    let sim = R.create ~seed ~n:4 ~policy:(Sim.Net_policy.lossy ()) () in
+    let steps = Sim.Workload.generate ~rng ~n:4 ~objects:3 ~ops:60 Sim.Workload.register_mix in
+    Sim.Workload.run
+      (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+      ~advance:(R.advance_to sim) steps;
+    R.run_until_quiescent sim;
+    let witness = R.witness_abstract sim in
+    check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec witness);
+    check_ok "causal (closed witness)"
+      (Specf.check_correct ~spec_of:mvr_spec (Abstract.transitive_closure witness))
+  done
+
+let test_cops_theorem12 () =
+  let g = [| 3; 8; 1 |] in
+  let run = T12_cops.encode_decode ~n:5 ~s:4 ~k:8 ~g in
+  Alcotest.(check (array int)) "decoded" g run.T12_cops.decoded;
+  Alcotest.(check bool) "ok" true run.T12_cops.ok
+
+let test_cops_delivery_metadata_halved () =
+  (* Both stores' messages grow linearly in n, because the MVR *payload*
+     carries a per-object version vector either way. The delivery layer's
+     contribution differs: the vector-clock store adds a second n-entry
+     vector per update, the cops store a short dependency list — so the
+     growth slope roughly halves. *)
+  let writer_msg_bits (type s) (module S : Store.Store_intf.S with type state = s) ~n =
+    let st = S.init ~n ~me:0 in
+    let st, _, _ = S.do_op st ~obj:0 (Op.Write (vi 1)) in
+    let _, payload = S.send st in
+    8 * String.length payload
+  in
+  let cops4 = writer_msg_bits (module Store.Cops_store) ~n:4 in
+  let cops32 = writer_msg_bits (module Store.Cops_store) ~n:32 in
+  let vc4 = writer_msg_bits (module Store.Causal_mvr_store) ~n:4 in
+  let vc32 = writer_msg_bits (module Store.Causal_mvr_store) ~n:32 in
+  Alcotest.(check bool) "both grow with n" true (cops32 > cops4 && vc32 > vc4);
+  Alcotest.(check bool) "cops slope smaller" true (cops32 - cops4 < vc32 - vc4)
+
+let test_cops_mg_matches_bound_shape () =
+  (* the Theorem 12 message of the cops store names one dependency per
+     writer: the bound in its purest form. Both stores decode and both
+     exceed the information-theoretic minimum. *)
+  let g k n' = Array.make n' k in
+  let run_cops = T12_cops.encode_decode ~n:6 ~s:5 ~k:1024 ~g:(g 1024 4) in
+  let run_vc = T12_vc.encode_decode ~n:6 ~s:5 ~k:1024 ~g:(g 1024 4) in
+  Alcotest.(check bool) "both decode" true (run_cops.T12_cops.ok && run_vc.T12_vc.ok);
+  Alcotest.(check bool) "cops above the bound" true
+    (float_of_int run_cops.T12_cops.m_g_bits >= run_cops.T12_cops.lower_bound_bits);
+  Alcotest.(check bool) "comparable sizes" true
+    (abs (run_cops.T12_cops.m_g_bits - run_vc.T12_vc.m_g_bits)
+    < max run_cops.T12_cops.m_g_bits run_vc.T12_vc.m_g_bits)
+
+let suite =
+  ( "cops",
+    [
+      tc "basic convergence" test_cops_basic;
+      tc "dependency buffering" test_cops_buffers_deps;
+      tc "causally consistent on random runs" test_cops_causal_random;
+      tc "theorem 12 decodes" test_cops_theorem12;
+      tc "delivery metadata growth halved" test_cops_delivery_metadata_halved;
+      tc "m_g above the bound" test_cops_mg_matches_bound_shape;
+    ] )

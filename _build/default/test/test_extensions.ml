@@ -1,0 +1,198 @@
+(* Tests for the extension stores built from the generic object/delivery
+   layers: the causally consistent LWW register store (and the register
+   variant of Theorem 12, the paper's closing remark of Section 6) and the
+   PN-counter stores. *)
+
+open Helpers
+open Haec
+module Op = Model.Op
+module Rreg = Sim.Runner.Make (Store.Causal_reg_store)
+module Rcnt_e = Sim.Runner.Make (Store.Counter_store.Eager)
+module Rcnt_c = Sim.Runner.Make (Store.Counter_store.Causal)
+module T12_reg = Construction.Theorem12.Make (Store.Causal_reg_store)
+module T12_mvr = Construction.Theorem12.Make (Store.Causal_mvr_store)
+
+(* ---------- causal register store ---------- *)
+
+let test_reg_basic () =
+  let sim = Rreg.create ~n:2 ~policy:(Sim.Net_policy.reliable_fifo ()) () in
+  ignore (Rreg.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  Rreg.run_until_quiescent sim;
+  Alcotest.check check_response "replicated" (resp [ 1 ])
+    (Rreg.op sim ~replica:1 ~obj:0 Op.Read)
+
+let test_reg_single_value () =
+  (* concurrent writes: a register exposes only one *)
+  let sim = Rreg.create ~n:3 ~policy:(Sim.Net_policy.random_delay ()) () in
+  ignore (Rreg.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  ignore (Rreg.op sim ~replica:1 ~obj:0 (Op.Write (vi 2)));
+  Rreg.run_until_quiescent sim;
+  let r0 = Rreg.op sim ~replica:0 ~obj:0 Op.Read in
+  (match r0 with
+  | Op.Vals [ _ ] -> ()
+  | other -> Alcotest.failf "expected singleton, got %a" Op.pp_response other);
+  for r = 1 to 2 do
+    Alcotest.check check_response "converged" r0 (Rreg.op sim ~replica:r ~obj:0 Op.Read)
+  done
+
+let test_reg_causal_buffering () =
+  let sim = Rreg.create ~n:3 ~auto_send:false () in
+  ignore (Rreg.op sim ~replica:0 ~obj:1 (Op.Write (vi 100)));
+  let m_y = Option.get (Rreg.flush sim ~replica:0) in
+  ignore (Rreg.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  let m_x = Option.get (Rreg.flush sim ~replica:0) in
+  Rreg.deliver_msg sim ~dst:2 m_x;
+  Alcotest.check check_response "buffered until cause" (resp [])
+    (Rreg.op sim ~replica:2 ~obj:0 Op.Read);
+  Rreg.deliver_msg sim ~dst:2 m_y;
+  Alcotest.check check_response "applied" (resp [ 1 ])
+    (Rreg.op sim ~replica:2 ~obj:0 Op.Read)
+
+(* ---------- Theorem 12 on registers (Section 6, closing remark) ---------- *)
+
+let test_theorem12_registers () =
+  let g = [| 3; 8; 1 |] in
+  let run = T12_reg.encode_decode ~n:5 ~s:4 ~k:8 ~g in
+  Alcotest.(check bool) "encoder reads ok" true run.T12_reg.encoder_reads_ok;
+  Alcotest.(check (array int)) "decoded" g run.T12_reg.decoded;
+  Alcotest.(check bool) "ok" true run.T12_reg.ok
+
+let test_theorem12_registers_sweep () =
+  let rng = Rng.create 21 in
+  List.iter
+    (fun (n, s, k) ->
+      let run = T12_reg.run_random rng ~n ~s ~k in
+      if not run.T12_reg.ok then Alcotest.failf "register decode failed n=%d s=%d k=%d" n s k)
+    [ (3, 2, 4); (5, 4, 16); (6, 6, 32) ]
+
+let test_theorem12_register_messages_leaner () =
+  (* registers don't carry per-object version vectors, so their messages
+     are smaller than the MVR store's at the same configuration — but the
+     lower bound still forces lg k growth *)
+  let g k = [| k; k; k |] in
+  let reg k = (T12_reg.encode_decode ~n:5 ~s:4 ~k ~g:(g k)).T12_reg.m_g_bits in
+  let mvr k = (T12_mvr.encode_decode ~n:5 ~s:4 ~k ~g:(g k)).T12_mvr.m_g_bits in
+  Alcotest.(check bool) "register messages leaner" true (reg 64 < mvr 64);
+  Alcotest.(check bool) "but still grow with k" true (reg 16 < reg 4096)
+
+(* ---------- counter stores ---------- *)
+
+let test_counter_local () =
+  let sim = Rcnt_e.create ~n:2 () in
+  ignore (Rcnt_e.op sim ~replica:0 ~obj:0 (Op.Add (vi 1)));
+  ignore (Rcnt_e.op sim ~replica:0 ~obj:0 (Op.Add (vi 1)));
+  ignore (Rcnt_e.op sim ~replica:0 ~obj:0 (Op.Remove (vi 1)));
+  Alcotest.check check_response "count" (resp [ 1 ]) (Rcnt_e.op sim ~replica:0 ~obj:0 Op.Read)
+
+let test_counter_converges () =
+  let sim = Rcnt_e.create ~n:3 ~policy:(Sim.Net_policy.lossy ()) () in
+  for i = 1 to 9 do
+    ignore (Rcnt_e.op sim ~replica:(i mod 3) ~obj:0 (Op.Add (vi 1)))
+  done;
+  ignore (Rcnt_e.op sim ~replica:0 ~obj:0 (Op.Remove (vi 1)));
+  Rcnt_e.run_until_quiescent sim;
+  for r = 0 to 2 do
+    Alcotest.check check_response "total 8" (resp [ 8 ]) (Rcnt_e.op sim ~replica:r ~obj:0 Op.Read)
+  done
+
+let test_counter_witness_correct () =
+  let rng = Rng.create 31 in
+  let sim = Rcnt_c.create ~seed:31 ~n:3 ~policy:(Sim.Net_policy.random_delay ()) () in
+  let steps = Sim.Workload.generate ~rng ~n:3 ~objects:2 ~ops:40 Sim.Workload.orset_mix in
+  Sim.Workload.run
+    (fun ~replica ~obj op -> Rcnt_c.op sim ~replica ~obj op)
+    ~advance:(Rcnt_c.advance_to sim) steps;
+  Rcnt_c.run_until_quiescent sim;
+  let witness = Rcnt_c.witness_abstract sim in
+  check_ok "counter spec holds"
+    (Specf.check_correct ~spec_of:(fun _ -> Specf.counter) witness);
+  check_ok "complies" (Compliance.check (Rcnt_c.execution sim) witness);
+  (* causal variant: closed witness stays correct *)
+  check_ok "causal"
+    (Specf.check_correct
+       ~spec_of:(fun _ -> Specf.counter)
+       (Abstract.transitive_closure witness))
+
+let test_counter_rejects_write () =
+  let st = Store.Counter_store.Eager.init ~n:2 ~me:0 in
+  match Store.Counter_store.Eager.do_op st ~obj:0 (Op.Write (vi 1)) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected rejection"
+
+(* eager counter under adversarial reordering still converges (commutative) *)
+let test_counter_order_free () =
+  let module S = Store.Counter_store.Eager in
+  let a = S.init ~n:2 ~me:0 and b = S.init ~n:2 ~me:1 in
+  let step st op =
+    let st, _, _ = S.do_op st ~obj:0 op in
+    st
+  in
+  let a = step (step (step a (Op.Add (vi 1))) (Op.Add (vi 1))) (Op.Remove (vi 1)) in
+  let b = step b (Op.Add (vi 1)) in
+  let a, ma = S.send a in
+  let b, mb = S.send b in
+  let a = S.receive a ~sender:1 mb in
+  let b = S.receive b ~sender:0 ma in
+  let b = S.receive b ~sender:0 ma in
+  (* duplicate *)
+  let read st =
+    let _, r, _ = S.do_op st ~obj:0 Op.Read in
+    r
+  in
+  Alcotest.check check_response "a" (resp [ 2 ]) (read a);
+  Alcotest.check check_response "b" (resp [ 2 ]) (read b)
+
+(* ---------- causal ORset ---------- *)
+
+module Ro_c = Sim.Runner.Make (Store.Causal_orset_store)
+
+let test_causal_orset_basic () =
+  let sim = Ro_c.create ~n:2 ~policy:(Sim.Net_policy.lossy ()) () in
+  ignore (Ro_c.op sim ~replica:0 ~obj:0 (Op.Add (vi 5)));
+  ignore (Ro_c.op sim ~replica:1 ~obj:0 (Op.Add (vi 6)));
+  Ro_c.run_until_quiescent sim;
+  ignore (Ro_c.op sim ~replica:0 ~obj:0 (Op.Remove (vi 5)));
+  Ro_c.run_until_quiescent sim;
+  for r = 0 to 1 do
+    Alcotest.check check_response "converged" (resp [ 6 ])
+      (Ro_c.op sim ~replica:r ~obj:0 Op.Read)
+  done;
+  let witness = Ro_c.witness_abstract sim in
+  check_ok "orset spec" (Specf.check_correct ~spec_of:orset_spec witness);
+  check_ok "causal"
+    (Specf.check_correct ~spec_of:orset_spec (Abstract.transitive_closure witness))
+
+let test_causal_orset_cross_object_buffering () =
+  (* an add to one object causally after an add to another: the causal
+     variant never shows the effect before the cause *)
+  let sim = Ro_c.create ~n:2 ~auto_send:false () in
+  ignore (Ro_c.op sim ~replica:0 ~obj:0 (Op.Add (vi 1)));
+  let m_a = Option.get (Ro_c.flush sim ~replica:0) in
+  ignore (Ro_c.op sim ~replica:0 ~obj:1 (Op.Add (vi 2)));
+  let m_b = Option.get (Ro_c.flush sim ~replica:0) in
+  Ro_c.deliver_msg sim ~dst:1 m_b;
+  Alcotest.check check_response "effect buffered" (resp [])
+    (Ro_c.op sim ~replica:1 ~obj:1 Op.Read);
+  Ro_c.deliver_msg sim ~dst:1 m_a;
+  Alcotest.check check_response "cause applied" (resp [ 1 ])
+    (Ro_c.op sim ~replica:1 ~obj:0 Op.Read);
+  Alcotest.check check_response "effect applied" (resp [ 2 ])
+    (Ro_c.op sim ~replica:1 ~obj:1 Op.Read)
+
+let suite =
+  ( "extensions",
+    [
+      tc "causal orset: converges, spec, causal" test_causal_orset_basic;
+      tc "causal orset: cross-object buffering" test_causal_orset_cross_object_buffering;
+      tc "causal register: basic replication" test_reg_basic;
+      tc "causal register: single value, converges" test_reg_single_value;
+      tc "causal register: buffers until deps" test_reg_causal_buffering;
+      tc "theorem12 on registers (paper section 6 remark)" test_theorem12_registers;
+      tc "theorem12 on registers: sweep" test_theorem12_registers_sweep;
+      tc "theorem12: register messages leaner but growing" test_theorem12_register_messages_leaner;
+      tc "counter: local ops" test_counter_local;
+      tc "counter: converges under loss" test_counter_converges;
+      tc "counter: witness correct + causal" test_counter_witness_correct;
+      tc "counter: rejects write" test_counter_rejects_write;
+      tc "counter: order free merge" test_counter_order_free;
+    ] )

@@ -1,0 +1,137 @@
+(* The GSP-style total-order store: stronger consistency, weaker liveness
+   (the Section 5.3 comparison with the CAC theorem / GSP). *)
+
+open Helpers
+open Haec
+module Op = Model.Op
+module R = Sim.Runner.Make (Store.Gsp_store)
+
+let test_gsp_basic () =
+  let sim = R.create ~n:3 ~policy:(Sim.Net_policy.reliable_fifo ()) () in
+  ignore (R.op sim ~replica:1 ~obj:0 (Op.Write (vi 1)));
+  (* read-your-writes before confirmation *)
+  Alcotest.check check_response "ryw" (resp [ 1 ]) (R.op sim ~replica:1 ~obj:0 Op.Read);
+  Alcotest.check check_response "others blind" (resp [])
+    (R.op sim ~replica:2 ~obj:0 Op.Read);
+  R.run_until_quiescent sim;
+  for r = 0 to 2 do
+    Alcotest.check check_response "confirmed everywhere" (resp [ 1 ])
+      (R.op sim ~replica:r ~obj:0 Op.Read)
+  done
+
+let test_gsp_total_order () =
+  (* concurrent writes: everyone converges on ONE value, and reads are
+     always singletons — concurrency is never exposed *)
+  let sim = R.create ~n:4 ~policy:(Sim.Net_policy.random_delay ()) () in
+  for r = 0 to 3 do
+    ignore (R.op sim ~replica:r ~obj:0 (Op.Write (vi (100 + r))))
+  done;
+  R.run_until_quiescent sim;
+  let r0 = R.op sim ~replica:0 ~obj:0 Op.Read in
+  (match r0 with
+  | Op.Vals [ _ ] -> ()
+  | other -> Alcotest.failf "expected singleton, got %a" Op.pp_response other);
+  for r = 1 to 3 do
+    Alcotest.check check_response "agree" r0 (R.op sim ~replica:r ~obj:0 Op.Read)
+  done
+
+let test_gsp_not_op_driven () =
+  Alcotest.(check bool) "flag" false Store.Gsp_store.op_driven;
+  (* the sequencer acquires a pending message from a bare receive *)
+  let w = Store.Gsp_store.init ~n:3 ~me:1 in
+  let w, _, _ = Store.Gsp_store.do_op w ~obj:0 (Op.Write (vi 1)) in
+  let _, payload = Store.Gsp_store.send w in
+  let s = Store.Gsp_store.init ~n:3 ~me:0 in
+  Alcotest.(check bool) "quiet before" false (Store.Gsp_store.has_pending s);
+  let s = Store.Gsp_store.receive s ~sender:1 payload in
+  Alcotest.(check bool) "pending after receive" true (Store.Gsp_store.has_pending s)
+
+let test_gsp_liveness_depends_on_sequencer () =
+  (* partition the sequencer away: the other replicas keep exchanging
+     messages, yet never see each other's writes — eventual consistency
+     fails on this suffix, the price GSP pays for its total order *)
+  let policy =
+    Sim.Net_policy.partitioned
+      ~groups:(fun r -> if r = 0 then 0 else 1)
+      ~heal_at:1000.0
+      ~base:(Sim.Net_policy.reliable_fifo ~delay:0.5 ())
+      ()
+  in
+  let sim = R.create ~n:3 ~policy () in
+  ignore (R.op sim ~replica:1 ~obj:0 (Op.Write (vi 1)));
+  ignore (R.op sim ~replica:2 ~obj:0 (Op.Write (vi 2)));
+  R.advance_to sim 100.0;
+  (* both replicas still see only their own writes *)
+  Alcotest.check check_response "r1 own only" (resp [ 1 ]) (R.op sim ~replica:1 ~obj:0 Op.Read);
+  Alcotest.check check_response "r2 own only" (resp [ 2 ]) (R.op sim ~replica:2 ~obj:0 Op.Read);
+  (* the causal store in the same situation converges between 1 and 2 *)
+  let module C = Sim.Runner.Make (Store.Causal_mvr_store) in
+  let simc = C.create ~n:3 ~policy () in
+  ignore (C.op simc ~replica:1 ~obj:0 (Op.Write (vi 1)));
+  ignore (C.op simc ~replica:2 ~obj:0 (Op.Write (vi 2)));
+  C.advance_to simc 100.0;
+  Alcotest.check check_response "causal store merges across the minority side"
+    (resp [ 1; 2 ])
+    (C.op simc ~replica:1 ~obj:0 Op.Read);
+  (* after the heal, GSP converges too *)
+  R.run_until_quiescent sim;
+  let r1 = R.op sim ~replica:1 ~obj:0 Op.Read in
+  Alcotest.check check_response "gsp converges after heal" r1
+    (R.op sim ~replica:2 ~obj:0 Op.Read)
+
+let test_gsp_out_of_order_orders () =
+  (* ordering messages arriving out of order are buffered until contiguous *)
+  let s = Store.Gsp_store.init ~n:2 ~me:0 in
+  let s, _, _ = Store.Gsp_store.do_op s ~obj:0 (Op.Write (vi 1)) in
+  let s, m1 = Store.Gsp_store.send s in
+  let s, _, _ = Store.Gsp_store.do_op s ~obj:0 (Op.Write (vi 2)) in
+  let _, m2 = Store.Gsp_store.send s in
+  let c = Store.Gsp_store.init ~n:2 ~me:1 in
+  let c = Store.Gsp_store.receive c ~sender:0 m2 in
+  let read st =
+    let _, r, _ = Store.Gsp_store.do_op st ~obj:0 Op.Read in
+    r
+  in
+  Alcotest.check check_response "gap: nothing applied" (resp []) (read c);
+  let c = Store.Gsp_store.receive c ~sender:0 m1 in
+  Alcotest.check check_response "contiguous: applied" (resp [ 2 ]) (read c);
+  (* duplicates are ignored *)
+  let c = Store.Gsp_store.receive c ~sender:0 m1 in
+  Alcotest.check check_response "idempotent" (resp [ 2 ]) (read c)
+
+let test_gsp_never_multivalue () =
+  (* random runs: every read returns at most one value *)
+  let rng = Rng.create 77 in
+  let sim = R.create ~seed:77 ~n:4 ~policy:(Sim.Net_policy.lossy ()) () in
+  let steps = Sim.Workload.generate ~rng ~n:4 ~objects:3 ~ops:80 Sim.Workload.register_mix in
+  Sim.Workload.run
+    (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  let singletons =
+    List.for_all
+      (fun (_, d) ->
+        match d.Model.Event.rval with
+        | Op.Vals vs -> List.length vs <= 1
+        | Op.Ok -> true)
+      (Model.Execution.do_events (R.execution sim))
+  in
+  Alcotest.(check bool) "no multi-value reads ever" true singletons;
+  (* and reads agree at quiescence *)
+  for obj = 0 to 2 do
+    let r0 = R.op sim ~replica:0 ~obj Op.Read in
+    for r = 1 to 3 do
+      Alcotest.check check_response "agree" r0 (R.op sim ~replica:r ~obj Op.Read)
+    done
+  done
+
+let suite =
+  ( "gsp",
+    [
+      tc "basic replication + read-your-writes" test_gsp_basic;
+      tc "total order: never exposes concurrency" test_gsp_total_order;
+      tc "not op-driven (Def 15 violated)" test_gsp_not_op_driven;
+      tc "liveness hinges on the sequencer" test_gsp_liveness_depends_on_sequencer;
+      tc "out-of-order ordering messages buffered" test_gsp_out_of_order_orders;
+      tc "random runs: singleton reads, convergence" test_gsp_never_multivalue;
+    ] )

@@ -1,0 +1,159 @@
+open Helpers
+
+let msg sender seq payload = { Message.sender; seq; payload }
+
+(* A small hand-built execution:
+   R0: w(x,=1)  send m0
+   R1:                  recv m0   r(x)={1}   w(y,2)  send m1
+   R0:                                                        recv m1 *)
+let sample_exec () =
+  let m0 = msg 0 0 "payload0" and m1 = msg 1 0 "p1" in
+  Execution.of_list ~n:2
+    [
+      Event.Do (w_ 0 0 1);
+      Event.Send { replica = 0; msg = m0 };
+      Event.Receive { replica = 1; msg = m0 };
+      Event.Do (rd_ 1 0 [ 1 ]);
+      Event.Do (w_ 1 1 2);
+      Event.Send { replica = 1; msg = m1 };
+      Event.Receive { replica = 0; msg = m1 };
+    ]
+
+let test_well_formed () =
+  check_ok "sample" (Execution.check_well_formed (sample_exec ()))
+
+let test_receive_before_send () =
+  let m = msg 0 0 "x" in
+  let e =
+    Execution.of_list ~n:2 [ Event.Receive { replica = 1; msg = m }; Event.Send { replica = 0; msg = m } ]
+  in
+  Alcotest.(check bool) "rejected" false (Execution.is_well_formed e)
+
+let test_self_receive () =
+  let m = msg 0 0 "x" in
+  let e =
+    Execution.of_list ~n:2 [ Event.Send { replica = 0; msg = m }; Event.Receive { replica = 0; msg = m } ]
+  in
+  Alcotest.(check bool) "self receive rejected" false (Execution.is_well_formed e)
+
+let test_duplicate_send () =
+  let m = msg 0 0 "x" in
+  let e =
+    Execution.of_list ~n:2 [ Event.Send { replica = 0; msg = m }; Event.Send { replica = 0; msg = m } ]
+  in
+  Alcotest.(check bool) "duplicate send rejected" false (Execution.is_well_formed e)
+
+let test_duplicate_delivery_ok () =
+  let m = msg 0 0 "x" in
+  let e =
+    Execution.of_list ~n:3
+      [
+        Event.Send { replica = 0; msg = m };
+        Event.Receive { replica = 1; msg = m };
+        Event.Receive { replica = 1; msg = m };
+        Event.Receive { replica = 2; msg = m };
+      ]
+  in
+  Alcotest.(check bool) "duplicated delivery allowed" true (Execution.is_well_formed e)
+
+let test_misstamped_send () =
+  let m = msg 1 0 "x" in
+  let e = Execution.of_list ~n:2 [ Event.Send { replica = 0; msg = m } ] in
+  Alcotest.(check bool) "sender stamp must match replica" false (Execution.is_well_formed e)
+
+let test_projections () =
+  let e = sample_exec () in
+  Alcotest.(check int) "events at R0" 3 (List.length (Execution.at_replica e 0));
+  Alcotest.(check int) "events at R1" 4 (List.length (Execution.at_replica e 1));
+  Alcotest.(check int) "do events" 3 (List.length (Execution.do_events e));
+  let dos1 = Execution.do_projection e 1 in
+  Alcotest.(check int) "do at R1" 2 (List.length dos1);
+  (match dos1 with
+  | [ a; b ] ->
+    Alcotest.check check_response "read rval" (resp [ 1 ]) a.Event.rval;
+    Alcotest.(check int) "write obj" 1 b.Event.obj
+  | _ -> Alcotest.fail "projection shape")
+
+let test_message_sizes () =
+  let e = sample_exec () in
+  Alcotest.(check int) "total bits" ((8 + 2) * 8) (Execution.total_message_bits e);
+  Alcotest.(check int) "max bits" (8 * 8) (Execution.max_message_bits e)
+
+(* ---------- happens-before ---------- *)
+
+let test_hb_basics () =
+  let e = sample_exec () in
+  let hb = Hb.compute e in
+  (* thread of execution *)
+  Alcotest.(check bool) "program order" true (Hb.hb hb 0 1);
+  (* message rule *)
+  Alcotest.(check bool) "send hb receive" true (Hb.hb hb 1 2);
+  (* transitivity across the message *)
+  Alcotest.(check bool) "w(x) hb r(x)" true (Hb.hb hb 0 3);
+  Alcotest.(check bool) "w(x) hb w(y)" true (Hb.hb hb 0 4);
+  Alcotest.(check bool) "w(x) hb final recv" true (Hb.hb hb 0 6);
+  (* no reverse *)
+  Alcotest.(check bool) "no back edge" false (Hb.hb hb 3 0);
+  Alcotest.(check bool) "irreflexive" false (Hb.hb hb 2 2)
+
+let test_hb_concurrency () =
+  let m0 = msg 0 0 "a" and m1 = msg 1 0 "b" in
+  (* two replicas write concurrently, then exchange *)
+  let e =
+    Execution.of_list ~n:2
+      [
+        Event.Do (w_ 0 0 1);
+        Event.Do (w_ 1 0 2);
+        Event.Send { replica = 0; msg = m0 };
+        Event.Send { replica = 1; msg = m1 };
+        Event.Receive { replica = 1; msg = m0 };
+        Event.Receive { replica = 0; msg = m1 };
+      ]
+  in
+  let hb = Hb.compute e in
+  Alcotest.(check bool) "writes concurrent" true (Hb.concurrent hb 0 1);
+  Alcotest.(check bool) "w0 hb recv at R1" true (Hb.hb hb 0 4);
+  Alcotest.(check bool) "w1 hb recv at R0" true (Hb.hb hb 1 5)
+
+let test_hb_past_future () =
+  let e = sample_exec () in
+  let hb = Hb.compute e in
+  Alcotest.(check (list int)) "past of r(x)" [ 0; 1; 2 ] (Hb.past hb 3);
+  Alcotest.(check (list int)) "future of w(x)" [ 1; 2; 3; 4; 5; 6 ] (Hb.future hb 0);
+  (* Proposition 1: the past closure is itself well-formed *)
+  let past_exec = Execution.subsequence e ~keep:(Hb.past_closure_keep hb 4) in
+  Alcotest.(check bool) "past closure well-formed" true (Execution.is_well_formed past_exec)
+
+let test_hb_label () =
+  let e = sample_exec () in
+  let hb = Hb.compute e in
+  let l = Hb.label hb 3 in
+  Alcotest.(check (array int)) "label of r(x)" [| 1; 3 |] l
+
+let test_hb_rejects_malformed () =
+  let m = msg 0 0 "x" in
+  let e = Execution.of_list ~n:2 [ Event.Receive { replica = 1; msg = m } ] in
+  match Hb.compute e with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* Proposition 1 as a property over simulated random runs lives in
+   test_sim.ml; here a structural property on random DAG-ish executions. *)
+
+let suite =
+  ( "model",
+    [
+      tc "well-formed sample" test_well_formed;
+      tc "receive before send rejected" test_receive_before_send;
+      tc "self receive rejected" test_self_receive;
+      tc "duplicate send rejected" test_duplicate_send;
+      tc "duplicate delivery allowed" test_duplicate_delivery_ok;
+      tc "misstamped send rejected" test_misstamped_send;
+      tc "projections" test_projections;
+      tc "message sizes" test_message_sizes;
+      tc "hb basics" test_hb_basics;
+      tc "hb concurrency" test_hb_concurrency;
+      tc "hb past/future closures" test_hb_past_future;
+      tc "hb labels" test_hb_label;
+      tc "hb rejects malformed" test_hb_rejects_malformed;
+    ] )

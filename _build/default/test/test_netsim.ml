@@ -1,0 +1,139 @@
+(* Network policies and workload generation. *)
+
+open Helpers
+open Haec
+module Net_policy = Sim.Net_policy
+module Workload = Sim.Workload
+module Op = Model.Op
+
+let rng () = Rng.create 9
+
+(* ---------- policies ---------- *)
+
+let test_reliable_fifo_constant () =
+  let p = Net_policy.reliable_fifo ~delay:2.5 () in
+  let r = rng () in
+  Alcotest.(check bool) "fifo" true p.Net_policy.fifo;
+  for _ = 1 to 20 do
+    let d = p.Net_policy.delay r ~now:0.0 ~src:0 ~dst:1 in
+    Alcotest.(check (float 1e-9)) "constant" 2.5 d
+  done;
+  Alcotest.(check bool) "no dup" true (p.Net_policy.duplicate r ~now:0.0 = None)
+
+let test_random_delay_bounds () =
+  let p = Net_policy.random_delay ~min_delay:1.0 ~max_delay:3.0 () in
+  let r = rng () in
+  for _ = 1 to 200 do
+    let d = p.Net_policy.delay r ~now:0.0 ~src:0 ~dst:1 in
+    if d < 1.0 || d >= 3.0 then Alcotest.failf "delay out of bounds: %f" d
+  done
+
+let test_lossy_statistics () =
+  let p = Net_policy.lossy ~min_delay:1.0 ~max_delay:1.1 ~drop_p:0.5 ~retry_after:10.0 ~dup_p:0.5 () in
+  let r = rng () in
+  let retried = ref 0 and dups = ref 0 in
+  for _ = 1 to 400 do
+    let d = p.Net_policy.delay r ~now:0.0 ~src:0 ~dst:1 in
+    if d >= 10.0 then incr retried;
+    if p.Net_policy.duplicate r ~now:0.0 <> None then incr dups
+  done;
+  (* drop_p = 0.5: roughly half the sends need at least one retry *)
+  Alcotest.(check bool) "retries happen" true (!retried > 100 && !retried < 300);
+  Alcotest.(check bool) "dups happen" true (!dups > 100 && !dups < 300)
+
+let test_partition_delays_cross_traffic () =
+  let p =
+    Net_policy.partitioned
+      ~groups:(fun x -> x mod 2)
+      ~heal_at:100.0 ~start_at:10.0
+      ~base:(Net_policy.reliable_fifo ~delay:1.0 ())
+      ()
+  in
+  let r = rng () in
+  (* before the partition starts: normal *)
+  Alcotest.(check (float 1e-9)) "before start" 1.0 (p.Net_policy.delay r ~now:5.0 ~src:0 ~dst:1);
+  (* during: delayed past the heal *)
+  let d = p.Net_policy.delay r ~now:50.0 ~src:0 ~dst:1 in
+  Alcotest.(check bool) "cross delayed past heal" true (50.0 +. d > 100.0);
+  (* intra-group unaffected *)
+  Alcotest.(check (float 1e-9)) "intra normal" 1.0 (p.Net_policy.delay r ~now:50.0 ~src:0 ~dst:2);
+  (* after the heal: normal *)
+  Alcotest.(check (float 1e-9)) "after heal" 1.0 (p.Net_policy.delay r ~now:200.0 ~src:0 ~dst:1)
+
+let test_fifo_links_preserve_order () =
+  (* with a FIFO policy, per-link deliveries never reorder even when the
+     base delay would *)
+  let module R = Sim.Runner.Make (Store.Causal_mvr_store) in
+  let sim = R.create ~n:2 ~policy:(Net_policy.reliable_fifo ~delay:1.0 ()) () in
+  for i = 1 to 20 do
+    ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (vi i)))
+  done;
+  R.run_until_quiescent sim;
+  (* the causal store would buffer on reorder, but with FIFO every update
+     applies immediately; final value is the last write *)
+  Alcotest.check check_response "in order" (resp [ 20 ]) (R.op sim ~replica:1 ~obj:0 Op.Read)
+
+(* ---------- workload ---------- *)
+
+let test_workload_shape () =
+  let r = rng () in
+  let steps = Workload.generate ~rng:r ~n:4 ~objects:3 ~ops:100 Workload.register_mix in
+  Alcotest.(check int) "count" 100 (List.length steps);
+  List.iter
+    (fun s ->
+      if s.Workload.replica < 0 || s.Workload.replica >= 4 then Alcotest.fail "replica range";
+      if s.Workload.obj < 0 || s.Workload.obj >= 3 then Alcotest.fail "object range";
+      match s.Workload.op with
+      | Op.Read | Op.Write _ -> ()
+      | Op.Add _ | Op.Remove _ -> Alcotest.fail "register mix has no set ops")
+    steps;
+  (* times strictly increasing *)
+  let rec inc = function
+    | a :: (b :: _ as rest) ->
+      if a.Workload.at >= b.Workload.at then Alcotest.fail "times not increasing";
+      inc rest
+    | _ -> ()
+  in
+  inc steps
+
+let test_workload_unique_write_values () =
+  let r = rng () in
+  let steps = Workload.generate ~rng:r ~n:3 ~objects:2 ~ops:200 Workload.register_mix in
+  let values =
+    List.filter_map
+      (fun s -> match s.Workload.op with Op.Write v -> Some v | _ -> None)
+      steps
+  in
+  Alcotest.(check int) "all write values distinct"
+    (List.length values)
+    (List.length (List.sort_uniq Model.Value.compare values))
+
+let test_workload_deterministic () =
+  let gen seed =
+    Workload.generate ~rng:(Rng.create seed) ~n:3 ~objects:2 ~ops:50 Workload.orset_mix
+  in
+  Alcotest.(check bool) "same seed same workload" true (gen 5 = gen 5);
+  Alcotest.(check bool) "different seed different workload" false (gen 5 = gen 6)
+
+let test_workload_empty_mix_rejected () =
+  let r = rng () in
+  match
+    Workload.generate ~rng:r ~n:2 ~objects:2 ~ops:5
+      { Workload.read_w = 0; write_w = 0; add_w = 0; remove_w = 0 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty mix must be rejected"
+
+let suite =
+  ( "netsim",
+    [
+      tc "reliable fifo constant delay" test_reliable_fifo_constant;
+      tc "random delay bounds" test_random_delay_bounds;
+      tc "lossy retry/dup statistics" test_lossy_statistics;
+      tc "partition delays cross traffic" test_partition_delays_cross_traffic;
+      tc "fifo links preserve order" test_fifo_links_preserve_order;
+      tc "workload shape" test_workload_shape;
+      tc "workload write values unique" test_workload_unique_write_values;
+      tc "workload deterministic" test_workload_deterministic;
+      tc "workload empty mix rejected" test_workload_empty_mix_rejected;
+    ] )

@@ -1,0 +1,89 @@
+(* Byzantine-ish input robustness: payloads that parse but violate
+   structural invariants (foreign deployment sizes, out-of-range origins)
+   must be rejected as malformed, never crash or corrupt state. *)
+
+open Helpers
+open Haec
+module Op = Model.Op
+
+let expect_malformed name f =
+  match f () with
+  | exception Wire.Decoder.Malformed _ -> ()
+  | _ -> Alcotest.failf "%s: expected Malformed" name
+
+(* a payload produced by a deployment with a different replica count *)
+let foreign_payload (module S : Store.Store_intf.S) ~n_foreign =
+  let st = S.init ~n:n_foreign ~me:4 in
+  let st, _, _ = S.do_op st ~obj:0 (Op.Write (vi 1)) in
+  snd (S.send st)
+
+let test_mvr_foreign_vv () =
+  let payload = foreign_payload (module Store.Mvr_store) ~n_foreign:8 in
+  expect_malformed "eager mvr" (fun () ->
+      Store.Mvr_store.receive (Store.Mvr_store.init ~n:3 ~me:0) ~sender:1 payload)
+
+let test_causal_foreign_vv () =
+  let payload = foreign_payload (module Store.Causal_mvr_store) ~n_foreign:8 in
+  expect_malformed "causal mvr" (fun () ->
+      Store.Causal_mvr_store.receive
+        (Store.Causal_mvr_store.init ~n:3 ~me:0)
+        ~sender:1 payload)
+
+let test_causal_out_of_range_origin () =
+  (* origin 4 does not exist in a 3-replica deployment *)
+  let payload = foreign_payload (module Store.Causal_reg_store) ~n_foreign:8 in
+  expect_malformed "causal reg origin" (fun () ->
+      Store.Causal_reg_store.receive
+        (Store.Causal_reg_store.init ~n:3 ~me:0)
+        ~sender:1 payload)
+
+let test_state_foreign_join () =
+  let payload = foreign_payload (module Store.State_mvr_store) ~n_foreign:8 in
+  expect_malformed "state mvr" (fun () ->
+      Store.State_mvr_store.receive
+        (Store.State_mvr_store.init ~n:3 ~me:0)
+        ~sender:1 payload)
+
+let test_state_survives_rejection () =
+  (* a rejected payload must not corrupt the existing state *)
+  let st = Store.State_mvr_store.init ~n:3 ~me:0 in
+  let st, _, _ = Store.State_mvr_store.do_op st ~obj:0 (Op.Write (vi 5)) in
+  let payload = foreign_payload (module Store.State_mvr_store) ~n_foreign:8 in
+  (match Store.State_mvr_store.receive st ~sender:1 payload with
+  | exception Wire.Decoder.Malformed _ -> ()
+  | _ -> Alcotest.fail "expected Malformed");
+  let _, r, _ = Store.State_mvr_store.do_op st ~obj:0 Op.Read in
+  Alcotest.check check_response "state intact" (resp [ 5 ]) r
+
+(* the fuzz net, widened to the newer stores *)
+let prop_fuzz_all_stores =
+  q ~count:150 "all stores total on garbage" QCheck2.Gen.string (fun payload ->
+      let probe receive =
+        match receive payload with
+        | _ -> true
+        | exception Wire.Decoder.Malformed _ -> true
+      in
+      probe (fun p ->
+          Store.State_mvr_store.receive (Store.State_mvr_store.init ~n:3 ~me:0) ~sender:1 p)
+      && probe (fun p ->
+             Store.Causal_reg_store.receive (Store.Causal_reg_store.init ~n:3 ~me:0) ~sender:1 p)
+      && probe (fun p ->
+             Store.Counter_store.Causal.receive
+               (Store.Counter_store.Causal.init ~n:3 ~me:0)
+               ~sender:1 p)
+      && probe (fun p -> Store.Gsp_store.receive (Store.Gsp_store.init ~n:3 ~me:0) ~sender:1 p)
+      && probe (fun p ->
+             Store.Gossip_relay_store.receive
+               (Store.Gossip_relay_store.init ~n:3 ~me:0)
+               ~sender:1 p))
+
+let suite =
+  ( "robustness",
+    [
+      tc "eager mvr rejects foreign version vectors" test_mvr_foreign_vv;
+      tc "causal mvr rejects foreign version vectors" test_causal_foreign_vv;
+      tc "causal reg rejects out-of-range origins" test_causal_out_of_range_origin;
+      tc "state store rejects foreign states" test_state_foreign_join;
+      tc "rejection leaves state intact" test_state_survives_rejection;
+      prop_fuzz_all_stores;
+    ] )

@@ -1,0 +1,109 @@
+(* The scenario DSL, used to restate the Figure 2 and photo-ACL schedules
+   declaratively, plus failure-mode tests of the DSL itself. *)
+
+open Helpers
+open Haec
+module Sc = Sim.Scenario
+module Op = Model.Op
+
+let fig2_steps =
+  Sc.
+    [
+      op 0 ~obj:1 (write 100);
+      send 0 "m_y";
+      op 0 ~obj:0 (write 1);
+      send 0 "m_x1";
+      op 1 ~obj:0 (write 2);
+      send 1 "m_x2";
+      deliver "m_x1" ~to_:2;
+      deliver "m_x2" ~to_:2;
+      op 2 ~obj:0 read;
+      op 2 ~obj:1 read;
+    ]
+
+let test_fig2_eager () =
+  let r = Sc.run (module Store.Mvr_store) ~n:3 fig2_steps in
+  Alcotest.check check_response "r_x both" (resp [ 1; 2 ]) (Sc.response_at r 8);
+  Alcotest.check check_response "r_y empty" (resp []) (Sc.response_at r 9);
+  check_ok "well-formed" (Model.Execution.check_well_formed r.Sc.execution);
+  check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec r.Sc.witness)
+
+let test_fig2_causal_buffers () =
+  (* the causal store buffers x=1 until y's message arrives *)
+  let r = Sc.run (module Store.Causal_mvr_store) ~n:3 fig2_steps in
+  Alcotest.check check_response "only unbuffered write" (resp [ 2 ]) (Sc.response_at r 8);
+  Alcotest.check check_response "y empty" (resp []) (Sc.response_at r 9)
+
+let test_deliver_all_and_duplicates () =
+  let r =
+    Sc.run (module Store.Mvr_store) ~n:2
+      Sc.
+        [
+          op 0 ~obj:0 (write 1);
+          send 0 "m";
+          deliver "m" ~to_:1;
+          deliver "m" ~to_:1;
+          (* duplication is legal *)
+          deliver_all ~to_:1;
+          (* already delivered: no-op *)
+          op 1 ~obj:0 read;
+        ]
+  in
+  Alcotest.check check_response "applied once" (resp [ 1 ]) (Sc.response_at r 5);
+  (* exactly 3 receive events recorded: the two explicit + none from deliver_all *)
+  let receives =
+    List.length
+      (List.filter
+         (function Model.Event.Receive _ -> true | _ -> false)
+         (Model.Execution.events r.Sc.execution))
+  in
+  Alcotest.(check int) "receive count" 2 receives
+
+let test_dsl_failures () =
+  let fails steps =
+    match Sc.run (module Store.Mvr_store) ~n:2 steps with
+    | exception Failure _ -> ()
+    | _ -> Alcotest.fail "expected failure"
+  in
+  (* send with nothing pending *)
+  fails Sc.[ send 0 "m" ];
+  (* unbound delivery *)
+  fails Sc.[ deliver "nope" ~to_:1 ];
+  (* duplicate binding *)
+  fails Sc.[ op 0 ~obj:0 (write 1); send 0 "m"; op 0 ~obj:0 (write 2); send 0 "m" ];
+  (* send_opt tolerates quiet replicas *)
+  match Sc.run (module Store.Mvr_store) ~n:2 Sc.[ send_opt 0 "m" ] with
+  | _ -> ()
+  | exception Failure _ -> Alcotest.fail "send_opt must not fail"
+
+let test_photo_acl_scenario () =
+  (* the photo/ACL anomaly, declaratively, on both stores *)
+  let steps =
+    Sc.
+      [
+        op 0 ~obj:0 (write 7);
+        (* acl := friends-only (7) *)
+        send 0 "m_acl";
+        op 0 ~obj:1 (write 9);
+        (* photo := party.jpg (9) *)
+        send 0 "m_photo";
+        deliver "m_photo" ~to_:1;
+        op 1 ~obj:1 read;
+        op 1 ~obj:0 read;
+      ]
+  in
+  let eager = Sc.run (module Store.Mvr_store) ~n:2 steps in
+  Alcotest.check check_response "eager shows photo" (resp [ 9 ]) (Sc.response_at eager 5);
+  Alcotest.check check_response "eager misses acl" (resp []) (Sc.response_at eager 6);
+  let causal = Sc.run (module Store.Causal_mvr_store) ~n:2 steps in
+  Alcotest.check check_response "causal hides photo" (resp []) (Sc.response_at causal 5)
+
+let suite =
+  ( "scenario",
+    [
+      tc "fig2 on the eager store" test_fig2_eager;
+      tc "fig2 on the causal store" test_fig2_causal_buffers;
+      tc "deliver_all and duplicates" test_deliver_all_and_duplicates;
+      tc "dsl failure modes" test_dsl_failures;
+      tc "photo/acl anomaly declaratively" test_photo_acl_scenario;
+    ] )

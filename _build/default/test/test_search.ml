@@ -1,0 +1,233 @@
+open Helpers
+module A = Abstract
+
+let found = function Search.Found _ -> true | Search.No_solution | Search.Gave_up -> false
+
+let no_solution = function
+  | Search.No_solution -> true
+  | Search.Found _ | Search.Gave_up -> false
+
+(* ---------- basics ---------- *)
+
+let test_trivial_found () =
+  let t = Search.target_of_events ~n:2 [ w_ 0 0 1; rd_ 1 0 [ 1 ] ] in
+  match Search.search ~spec_of:mvr_spec t with
+  | Search.Found a ->
+    check_ok "solution correct" (Specf.check_correct ~spec_of:mvr_spec a);
+    Alcotest.(check bool) "solution causal" true (Causal.is_causally_consistent a)
+  | Search.No_solution | Search.Gave_up -> Alcotest.fail "expected a solution"
+
+let test_impossible_response () =
+  (* a read returning a value nobody wrote *)
+  let t = Search.target_of_events ~n:2 [ w_ 0 0 1; rd_ 1 0 [ 9 ] ] in
+  Alcotest.(check bool) "no solution" true (no_solution (Search.search ~spec_of:mvr_spec t))
+
+let test_update_response_must_be_ok () =
+  let bad = { (w_ 0 0 1) with Haec.Model.Event.rval = resp [ 1 ] } in
+  let t = Search.target_of_events ~n:1 [ bad ] in
+  Alcotest.(check bool) "no solution" true (no_solution (Search.search ~spec_of:mvr_spec t))
+
+let test_session_monotonicity () =
+  (* a replica cannot unsee its own write: read-your-writes is forced by
+     Definition 4 condition (1) *)
+  let t = Search.target_of_events ~n:1 [ w_ 0 0 1; rd_ 0 0 [] ] in
+  Alcotest.(check bool) "no solution" true (no_solution (Search.search ~spec_of:mvr_spec t));
+  let t2 = Search.target_of_events ~n:1 [ w_ 0 0 1; rd_ 0 0 [ 1 ] ] in
+  Alcotest.(check bool) "found" true (found (Search.search ~spec_of:mvr_spec t2))
+
+let test_count_solutions () =
+  (* one write, one remote read returning nothing: the read may be ordered
+     before or after the write in H, and visibility of w to r is fixed
+     (absent). Counting exercises the enumeration. *)
+  let t = Search.target_of_events ~n:2 [ w_ 0 0 1; rd_ 1 0 [] ] in
+  let c = Search.count_solutions ~spec_of:mvr_spec t in
+  Alcotest.(check bool) "at least one" true (c >= 1)
+
+(* ---------- the Figure 2 inference (experiment E2) ---------- *)
+
+(* Physical schedule: R0 writes y=100 then x=1 (separate messages); R1
+   writes x=2; R2 receives only the x messages. After quiescence R2 reads
+   x and y. The client-side question: which response patterns admit a
+   correct, causally consistent, eventually consistent abstract execution? *)
+let fig2_target ?(post = [ (2, 0); (2, 1) ]) ~r_x ~r_y () =
+  let events =
+    [
+      w_ 0 1 100;  (* w_y at R0 *)
+      w_ 0 0 1;    (* w_x1 at R0, causally after w_y *)
+      w_ 1 0 2;    (* w_x2 at R1, concurrent *)
+      rd_ 2 0 r_x; (* reads at R2: x first, then y *)
+      rd_ 2 1 r_y;
+    ]
+  in
+  Search.target_of_events ~n:3 ~post_quiescent:post events
+
+let test_fig2_honest () =
+  (* revealing the concurrency, with y visible: consistent *)
+  match Search.search ~spec_of:mvr_spec (fig2_target ~r_x:[ 1; 2 ] ~r_y:[ 100 ] ()) with
+  | Search.Found a ->
+    check_ok "correct" (Specf.check_correct ~spec_of:mvr_spec a);
+    Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a)
+  | Search.No_solution | Search.Gave_up -> Alcotest.fail "honest pattern must be consistent"
+
+let test_fig2_hiding_without_y_impossible () =
+  (* r_x = {2} pretends w_x1 vis w_x2; causality then forces w_y visible
+     to anything that sees w_x2, and visibility persists into the later
+     read of y at R2 — so r_y = (empty) is contradictory. This is exactly
+     the Figure 2 inference. Note only r_x carries the eventual-visibility
+     obligation: the conclusion about y flows from causality alone. *)
+  let outcome =
+    Search.search ~spec_of:mvr_spec (fig2_target ~post:[ (2, 0) ] ~r_x:[ 2 ] ~r_y:[] ())
+  in
+  Alcotest.(check bool) "hiding with empty y impossible" true (no_solution outcome)
+
+let test_fig2_fresh_y_required () =
+  (* even revealing the concurrency, post-quiescence r_y must see w_y *)
+  let outcome = Search.search ~spec_of:mvr_spec (fig2_target ~r_x:[ 1; 2 ] ~r_y:[] ()) in
+  Alcotest.(check bool) "no solution" true (no_solution outcome)
+
+let test_fig2_hiding_with_y_is_causal () =
+  (* the nuance that motivates OCC: hiding (r_x = {2}) is causally
+     consistent when r_y duly returns 100 — plain causal consistency does
+     not forbid it; only the OCC witnesses of Definition 18 would *)
+  match Search.search ~spec_of:mvr_spec (fig2_target ~r_x:[ 2 ] ~r_y:[ 100 ] ()) with
+  | Search.Found a ->
+    Alcotest.(check bool) "causal" true (Causal.is_causally_consistent a);
+    (* and the hiding edge is indeed present *)
+    Alcotest.(check bool) "w_x1 vis w_x2 somewhere" true
+      (let ok = ref false in
+       for i = 0 to A.length a - 1 do
+         for j = 0 to A.length a - 1 do
+           let di = A.event a i and dj = A.event a j in
+           if
+             di.Haec.Model.Event.op = Haec.Model.Op.Write (vi 1)
+             && dj.Haec.Model.Event.op = Haec.Model.Op.Write (vi 2)
+             && A.vis a i j
+           then ok := true
+         done
+       done;
+       !ok)
+  | Search.No_solution | Search.Gave_up -> Alcotest.fail "hiding with consistent y is causal"
+
+let test_fig2_without_causality_hiding_ok () =
+  (* dropping causal consistency, the ({2}, empty-y) pattern becomes
+     satisfiable: the inference fundamentally relies on causality *)
+  let outcome =
+    Search.search ~require_causal:false ~spec_of:mvr_spec
+      (fig2_target ~post:[ (2, 0) ] ~r_x:[ 2 ] ~r_y:[] ())
+  in
+  Alcotest.(check bool) "found" true (found outcome)
+
+(* ---------- add-wins is forced, not chosen (ORset via search) ---------- *)
+
+let test_orset_remove_wins_refuted () =
+  (* R0 writes a witness object, then adds 5; R1 removes 5 and then reads
+     the witness as empty. If the remove had observed the add (making the
+     final empty read correct), causality would have dragged the witness
+     write into R1's later read — contradiction. So in this schedule only
+     add-wins responses are consistent: the ORset's concurrency semantics
+     is forced by causal + eventual consistency, not a design whim. *)
+  let target ~final_set =
+    Search.target_of_events ~n:3
+      ~post_quiescent:[ (2, 0) ]
+      [
+        w_ 0 1 100;  (* witness write at R0 *)
+        add_ 0 0 5;  (* then the add *)
+        rm_ 1 0 5;   (* concurrent remove at R1 *)
+        rd_ 1 1 [];  (* R1's witness read: provably never saw R0 *)
+        { Haec.Model.Event.replica = 2; obj = 0; op = Haec.Model.Op.Read; rval = resp final_set };
+      ]
+  in
+  let spec_of o = if o = 0 then Specf.orset else Specf.mvr in
+  (* remove-wins final state: impossible *)
+  Alcotest.(check bool) "remove-wins refuted" true
+    (no_solution (Search.search ~spec_of (target ~final_set:[])));
+  (* add-wins final state: consistent *)
+  Alcotest.(check bool) "add-wins consistent" true
+    (found (Search.search ~spec_of (target ~final_set:[ 5 ])));
+  (* and the real ORset store picks exactly the consistent answer *)
+  let module Sc = Haec.Sim.Scenario in
+  let r =
+    Sc.run (module Haec.Store.Orset_store) ~n:3
+      Sc.
+        [
+          op 0 ~obj:1 (add 100);
+          (* witness, in ORset vocabulary *)
+          send 0 "m_w";
+          op 0 ~obj:0 (add 5);
+          send 0 "m_add";
+          op 1 ~obj:0 (remove 5);
+          send_opt 1 "m_rm";
+          op 1 ~obj:1 read;
+          deliver "m_add" ~to_:2;
+          deliver_all ~to_:2;
+          op 2 ~obj:0 read;
+        ]
+  in
+  Alcotest.check check_response "store answers add-wins" (resp [ 5 ]) (Sc.response_at r 9)
+
+(* ---------- single-object concurrency hiding (experiment E8) ---------- *)
+
+let test_single_object_hiding_possible () =
+  (* one object: both replicas converge on value 2 although the writes were
+     concurrent; an MVR abstract execution ordering them exists, so clients
+     cannot refute the data store (Section 3.4 / Perrin et al.) *)
+  let t =
+    Search.target_of_events ~n:2
+      ~post_quiescent:[ (0, 1); (1, 1) ]
+      [ w_ 0 0 1; w_ 1 0 2; rd_ 0 0 [ 2 ]; rd_ 1 0 [ 2 ] ]
+  in
+  Alcotest.(check bool) "hiding consistent" true (found (Search.search ~spec_of:mvr_spec t))
+
+let test_two_object_hiding_refuted () =
+  (* the LWW/total-order store over two objects, caught by a client:
+     R0: w_p(300); w_x1(1).  R1: w_d(5 to q); w_x2(2); r_p -> empty.
+     Post-quiescence: x converged to {2} (w_x2 has the higher timestamp),
+     p reads {300}. Forcing w_x1 vis w_x2 drags w_p along (causality),
+     and persistence at R1 then makes r_p's empty response incorrect. *)
+  let t =
+    Search.target_of_events ~n:3
+      ~post_quiescent:[ (2, 0); (2, 1) ]
+      [
+        w_ 0 1 300;  (* w_p at R0 *)
+        w_ 0 0 1;    (* w_x1 at R0 *)
+        w_ 1 2 5;    (* dummy q-write at R1 (bumps its clock) *)
+        w_ 1 0 2;    (* w_x2 at R1: the LWW winner *)
+        rd_ 1 1 [];  (* r_p at R1, after w_x2, before any delivery *)
+        rd_ 2 0 [ 2 ];    (* post-quiescence: x hidden to {2} *)
+        rd_ 2 1 [ 300 ];  (* post-quiescence: p visible *)
+      ]
+  in
+  Alcotest.(check bool) "refuted" true (no_solution (Search.search ~spec_of:mvr_spec t));
+  (* the honest multi-value response pattern is of course satisfiable *)
+  let honest =
+    Search.target_of_events ~n:3
+      ~post_quiescent:[ (2, 0); (2, 1) ]
+      [
+        w_ 0 1 300;
+        w_ 0 0 1;
+        w_ 1 2 5;
+        w_ 1 0 2;
+        rd_ 1 1 [];
+        rd_ 2 0 [ 1; 2 ];
+        rd_ 2 1 [ 300 ];
+      ]
+  in
+  Alcotest.(check bool) "honest ok" true (found (Search.search ~spec_of:mvr_spec honest))
+
+let suite =
+  ( "search",
+    [
+      tc "trivial found" test_trivial_found;
+      tc "impossible response" test_impossible_response;
+      tc "updates must return ok" test_update_response_must_be_ok;
+      tc "read-your-writes forced" test_session_monotonicity;
+      tc "count solutions" test_count_solutions;
+      tc "fig2: honest pattern consistent" test_fig2_honest;
+      tc "fig2: hiding with empty y impossible" test_fig2_hiding_without_y_impossible;
+      tc "fig2: post-quiescence y required" test_fig2_fresh_y_required;
+      tc "fig2: hiding with y=100 is causal (OCC needed)" test_fig2_hiding_with_y_is_causal;
+      tc "fig2: without causality hiding is fine" test_fig2_without_causality_hiding_ok;
+      tc "orset: add-wins forced by causality" test_orset_remove_wins_refuted;
+      tc "single object: hiding possible" test_single_object_hiding_possible;
+      tc "two objects: hiding refuted" test_two_object_hiding_refuted;
+    ] )

@@ -1,0 +1,284 @@
+open Helpers
+open Haec
+module Runner_mvr = Sim.Runner.Make (Store.Mvr_store)
+module Runner_causal = Sim.Runner.Make (Store.Causal_mvr_store)
+module Runner_orset = Sim.Runner.Make (Store.Orset_store)
+module Runner_lww = Sim.Runner.Make (Store.Lww_store)
+module Runner_gossip = Sim.Runner.Make (Store.Gossip_relay_store)
+module Runner_delayed = Sim.Runner.Make (Store.Delayed_store.K3)
+module Workload = Sim.Workload
+module Net_policy = Sim.Net_policy
+module Checks = Sim.Checks
+module Op = Model.Op
+module Execution = Model.Execution
+
+let policies () =
+  [
+    Net_policy.reliable_fifo ();
+    Net_policy.random_delay ();
+    Net_policy.lossy ();
+    Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:20.0 ();
+  ]
+
+(* ---------- basic runner behaviour ---------- *)
+
+let test_runner_records_wellformed () =
+  let sim = Runner_mvr.create ~n:3 ~policy:(Net_policy.random_delay ()) () in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  ignore (Runner_mvr.op sim ~replica:1 ~obj:0 (Op.Write (vi 2)));
+  Runner_mvr.run_until_quiescent sim;
+  let exec = Runner_mvr.execution sim in
+  check_ok "well-formed" (Execution.check_well_formed exec);
+  (* 2 do + 2 send + 4 receive *)
+  Alcotest.(check int) "event count" 8 (Execution.length exec);
+  Alcotest.(check int) "in flight drained" 0 (Runner_mvr.in_flight sim)
+
+let test_runner_availability () =
+  (* ops complete with no delivery happening: high availability *)
+  let sim = Runner_mvr.create ~n:2 ~auto_send:false () in
+  let r = Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)) in
+  Alcotest.check check_response "write ok" Op.Ok r;
+  let r = Runner_mvr.op sim ~replica:0 ~obj:0 Op.Read in
+  Alcotest.check check_response "read own" (resp [ 1 ]) r;
+  let r = Runner_mvr.op sim ~replica:1 ~obj:0 Op.Read in
+  Alcotest.check check_response "partitioned replica empty" (resp []) r
+
+let test_runner_quiescence_converges () =
+  let sim = Runner_mvr.create ~n:3 ~policy:(Net_policy.lossy ()) () in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  ignore (Runner_mvr.op sim ~replica:1 ~obj:0 (Op.Write (vi 2)));
+  ignore (Runner_mvr.op sim ~replica:2 ~obj:1 (Op.Write (vi 3)));
+  Runner_mvr.run_until_quiescent sim;
+  (* Lemma 3 / Corollary 4: all replicas answer reads identically *)
+  for obj = 0 to 1 do
+    let r0 = Runner_mvr.op sim ~replica:0 ~obj Op.Read in
+    for r = 1 to 2 do
+      let rr = Runner_mvr.op sim ~replica:r ~obj Op.Read in
+      Alcotest.check check_response "reads agree" r0 rr
+    done
+  done
+
+let test_manual_delivery () =
+  let sim = Runner_mvr.create ~n:2 ~auto_send:false () in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  Alcotest.(check bool) "pending" true (Runner_mvr.has_pending sim ~replica:0);
+  (match Runner_mvr.flush sim ~replica:0 with
+  | Some m ->
+    Runner_mvr.deliver_msg sim ~dst:1 m;
+    let r = Runner_mvr.op sim ~replica:1 ~obj:0 Op.Read in
+    Alcotest.check check_response "delivered" (resp [ 1 ]) r
+  | None -> Alcotest.fail "expected message");
+  Alcotest.(check bool) "drained" false (Runner_mvr.has_pending sim ~replica:0)
+
+let test_partition_heals () =
+  let policy = Net_policy.partitioned ~groups:(fun r -> if r < 1 then 0 else 1) ~heal_at:50.0 () in
+  let sim = Runner_mvr.create ~n:2 ~policy () in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  Runner_mvr.advance_to sim 10.0;
+  let r = Runner_mvr.op sim ~replica:1 ~obj:0 Op.Read in
+  Alcotest.check check_response "still partitioned" (resp []) r;
+  Runner_mvr.run_until_quiescent sim;
+  let r = Runner_mvr.op sim ~replica:1 ~obj:0 Op.Read in
+  Alcotest.check check_response "healed" (resp [ 1 ]) r
+
+(* ---------- witness abstract executions over random workloads ---------- *)
+
+let run_mvr_workload ~seed ~policy ~ops ~objects ~n =
+  let rng = Rng.create seed in
+  let sim = Runner_mvr.create ~seed ~n ~policy () in
+  let steps = Workload.generate ~rng ~n ~objects ~ops Workload.register_mix in
+  Workload.run
+    (fun ~replica ~obj op -> Runner_mvr.op sim ~replica ~obj op)
+    ~advance:(Runner_mvr.advance_to sim)
+    steps;
+  Runner_mvr.run_until_quiescent sim;
+  sim
+
+let append_final_reads op_f ~n ~objects =
+  for obj = 0 to objects - 1 do
+    for r = 0 to n - 1 do
+      ignore (op_f ~replica:r ~obj Op.Read)
+    done
+  done
+
+let test_mvr_witness_valid_random () =
+  List.iteri
+    (fun i policy ->
+      let n = 3 and objects = 3 and ops = 40 in
+      let sim = run_mvr_workload ~seed:(100 + i) ~policy ~ops ~objects ~n in
+      let quiescent_at = List.length (Execution.do_events (Runner_mvr.execution sim)) in
+      append_final_reads (fun ~replica ~obj op -> Runner_mvr.op sim ~replica ~obj op) ~n ~objects;
+      let exec = Runner_mvr.execution sim in
+      let witness = Runner_mvr.witness_abstract sim in
+      let report = Checks.validate ~quiescent_at exec witness in
+      (* the eager store guarantees everything except causal consistency
+         and OCC, which depend on delivery order *)
+      check_ok (policy.Net_policy.name ^ " well-formed") report.Checks.well_formed;
+      check_ok (policy.Net_policy.name ^ " complies") report.Checks.complies;
+      check_ok (policy.Net_policy.name ^ " correct") report.Checks.correct;
+      check_ok (policy.Net_policy.name ^ " eventual") report.Checks.eventual;
+      check_ok (policy.Net_policy.name ^ " reads agree")
+        (Consistency.Eventual.check_reads_agree exec ~suffix:(n * objects)))
+    (policies ())
+
+let test_causal_witness_fully_valid_random () =
+  List.iteri
+    (fun i policy ->
+      let n = 3 and objects = 3 and ops = 40 in
+      let rng = Rng.create (200 + i) in
+      let sim = Runner_causal.create ~seed:(200 + i) ~n ~policy () in
+      let steps = Workload.generate ~rng ~n ~objects ~ops Workload.register_mix in
+      Workload.run
+        (fun ~replica ~obj op -> Runner_causal.op sim ~replica ~obj op)
+        ~advance:(Runner_causal.advance_to sim)
+        steps;
+      Runner_causal.run_until_quiescent sim;
+      let quiescent_at = List.length (Execution.do_events (Runner_causal.execution sim)) in
+      append_final_reads
+        (fun ~replica ~obj op -> Runner_causal.op sim ~replica ~obj op)
+        ~n ~objects;
+      let exec = Runner_causal.execution sim in
+      let witness = Runner_causal.witness_abstract sim in
+      let report = Checks.validate ~quiescent_at exec witness in
+      (* the causal store passes everything, including causal consistency,
+         under any network policy *)
+      check_ok (policy.Net_policy.name ^ " causal") report.Checks.causal;
+      check_ok (policy.Net_policy.name ^ " correct") report.Checks.correct;
+      check_ok (policy.Net_policy.name ^ " complies") report.Checks.complies;
+      check_ok (policy.Net_policy.name ^ " eventual") report.Checks.eventual)
+    (policies ())
+
+let test_eager_violates_causality_under_reorder () =
+  (* deliberately reorder two causally related messages to a third replica:
+     the eager store's witness is then not transitive *)
+  let sim = Runner_mvr.create ~n:3 ~auto_send:false () in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:1 (Op.Write (vi 100)));
+  let m_y = Option.get (Runner_mvr.flush sim ~replica:0) in
+  ignore (Runner_mvr.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  let m_x = Option.get (Runner_mvr.flush sim ~replica:0) in
+  (* R2 gets the x-write without its causal predecessor *)
+  Runner_mvr.deliver_msg sim ~dst:2 m_x;
+  ignore (Runner_mvr.op sim ~replica:2 ~obj:0 Op.Read);
+  ignore (Runner_mvr.op sim ~replica:2 ~obj:1 Op.Read);
+  Runner_mvr.deliver_msg sim ~dst:2 m_y;
+  let witness = Runner_mvr.witness_abstract sim in
+  let closed = Spec.Abstract.transitive_closure witness in
+  (* closing the witness materializes the causal anomaly: the read of y
+     should have seen the y-write that causally precedes the x-write it
+     observed *)
+  Alcotest.(check bool) "closed witness incorrect" false
+    (Spec.Spec.is_correct ~spec_of:mvr_spec closed);
+  (* the causal store on the same schedule stays consistent *)
+  let sim = Runner_causal.create ~n:3 ~auto_send:false () in
+  ignore (Runner_causal.op sim ~replica:0 ~obj:1 (Op.Write (vi 100)));
+  let m_y = Option.get (Runner_causal.flush sim ~replica:0) in
+  ignore (Runner_causal.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  let m_x = Option.get (Runner_causal.flush sim ~replica:0) in
+  Runner_causal.deliver_msg sim ~dst:2 m_x;
+  let r = Runner_causal.op sim ~replica:2 ~obj:0 Op.Read in
+  Alcotest.check check_response "buffered" (resp []) r;
+  Runner_causal.deliver_msg sim ~dst:2 m_y;
+  let r = Runner_causal.op sim ~replica:2 ~obj:0 Op.Read in
+  Alcotest.check check_response "applied in causal order" (resp [ 1 ]) r;
+  let witness = Runner_causal.witness_abstract sim in
+  Alcotest.(check bool) "causal store closed witness correct" true
+    (Spec.Spec.is_correct ~spec_of:mvr_spec (Spec.Abstract.transitive_closure witness))
+
+let test_orset_witness_valid_random () =
+  List.iteri
+    (fun i policy ->
+      let n = 3 and objects = 2 and ops = 40 in
+      let rng = Rng.create (300 + i) in
+      let sim = Runner_orset.create ~seed:(300 + i) ~n ~policy () in
+      let steps = Workload.generate ~rng ~n ~objects ~ops Workload.orset_mix in
+      Workload.run
+        (fun ~replica ~obj op -> Runner_orset.op sim ~replica ~obj op)
+        ~advance:(Runner_orset.advance_to sim)
+        steps;
+      Runner_orset.run_until_quiescent sim;
+      append_final_reads
+        (fun ~replica ~obj op -> Runner_orset.op sim ~replica ~obj op)
+        ~n ~objects;
+      let exec = Runner_orset.execution sim in
+      let witness = Runner_orset.witness_abstract sim in
+      check_ok (policy.Net_policy.name ^ " orset correct")
+        (Spec.Spec.check_correct ~spec_of:orset_spec witness);
+      check_ok (policy.Net_policy.name ^ " complies")
+        (Consistency.Compliance.check exec witness);
+      check_ok (policy.Net_policy.name ^ " reads agree")
+        (Consistency.Eventual.check_reads_agree exec ~suffix:(n * objects)))
+    (policies ())
+
+let test_lww_converges_random () =
+  List.iteri
+    (fun i policy ->
+      let n = 4 and objects = 3 and ops = 60 in
+      let rng = Rng.create (400 + i) in
+      let sim = Runner_lww.create ~seed:(400 + i) ~n ~policy () in
+      let steps = Workload.generate ~rng ~n ~objects ~ops Workload.register_mix in
+      Workload.run
+        (fun ~replica ~obj op -> Runner_lww.op sim ~replica ~obj op)
+        ~advance:(Runner_lww.advance_to sim)
+        steps;
+      Runner_lww.run_until_quiescent sim;
+      append_final_reads (fun ~replica ~obj op -> Runner_lww.op sim ~replica ~obj op) ~n ~objects;
+      check_ok (policy.Net_policy.name ^ " reads agree")
+        (Consistency.Eventual.check_reads_agree (Runner_lww.execution sim)
+           ~suffix:(n * objects)))
+    (policies ())
+
+let test_gossip_quiesces () =
+  (* relays terminate and deliver to everybody *)
+  let sim = Runner_gossip.create ~n:4 ~policy:(Net_policy.random_delay ()) () in
+  ignore (Runner_gossip.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  Runner_gossip.run_until_quiescent sim;
+  for r = 1 to 3 do
+    let rr = Runner_gossip.op sim ~replica:r ~obj:0 Op.Read in
+    Alcotest.check check_response "delivered" (resp [ 1 ]) rr
+  done;
+  (* relaying sent more messages than the single client op *)
+  Alcotest.(check bool) "relays happened" true
+    (List.length (Runner_gossip.messages_sent sim) > 1)
+
+let test_delayed_store_converges () =
+  (* the Section 5.3 store is still eventually consistent: after quiescence
+     plus K reads, all replicas agree *)
+  let sim = Runner_delayed.create ~n:2 ~policy:(Net_policy.reliable_fifo ()) () in
+  ignore (Runner_delayed.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  Runner_delayed.run_until_quiescent sim;
+  (* three reads to burn the exposure delay *)
+  ignore (Runner_delayed.op sim ~replica:1 ~obj:0 Op.Read);
+  ignore (Runner_delayed.op sim ~replica:1 ~obj:0 Op.Read);
+  ignore (Runner_delayed.op sim ~replica:1 ~obj:0 Op.Read);
+  let r = Runner_delayed.op sim ~replica:1 ~obj:0 Op.Read in
+  Alcotest.check check_response "eventually exposed" (resp [ 1 ]) r
+
+let test_delayed_store_refuses_prompt_exposure () =
+  (* the write-propagating immediate-visibility execution is refused: this
+     is why Theorem 6 needs invisible reads (experiment E5) *)
+  let sim = Runner_delayed.create ~n:2 ~auto_send:false () in
+  ignore (Runner_delayed.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  let m = Option.get (Runner_delayed.flush sim ~replica:0) in
+  Runner_delayed.deliver_msg sim ~dst:1 m;
+  let r = Runner_delayed.op sim ~replica:1 ~obj:0 Op.Read in
+  (* a write-propagating store would return {1} here (Theorem 6's
+     construction relies on it); the delayed store returns nothing *)
+  Alcotest.check check_response "refused" (resp []) r
+
+let suite =
+  ( "sim",
+    [
+      tc "runner records well-formed executions" test_runner_records_wellformed;
+      tc "availability: ops never block" test_runner_availability;
+      tc "quiescence converges (Cor 4)" test_runner_quiescence_converges;
+      tc "manual delivery" test_manual_delivery;
+      tc "partition heals" test_partition_heals;
+      tc "mvr witness valid on random runs (4 policies)" test_mvr_witness_valid_random;
+      tc "causal witness fully valid (4 policies)" test_causal_witness_fully_valid_random;
+      tc "eager violates causality under reorder" test_eager_violates_causality_under_reorder;
+      tc "orset witness valid (4 policies)" test_orset_witness_valid_random;
+      tc "lww converges (4 policies)" test_lww_converges_random;
+      tc "gossip relays quiesce" test_gossip_quiesces;
+      tc "delayed store converges" test_delayed_store_converges;
+      tc "delayed store refuses prompt exposure" test_delayed_store_refuses_prompt_exposure;
+    ] )

@@ -1,0 +1,90 @@
+(* Trace serialization. *)
+
+open Helpers
+open Haec
+module Trace_io = Model.Trace_io
+module Op = Model.Op
+module Execution = Model.Execution
+
+let sample_exec seed =
+  let module R = Sim.Runner.Make (Store.Causal_mvr_store) in
+  let rng = Rng.create seed in
+  let sim = R.create ~seed ~n:3 ~policy:(Sim.Net_policy.lossy ()) () in
+  let steps = Sim.Workload.generate ~rng ~n:3 ~objects:3 ~ops:30 Sim.Workload.register_mix in
+  Sim.Workload.run
+    (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  R.execution sim
+
+let equal_exec a b =
+  Execution.n_replicas a = Execution.n_replicas b
+  && Execution.length a = Execution.length b
+  && List.for_all2
+       (fun x y -> Format.asprintf "%a" Event.pp x = Format.asprintf "%a" Event.pp y)
+       (Execution.events a) (Execution.events b)
+
+let test_roundtrip_string () =
+  let exec = sample_exec 1 in
+  let exec' = Trace_io.of_string (Trace_io.to_string exec) in
+  Alcotest.(check bool) "roundtrip" true (equal_exec exec exec');
+  Alcotest.(check bool) "still well-formed" true (Execution.is_well_formed exec')
+
+let test_roundtrip_file () =
+  let exec = sample_exec 2 in
+  let path = Filename.temp_file "haec" ".trace" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save path exec;
+      let exec' = Trace_io.load path in
+      Alcotest.(check bool) "roundtrip via file" true (equal_exec exec exec'))
+
+let test_rejects_garbage () =
+  let reject s =
+    match Trace_io.of_string s with
+    | exception Wire.Decoder.Malformed _ -> ()
+    | _ -> Alcotest.fail "expected Malformed"
+  in
+  reject "";
+  reject "not a trace";
+  (* right magic, wrong version *)
+  reject (Wire.encode (fun e ->
+      Wire.Encoder.string e "HAEC";
+      Wire.Encoder.uint e 99))
+
+let test_empty_execution () =
+  let exec = Execution.empty ~n:2 in
+  let exec' = Trace_io.of_string (Trace_io.to_string exec) in
+  Alcotest.(check int) "empty roundtrip" 0 (Execution.length exec');
+  Alcotest.(check int) "replica count kept" 2 (Execution.n_replicas exec')
+
+let prop_fuzz_decoder =
+  q ~count:200 "trace decoder total on random bytes" QCheck2.Gen.string (fun s ->
+      match Trace_io.of_string s with
+      | _ -> true
+      | exception Wire.Decoder.Malformed _ -> true)
+
+let test_hb_survives_roundtrip () =
+  let exec = sample_exec 3 in
+  let exec' = Trace_io.of_string (Trace_io.to_string exec) in
+  let hb = Model.Hb.compute exec and hb' = Model.Hb.compute exec' in
+  let len = Execution.length exec in
+  let same = ref true in
+  for i = 0 to len - 1 do
+    for j = 0 to len - 1 do
+      if i <> j && Model.Hb.hb hb i j <> Model.Hb.hb hb' i j then same := false
+    done
+  done;
+  Alcotest.(check bool) "identical happens-before" true !same
+
+let suite =
+  ( "trace-io",
+    [
+      tc "roundtrip via string" test_roundtrip_string;
+      tc "roundtrip via file" test_roundtrip_file;
+      tc "rejects garbage" test_rejects_garbage;
+      tc "empty execution" test_empty_execution;
+      prop_fuzz_decoder;
+      tc "happens-before survives roundtrip" test_hb_survives_roundtrip;
+    ] )

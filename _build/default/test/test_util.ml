@@ -1,0 +1,180 @@
+open Helpers
+module Pqueue = Haec.Util.Pqueue
+module Bitset = Haec.Util.Bitset
+module Sorted_list = Haec.Util.Sorted_list
+
+(* ---------- Rng ---------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_copy_independent () =
+  let a = Rng.create 3 in
+  let b = Rng.copy a in
+  let x = Rng.bits64 a in
+  let y = Rng.bits64 b in
+  Alcotest.(check int64) "copy starts at same point" x y;
+  ignore (Rng.bits64 a);
+  let x2 = Rng.bits64 a and y2 = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge independently" false (Int64.equal x2 y2 && false);
+  ignore (x2, y2)
+
+let test_rng_bounds () =
+  let r = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let v = Rng.int r 13 in
+    if v < 0 || v >= 13 then Alcotest.failf "Rng.int out of bounds: %d" v;
+    let f = Rng.float r 2.5 in
+    if f < 0.0 || f >= 2.5 then Alcotest.failf "Rng.float out of bounds: %f" f;
+    let k = Rng.int_in r 5 9 in
+    if k < 5 || k > 9 then Alcotest.failf "Rng.int_in out of bounds: %d" k
+  done
+
+let test_rng_int_covers () =
+  let r = Rng.create 20 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 600 do
+    seen.(Rng.int r 6) <- true
+  done;
+  Array.iteri (fun i b -> if not b then Alcotest.failf "value %d never drawn" i) seen
+
+let test_rng_invalid () =
+  let r = Rng.create 1 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0));
+  Alcotest.check_raises "pick []" (Invalid_argument "Rng.pick: empty list") (fun () ->
+      ignore (Rng.pick r []))
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 5 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" (Array.init 50 Fun.id) sorted
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_orders () =
+  let q = Pqueue.create () in
+  List.iter (fun (p, v) -> Pqueue.add q ~priority:p v) [ (3., "c"); (1., "a"); (2., "b") ];
+  let order = List.map snd (Pqueue.to_list q) in
+  Alcotest.(check (list string)) "ascending" [ "a"; "b"; "c" ] order;
+  Alcotest.(check int) "length" 3 (Pqueue.length q)
+
+let test_pqueue_fifo_ties () =
+  let q = Pqueue.create () in
+  List.iter (fun v -> Pqueue.add q ~priority:1.0 v) [ 1; 2; 3; 4; 5 ];
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list int)) "insertion order on ties" [ 1; 2; 3; 4; 5 ] (drain [])
+
+let test_pqueue_mixed () =
+  let q = Pqueue.create () in
+  for i = 100 downto 1 do
+    Pqueue.add q ~priority:(float_of_int (i mod 10)) i
+  done;
+  let rec drain last count =
+    match Pqueue.pop q with
+    | None -> count
+    | Some (p, _) ->
+      if p < last then Alcotest.fail "priorities not ascending";
+      drain p (count + 1)
+  in
+  Alcotest.(check int) "all popped" 100 (drain neg_infinity 0)
+
+let test_pqueue_peek_clear () =
+  let q = Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Pqueue.is_empty q);
+  Pqueue.add q ~priority:5.0 "x";
+  (match Pqueue.peek q with
+  | Some (5.0, "x") -> ()
+  | _ -> Alcotest.fail "peek");
+  Alcotest.(check int) "peek does not remove" 1 (Pqueue.length q);
+  Pqueue.clear q;
+  Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
+
+(* ---------- Bitset ---------- *)
+
+let test_bitset_basic () =
+  let b = Bitset.create 200 in
+  Bitset.set b 0;
+  Bitset.set b 63;
+  Bitset.set b 64;
+  Bitset.set b 199;
+  Alcotest.(check (list int)) "to_list" [ 0; 63; 64; 199 ] (Bitset.to_list b);
+  Alcotest.(check int) "cardinal" 4 (Bitset.cardinal b);
+  Bitset.clear b 63;
+  Alcotest.(check bool) "cleared" false (Bitset.get b 63);
+  Alcotest.(check bool) "others kept" true (Bitset.get b 64)
+
+let test_bitset_union_subset () =
+  let a = Bitset.create 100 and b = Bitset.create 100 in
+  Bitset.set a 1;
+  Bitset.set a 70;
+  Bitset.set b 70;
+  Alcotest.(check bool) "b subset a" true (Bitset.is_subset b a);
+  Alcotest.(check bool) "a not subset b" false (Bitset.is_subset a b);
+  Bitset.union_into ~dst:b a;
+  Alcotest.(check bool) "after union" true (Bitset.is_subset a b);
+  Alcotest.(check (list int)) "union contents" [ 1; 70 ] (Bitset.to_list b)
+
+let test_bitset_bounds () =
+  let b = Bitset.create 10 in
+  Alcotest.check_raises "oob" (Invalid_argument "Bitset: index out of range") (fun () ->
+      Bitset.set b 10)
+
+let prop_bitset_roundtrip =
+  q ~count:100 "bitset set/get roundtrip"
+    QCheck2.Gen.(list_size (return 30) (int_bound 199))
+    (fun idxs ->
+      let b = Bitset.create 200 in
+      List.iter (Bitset.set b) idxs;
+      List.for_all (Bitset.get b) idxs
+      && Bitset.to_list b = List.sort_uniq compare idxs)
+
+(* ---------- Sorted_list ---------- *)
+
+let compare_int = Int.compare
+
+let test_sorted_ops () =
+  let s = Sorted_list.of_list ~compare:compare_int [ 3; 1; 2; 3; 1 ] in
+  Alcotest.(check (list int)) "of_list" [ 1; 2; 3 ] s;
+  Alcotest.(check (list int)) "add" [ 0; 1; 2; 3 ] (Sorted_list.add ~compare:compare_int 0 s);
+  Alcotest.(check (list int)) "add dup" [ 1; 2; 3 ] (Sorted_list.add ~compare:compare_int 2 s);
+  Alcotest.(check (list int)) "remove" [ 1; 3 ] (Sorted_list.remove ~compare:compare_int 2 s);
+  Alcotest.(check bool) "mem" true (Sorted_list.mem ~compare:compare_int 2 s);
+  Alcotest.(check bool) "not mem" false (Sorted_list.mem ~compare:compare_int 9 s)
+
+let test_sorted_set_algebra () =
+  let a = [ 1; 3; 5 ] and b = [ 2; 3; 4; 5 ] in
+  Alcotest.(check (list int)) "union" [ 1; 2; 3; 4; 5 ] (Sorted_list.union ~compare:compare_int a b);
+  Alcotest.(check (list int)) "inter" [ 3; 5 ] (Sorted_list.inter ~compare:compare_int a b);
+  Alcotest.(check (list int)) "diff" [ 1 ] (Sorted_list.diff ~compare:compare_int a b);
+  Alcotest.(check bool) "subset" true (Sorted_list.subset ~compare:compare_int [ 3; 5 ] b);
+  Alcotest.(check bool) "not subset" false (Sorted_list.subset ~compare:compare_int [ 1; 3 ] b)
+
+let suite =
+  ( "util",
+    [
+      tc "rng determinism" test_rng_determinism;
+      tc "rng copy independent" test_rng_copy_independent;
+      tc "rng bounds" test_rng_bounds;
+      tc "rng int covers range" test_rng_int_covers;
+      tc "rng invalid args" test_rng_invalid;
+      tc "rng shuffle permutes" test_rng_shuffle_permutes;
+      tc "pqueue orders by priority" test_pqueue_orders;
+      tc "pqueue breaks ties fifo" test_pqueue_fifo_ties;
+      tc "pqueue mixed stress" test_pqueue_mixed;
+      tc "pqueue peek/clear" test_pqueue_peek_clear;
+      tc "bitset basic" test_bitset_basic;
+      tc "bitset union/subset" test_bitset_union_subset;
+      tc "bitset bounds" test_bitset_bounds;
+      prop_bitset_roundtrip;
+      tc "sorted list ops" test_sorted_ops;
+      tc "sorted set algebra" test_sorted_set_algebra;
+    ] )

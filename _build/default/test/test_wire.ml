@@ -1,0 +1,129 @@
+open Helpers
+module Wire = Haec.Wire
+
+let roundtrip enc_f dec_f v =
+  Wire.decode (Wire.encode (fun e -> enc_f e v)) dec_f
+
+let test_uint_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) "uint" n (roundtrip Wire.Encoder.uint Wire.Decoder.uint n))
+    [ 0; 1; 127; 128; 300; 16383; 16384; 1_000_000; max_int ]
+
+let test_int_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) "int" n (roundtrip Wire.Encoder.int Wire.Decoder.int n))
+    [ 0; 1; -1; 63; -64; 64; -65; 1_000_000; -1_000_000; max_int; min_int ]
+
+let test_varint_compact () =
+  let size n = String.length (Wire.encode (fun e -> Wire.Encoder.uint e n)) in
+  Alcotest.(check int) "small is 1 byte" 1 (size 127);
+  Alcotest.(check int) "128 is 2 bytes" 2 (size 128);
+  Alcotest.(check int) "16383 is 2 bytes" 2 (size 16383);
+  Alcotest.(check int) "16384 is 3 bytes" 3 (size 16384)
+
+let test_string_list_option () =
+  let v = ([ "a"; ""; "xyz" ], Some "q") in
+  let enc e (l, o) =
+    Wire.Encoder.list e Wire.Encoder.string l;
+    Wire.Encoder.option e Wire.Encoder.string o
+  in
+  let dec d =
+    let l = Wire.Decoder.list d Wire.Decoder.string in
+    let o = Wire.Decoder.option d Wire.Decoder.string in
+    (l, o)
+  in
+  let l, o = roundtrip enc dec v in
+  Alcotest.(check (list string)) "list" [ "a"; ""; "xyz" ] l;
+  Alcotest.(check (option string)) "option" (Some "q") o
+
+let test_pair_bool_array () =
+  let enc e (b, arr) =
+    Wire.Encoder.pair e Wire.Encoder.bool (fun e -> Wire.Encoder.array e Wire.Encoder.int) (b, arr)
+  in
+  let dec d =
+    Wire.Decoder.pair d Wire.Decoder.bool (fun d -> Wire.Decoder.array d Wire.Decoder.int)
+  in
+  let b, arr = roundtrip enc dec (true, [| 1; -2; 3 |]) in
+  Alcotest.(check bool) "bool" true b;
+  Alcotest.(check (array int)) "array" [| 1; -2; 3 |] arr
+
+let test_malformed () =
+  let raises s f =
+    match f () with
+    | exception Wire.Decoder.Malformed _ -> ()
+    | _ -> Alcotest.failf "%s: expected Malformed" s
+  in
+  raises "truncated varint" (fun () -> Wire.decode "\x80" Wire.Decoder.uint);
+  raises "truncated string" (fun () -> Wire.decode "\x05ab" Wire.Decoder.string);
+  raises "trailing garbage" (fun () -> Wire.decode "\x01\x02" Wire.Decoder.uint);
+  raises "bad bool" (fun () -> Wire.decode "\x07" Wire.Decoder.bool);
+  raises "huge list length" (fun () ->
+      Wire.decode "\xff\xff\x03" (fun d -> Wire.Decoder.list d Wire.Decoder.uint))
+
+let test_decoder_order () =
+  (* decoding is strictly sequential left-to-right *)
+  let s =
+    Wire.encode (fun e ->
+        Wire.Encoder.uint e 1;
+        Wire.Encoder.uint e 2;
+        Wire.Encoder.uint e 3)
+  in
+  let got =
+    Wire.decode s (fun d ->
+        (* bind sequentially: list literals evaluate right-to-left *)
+        let a = Wire.Decoder.uint d in
+        let b = Wire.Decoder.uint d in
+        let c = Wire.Decoder.uint d in
+        [ a; b; c ])
+  in
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] got
+
+let test_size_accounting () =
+  let e = Wire.Encoder.create () in
+  Wire.Encoder.uint e 1;
+  Alcotest.(check int) "1 byte" 8 (Wire.Encoder.size_bits e);
+  Wire.Encoder.string e "abc";
+  Alcotest.(check int) "1 + 1 + 3 bytes" 40 (Wire.Encoder.size_bits e);
+  Alcotest.(check int) "size_bits of payload" 40 (Wire.size_bits (Wire.Encoder.to_string e))
+
+let prop_int_roundtrip =
+  q "wire int roundtrip" QCheck2.Gen.int (fun n ->
+      roundtrip Wire.Encoder.int Wire.Decoder.int n = n)
+
+let prop_int_list_roundtrip =
+  q "wire int list roundtrip"
+    QCheck2.Gen.(list int)
+    (fun l ->
+      roundtrip
+        (fun e -> Wire.Encoder.list e Wire.Encoder.int)
+        (fun d -> Wire.Decoder.list d Wire.Decoder.int)
+        l
+      = l)
+
+let prop_string_roundtrip =
+  q "wire string roundtrip" QCheck2.Gen.string (fun s ->
+      roundtrip Wire.Encoder.string Wire.Decoder.string s = s)
+
+let prop_no_decoder_crash =
+  (* arbitrary bytes either decode or raise Malformed; never crash *)
+  q "wire decoder total" QCheck2.Gen.string (fun s ->
+      match Wire.decode s (fun d -> Wire.Decoder.list d Wire.Decoder.int) with
+      | _ -> true
+      | exception Wire.Decoder.Malformed _ -> true)
+
+let suite =
+  ( "wire",
+    [
+      tc "uint roundtrip" test_uint_roundtrip;
+      tc "int roundtrip" test_int_roundtrip;
+      tc "varint compact" test_varint_compact;
+      tc "string/list/option" test_string_list_option;
+      tc "pair/bool/array" test_pair_bool_array;
+      tc "malformed inputs" test_malformed;
+      tc "decoder order" test_decoder_order;
+      tc "size accounting" test_size_accounting;
+      prop_int_roundtrip;
+      prop_int_list_roundtrip;
+      prop_string_roundtrip;
+      prop_no_decoder_crash;
+    ] )
