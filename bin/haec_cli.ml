@@ -82,6 +82,17 @@ let policy_of = function
   | Lossy -> Sim.Net_policy.lossy ()
   | Partition -> Sim.Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:30.0 ()
 
+(* a run that blows its delivery budget is a finding, not a crash dump *)
+let or_divergence f =
+  try f ()
+  with Sim.Runner.Divergence { in_flight; pending; budget } ->
+    Format.printf
+      "DIVERGED: the delivery budget of %d was exhausted with %d deliveries still in \
+       flight and %d replicas holding unsent messages.@."
+      budget in_flight pending;
+    Format.printf "The network never drained — try a larger --ops budget or a kinder --net.@.";
+    exit 3
+
 let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) ~seed ~n
     ~objects ~ops ~policy ~mix ~verbose ~dump =
   let module R = Sim.Runner.Make (S) in
@@ -91,7 +102,7 @@ let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) 
   Sim.Workload.run
     (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
     ~advance:(R.advance_to sim) steps;
-  R.run_until_quiescent sim;
+  or_divergence (fun () -> R.run_until_quiescent sim);
   let quiescent_at =
     List.length (Model.Execution.do_events (R.execution sim))
   in
@@ -157,6 +168,98 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a random workload on a store over a simulated network")
     Term.(const run $ store $ net $ n $ objects $ ops $ seed $ verbose $ dump)
+
+(* ---------- chaos ---------- *)
+
+let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs ~n
+    ~objects ~ops ~policy ~dump_dir =
+  let module C = Sim.Chaos.Make (S) in
+  Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d@." S.name n
+    objects ops runs;
+  Format.printf "%6s  %9s  %7s  %7s  %7s  %7s  %s@." "seed" "converged" "crashes"
+    "dropped" "retrans" "corrupt" "checks failed";
+  let failed = ref 0 in
+  for seed = seed to seed + runs - 1 do
+    let o = C.run ~n ~objects ~ops ~spec_of:(fun _ -> spec) ~mix ~policy ~require ~seed () in
+    let s = o.Sim.Chaos.stats in
+    let fails = Sim.Chaos.failures o in
+    Format.printf "%6d  %9s  %7d  %7d  %7d  %7d  %s@." seed
+      (if Sim.Chaos.converged o then "yes" else "NO")
+      s.Sim.Runner.crashes s.Sim.Runner.dropped s.Sim.Runner.retransmitted
+      s.Sim.Runner.corrupt_rejected
+      (String.concat ", " (List.map fst fails));
+    if not (Sim.Chaos.converged o) then begin
+      incr failed;
+      Format.printf "%a@." Sim.Chaos.pp_outcome o;
+      match dump_dir with
+      | Some dir ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+        let path =
+          Filename.concat dir (Printf.sprintf "chaos-%s-seed%d.trace" S.name seed)
+        in
+        Model.Trace_io.save path o.Sim.Chaos.exec;
+        Format.printf "trace written to %s (replay with: haec_cli replay %s)@." path path
+      | None -> ()
+    end
+  done;
+  if !failed = 0 then begin
+    Format.printf "all %d seeded fault schedules converged.@." runs;
+    `Ok ()
+  end
+  else `Error (false, Printf.sprintf "%d of %d chaos runs failed" !failed runs)
+
+let chaos_cmd =
+  let store =
+    Arg.(
+      value & opt store_conv Causal
+      & info [ "store" ] ~doc:"Store: mvr|causal|cops|state|orset|lww|gossip")
+  in
+  let net = Arg.(value & opt net_conv Reorder & info [ "net" ] ~doc:"Base network: fifo|reorder|lossy|partition") in
+  let n = Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~doc:"Number of replicas") in
+  let objects = Arg.(value & opt int 2 & info [ "objects" ] ~doc:"Number of objects") in
+  let ops = Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Client operations per run") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"First seed") in
+  let runs = Arg.(value & opt int 50 & info [ "runs" ] ~doc:"Consecutive seeds to run") in
+  let dump_dir =
+    Arg.(
+      value
+      & opt (some string) (Some "chaos-failures")
+      & info [ "dump-dir" ] ~doc:"Directory for failing traces (use --dump-dir '' to disable)")
+  in
+  let run store net n objects ops seed runs dump_dir =
+    let policy = policy_of net in
+    let dump_dir = match dump_dir with Some "" -> None | d -> d in
+    let go (module S : Store.Store_intf.S) ~require ~spec mix =
+      chaos_store (module S) ~require ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy
+        ~dump_dir
+    in
+    (* each store is held to the checks its class guarantees under faulty
+       re-delivery: causal stores to causal consistency, the lww register
+       only to convergence (its timestamp arbitration may disagree with
+       trace order), everyone else to witness correctness. OCC is reported
+       but never required — Theorem 6. *)
+    match store with
+    | Mvr -> go (module Store.Mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+               Sim.Workload.register_mix
+    | Causal -> go (module Store.Causal_mvr_store) ~require:`Causal ~spec:Spec.Spec.mvr
+                  Sim.Workload.register_mix
+    | Cops -> go (module Store.Cops_store) ~require:`Causal ~spec:Spec.Spec.mvr
+                Sim.Workload.register_mix
+    | State -> go (module Store.State_mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+                 Sim.Workload.register_mix
+    | Orset -> go (module Store.Orset_store) ~require:`Correct ~spec:Spec.Spec.orset
+                 Sim.Workload.orset_mix
+    | Lww -> go (module Store.Lww_store) ~require:`Converge ~spec:Spec.Spec.rw_register
+               Sim.Workload.register_mix
+    | Gossip -> go (module Store.Gossip_relay_store) ~require:`Correct ~spec:Spec.Spec.mvr
+                  Sim.Workload.register_mix
+    | Counter | Delayed | Gsp ->
+      `Error (false, "chaos supports: mvr|causal|cops|state|orset|lww|gossip")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Crash, drop and corrupt under seeded random fault schedules, then check convergence")
+    Term.(ret (const run $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir))
 
 (* ---------- theorem demos ---------- *)
 
@@ -262,7 +365,7 @@ let render_cmd =
       Sim.Workload.run
         (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
         ~advance:(R.advance_to sim) steps;
-      R.run_until_quiescent sim;
+      or_divergence (fun () -> R.run_until_quiescent sim);
       let dot =
         match what with
         | `Witness ->
@@ -295,6 +398,7 @@ let main =
       list_cmd;
       experiment_cmd;
       simulate_cmd;
+      chaos_cmd;
       theorem12_cmd;
       theorem6_cmd;
       render_cmd;

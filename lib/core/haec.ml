@@ -59,6 +59,7 @@ end
 
 module Store = struct
   module Store_intf = Haec_store.Store_intf
+  module Durable = Haec_store.Durable
   module Object_layer = Haec_store.Object_layer
   module Eager_core = Haec_store.Eager_core
   module Causal_core = Haec_store.Causal_core
@@ -79,10 +80,12 @@ end
 
 module Sim = struct
   module Net_policy = Haec_sim.Net_policy
+  module Fault_plan = Haec_sim.Fault_plan
   module Runner = Haec_sim.Runner
   module Workload = Haec_sim.Workload
   module Scenario = Haec_sim.Scenario
   module Checks = Haec_sim.Checks
+  module Chaos = Haec_sim.Chaos
 end
 
 module Viz = struct

@@ -43,6 +43,11 @@ let all =
       title = E17_dependency_tracking.title;
       run = E17_dependency_tracking.run;
     };
+    {
+      id = E18_fault_recovery.name;
+      title = E18_fault_recovery.title;
+      run = E18_fault_recovery.run;
+    };
   ]
 
 let find id =

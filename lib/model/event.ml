@@ -9,35 +9,45 @@ type t =
   | Do of do_event
   | Send of { replica : int; msg : Message.t }
   | Receive of { replica : int; msg : Message.t }
+  | Crash of { replica : int }
+  | Recover of { replica : int }
 
 type action =
   | Act_do
   | Act_send
   | Act_receive
+  | Act_crash
+  | Act_recover
 
 let replica = function
-  | Do { replica; _ } | Send { replica; _ } | Receive { replica; _ } -> replica
+  | Do { replica; _ }
+  | Send { replica; _ }
+  | Receive { replica; _ }
+  | Crash { replica }
+  | Recover { replica } -> replica
 
 let act = function
   | Do _ -> Act_do
   | Send _ -> Act_send
   | Receive _ -> Act_receive
+  | Crash _ -> Act_crash
+  | Recover _ -> Act_recover
 
 let msg = function
-  | Do _ -> None
+  | Do _ | Crash _ | Recover _ -> None
   | Send { msg; _ } | Receive { msg; _ } -> Some msg
 
-let as_do = function Do d -> Some d | Send _ | Receive _ -> None
+let as_do = function Do d -> Some d | Send _ | Receive _ | Crash _ | Recover _ -> None
 
-let is_do = function Do _ -> true | Send _ | Receive _ -> false
+let is_do = function Do _ -> true | Send _ | Receive _ | Crash _ | Recover _ -> false
 
 let is_write_do = function
   | Do { op; _ } -> Op.is_update op
-  | Send _ | Receive _ -> false
+  | Send _ | Receive _ | Crash _ | Recover _ -> false
 
 let is_read_do = function
   | Do { op; _ } -> Op.is_read op
-  | Send _ | Receive _ -> false
+  | Send _ | Receive _ | Crash _ | Recover _ -> false
 
 let pp_do ppf { replica; obj; op; rval } =
   Format.fprintf ppf "do@%d(o%d, %a) -> %a" replica obj Op.pp op Op.pp_response rval
@@ -47,3 +57,5 @@ let pp ppf = function
   | Send { replica; msg } -> Format.fprintf ppf "send@%d(%a)" replica Message.pp msg
   | Receive { replica; msg } ->
     Format.fprintf ppf "recv@%d(%a)" replica Message.pp msg
+  | Crash { replica } -> Format.fprintf ppf "crash@%d" replica
+  | Recover { replica } -> Format.fprintf ppf "recover@%d" replica

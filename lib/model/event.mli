@@ -3,7 +3,14 @@
     Three kinds, exactly as in the paper: a [do] models a client invoking an
     operation and immediately receiving a response (high availability: no
     communication happens inside a [do]); [send] broadcasts a message;
-    [receive] delivers one. *)
+    [receive] delivers one.
+
+    Beyond the paper's failure-free model, an execution may also record
+    crash–recovery faults: [crash] marks the instant a replica loses its
+    volatile state and stops taking events, [recover] the instant it
+    resumes from durable state. Between a [crash] and its matching
+    [recover] the replica has no events at all — well-formedness
+    ({!Execution.check_well_formed}) enforces this. *)
 
 type do_event = {
   replica : int;
@@ -16,11 +23,15 @@ type t =
   | Do of do_event
   | Send of { replica : int; msg : Message.t }
   | Receive of { replica : int; msg : Message.t }
+  | Crash of { replica : int }
+  | Recover of { replica : int }
 
 type action =
   | Act_do
   | Act_send
   | Act_receive
+  | Act_crash
+  | Act_recover
 
 val replica : t -> int
 (** [R(e)]: the replica at which the event occurs. *)

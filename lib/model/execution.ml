@@ -43,6 +43,7 @@ let do_projection t r =
 
 let check_well_formed t =
   let sent : (Message.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let down = Array.make t.n false in
   let exception Bad of string in
   try
     Array.iteri
@@ -50,6 +51,12 @@ let check_well_formed t =
         let r = Event.replica e in
         if r < 0 || r >= t.n then
           raise (Bad (Printf.sprintf "event %d at out-of-range replica %d" i r));
+        (* a crashed replica takes no events until it recovers *)
+        (match e with
+        | Event.Crash _ | Event.Recover _ -> ()
+        | Event.Do _ | Event.Send _ | Event.Receive _ ->
+          if down.(r) then
+            raise (Bad (Printf.sprintf "event %d at crashed replica %d" i r)));
         match e with
         | Event.Send { msg; _ } ->
           if msg.Message.sender <> r then
@@ -63,6 +70,14 @@ let check_well_formed t =
           | Some _ ->
             if msg.Message.sender = r then
               raise (Bad (Printf.sprintf "event %d: replica %d receives its own message" i r)))
+        | Event.Crash _ ->
+          if down.(r) then
+            raise (Bad (Printf.sprintf "event %d: replica %d crashes while down" i r));
+          down.(r) <- true
+        | Event.Recover _ ->
+          if not down.(r) then
+            raise (Bad (Printf.sprintf "event %d: replica %d recovers while up" i r));
+          down.(r) <- false
         | Event.Do _ -> ())
       t.events;
     Ok ()
@@ -77,7 +92,9 @@ let subsequence t ~keep =
 
 let messages_sent t =
   List.filter_map
-    (function Event.Send { msg; _ } -> Some msg | Event.Do _ | Event.Receive _ -> None)
+    (function
+      | Event.Send { msg; _ } -> Some msg
+      | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ -> None)
     (events t)
 
 let total_message_bits t =

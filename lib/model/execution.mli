@@ -42,10 +42,12 @@ val do_projection : t -> int -> Event.do_event list
 val check_well_formed : t -> (unit, string) result
 (** The structural half of Definition 1: every [receive(m)] is preceded by
     the [send(m)] event of a different replica, and each replica's send
-    sequence numbers are distinct. (State-machine well-formedness — that
-    each replica's subsequence is a run of its transition function — is
-    guaranteed by construction when executions are produced by the
-    simulator, and checked there.) *)
+    sequence numbers are distinct. Crash–recovery faults must alternate
+    per replica ([crash] only while up, [recover] only while down) and a
+    crashed replica has no do/send/receive events until it recovers.
+    (State-machine well-formedness — that each replica's subsequence is a
+    run of its transition function — is guaranteed by construction when
+    executions are produced by the simulator, and checked there.) *)
 
 val is_well_formed : t -> bool
 

@@ -1,3 +1,5 @@
+open Haec_wire
+
 type t =
   | Read
   | Write of Value.t
@@ -32,6 +34,26 @@ let compare_response a b =
   | Vals xs, Vals ys -> List.compare Value.compare xs ys
 
 let equal_response a b = compare_response a b = 0
+
+let encode enc = function
+  | Read -> Wire.Encoder.uint enc 0
+  | Write v ->
+    Wire.Encoder.uint enc 1;
+    Value.encode enc v
+  | Add v ->
+    Wire.Encoder.uint enc 2;
+    Value.encode enc v
+  | Remove v ->
+    Wire.Encoder.uint enc 3;
+    Value.encode enc v
+
+let decode dec =
+  match Wire.Decoder.uint dec with
+  | 0 -> Read
+  | 1 -> Write (Value.decode dec)
+  | 2 -> Add (Value.decode dec)
+  | 3 -> Remove (Value.decode dec)
+  | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad op tag %d" tag))
 
 let pp ppf = function
   | Read -> Format.pp_print_string ppf "read"

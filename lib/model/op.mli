@@ -28,6 +28,13 @@ val equal : t -> t -> bool
 val vals : Value.t list -> response
 (** Canonicalize (sort, dedup) and wrap. *)
 
+val encode : Haec_wire.Wire.Encoder.t -> t -> unit
+(** Tagged wire encoding, shared by trace serialization and the durable
+    store's write-ahead log. *)
+
+val decode : Haec_wire.Wire.Decoder.t -> t
+(** Raises [Haec_wire.Wire.Decoder.Malformed] on an unknown tag. *)
+
 val compare_response : response -> response -> int
 
 val equal_response : response -> response -> bool

@@ -2,28 +2,9 @@ open Haec_wire
 
 let magic = "HAEC"
 
-let version = 1
-
-let encode_op enc op =
-  match op with
-  | Op.Read -> Wire.Encoder.uint enc 0
-  | Op.Write v ->
-    Wire.Encoder.uint enc 1;
-    Value.encode enc v
-  | Op.Add v ->
-    Wire.Encoder.uint enc 2;
-    Value.encode enc v
-  | Op.Remove v ->
-    Wire.Encoder.uint enc 3;
-    Value.encode enc v
-
-let decode_op dec =
-  match Wire.Decoder.uint dec with
-  | 0 -> Op.Read
-  | 1 -> Op.Write (Value.decode dec)
-  | 2 -> Op.Add (Value.decode dec)
-  | 3 -> Op.Remove (Value.decode dec)
-  | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad op tag %d" tag))
+(* version 2 added crash/recover fault events; version 1 traces (no fault
+   events) decode unchanged *)
+let version = 2
 
 let encode_response enc = function
   | Op.Ok -> Wire.Encoder.uint enc 0
@@ -53,7 +34,7 @@ let encode_event enc = function
     Wire.Encoder.uint enc 0;
     Wire.Encoder.uint enc replica;
     Wire.Encoder.uint enc obj;
-    encode_op enc op;
+    Op.encode enc op;
     encode_response enc rval
   | Event.Send { replica; msg } ->
     Wire.Encoder.uint enc 1;
@@ -63,13 +44,19 @@ let encode_event enc = function
     Wire.Encoder.uint enc 2;
     Wire.Encoder.uint enc replica;
     encode_message enc msg
+  | Event.Crash { replica } ->
+    Wire.Encoder.uint enc 3;
+    Wire.Encoder.uint enc replica
+  | Event.Recover { replica } ->
+    Wire.Encoder.uint enc 4;
+    Wire.Encoder.uint enc replica
 
 let decode_event dec =
   match Wire.Decoder.uint dec with
   | 0 ->
     let replica = Wire.Decoder.uint dec in
     let obj = Wire.Decoder.uint dec in
-    let op = decode_op dec in
+    let op = Op.decode dec in
     let rval = decode_response dec in
     Event.Do { replica; obj; op; rval }
   | 1 ->
@@ -80,6 +67,12 @@ let decode_event dec =
     let replica = Wire.Decoder.uint dec in
     let msg = decode_message dec in
     Event.Receive { replica; msg }
+  | 3 ->
+    let replica = Wire.Decoder.uint dec in
+    Event.Crash { replica }
+  | 4 ->
+    let replica = Wire.Decoder.uint dec in
+    Event.Recover { replica }
   | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad event tag %d" tag))
 
 let encode_execution enc exec =
@@ -92,7 +85,7 @@ let decode_execution dec =
   let m = Wire.Decoder.string dec in
   if m <> magic then raise (Wire.Decoder.Malformed "not a haec trace");
   let v = Wire.Decoder.uint dec in
-  if v <> version then
+  if v < 1 || v > version then
     raise (Wire.Decoder.Malformed (Printf.sprintf "unsupported trace version %d" v));
   let n = Wire.Decoder.uint dec in
   if n <= 0 then raise (Wire.Decoder.Malformed "bad replica count");

@@ -1,0 +1,161 @@
+open Haec_util
+open Haec_model
+open Haec_spec
+open Haec_wire
+
+(* Which checks a store class is on the hook for. Every store must stay
+   well-formed, comply with its witness, and converge post-heal; most also
+   keep the witness correct. [`Causal] adds the causal-consistency check —
+   only stores with causal delivery guarantee it under the arbitrary
+   re-delivery orders faults induce. OCC is reported but never required:
+   Theorem 6 is precisely that no available store satisfies it in all
+   executions, and chaos schedules do find the violating patterns. *)
+type level = [ `Converge | `Correct | `Causal ]
+
+type outcome = {
+  seed : int;
+  plan : Fault_plan.t;
+  require : level;
+  stats : Runner.stats;
+  exec : Execution.t;
+  ops : int;
+  skipped : int;
+  result : (Checks.report, string) result;
+}
+
+let required level =
+  [ "well-formed"; "complies"; "eventual" ]
+  @ (match level with `Converge -> [] | `Correct | `Causal -> [ "correct" ])
+  @ match level with `Causal -> [ "causal" ] | `Converge | `Correct -> []
+
+let failures o =
+  match o.result with
+  | Ok r ->
+    let names = required o.require in
+    List.filter (fun (name, _) -> List.mem name names) (Checks.failures r)
+  | Error e -> [ ("run", e) ]
+
+let converged o = failures o = []
+
+let pp_outcome ppf o =
+  let s = o.stats in
+  Format.fprintf ppf
+    "@[<v>seed %d: %s@,%a\
+     crashes=%d recoveries=%d dropped=%d retransmitted=%d corrupt_rejected=%d@,\
+     %d ops (%d skipped, all replicas down), %d events@]"
+    o.seed
+    (if converged o then "converged" else "FAILED")
+    Fault_plan.pp o.plan s.Runner.crashes s.Runner.recoveries s.Runner.dropped
+    s.Runner.retransmitted s.Runner.corrupt_rejected o.ops o.skipped
+    (Execution.length o.exec);
+  match o.result with
+  | Ok r ->
+    List.iter
+      (fun (name, m) -> Format.fprintf ppf "@,%s: %s" name m)
+      (Checks.failures r)
+  | Error e -> Format.fprintf ppf "@,%s" e
+
+module Make (S : Haec_store.Store_intf.S) = struct
+  module D = Haec_store.Durable.Make (S)
+  module R = Runner.Make (D)
+
+  (* First live replica at or after [r], if any — a client whose home
+     replica is down fails over to another one (availability!). *)
+  let failover sim ~n r =
+    let rec go k = if k = n then None else
+      let r' = (r + k) mod n in
+      if R.is_down sim ~replica:r' then go (k + 1) else Some r'
+    in
+    go 0
+
+  let run ?(n = 3) ?(objects = 2) ?(ops = 40) ?(spec_of = fun (_ : int) -> Spec.mvr)
+      ?(mix = Workload.register_mix) ?policy ?(max_events = 200_000)
+      ?(require = `Correct) ~seed () =
+    let policy =
+      match policy with Some p -> p | None -> Net_policy.random_delay ()
+    in
+    let rng = Rng.create seed in
+    (* client steps are spaced 1.0 apart, so the fault horizon leaves room
+       for every window to open during the workload and heal after it *)
+    let horizon = float_of_int ops +. 10.0 in
+    let plan = Fault_plan.random rng ~n ~horizon () in
+    let sim =
+      R.create ~seed ~n ~policy ~faults:plan
+        ~recover_state:(fun ~replica:_ st -> D.recover st)
+        ()
+    in
+    let steps = Workload.generate ~rng ~n ~objects ~ops mix in
+    let skipped = ref 0 in
+    let executed = ref 0 in
+    (* interleave the fault schedule with the client workload by time *)
+    let faults = ref (Fault_plan.events plan) in
+    let fire_up_to time =
+      let rec go () =
+        match !faults with
+        | { Fault_plan.at; what } :: rest when at <= time ->
+          faults := rest;
+          R.advance_to sim at;
+          (match what with
+          | `Crash r -> R.crash sim ~replica:r
+          | `Recover r -> R.recover sim ~replica:r);
+          go ()
+        | _ -> ()
+      in
+      go ()
+    in
+    List.iter
+      (fun (s : Workload.step) ->
+        fire_up_to s.at;
+        R.advance_to sim s.at;
+        match failover sim ~n s.replica with
+        | None -> incr skipped (* every replica is down: no one to serve *)
+        | Some replica ->
+          incr executed;
+          ignore (R.op sim ~replica ~obj:s.obj s.op))
+      steps;
+    (* past the workload: let the remaining faults strike and heal *)
+    fire_up_to horizon;
+    R.advance_to sim horizon;
+    let finish () =
+      R.run_until_quiescent ~max_events sim;
+      let quiescent_at = List.length (Execution.do_events (R.execution sim)) in
+      for obj = 0 to objects - 1 do
+        for replica = 0 to n - 1 do
+          ignore (R.op sim ~replica ~obj Op.Read)
+        done
+      done;
+      let exec = R.execution sim in
+      let witness = R.witness_abstract sim in
+      let report = Checks.validate ~spec_of ~quiescent_at exec witness in
+      (* fold post-quiescence read agreement (Lemma 3) into the eventual
+         check, as the experiment harness does *)
+      match
+        ( report.Checks.eventual,
+          Haec_consistency.Eventual.check_reads_agree exec ~suffix:(n * objects) )
+      with
+      | Ok (), (Error _ as e) -> { report with Checks.eventual = e }
+      | _ -> report
+    in
+    let result =
+      match finish () with
+      | report -> Ok report
+      | exception Runner.Divergence { in_flight; pending; budget } ->
+        Error
+          (Printf.sprintf
+             "diverged: %d deliveries in flight, %d replicas pending after %d events"
+             in_flight pending budget)
+      | exception Wire.Decoder.Malformed m ->
+        (* must never happen: corruption is rejected inside the runner *)
+        Error (Printf.sprintf "corruption escaped the frame check: %s" m)
+    in
+    {
+      seed;
+      plan;
+      require;
+      stats = R.stats sim;
+      exec = R.execution sim;
+      ops = !executed;
+      skipped = !skipped;
+      result;
+    }
+end

@@ -1,0 +1,67 @@
+(** Chaos harness: seeded random fault schedules against a store.
+
+    One chaos run wraps the store in {!Haec_store.Durable.Make}, draws a
+    random {!Fault_plan.t} from the seed, and interleaves it with a random
+    client workload: replicas crash mid-run (losing volatile state, in-flight
+    deliveries, and their clients, who fail over to a live replica), links
+    drop traffic until they heal, and payloads get corrupted at the byte
+    level. After the horizon — when every fault has healed — the run is
+    driven to quiescence, {!Checks.validate} runs in full, and every check
+    the store class is on the hook for (see {!level}) must pass:
+    convergence survived the faults, corruption never got past the frame
+    checksum, and recovery replayed every durable update.
+
+    Everything is deterministic in the seed, so a failing outcome is
+    reproducible bit-for-bit from its seed alone (the CLI also dumps the
+    trace for offline replay). *)
+
+open Haec_model
+open Haec_spec
+
+type level = [ `Converge | `Correct | `Causal ]
+(** Which checks the store is on the hook for. [`Converge]: well-formed,
+    complies with its witness, and reads agree post-heal — every store's
+    contract. [`Correct] (the default) adds correctness of the witness.
+    [`Causal] adds causal consistency — only stores with causal delivery
+    guarantee it under the re-delivery orders faults induce. OCC is
+    reported but never required: Theorem 6 shows no available store
+    satisfies it in all executions, and chaos schedules do find the
+    violating patterns. *)
+
+type outcome = {
+  seed : int;
+  plan : Fault_plan.t;
+  require : level;
+  stats : Runner.stats;
+  exec : Execution.t;
+  ops : int;  (** client operations executed (after failover) *)
+  skipped : int;  (** operations dropped because every replica was down *)
+  result : (Checks.report, string) result;
+      (** [Error] when the run diverged instead of reaching quiescence *)
+}
+
+val converged : outcome -> bool
+(** The run quiesced and every required check passed. *)
+
+val failures : outcome -> (string * string) list
+(** [(check, reason)] pairs among the required checks; empty iff
+    {!converged}. *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+module Make (S : Haec_store.Store_intf.S) : sig
+  val run :
+    ?n:int ->
+    ?objects:int ->
+    ?ops:int ->
+    ?spec_of:(int -> Spec.t) ->
+    ?mix:Workload.mix ->
+    ?policy:Net_policy.t ->
+    ?max_events:int ->
+    ?require:level ->
+    seed:int ->
+    unit ->
+    outcome
+  (** One seeded chaos run (defaults: 3 replicas, 2 objects, 40 ops,
+      MVR spec, register mix, random-delay policy, [`Correct] bar). *)
+end

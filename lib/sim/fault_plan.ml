@@ -1,0 +1,159 @@
+open Haec_util
+
+type crash_window = { replica : int; at : float; recover_at : float }
+
+type link_fault = { src : int; dst : int; from_ : float; until : float }
+
+type corruption = { p : float; from_ : float; until : float }
+
+type t = {
+  crashes : crash_window list;
+  links : link_fault list;
+  corruption : corruption option;
+  horizon : float;
+}
+
+let none = { crashes = []; links = []; corruption = None; horizon = 0.0 }
+
+let validate t =
+  List.iter
+    (fun c ->
+      if c.at >= c.recover_at then invalid_arg "Fault_plan: crash window must be positive";
+      if c.recover_at > t.horizon then invalid_arg "Fault_plan: recovery past the horizon")
+    t.crashes;
+  (* per-replica windows must not overlap: the runner rejects a crash of an
+     already-down replica *)
+  let by_replica =
+    List.sort
+      (fun a b ->
+        match Int.compare a.replica b.replica with
+        | 0 -> Float.compare a.at b.at
+        | c -> c)
+      t.crashes
+  in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+      if a.replica = b.replica && b.at < a.recover_at then
+        invalid_arg "Fault_plan: overlapping crash windows for one replica";
+      check rest
+    | _ -> ()
+  in
+  check by_replica;
+  List.iter
+    (fun (l : link_fault) ->
+      if l.from_ >= l.until then invalid_arg "Fault_plan: link window must be positive";
+      if l.until > t.horizon then invalid_arg "Fault_plan: link heals past the horizon")
+    t.links;
+  (match t.corruption with
+  | Some c ->
+    if c.p < 0.0 || c.p > 1.0 then invalid_arg "Fault_plan: corruption probability";
+    if c.until > t.horizon then invalid_arg "Fault_plan: corruption past the horizon"
+  | None -> ());
+  t
+
+let make ?(crashes = []) ?(links = []) ?corruption ~horizon () =
+  validate { crashes; links; corruption; horizon }
+
+type event = { at : float; what : [ `Crash of int | `Recover of int ] }
+
+let events t =
+  let evs =
+    List.concat_map
+      (fun (c : crash_window) ->
+        [
+          { at = c.at; what = `Crash c.replica };
+          { at = c.recover_at; what = `Recover c.replica };
+        ])
+      t.crashes
+  in
+  List.stable_sort (fun a b -> Float.compare a.at b.at) evs
+
+let link_dropped t ~src ~dst ~at =
+  List.find_map
+    (fun l ->
+      if l.src = src && l.dst = dst && at >= l.from_ && at < l.until then Some l.until
+      else None)
+    t.links
+
+let corruption_p t ~now =
+  match t.corruption with
+  | Some c when now >= c.from_ && now < c.until -> c.p
+  | Some _ | None -> 0.0
+
+let active t ~now = now < t.horizon && (t.crashes <> [] || t.links <> [] || t.corruption <> None)
+
+(* Byte-level mutations of a sealed payload. Every shape either breaks the
+   frame structure or flips content bytes the checksum covers. *)
+let mutate rng s =
+  let len = String.length s in
+  if len = 0 then "\x2a"
+  else
+    match Rng.int rng 4 with
+    | 0 ->
+      (* flip one byte *)
+      let i = Rng.int rng len in
+      let b = Bytes.of_string s in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Rng.int rng 255)));
+      Bytes.to_string b
+    | 1 -> String.sub s 0 (Rng.int rng len) (* truncate *)
+    | 2 ->
+      (* append garbage *)
+      let extra = 1 + Rng.int rng 4 in
+      s ^ String.init extra (fun _ -> Char.chr (Rng.int rng 256))
+    | _ ->
+      (* zero a short run of bytes *)
+      let i = Rng.int rng len in
+      let run = min (1 + Rng.int rng 4) (len - i) in
+      let b = Bytes.of_string s in
+      Bytes.fill b i run '\x00';
+      Bytes.to_string b
+
+let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.15) () =
+  if n <= 0 then invalid_arg "Fault_plan.random: n must be positive";
+  if horizon <= 0.0 then invalid_arg "Fault_plan.random: horizon must be positive";
+  (* crash windows in the first ~70% of the horizon, recoveries strictly
+     before it, at most one window per replica so windows never overlap *)
+  let replicas = Array.init n (fun r -> r) in
+  Rng.shuffle rng replicas;
+  let n_crashes = Rng.int rng (1 + min max_crashes n) in
+  let crashes =
+    List.init n_crashes (fun i ->
+        let replica = replicas.(i) in
+        let at = 0.05 *. horizon +. Rng.float rng (0.6 *. horizon) in
+        let dur = (0.05 +. Rng.float rng 0.2) *. horizon in
+        let recover_at = Float.min (at +. dur) (0.95 *. horizon) in
+        { replica; at; recover_at })
+  in
+  let n_links = Rng.int rng (max_links + 1) in
+  let links =
+    List.init n_links (fun _ ->
+        let src = Rng.int rng n in
+        let dst = (src + 1 + Rng.int rng (max 1 (n - 1))) mod n in
+        let from_ = Rng.float rng (0.7 *. horizon) in
+        let until = Float.min (from_ +. ((0.05 +. Rng.float rng 0.25) *. horizon)) (0.95 *. horizon) in
+        { src; dst; from_; until })
+  in
+  let links =
+    List.filter (fun (l : link_fault) -> l.from_ < l.until && l.src <> l.dst) links
+  in
+  let corruption =
+    if Rng.chance rng 0.7 then
+      let from_ = Rng.float rng (0.5 *. horizon) in
+      let until = Float.min (from_ +. ((0.1 +. Rng.float rng 0.3) *. horizon)) (0.95 *. horizon) in
+      if from_ < until then Some { p = corrupt_p; from_; until } else None
+    else None
+  in
+  validate { crashes; links; corruption; horizon }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>horizon %.1f@," t.horizon;
+  List.iter
+    (fun c -> Format.fprintf ppf "crash R%d [%.1f, %.1f)@," c.replica c.at c.recover_at)
+    t.crashes;
+  List.iter
+    (fun l -> Format.fprintf ppf "drop %d->%d [%.1f, %.1f)@," l.src l.dst l.from_ l.until)
+    t.links;
+  (match t.corruption with
+  | Some c -> Format.fprintf ppf "corrupt p=%.2f [%.1f, %.1f)@," c.p c.from_ c.until
+  | None -> ());
+  Format.fprintf ppf "@]"

@@ -1,0 +1,87 @@
+(** Timed fault schedules for the simulator.
+
+    A plan describes, against one run's virtual clock, which faults strike
+    and when every one of them has healed:
+
+    - {b crash windows}: replica [r] crashes at [at], losing its volatile
+      state and every in-flight delivery addressed to it, and recovers from
+      durable state at [recover_at];
+    - {b link faults}: messages from [src] to [dst] whose delivery would
+      fall inside the window are dropped by the network and retransmitted
+      after the window closes ("drops that heal");
+    - {b corruption}: while active, each delivery is corrupted at the byte
+      level with probability [p]; the checksummed transport envelope
+      ({!Haec_wire.Wire.Frame}) must reject every such delivery as
+      [Malformed], after which it is retransmitted clean.
+
+    All faults heal strictly before [horizon], so a run driven past the
+    horizon and then to quiescence must converge — that is the chaos
+    harness's acceptance bar. *)
+
+open Haec_util
+
+type crash_window = { replica : int; at : float; recover_at : float }
+
+type link_fault = { src : int; dst : int; from_ : float; until : float }
+
+type corruption = { p : float; from_ : float; until : float }
+
+type t = {
+  crashes : crash_window list;
+  links : link_fault list;
+  corruption : corruption option;
+  horizon : float;
+}
+
+val none : t
+(** The empty plan: no faults, horizon 0. *)
+
+val make :
+  ?crashes:crash_window list ->
+  ?links:link_fault list ->
+  ?corruption:corruption ->
+  horizon:float ->
+  unit ->
+  t
+(** Validates the plan: positive windows, per-replica crash windows
+    disjoint, everything healed by [horizon]. Raises [Invalid_argument]
+    otherwise. *)
+
+val random :
+  Rng.t ->
+  n:int ->
+  horizon:float ->
+  ?max_crashes:int ->
+  ?max_links:int ->
+  ?corrupt_p:float ->
+  unit ->
+  t
+(** A seeded random plan: up to [max_crashes] crash windows (at most one
+    per replica), up to [max_links] link faults, and with probability 0.7 a
+    corruption window with per-delivery probability [corrupt_p]
+    (default 0.15). Deterministic in the generator state. *)
+
+type event = { at : float; what : [ `Crash of int | `Recover of int ] }
+
+val events : t -> event list
+(** Crash and recover instants, sorted by time. *)
+
+val link_dropped : t -> src:int -> dst:int -> at:float -> float option
+(** If a delivery on [src -> dst] at time [at] falls in a link fault
+    window, the time at which that window heals. *)
+
+val corruption_p : t -> now:float -> float
+(** The per-delivery corruption probability in force at [now] (0 outside
+    any corruption window). *)
+
+val active : t -> now:float -> bool
+(** Whether any fault can still strike at or after [now]. *)
+
+val mutate : Rng.t -> string -> string
+(** A random byte-level mutation: flip a byte, truncate, append garbage,
+    or zero a short run. Never the identity on non-degenerate input shapes
+    (a zeroing pass can be one, which the checksum then accepts — callers
+    treat an accepted frame with unchanged bytes as an uncorrupted
+    delivery). *)
+
+val pp : Format.formatter -> t -> unit

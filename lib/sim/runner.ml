@@ -2,6 +2,18 @@ open Haec_util
 open Haec_model
 open Haec_spec
 open Haec_vclock
+open Haec_wire
+
+exception Divergence of { in_flight : int; pending : int; budget : int }
+
+type stats = {
+  crashes : int;
+  recoveries : int;
+  dropped : int;
+  retransmitted : int;
+  corrupt_rejected : int;
+  corrupt_collisions : int;
+}
 
 module Make (S : Haec_store.Store_intf.S) = struct
   type delivery = { dst : int; msg : Message.t }
@@ -10,13 +22,26 @@ module Make (S : Haec_store.Store_intf.S) = struct
     n : int;
     rng : Rng.t;
     policy : Net_policy.t option;
+    faults : Fault_plan.t option;
+    recover_state : replica:int -> S.state -> S.state;
     auto_send : bool;
     record_witness : bool;
     states : S.state array;
+    down : bool array;
+    mutable lost_rev : delivery list;
+        (** deliveries the network lost (crashed destination, faulted link);
+            owed a retransmission once the destination is back *)
     mutable events_rev : Event.t list;
     send_seq : int array;
     queue : delivery Pqueue.t;
     mutable now_ : float;
+    (* fault statistics *)
+    mutable s_crashes : int;
+    mutable s_recoveries : int;
+    mutable s_dropped : int;
+    mutable s_retransmitted : int;
+    mutable s_corrupt_rejected : int;
+    mutable s_corrupt_collisions : int;
     (* witness bookkeeping, indexed by do-event position in H *)
     mutable do_count : int;
     dot_pos : (int * Dot.t, int) Hashtbl.t;  (* (obj, dot) -> do index *)
@@ -26,19 +51,30 @@ module Make (S : Haec_store.Store_intf.S) = struct
     mutable fifo_last : float array;
   }
 
-  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?policy ~n () =
+  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?policy ?faults
+      ?(recover_state = fun ~replica:_ st -> st) ~n () =
     if n <= 0 then invalid_arg "Runner.create: n must be positive";
     {
       n;
       rng = Rng.create seed;
       policy;
+      faults;
+      recover_state;
       auto_send;
       record_witness;
       states = Array.init n (fun me -> S.init ~n ~me);
+      down = Array.make n false;
+      lost_rev = [];
       events_rev = [];
       send_seq = Array.make n 0;
       queue = Pqueue.create ();
       now_ = 0.0;
+      s_crashes = 0;
+      s_recoveries = 0;
+      s_dropped = 0;
+      s_retransmitted = 0;
+      s_corrupt_rejected = 0;
+      s_corrupt_collisions = 0;
       do_count = 0;
       dot_pos = Hashtbl.create 64;
       wit_rev = [];
@@ -50,9 +86,31 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let now t = t.now_
 
+  let is_down t ~replica = t.down.(replica)
+
+  let stats t =
+    {
+      crashes = t.s_crashes;
+      recoveries = t.s_recoveries;
+      dropped = t.s_dropped;
+      retransmitted = t.s_retransmitted;
+      corrupt_rejected = t.s_corrupt_rejected;
+      corrupt_collisions = t.s_corrupt_collisions;
+    }
+
   let has_pending t ~replica = S.has_pending t.states.(replica)
 
   let record t e = t.events_rev <- e :: t.events_rev
+
+  let retransmit_delay t ~src ~dst =
+    match t.policy with
+    | Some p -> max 0.01 (p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst)
+    | None -> 1.0
+
+  let requeue t d =
+    t.s_retransmitted <- t.s_retransmitted + 1;
+    let at = t.now_ +. retransmit_delay t ~src:d.msg.Message.sender ~dst:d.dst in
+    Pqueue.add t.queue ~priority:at d
 
   let schedule_deliveries t ~src msg =
     match t.policy with
@@ -71,15 +129,29 @@ module Make (S : Haec_store.Store_intf.S) = struct
             end
             else at
           in
-          Pqueue.add t.queue ~priority:at { dst; msg };
-          match p.Net_policy.duplicate t.rng ~now:t.now_ with
-          | Some extra -> Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg }
-          | None -> ()
+          let link_heal =
+            match t.faults with
+            | Some f -> Fault_plan.link_dropped f ~src ~dst ~at
+            | None -> None
+          in
+          match link_heal with
+          | Some heal ->
+            (* the link eats the packet; the retransmission protocol gets it
+               through once the fault heals *)
+            t.s_dropped <- t.s_dropped + 1;
+            t.s_retransmitted <- t.s_retransmitted + 1;
+            let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
+            Pqueue.add t.queue ~priority:(heal +. d') { dst; msg }
+          | None -> (
+            Pqueue.add t.queue ~priority:at { dst; msg };
+            match p.Net_policy.duplicate t.rng ~now:t.now_ with
+            | Some extra -> Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg }
+            | None -> ())
         end
       done
 
   let flush t ~replica =
-    if not (S.has_pending t.states.(replica)) then None
+    if t.down.(replica) || not (S.has_pending t.states.(replica)) then None
     else begin
       let state, payload = S.send t.states.(replica) in
       t.states.(replica) <- state;
@@ -94,6 +166,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
     if t.auto_send then ignore (flush t ~replica)
 
   let op t ~replica ~obj o =
+    if t.down.(replica) then
+      invalid_arg (Printf.sprintf "Runner.op: replica %d is crashed" replica);
     let state, rval, witness = S.do_op t.states.(replica) ~obj o in
     t.states.(replica) <- state;
     let d = { Event.replica; obj; op = o; rval } in
@@ -113,17 +187,87 @@ module Make (S : Haec_store.Store_intf.S) = struct
   let deliver_msg t ~dst msg =
     if dst = msg.Message.sender then
       invalid_arg "Runner.deliver_msg: replica cannot receive its own message";
+    if t.down.(dst) then
+      invalid_arg (Printf.sprintf "Runner.deliver_msg: replica %d is crashed" dst);
     t.states.(dst) <- S.receive t.states.(dst) ~sender:msg.Message.sender msg.Message.payload;
     record t (Event.Receive { replica = dst; msg });
     (* non-op-driven stores may now have a message pending *)
     auto_flush t ~replica:dst
 
+  let crash t ~replica =
+    if t.down.(replica) then
+      invalid_arg (Printf.sprintf "Runner.crash: replica %d is already down" replica);
+    t.down.(replica) <- true;
+    t.s_crashes <- t.s_crashes + 1;
+    record t (Event.Crash { replica });
+    (* the crash takes every in-flight delivery addressed to it down too *)
+    let inflight = Pqueue.to_list t.queue in
+    Pqueue.clear t.queue;
+    List.iter
+      (fun (at, d) ->
+        if d.dst = replica then begin
+          t.s_dropped <- t.s_dropped + 1;
+          t.lost_rev <- d :: t.lost_rev
+        end
+        else Pqueue.add t.queue ~priority:at d)
+      inflight
+
+  let recover t ~replica =
+    if not t.down.(replica) then
+      invalid_arg (Printf.sprintf "Runner.recover: replica %d is not down" replica);
+    t.states.(replica) <- t.recover_state ~replica t.states.(replica);
+    t.down.(replica) <- false;
+    t.s_recoveries <- t.s_recoveries + 1;
+    record t (Event.Recover { replica });
+    (* retransmit everything the crash swallowed *)
+    let mine, rest = List.partition (fun d -> d.dst = replica) t.lost_rev in
+    t.lost_rev <- rest;
+    List.iter (requeue t) (List.rev mine);
+    auto_flush t ~replica
+
+  let heal t =
+    let ready, rest = List.partition (fun d -> not t.down.(d.dst)) t.lost_rev in
+    t.lost_rev <- rest;
+    List.iter (requeue t) (List.rev ready);
+    List.length ready
+
+  let lost_count t = List.length t.lost_rev
+
+  (* Deliver one scheduled message, routing it through the fault layer: a
+     down destination swallows it (owed a retransmission on recovery), and
+     an active corruption window may mangle its bytes — the checksummed
+     frame rejects the mangled copy as [Malformed] and a clean copy is
+     retransmitted. *)
   let step t =
     match Pqueue.pop t.queue with
     | None -> false
-    | Some (at, { dst; msg }) ->
+    | Some (at, ({ dst; msg } as d)) ->
       t.now_ <- max t.now_ at;
-      deliver_msg t ~dst msg;
+      (if t.down.(dst) then begin
+         t.s_dropped <- t.s_dropped + 1;
+         t.lost_rev <- d :: t.lost_rev
+       end
+       else
+         let corrupt_p =
+           match t.faults with
+           | Some f -> Fault_plan.corruption_p f ~now:t.now_
+           | None -> 0.0
+         in
+         if corrupt_p > 0.0 && Rng.chance t.rng corrupt_p then begin
+           let mangled = Fault_plan.mutate t.rng (Wire.Frame.seal msg.Message.payload) in
+           match Wire.Frame.unseal mangled with
+           | exception Wire.Decoder.Malformed _ ->
+             t.s_corrupt_rejected <- t.s_corrupt_rejected + 1;
+             requeue t d
+           | p when String.equal p msg.Message.payload ->
+             (* the mutation happened to be the identity *)
+             deliver_msg t ~dst msg
+           | _ ->
+             (* checksum collision (~2^-32): treat as loss, retransmit *)
+             t.s_corrupt_collisions <- t.s_corrupt_collisions + 1;
+             requeue t d
+         end
+         else deliver_msg t ~dst msg);
       true
 
   let advance_to t time =
@@ -138,23 +282,39 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let in_flight t = Pqueue.length t.queue
 
+  let pending_count t =
+    let c = ref 0 in
+    for r = 0 to t.n - 1 do
+      if (not t.down.(r)) && S.has_pending t.states.(r) then incr c
+    done;
+    !c
+
   let run_until_quiescent ?(max_events = 1_000_000) t =
     if t.policy = None then invalid_arg "Runner.run_until_quiescent: no policy";
     let budget = ref max_events in
     let rec go () =
-      if !budget <= 0 then failwith "Runner.run_until_quiescent: event budget exceeded";
+      if !budget <= 0 then
+        raise
+          (Divergence
+             {
+               in_flight = Pqueue.length t.queue;
+               pending = pending_count t;
+               budget = max_events;
+             });
       decr budget;
       if step t then go ()
       else begin
-        (* queue empty: flush any pending messages and keep going *)
+        (* queue empty: retransmit anything owed to live replicas, flush any
+           pending messages, and keep going *)
+        let requeued = heal t in
         let flushed = ref false in
         for r = 0 to t.n - 1 do
-          if S.has_pending t.states.(r) then begin
+          if (not t.down.(r)) && S.has_pending t.states.(r) then begin
             ignore (flush t ~replica:r);
             flushed := true
           end
         done;
-        if !flushed then go ()
+        if !flushed || requeued > 0 then go ()
       end
     in
     go ()
@@ -165,7 +325,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let messages_sent t =
     List.filter_map
-      (function Event.Send { msg; _ } -> Some msg | Event.Do _ | Event.Receive _ -> None)
+      (function
+        | Event.Send { msg; _ } -> Some msg
+        | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ -> None)
       (List.rev t.events_rev)
 
   let last_message t ~replica =

@@ -12,10 +12,38 @@
     The runner records every do/send/receive event, producing a well-formed
     {!Haec_model.Execution.t}, and (unless disabled) collects each
     operation's visibility witness, from which {!witness_abstract} builds an
-    abstract execution the run complies with by construction. *)
+    abstract execution the run complies with by construction.
+
+    {b Fault injection.} A {!Fault_plan.t} adds three failure modes on top
+    of the paper's failure-free model: replica crashes ({!crash} /
+    {!recover}, also recorded in the trace), link faults that drop
+    messages until they heal, and byte-level payload corruption checked by
+    the {!Haec_wire.Wire.Frame} checksum. Every lost or rejected delivery
+    is owed a retransmission — once all faults heal and all replicas
+    recover, every message sent is eventually delivered, preserving the
+    "sufficiently connected" requirement eventual consistency
+    presupposes. *)
 
 open Haec_model
 open Haec_spec
+
+exception Divergence of { in_flight : int; pending : int; budget : int }
+(** Raised by {!Make.run_until_quiescent} when the event budget runs out
+    before the network drains: [in_flight] deliveries still queued,
+    [pending] live replicas with unsent messages, out of a budget of
+    [budget] deliveries. *)
+
+type stats = {
+  crashes : int;
+  recoveries : int;
+  dropped : int;  (** deliveries swallowed by a crash or a faulted link *)
+  retransmitted : int;  (** re-scheduled deliveries owed after a fault *)
+  corrupt_rejected : int;
+      (** corrupted deliveries rejected as [Malformed] by the frame check *)
+  corrupt_collisions : int;
+      (** corrupted frames whose checksum still verified (~2^-32 each);
+          treated as loss and retransmitted, never delivered *)
+}
 
 module Make (S : Haec_store.Store_intf.S) : sig
   type t
@@ -25,13 +53,21 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?record_witness:bool ->
     ?auto_send:bool ->
     ?policy:Net_policy.t ->
+    ?faults:Fault_plan.t ->
+    ?recover_state:(replica:int -> S.state -> S.state) ->
     n:int ->
     unit ->
     t
   (** [auto_send] (default [true]) flushes a replica right after any event
       that leaves a message pending (client op, or receive for non-op-driven
       stores). Without a [policy], sent messages are only recorded and
-      returned — delivery is up to the caller. *)
+      returned — delivery is up to the caller.
+
+      [faults] enables link-drop and corruption injection on scheduled
+      deliveries. [recover_state] maps a crashed replica's last state to
+      its post-recovery state (default: identity, i.e. perfect
+      durability); pass the [recover] of a {!Haec_store.Durable.Make}
+      store to actually exercise checkpoint recovery. *)
 
   val n_replicas : t -> int
 
@@ -39,25 +75,53 @@ module Make (S : Haec_store.Store_intf.S) : sig
 
   val op : t -> replica:int -> obj:int -> Op.t -> Op.response
   (** Execute a client operation (immediately, availability!); records the
-      do event; auto-sends if configured. *)
+      do event; auto-sends if configured. Raises [Invalid_argument] at a
+      crashed replica — a down replica serves no clients. *)
 
   val has_pending : t -> replica:int -> bool
 
   val flush : t -> replica:int -> Message.t option
   (** If a message is pending, send it: record the send event, schedule
-      deliveries when a policy is present, and return the message. *)
+      deliveries when a policy is present, and return the message. A
+      crashed replica never flushes ([None]). *)
 
   val deliver_msg : t -> dst:int -> Message.t -> unit
   (** Manually deliver a previously sent message to [dst] (any number of
-      times — the network may duplicate). Records the receive event. *)
+      times — the network may duplicate). Records the receive event.
+      Raises [Invalid_argument] if [dst] is crashed. *)
+
+  val crash : t -> replica:int -> unit
+  (** Crash a replica: record the crash event, mark it down (no ops, no
+      sends, no deliveries), and drop every in-flight delivery addressed
+      to it — those become owed retransmissions. Raises
+      [Invalid_argument] if already down. *)
+
+  val recover : t -> replica:int -> unit
+  (** Bring a crashed replica back: rebuild its state via [recover_state],
+      record the recover event, and schedule retransmission of everything
+      lost while it was down. Raises [Invalid_argument] if not down. *)
+
+  val is_down : t -> replica:int -> bool
+
+  val heal : t -> int
+  (** Re-schedule every lost delivery whose destination is up again;
+      returns how many were requeued. {!run_until_quiescent} does this
+      automatically whenever the queue drains. *)
+
+  val lost_count : t -> int
+  (** Deliveries currently owed a retransmission (destination still down). *)
+
+  val stats : t -> stats
 
   val advance_to : t -> float -> unit
   (** Process all scheduled deliveries up to the given time. *)
 
   val run_until_quiescent : ?max_events:int -> t -> unit
-  (** Drive the network until no message is in flight and no replica has a
-      message pending (Definition 17). Requires a policy. Raises [Failure]
-      if [max_events] (default 1_000_000) deliveries are exceeded. *)
+  (** Drive the network until no message is in flight, no live replica has
+      a message pending, and no lost delivery is owed to a live replica
+      (Definition 17). Requires a policy. Raises {!Divergence} if
+      [max_events] (default 1_000_000) deliveries are exceeded. Deliveries
+      owed to still-crashed replicas remain parked until {!recover}. *)
 
   val in_flight : t -> int
 

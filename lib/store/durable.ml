@@ -1,0 +1,138 @@
+(** Crash durability as a store transformer.
+
+    [Make (S)] wraps any store with a durable image: a serialized
+    checkpoint (the store's replay log up to the last checkpoint, encoded
+    through the wire layer) plus a write-ahead log of every state-changing
+    input applied since — client updates, received payloads (already in
+    [S]'s own wire encoding), and sends. A crash discards the volatile
+    inner state; {!Make.recover} rebuilds it by decoding the checkpoint
+    and replaying everything through a fresh [S.init] replica. Because
+    stores are pure deterministic state machines, the rebuilt replica is
+    observationally identical to the one that crashed.
+
+    Reads are logged only for stores whose reads change state
+    (Definition 16 violators such as {!Delayed_store}); for everyone else
+    the log stays update-only. The log auto-compacts into the checkpoint
+    every {!auto_checkpoint_every} entries, so recovery cost and snapshot
+    size stay bounded by a constant factor of live state. *)
+
+open Haec_wire
+open Haec_model
+
+let auto_checkpoint_every = 32
+
+module Make (S : Store_intf.S) : sig
+  include Store_intf.DURABLE
+
+  val inject : n:int -> me:int -> S.state -> state
+  (** Wrap an existing inner state with an empty durable image — for tests
+      that need a replica whose durable image is deliberately stale. *)
+end = struct
+  type entry =
+    | Apply of { obj : int; op : Op.t }
+    | Deliver of { sender : int; payload : string }
+    | Sent
+
+  let encode_entry enc = function
+    | Apply { obj; op } ->
+      Wire.Encoder.uint enc 0;
+      Wire.Encoder.uint enc obj;
+      Op.encode enc op
+    | Deliver { sender; payload } ->
+      Wire.Encoder.uint enc 1;
+      Wire.Encoder.uint enc sender;
+      Wire.Encoder.string enc payload
+    | Sent -> Wire.Encoder.uint enc 2
+
+  let decode_entry dec =
+    match Wire.Decoder.uint dec with
+    | 0 ->
+      let obj = Wire.Decoder.uint dec in
+      let op = Op.decode dec in
+      Apply { obj; op }
+    | 1 ->
+      let sender = Wire.Decoder.uint dec in
+      let payload = Wire.Decoder.string dec in
+      Deliver { sender; payload }
+    | 2 -> Sent
+    | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad log entry tag %d" tag))
+
+  type state = {
+    n : int;
+    me : int;
+    inner : S.state;  (** volatile: lost at a crash *)
+    snapshot : string;  (** durable: encoded replay log at the last checkpoint *)
+    wal_rev : entry list;  (** durable: entries since the checkpoint, newest first *)
+    wal_len : int;
+  }
+
+  let name = "durable(" ^ S.name ^ ")"
+
+  let invisible_reads = S.invisible_reads
+
+  let op_driven = S.op_driven
+
+  let empty_snapshot = Wire.encode (fun enc -> Wire.Encoder.list enc encode_entry [])
+
+  let init ~n ~me =
+    { n; me; inner = S.init ~n ~me; snapshot = empty_snapshot; wal_rev = []; wal_len = 0 }
+
+  let inject ~n ~me inner =
+    { n; me; inner; snapshot = empty_snapshot; wal_rev = []; wal_len = 0 }
+
+  let snapshot_entries t =
+    Wire.decode t.snapshot (fun dec -> Wire.Decoder.list dec decode_entry)
+
+  let checkpoint t =
+    if t.wal_len = 0 then t
+    else
+      let all = snapshot_entries t @ List.rev t.wal_rev in
+      {
+        t with
+        snapshot = Wire.encode (fun enc -> Wire.Encoder.list enc encode_entry all);
+        wal_rev = [];
+        wal_len = 0;
+      }
+
+  let log t e =
+    let t = { t with wal_rev = e :: t.wal_rev; wal_len = t.wal_len + 1 } in
+    if t.wal_len >= auto_checkpoint_every then checkpoint t else t
+
+  let replay_entry inner = function
+    | Apply { obj; op } ->
+      let inner, _, _ = S.do_op inner ~obj op in
+      inner
+    | Deliver { sender; payload } -> S.receive inner ~sender payload
+    | Sent -> if S.has_pending inner then fst (S.send inner) else inner
+
+  let recover t =
+    let inner = List.fold_left replay_entry (S.init ~n:t.n ~me:t.me) (snapshot_entries t) in
+    let inner = List.fold_left replay_entry inner (List.rev t.wal_rev) in
+    { t with inner }
+
+  let wal_length t = t.wal_len
+
+  let snapshot_bytes t = String.length t.snapshot
+
+  let do_op t ~obj op =
+    let inner, rval, witness = S.do_op t.inner ~obj op in
+    let t = { t with inner } in
+    let t =
+      (* reads of invisible-read stores cannot change state: keep the log
+         update-only *)
+      if S.invisible_reads && Op.is_read op then t else log t (Apply { obj; op })
+    in
+    (t, rval, witness)
+
+  let has_pending t = S.has_pending t.inner
+
+  let send t =
+    let inner, payload = S.send t.inner in
+    (log { t with inner } Sent, payload)
+
+  let receive t ~sender payload =
+    (* a Malformed payload raises here, before anything reaches the log:
+       garbage is rejected at the door and never becomes durable *)
+    let inner = S.receive t.inner ~sender payload in
+    log { t with inner } (Deliver { sender; payload })
+end

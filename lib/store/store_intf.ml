@@ -55,3 +55,27 @@ module type S = sig
 
   val receive : state -> sender:int -> string -> state
 end
+
+(** A store that survives crashes: alongside the volatile replica state it
+    maintains a durable image — a wire-encoded checkpoint plus a
+    write-ahead log of everything applied since — from which {!recover}
+    rebuilds the replica after a crash wipes its volatile memory. See
+    {!Durable.Make}, which derives this for any store. *)
+module type DURABLE = sig
+  include S
+
+  val checkpoint : state -> state
+  (** Fold the write-ahead log into the serialized snapshot. Idempotent. *)
+
+  val recover : state -> state
+  (** The state after a crash: volatile memory is discarded and rebuilt by
+      decoding the snapshot and replaying it plus every post-checkpoint
+      log entry through a fresh replica. Raises
+      [Haec_wire.Wire.Decoder.Malformed] if the durable image is corrupt. *)
+
+  val wal_length : state -> int
+  (** Number of log entries applied since the last checkpoint. *)
+
+  val snapshot_bytes : state -> int
+  (** Size of the serialized checkpoint, in bytes. *)
+end

@@ -57,6 +57,8 @@ let event_label = function
   | Event.Do d -> do_label d
   | Event.Send { msg; _ } -> escape (Format.asprintf "send %a" Message.pp msg)
   | Event.Receive { msg; _ } -> escape (Format.asprintf "recv %a" Message.pp msg)
+  | Event.Crash _ -> "crash"
+  | Event.Recover _ -> "recover"
 
 let execution_to_dot ?(title = "execution") exec =
   let buf = Buffer.create 1024 in
@@ -90,7 +92,7 @@ let execution_to_dot ?(title = "execution") exec =
       | Some j ->
         Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [color=red, constraint=false];\n" j i)
       | None -> ())
-    | Event.Do _ -> ()
+    | Event.Do _ | Event.Crash _ | Event.Recover _ -> ()
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

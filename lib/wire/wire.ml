@@ -128,6 +128,40 @@ module Decoder = struct
               (String.length t.input)))
 end
 
+module Frame = struct
+  (* Standard reflected CRC-32 (IEEE 802.3 polynomial). Catches every
+     burst error up to 32 bits — in particular any single corrupted byte —
+     and longer random corruption with probability 1 - 2^-32. *)
+  let table =
+    lazy
+      (Array.init 256 (fun n ->
+           let c = ref n in
+           for _ = 0 to 7 do
+             c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+           done;
+           !c))
+
+  let crc32 s =
+    let t = Lazy.force table in
+    let c = ref 0xFFFFFFFF in
+    String.iter (fun ch -> c := t.((!c lxor Char.code ch) land 0xFF) lxor (!c lsr 8)) s;
+    !c lxor 0xFFFFFFFF
+
+  let seal payload =
+    let e = Encoder.create () in
+    Encoder.string e payload;
+    Encoder.uint e (crc32 payload);
+    Encoder.to_string e
+
+  let unseal framed =
+    let d = Decoder.of_string framed in
+    let payload = Decoder.string d in
+    let crc = Decoder.uint d in
+    Decoder.expect_end d;
+    if crc <> crc32 payload then raise (Decoder.Malformed "frame checksum mismatch");
+    payload
+end
+
 let encode f =
   let e = Encoder.create () in
   f e;

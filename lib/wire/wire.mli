@@ -72,6 +72,27 @@ module Decoder : sig
   (** Raises [Malformed] unless all input has been consumed. *)
 end
 
+module Frame : sig
+  (** Checksummed transport envelope.
+
+      The fault-injection harness corrupts message bytes in transit; a
+      store must never apply corrupted state silently. Sealing a payload
+      appends a CRC-32 so that {!unseal} rejects any in-flight mutation as
+      {!Decoder.Malformed} — the same exception stores raise on
+      structurally invalid input — modelling the checksum every real
+      transport performs before bytes reach the application. *)
+
+  val crc32 : string -> int
+  (** Reflected IEEE CRC-32 of the bytes, in [0, 2^32). *)
+
+  val seal : string -> string
+  (** Length-prefixed payload followed by its CRC-32. *)
+
+  val unseal : string -> string
+  (** Inverse of {!seal}. Raises {!Decoder.Malformed} on truncation,
+      trailing garbage, or checksum mismatch. *)
+end
+
 val encode : (Encoder.t -> unit) -> string
 (** [encode f] runs [f] on a fresh encoder and returns the bytes. *)
 

@@ -24,4 +24,5 @@ let () =
       Test_robustness.suite;
       Test_edges.suite;
       Test_cops.suite;
+      Test_fault.suite;
     ]

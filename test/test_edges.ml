@@ -28,8 +28,10 @@ let test_runner_quiescent_budget () =
     ignore (R.op sim ~replica:(i mod 3) ~obj:0 (Op.Write (vi i)))
   done;
   match R.run_until_quiescent ~max_events:2 sim with
-  | exception Failure _ -> ()
-  | () -> Alcotest.fail "expected budget failure"
+  | exception Sim.Runner.Divergence { in_flight; pending = _; budget } ->
+    Alcotest.(check int) "budget reported" 2 budget;
+    Alcotest.(check bool) "undelivered messages reported" true (in_flight > 0)
+  | () -> Alcotest.fail "expected budget divergence"
 
 let test_runner_n_replicas_and_messages () =
   let sim = R.create ~n:4 () in

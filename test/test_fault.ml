@@ -1,0 +1,332 @@
+(* Crash-recovery fault injection: durable stores, runner crash semantics,
+   corruption rejection, and the chaos harness. *)
+
+open Helpers
+open Haec
+module Fault_plan = Sim.Fault_plan
+module Runner = Sim.Runner
+module Trace_io = Model.Trace_io
+
+(* ---------- Fault_plan ---------- *)
+
+let test_plan_validation () =
+  let bad f = match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  bad (fun () ->
+      Fault_plan.make ~crashes:[ { replica = 0; at = 5.0; recover_at = 3.0 } ]
+        ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make ~crashes:[ { replica = 0; at = 1.0; recover_at = 20.0 } ]
+        ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make
+        ~crashes:
+          [
+            { replica = 0; at = 1.0; recover_at = 5.0 };
+            { replica = 0; at = 4.0; recover_at = 6.0 };
+          ]
+        ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make ~links:[ { src = 0; dst = 1; from_ = 2.0; until = 2.0 } ]
+        ~horizon:10.0 ());
+  (* a valid plan passes and sorts its events *)
+  let plan =
+    Fault_plan.make
+      ~crashes:
+        [
+          { replica = 1; at = 4.0; recover_at = 8.0 };
+          { replica = 0; at = 1.0; recover_at = 5.0 };
+        ]
+      ~horizon:10.0 ()
+  in
+  let times = List.map (fun e -> e.Fault_plan.at) (Fault_plan.events plan) in
+  Alcotest.(check (list (float 1e-9))) "sorted" [ 1.0; 4.0; 5.0; 8.0 ] times
+
+let test_plan_random_valid () =
+  (* every seeded random plan validates and heals before its horizon *)
+  for seed = 0 to 199 do
+    let rng = Rng.create seed in
+    let plan = Fault_plan.random rng ~n:4 ~horizon:50.0 () in
+    Alcotest.(check bool) "inactive at horizon" false
+      (Fault_plan.active plan ~now:50.0)
+  done
+
+let test_plan_link_window () =
+  let plan =
+    Fault_plan.make ~links:[ { src = 0; dst = 2; from_ = 3.0; until = 7.0 } ]
+      ~horizon:10.0 ()
+  in
+  let dropped at = Fault_plan.link_dropped plan ~src:0 ~dst:2 ~at in
+  Alcotest.(check (option (float 1e-9))) "before" None (dropped 2.9);
+  Alcotest.(check (option (float 1e-9))) "inside" (Some 7.0) (dropped 3.0);
+  Alcotest.(check (option (float 1e-9))) "after heal" None (dropped 7.0);
+  Alcotest.(check (option (float 1e-9))) "other link" None
+    (Fault_plan.link_dropped plan ~src:2 ~dst:0 ~at:5.0)
+
+(* ---------- Durable store transformer ---------- *)
+
+module D = Store.Durable.Make (Store.Mvr_store)
+
+let read st ~obj =
+  let _, rval, _ = D.do_op st ~obj Op.Read in
+  rval
+
+let test_durable_recover_replays_ops () =
+  let st = ref (D.init ~n:2 ~me:0) in
+  for i = 1 to 5 do
+    let st', _, _ = D.do_op !st ~obj:0 (Op.Write (vi i)) in
+    let st', _ = D.send st' in
+    st := st'
+  done;
+  let before = read !st ~obj:0 in
+  let recovered = D.recover !st in
+  Alcotest.check check_response "reads equal after replay" before
+    (read recovered ~obj:0);
+  (* recovery must not re-flag sent messages as pending *)
+  Alcotest.(check bool) "nothing pending after recovery" false
+    (D.has_pending recovered)
+
+let test_durable_recover_replays_deliveries () =
+  let a = ref (D.init ~n:2 ~me:0) and b = ref (D.init ~n:2 ~me:1) in
+  let push src dst =
+    let st, payload = D.send !src in
+    src := st;
+    let me_src = if src == a then 0 else 1 in
+    dst := D.receive !dst ~sender:me_src payload
+  in
+  let a', _, _ = D.do_op !a ~obj:0 (Op.Write (vi 1)) in
+  a := a';
+  push a b;
+  let b', _, _ = D.do_op !b ~obj:0 (Op.Write (vi 2)) in
+  b := b';
+  push b a;
+  let before = read !b ~obj:0 in
+  let recovered = D.recover !b in
+  Alcotest.check check_response "delivered state survives the crash" before
+    (read recovered ~obj:0)
+
+let test_durable_checkpoint_compacts () =
+  let st = ref (D.init ~n:2 ~me:0) in
+  for i = 1 to 100 do
+    let st', _, _ = D.do_op !st ~obj:(i mod 3) (Op.Write (vi i)) in
+    let st', _ = D.send st' in
+    st := st'
+  done;
+  (* the auto-checkpoint keeps the WAL bounded *)
+  Alcotest.(check bool) "wal bounded" true (D.wal_length !st < 40);
+  Alcotest.(check bool) "snapshot non-empty" true (D.snapshot_bytes !st > 0);
+  let ck = D.checkpoint !st in
+  Alcotest.(check int) "explicit checkpoint empties the wal" 0 (D.wal_length ck);
+  Alcotest.check check_response "checkpoint preserves reads" (read !st ~obj:0)
+    (read (D.recover ck) ~obj:0)
+
+let test_durable_invisible_reads_not_logged () =
+  let st = D.init ~n:2 ~me:0 in
+  let st, _, _ = D.do_op st ~obj:0 (Op.Write (vi 1)) in
+  let before = D.wal_length st in
+  let st, _, _ = D.do_op st ~obj:0 Op.Read in
+  Alcotest.(check int) "read left no log entry" before (D.wal_length st)
+
+(* ---------- runner crash semantics ---------- *)
+
+module R = Sim.Runner.Make (Store.Mvr_store)
+
+let test_crash_drops_in_flight () =
+  let sim = R.create ~n:2 ~policy:(Sim.Net_policy.reliable_fifo ~delay:2.0 ()) () in
+  ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (vi 7)));
+  Alcotest.(check int) "delivery scheduled" 1 (R.in_flight sim);
+  R.crash sim ~replica:1;
+  Alcotest.(check int) "crash swallowed it" 0 (R.in_flight sim);
+  Alcotest.(check int) "owed a retransmission" 1 (R.lost_count sim);
+  Alcotest.(check bool) "marked down" true (R.is_down sim ~replica:1);
+  (* ops and deliveries at a down replica are rejected *)
+  (match R.op sim ~replica:1 ~obj:0 Op.Read with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "op at crashed replica must be rejected");
+  R.recover sim ~replica:1;
+  R.run_until_quiescent sim;
+  Alcotest.check check_response "retransmitted after recovery" (resp [ 7 ])
+    (R.op sim ~replica:1 ~obj:0 Op.Read);
+  let s = R.stats sim in
+  Alcotest.(check int) "one crash" 1 s.Runner.crashes;
+  Alcotest.(check int) "one recovery" 1 s.Runner.recoveries;
+  Alcotest.(check bool) "drop counted" true (s.Runner.dropped >= 1);
+  Alcotest.(check bool) "retransmit counted" true (s.Runner.retransmitted >= 1)
+
+let test_crash_recover_in_trace () =
+  let sim = R.create ~n:2 ~policy:(Sim.Net_policy.reliable_fifo ()) () in
+  ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  R.crash sim ~replica:1;
+  R.recover sim ~replica:1;
+  R.run_until_quiescent sim;
+  let exec = R.execution sim in
+  let crashes =
+    List.filter (function Event.Crash _ -> true | _ -> false) (Execution.events exec)
+  in
+  Alcotest.(check int) "crash recorded" 1 (List.length crashes);
+  Alcotest.(check bool) "still well-formed" true (Execution.is_well_formed exec)
+
+let test_double_crash_rejected () =
+  let sim = R.create ~n:2 ~policy:(Sim.Net_policy.reliable_fifo ()) () in
+  R.crash sim ~replica:0;
+  (match R.crash sim ~replica:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "double crash must be rejected");
+  match R.recover sim ~replica:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "recovering an up replica must be rejected"
+
+let test_durable_recovery_through_runner () =
+  (* with Durable recovery, a crashed replica comes back remembering its
+     replayed state, not just whatever the network re-sends *)
+  let module RD = Sim.Runner.Make (D) in
+  let sim =
+    RD.create
+      ~policy:(Sim.Net_policy.reliable_fifo ~delay:1.0 ())
+      ~recover_state:(fun ~replica:_ st -> D.recover st)
+      ~n:2 ()
+  in
+  ignore (RD.op sim ~replica:1 ~obj:0 (Op.Write (vi 5)));
+  RD.run_until_quiescent sim;
+  RD.crash sim ~replica:1;
+  RD.recover sim ~replica:1;
+  Alcotest.check check_response "own write survives own crash" (resp [ 5 ])
+    (RD.op sim ~replica:1 ~obj:0 Op.Read)
+
+(* ---------- well-formedness of faulty traces ---------- *)
+
+let test_well_formed_rejects_down_activity () =
+  let expect_error evs msg =
+    let exec = Execution.of_list ~n:2 evs in
+    match Execution.check_well_formed exec with
+    | Error _ -> ()
+    | Ok () -> Alcotest.fail msg
+  in
+  expect_error
+    [ Event.Crash { replica = 0 }; Event.Do (w_ 0 0 1) ]
+    "do at a crashed replica";
+  expect_error
+    [ Event.Crash { replica = 0 }; Event.Crash { replica = 0 } ]
+    "crash while down";
+  expect_error [ Event.Recover { replica = 0 } ] "recover while up";
+  let ok =
+    Execution.of_list ~n:2
+      [
+        Event.Do (w_ 0 0 1);
+        Event.Crash { replica = 0 };
+        Event.Recover { replica = 0 };
+        Event.Do (rd_ 0 0 [ 1 ]);
+      ]
+  in
+  Alcotest.(check bool) "crash/recover alternation ok" true
+    (Execution.is_well_formed ok)
+
+let test_trace_roundtrip_with_faults () =
+  let sim = R.create ~n:3 ~policy:(Sim.Net_policy.random_delay ()) () in
+  ignore (R.op sim ~replica:0 ~obj:0 (Op.Write (vi 1)));
+  R.crash sim ~replica:2;
+  ignore (R.op sim ~replica:1 ~obj:0 (Op.Write (vi 2)));
+  R.recover sim ~replica:2;
+  R.run_until_quiescent sim;
+  let exec = R.execution sim in
+  let exec' = Trace_io.of_string (Trace_io.to_string exec) in
+  Alcotest.(check bool) "crash events survive the roundtrip" true
+    (List.for_all2
+       (fun a b -> Format.asprintf "%a" Event.pp a = Format.asprintf "%a" Event.pp b)
+       (Execution.events exec) (Execution.events exec'))
+
+(* ---------- corruption ---------- *)
+
+let test_corruption_rejected_not_delivered () =
+  (* corrupt every delivery for a while: the frame check must reject each
+     mangled copy as Malformed, retransmission must get clean copies
+     through, and the run must still pass every check *)
+  let corruption = { Fault_plan.p = 1.0; from_ = 0.0; until = 30.0 } in
+  let plan = Fault_plan.make ~corruption ~horizon:40.0 () in
+  let sim =
+    R.create ~seed:11 ~n:3 ~policy:(Sim.Net_policy.random_delay ()) ~faults:plan ()
+  in
+  for i = 1 to 10 do
+    ignore (R.op sim ~replica:(i mod 3) ~obj:0 (Op.Write (vi i)))
+  done;
+  R.run_until_quiescent sim;
+  let s = R.stats sim in
+  Alcotest.(check bool) "corrupt frames rejected" true (s.Runner.corrupt_rejected > 0);
+  Alcotest.(check int) "no checksum collisions" 0 s.Runner.corrupt_collisions;
+  let report = Sim.Checks.validate (R.execution sim) (R.witness_abstract sim) in
+  Alcotest.(check bool) "all checks pass despite corruption" true
+    (Sim.Checks.all_ok report)
+
+(* ---------- chaos harness ---------- *)
+
+let chaos_seeds name (module S : Store.Store_intf.S) ~require spec mix seeds =
+  tc name (fun () ->
+      let module C = Sim.Chaos.Make (S) in
+      List.iter
+        (fun seed ->
+          let o = C.run ~spec_of:(fun _ -> spec) ~mix ~require ~seed () in
+          if not (Sim.Chaos.converged o) then
+            Alcotest.failf "seed %d: %a" seed Sim.Chaos.pp_outcome o)
+        seeds)
+
+let seeds lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let test_chaos_is_deterministic () =
+  let module C = Sim.Chaos.Make (Store.Mvr_store) in
+  let a = C.run ~seed:3 () and b = C.run ~seed:3 () in
+  Alcotest.(check bool) "same trace from the same seed" true
+    (List.for_all2
+       (fun x y -> Format.asprintf "%a" Event.pp x = Format.asprintf "%a" Event.pp y)
+       (Execution.events a.Sim.Chaos.exec)
+       (Execution.events b.Sim.Chaos.exec));
+  Alcotest.(check int) "same stats" a.Sim.Chaos.stats.Runner.dropped
+    b.Sim.Chaos.stats.Runner.dropped
+
+let test_chaos_exercises_faults () =
+  (* across a few seeds, the harness actually crashes replicas and drops
+     messages — it is not vacuously passing *)
+  let module C = Sim.Chaos.Make (Store.Mvr_store) in
+  let total = List.fold_left (fun acc seed ->
+      let o = C.run ~seed () in
+      let s = o.Sim.Chaos.stats in
+      acc + s.Runner.crashes + s.Runner.dropped)
+      0 (seeds 1 5)
+  in
+  Alcotest.(check bool) "faults actually struck" true (total > 0)
+
+let suite =
+  ( "fault",
+    [
+      tc "fault plan validation" test_plan_validation;
+      tc "random plans valid and healing" test_plan_random_valid;
+      tc "link fault window" test_plan_link_window;
+      tc "durable recovery replays ops" test_durable_recover_replays_ops;
+      tc "durable recovery replays deliveries" test_durable_recover_replays_deliveries;
+      tc "durable checkpoint compacts" test_durable_checkpoint_compacts;
+      tc "durable invisible reads not logged" test_durable_invisible_reads_not_logged;
+      tc "crash drops in-flight deliveries" test_crash_drops_in_flight;
+      tc "crash and recover recorded in trace" test_crash_recover_in_trace;
+      tc "double crash rejected" test_double_crash_rejected;
+      tc "durable recovery through the runner" test_durable_recovery_through_runner;
+      tc "well-formedness rejects activity while down" test_well_formed_rejects_down_activity;
+      tc "trace roundtrip with fault events" test_trace_roundtrip_with_faults;
+      tc "corruption rejected, never delivered" test_corruption_rejected_not_delivered;
+      (* the eager store is correct but not causal under re-delivery; the
+         causal store is held to the causal bar; lww's timestamp
+         arbitration can disagree with trace order (convergence bar, as in
+         E9); occ is never required — Theorem 6 *)
+      chaos_seeds "chaos: mvr converges on 20 seeds" (module Store.Mvr_store)
+        ~require:`Correct Specf.mvr Sim.Workload.register_mix (seeds 1 20);
+      chaos_seeds "chaos: causal mvr converges on 10 seeds"
+        (module Store.Causal_mvr_store) ~require:`Causal Specf.mvr
+        Sim.Workload.register_mix (seeds 21 30);
+      chaos_seeds "chaos: or-set converges on 10 seeds" (module Store.Orset_store)
+        ~require:`Correct Specf.orset Sim.Workload.orset_mix (seeds 31 40);
+      chaos_seeds "chaos: lww converges on 10 seeds" (module Store.Lww_store)
+        ~require:`Converge Specf.rw_register Sim.Workload.register_mix
+        (seeds 41 50);
+      tc "chaos deterministic in the seed" test_chaos_is_deterministic;
+      tc "chaos actually injects faults" test_chaos_exercises_faults;
+    ] )

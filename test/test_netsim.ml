@@ -124,6 +124,65 @@ let test_workload_empty_mix_rejected () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty mix must be rejected"
 
+(* ---------- liveness: every message is eventually delivered ---------- *)
+
+(* Definition 3's "sufficiently connected" promise, checked on the trace:
+   after the run drains, every broadcast was received at least once by
+   every other replica — drops were only delays — and duplicate deliveries
+   were idempotent (all replicas answer reads identically). *)
+let eventually_delivered policy seed =
+  let module R = Sim.Runner.Make (Store.Mvr_store) in
+  let n = 3 and objects = 2 in
+  let rng = Rng.create seed in
+  let sim = R.create ~seed ~n ~policy () in
+  let steps = Workload.generate ~rng ~n ~objects ~ops:40 Workload.register_mix in
+  Workload.run
+    (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+    ~advance:(R.advance_to sim) steps;
+  R.run_until_quiescent sim;
+  let received = Hashtbl.create 256 in
+  List.iter
+    (function
+      | Event.Receive { replica; msg } ->
+        let key = (msg.Message.sender, msg.Message.seq, replica) in
+        Hashtbl.replace received key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt received key))
+      | Event.Do _ | Event.Send _ | Event.Crash _ | Event.Recover _ -> ())
+    (Execution.events (R.execution sim));
+  List.iter
+    (fun msg ->
+      for dst = 0 to n - 1 do
+        if dst <> msg.Message.sender then
+          let got =
+            Option.value ~default:0
+              (Hashtbl.find_opt received (msg.Message.sender, msg.Message.seq, dst))
+          in
+          if got < 1 then
+            QCheck2.Test.fail_reportf "message (%d,%d) never reached replica %d"
+              msg.Message.sender msg.Message.seq dst
+      done)
+    (R.messages_sent sim);
+  (* duplicates (dup_p, retries) must be idempotent: converged reads *)
+  for obj = 0 to objects - 1 do
+    let r0 = R.op sim ~replica:0 ~obj Op.Read in
+    for replica = 1 to n - 1 do
+      if not (Op.equal_response r0 (R.op sim ~replica ~obj Op.Read)) then
+        QCheck2.Test.fail_reportf "replicas disagree on object %d post-drain" obj
+    done
+  done;
+  true
+
+let prop_lossy_liveness =
+  q ~count:25 "lossy: every message delivered after drops heal"
+    QCheck2.Gen.(int_bound 100_000)
+    (eventually_delivered (Net_policy.lossy ~drop_p:0.3 ~dup_p:0.3 ()))
+
+let prop_partition_liveness =
+  q ~count:25 "partition: every message delivered after the heal"
+    QCheck2.Gen.(int_bound 100_000)
+    (eventually_delivered
+       (Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:30.0 ()))
+
 let suite =
   ( "netsim",
     [
@@ -136,4 +195,6 @@ let suite =
       tc "workload write values unique" test_workload_unique_write_values;
       tc "workload deterministic" test_workload_deterministic;
       tc "workload empty mix rejected" test_workload_empty_mix_rejected;
+      prop_lossy_liveness;
+      prop_partition_liveness;
     ] )

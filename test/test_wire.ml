@@ -104,6 +104,47 @@ let prop_string_roundtrip =
   q "wire string roundtrip" QCheck2.Gen.string (fun s ->
       roundtrip Wire.Encoder.string Wire.Decoder.string s = s)
 
+(* ---------- checksummed frames ---------- *)
+
+let test_frame_crc_vector () =
+  (* the standard IEEE CRC-32 check value *)
+  Alcotest.(check int) "crc32(123456789)" 0xCBF43926 (Wire.Frame.crc32 "123456789");
+  Alcotest.(check int) "crc32 of empty" 0 (Wire.Frame.crc32 "")
+
+let test_frame_roundtrip () =
+  List.iter
+    (fun s -> Alcotest.(check string) "unseal . seal" s (Wire.Frame.unseal (Wire.Frame.seal s)))
+    [ ""; "x"; "hello, frame"; String.make 1000 '\xff' ]
+
+let expect_malformed s =
+  match Wire.Frame.unseal s with
+  | exception Wire.Decoder.Malformed _ -> ()
+  | _ -> Alcotest.failf "corrupted frame %S accepted" s
+
+let test_frame_rejects_byte_flips () =
+  (* CRC-32 catches every single-byte error, anywhere in the frame *)
+  let framed = Wire.Frame.seal "the payload under test" in
+  for i = 0 to String.length framed - 1 do
+    List.iter
+      (fun mask ->
+        let b = Bytes.of_string framed in
+        Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask));
+        expect_malformed (Bytes.to_string b))
+      [ 0x01; 0x80; 0xff ]
+  done
+
+let test_frame_rejects_resizing () =
+  let framed = Wire.Frame.seal "the payload under test" in
+  for len = 0 to String.length framed - 1 do
+    expect_malformed (String.sub framed 0 len)
+  done;
+  expect_malformed (framed ^ "\x00");
+  expect_malformed ("\x00" ^ framed)
+
+let prop_frame_roundtrip =
+  q "frame seal/unseal roundtrip" QCheck2.Gen.string (fun s ->
+      Wire.Frame.unseal (Wire.Frame.seal s) = s)
+
 let prop_no_decoder_crash =
   (* arbitrary bytes either decode or raise Malformed; never crash *)
   q "wire decoder total" QCheck2.Gen.string (fun s ->
@@ -122,6 +163,11 @@ let suite =
       tc "malformed inputs" test_malformed;
       tc "decoder order" test_decoder_order;
       tc "size accounting" test_size_accounting;
+      tc "frame crc check value" test_frame_crc_vector;
+      tc "frame roundtrip" test_frame_roundtrip;
+      tc "frame rejects byte flips" test_frame_rejects_byte_flips;
+      tc "frame rejects resizing" test_frame_rejects_resizing;
+      prop_frame_roundtrip;
       prop_int_roundtrip;
       prop_int_list_roundtrip;
       prop_string_roundtrip;
