@@ -224,10 +224,17 @@ let run_micro () =
   print_endline "Microbenchmarks (Bechamel, monotonic clock)";
   print_endline "===========================================";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-  let instances = Instance.[ monotonic_clock ] in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
+  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let estimate tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some ols -> (
+      match Analyze.OLS.estimates ols with Some (t :: _) -> Some t | Some [] | None -> None)
+    | None -> None
+  in
   let rows =
     Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
     |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -245,7 +252,31 @@ let run_micro () =
         | None -> ""
       in
       Printf.printf "%-42s %s%s\n" name est r2)
-    rows
+    rows;
+  (* machine-readable artifact next to the table, so perf regressions can be
+     diffed across commits *)
+  let module Json = Haec.Obs.Json in
+  let num = function Some v -> Json.Num v | None -> Json.Null in
+  let doc =
+    Json.Obj
+      (List.map
+         (fun (name, ols) ->
+           let r2 = Analyze.OLS.r_square ols in
+           ( name,
+             Json.Obj
+               [
+                 ("ns_per_run", num (estimate results name));
+                 ("r_square", num r2);
+                 ("minor_words_per_run", num (estimate allocs name));
+               ] ))
+         rows)
+  in
+  let oc = open_out "BENCH_results.json" in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  print_newline ();
+  print_endline "results written to BENCH_results.json"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in

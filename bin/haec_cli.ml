@@ -12,6 +12,9 @@ open Haec
 module Registry = Haec_experiments.Registry
 module Op = Model.Op
 module Value = Model.Value
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Metrics_io = Obs.Metrics_io
 
 let ppf = Format.std_formatter
 
@@ -82,6 +85,14 @@ let policy_of = function
   | Lossy -> Sim.Net_policy.lossy ()
   | Partition -> Sim.Net_policy.partitioned ~groups:(fun r -> r mod 2) ~heal_at:30.0 ()
 
+let net_name_of = function
+  | Fifo -> "fifo"
+  | Reorder -> "reorder"
+  | Lossy -> "lossy"
+  | Partition -> "partition"
+
+let net_is_faulty = function Lossy | Partition -> true | Fifo | Reorder -> false
+
 (* a run that blows its delivery budget is a finding, not a crash dump *)
 let or_divergence f =
   try f ()
@@ -94,7 +105,7 @@ let or_divergence f =
     exit 3
 
 let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) ~seed ~n
-    ~objects ~ops ~policy ~mix ~verbose ~dump =
+    ~objects ~ops ~policy ~net_name ~faulty_net ~mix ~verbose ~dump ~metrics =
   let module R = Sim.Runner.Make (S) in
   let rng = Util.Rng.create seed in
   let sim = R.create ~seed ~n ~policy () in
@@ -120,11 +131,54 @@ let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) 
   Format.printf "events=%d messages=%d bytes=%d@." (Model.Execution.length exec)
     (List.length (Model.Execution.messages_sent exec))
     (Model.Execution.total_message_bits exec / 8);
+  let lag = R.visibility_lag sim in
+  if Metrics.Histogram.count lag > 0 then
+    Format.printf "visibility lag (sim time): p50=%.1f p99=%.1f max=%.1f@."
+      (Metrics.Histogram.quantile lag 0.5)
+      (Metrics.Histogram.quantile lag 0.99)
+      (Metrics.Histogram.max_value lag);
+  (* a run under a net that drops, retransmits or duplicates should show its
+     fault counters, not silently discard them *)
+  let st = R.stats sim in
+  if
+    faulty_net || st.Sim.Runner.crashes > 0 || st.Sim.Runner.dropped > 0
+    || st.Sim.Runner.retransmitted > 0
+    || st.Sim.Runner.corrupt_rejected > 0
+  then
+    Format.printf
+      "runner stats: crashes=%d recoveries=%d dropped=%d retransmitted=%d \
+       corrupt_rejected=%d@."
+      st.Sim.Runner.crashes st.Sim.Runner.recoveries st.Sim.Runner.dropped
+      st.Sim.Runner.retransmitted st.Sim.Runner.corrupt_rejected;
   let report = Sim.Checks.validate ~quiescent_at exec (R.witness_abstract sim) in
   Format.printf "checks: %a@." Sim.Checks.pp_report report;
   let session = Consistency.Session.check (R.witness_abstract sim) in
   Format.printf "session guarantees: %s@."
     (String.concat ", " (Consistency.Session.holding session));
+  (match metrics with
+  | Some path ->
+    let reg = R.metrics sim in
+    let num i = Json.Num (float_of_int i) in
+    let snap =
+      Sim.Telemetry.snapshot
+        ~meta:
+          [
+            ("store", Json.Str S.name);
+            ("net", Json.Str net_name);
+            ("replicas", num n);
+            ("objects", num objects);
+            ("ops", num ops);
+            ("seed", num seed);
+          ]
+        ~objects exec reg
+    in
+    (try Metrics_io.save path snap
+     with Sys_error m ->
+       Format.eprintf "cannot write metrics snapshot: %s@." m;
+       exit 2);
+    Format.printf "@.metrics:@.%a@." Metrics.Registry.pp reg;
+    Format.printf "metrics snapshot written to %s@." path
+  | None -> ());
   (match dump with
   | Some path ->
     Model.Trace_io.save path exec;
@@ -148,10 +202,18 @@ let simulate_cmd =
   let dump =
     Arg.(value & opt (some string) None & info [ "dump" ] ~doc:"Write the trace to FILE")
   in
-  let run store net n objects ops seed verbose dump =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~doc:"Write a metrics snapshot (JSONL) to FILE")
+  in
+  let run store net n objects ops seed verbose dump metrics =
     let policy = policy_of net in
     let go (module S : Store.Store_intf.S) mix =
-      simulate_store (module S) ~seed ~n ~objects ~ops ~policy ~mix ~verbose ~dump
+      simulate_store (module S) ~seed ~n ~objects ~ops ~policy
+        ~net_name:(net_name_of net) ~faulty_net:(net_is_faulty net) ~mix ~verbose
+        ~dump ~metrics
     in
     match store with
     | Mvr -> go (module Store.Mvr_store) Sim.Workload.register_mix
@@ -167,22 +229,37 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a random workload on a store over a simulated network")
-    Term.(const run $ store $ net $ n $ objects $ ops $ seed $ verbose $ dump)
+    Term.(const run $ store $ net $ n $ objects $ ops $ seed $ verbose $ dump $ metrics)
 
 (* ---------- chaos ---------- *)
 
 let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs ~n
-    ~objects ~ops ~policy ~dump_dir =
+    ~objects ~ops ~policy ~dump_dir ~metrics =
   let module C = Sim.Chaos.Make (S) in
   Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d@." S.name n
     objects ops runs;
   Format.printf "%6s  %9s  %7s  %7s  %7s  %7s  %s@." "seed" "converged" "crashes"
     "dropped" "retrans" "corrupt" "checks failed";
   let failed = ref 0 in
+  let snaps = ref [] in
   for seed = seed to seed + runs - 1 do
     let o = C.run ~n ~objects ~ops ~spec_of:(fun _ -> spec) ~mix ~policy ~require ~seed () in
     let s = o.Sim.Chaos.stats in
     let fails = Sim.Chaos.failures o in
+    (match metrics with
+    | Some _ ->
+      let snap =
+        Sim.Telemetry.snapshot
+          ~meta:
+            [
+              ("store", Json.Str S.name);
+              ("seed", Json.Num (float_of_int seed));
+              ("converged", Json.Bool (Sim.Chaos.converged o));
+            ]
+          ~objects o.Sim.Chaos.exec o.Sim.Chaos.metrics
+      in
+      snaps := snap :: !snaps
+    | None -> ());
     Format.printf "%6d  %9s  %7d  %7d  %7d  %7d  %s@." seed
       (if Sim.Chaos.converged o then "yes" else "NO")
       s.Sim.Runner.crashes s.Sim.Runner.dropped s.Sim.Runner.retransmitted
@@ -202,6 +279,13 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs 
       | None -> ()
     end
   done;
+  (match metrics with
+  | Some path ->
+    (try
+       Metrics_io.save_all path (List.rev !snaps);
+       Format.printf "metrics: %d snapshots (one per seed) written to %s@." runs path
+     with Sys_error m -> Format.eprintf "cannot write metrics snapshots: %s@." m)
+  | None -> ());
   if !failed = 0 then begin
     Format.printf "all %d seeded fault schedules converged.@." runs;
     `Ok ()
@@ -226,12 +310,19 @@ let chaos_cmd =
       & opt (some string) (Some "chaos-failures")
       & info [ "dump-dir" ] ~doc:"Directory for failing traces (use --dump-dir '' to disable)")
   in
-  let run store net n objects ops seed runs dump_dir =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ]
+          ~doc:"Write per-seed metrics snapshots (JSONL, one snapshot per run) to FILE")
+  in
+  let run store net n objects ops seed runs dump_dir metrics =
     let policy = policy_of net in
     let dump_dir = match dump_dir with Some "" -> None | d -> d in
     let go (module S : Store.Store_intf.S) ~require ~spec mix =
       chaos_store (module S) ~require ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy
-        ~dump_dir
+        ~dump_dir ~metrics
     in
     (* each store is held to the checks its class guarantees under faulty
        re-delivery: causal stores to causal consistency, the lww register
@@ -259,7 +350,7 @@ let chaos_cmd =
   Cmd.v
     (Cmd.info "chaos"
        ~doc:"Crash, drop and corrupt under seeded random fault schedules, then check convergence")
-    Term.(ret (const run $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir))
+    Term.(ret (const run $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir $ metrics))
 
 (* ---------- theorem demos ---------- *)
 
@@ -338,6 +429,126 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Load a saved trace, validate and pretty-print it")
     Term.(const run $ file)
 
+(* ---------- metrics ---------- *)
+
+(* replays a saved trace through the offline wire-metric recomputation, so a
+   snapshot written by `simulate --metrics` can be audited without
+   re-executing the store *)
+let metrics_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~doc:"Write the recomputed snapshot (JSONL) to FILE")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "check" ]
+          ~doc:
+            "Validate a snapshot FILE (from simulate --metrics) against the trace: \
+             required metrics present, wire counts match, max message bits clears the \
+             Theorem 12 floor")
+  in
+  let run file json_out check =
+    let go () =
+      let exec = Model.Trace_io.load file in
+      let reg = Sim.Telemetry.wire_of_execution exec in
+      let snap =
+        Sim.Telemetry.snapshot
+          ~meta:[ ("source", Json.Str file); ("mode", Json.Str "offline") ]
+          exec reg
+      in
+      Format.printf "trace: %d events, %d replicas, %d messages@."
+        (Model.Execution.length exec)
+        (Model.Execution.n_replicas exec)
+        (List.length (Model.Execution.messages_sent exec));
+      Format.printf "@.%a@." Metrics.Registry.pp reg;
+      (match json_out with
+      | Some p ->
+        Metrics_io.save p snap;
+        Format.printf "recomputed snapshot written to %s@." p
+      | None -> ());
+      match check with
+      | None -> Ok ()
+      | Some path ->
+        let saved = Metrics_io.load path in
+        let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+        let require name pred =
+          match Metrics_io.find saved name with
+          | None -> fail "snapshot %s: missing metric %S" path name
+          | Some v -> pred v
+        in
+        let ( let* ) = Result.bind in
+        let* saved_messages =
+          require "wire.messages" (function
+            | Metrics_io.Counter c -> Ok c
+            | _ -> fail "snapshot %s: wire.messages is not a counter" path)
+        in
+        let* saved_bytes =
+          require "wire.payload_bytes" (function
+            | Metrics_io.Histogram h -> Ok h.Metrics_io.sum
+            | _ -> fail "snapshot %s: wire.payload_bytes is not a histogram" path)
+        in
+        let* () =
+          require "visibility.lag" (function
+            | Metrics_io.Histogram _ -> Ok ()
+            | _ -> fail "snapshot %s: visibility.lag is not a histogram" path)
+        in
+        let* floor =
+          require "theorem12_floor_bits" (function
+            | Metrics_io.Gauge g -> Ok g
+            | _ -> fail "snapshot %s: theorem12_floor_bits is not a gauge" path)
+        in
+        let* max_bits =
+          require "wire.max_message_bits" (function
+            | Metrics_io.Gauge g -> Ok g
+            | _ -> fail "snapshot %s: wire.max_message_bits is not a gauge" path)
+        in
+        let messages = List.length (Model.Execution.messages_sent exec) in
+        let bytes = float_of_int (Model.Execution.total_message_bits exec / 8) in
+        let* () =
+          if saved_messages <> messages then
+            fail "wire.messages: snapshot says %d, trace says %d" saved_messages
+              messages
+          else Ok ()
+        in
+        let* () =
+          if Float.abs (saved_bytes -. bytes) > 0.5 then
+            fail "wire.payload_bytes sum: snapshot says %.0f, trace says %.0f"
+              saved_bytes bytes
+          else Ok ()
+        in
+        let* () =
+          if float_of_int (Model.Execution.max_message_bits exec) < floor then
+            fail "Theorem 12 violated?! max message bits %d < floor %.1f"
+              (Model.Execution.max_message_bits exec)
+              floor
+          else Ok ()
+        in
+        Format.printf
+          "check: %s agrees with the trace (messages=%d, payload bytes=%.0f, max \
+           message bits %.0f >= floor %.1f)@."
+          path messages bytes max_bits floor;
+        Ok ()
+    in
+    match go () with
+    | Ok () -> `Ok ()
+    | Error m -> `Error (false, m)
+    | exception Metrics_io.Malformed m -> `Error (false, "malformed snapshot: " ^ m)
+    | exception Wire.Decoder.Malformed m -> `Error (false, "malformed trace: " ^ m)
+    | exception Sys_error m -> `Error (false, m)
+    | exception Failure m -> `Error (false, m)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Recompute wire metrics offline from a saved trace; optionally audit a snapshot")
+    Term.(ret (const run $ file $ json_out $ check))
+
 (* ---------- render ---------- *)
 
 let render_cmd =
@@ -403,6 +614,7 @@ let main =
       theorem6_cmd;
       render_cmd;
       replay_cmd;
+      metrics_cmd;
     ]
 
 let () = exit (Cmd.eval main)

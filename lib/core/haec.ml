@@ -26,6 +26,12 @@ end
 
 module Wire = Haec_wire.Wire
 
+module Obs = struct
+  module Json = Haec_obs.Json
+  module Metrics = Haec_obs.Metrics
+  module Metrics_io = Haec_obs.Metrics_io
+end
+
 module Clock = struct
   module Vclock = Haec_vclock.Vclock
   module Lamport = Haec_vclock.Lamport
@@ -86,6 +92,7 @@ module Sim = struct
   module Scenario = Haec_sim.Scenario
   module Checks = Haec_sim.Checks
   module Chaos = Haec_sim.Chaos
+  module Telemetry = Haec_sim.Telemetry
 end
 
 module Viz = struct

@@ -60,17 +60,29 @@ let run ppf =
               string_of_int s.Harness.messages;
               string_of_int (s.Harness.total_bits / 8);
               Tables.f1 s.Harness.quiesce_time;
+              Tables.f1 s.Harness.lag_p50;
+              Tables.f1 s.Harness.lag_p99;
               Tables.yes_no converged;
             ]
             :: !rows)
         (Harness.policies ()))
     runs;
   Tables.print ppf ~title
-    ~header:[ "store"; "network"; "ops"; "messages"; "bytes"; "drain t"; "converged" ]
+    ~header:
+      [
+        "store"; "network"; "ops"; "messages"; "bytes"; "drain t"; "lag p50";
+        "lag p99"; "converged";
+      ]
     (List.rev !rows);
   Tables.note ppf
     "converged = the execution is well-formed and, post quiescence, every";
   Tables.note ppf
     "replica answers every object read identically (Lemma 3 / Corollary 4).";
+  Tables.note ppf
+    "lag p50/p99 = visibility staleness in simulated time: per update and";
+  Tables.note ppf
+    "per other replica, how long until an operation there first witnessed";
+  Tables.note ppf
+    "it (Definition 17's eventual visibility, measured).";
   Tables.note ppf
     "gossip-relay converges too, at a visibly higher message cost (relays)."

@@ -14,6 +14,9 @@ type stats = {
   max_bits : int;
   quiesce_time : float;
   events : int;
+  lag_p50 : float;  (** visibility-lag quantiles, in simulated time *)
+  lag_p99 : float;
+  lag_max : float;
 }
 
 module Run (S : Store.Store_intf.S) = struct
@@ -49,6 +52,7 @@ module Run (S : Store.Store_intf.S) = struct
       | Ok (), (Error _ as e) -> { report with Sim.Checks.eventual = e }
       | _ -> report
     in
+    let lag = R.visibility_lag sim in
     {
       report;
       ops;
@@ -57,6 +61,9 @@ module Run (S : Store.Store_intf.S) = struct
       max_bits = Execution.max_message_bits exec;
       quiesce_time;
       events = Execution.length exec;
+      lag_p50 = Obs.Metrics.Histogram.quantile lag 0.5;
+      lag_p99 = Obs.Metrics.Histogram.quantile lag 0.99;
+      lag_max = Obs.Metrics.Histogram.max_value lag;
     }
 end
 

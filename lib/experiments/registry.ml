@@ -48,6 +48,7 @@ let all =
       title = E18_fault_recovery.title;
       run = E18_fault_recovery.run;
     };
+    { id = E19_wire_floor.name; title = E19_wire_floor.title; run = E19_wire_floor.run };
   ]
 
 let find id =

@@ -1,0 +1,35 @@
+(** Minimal JSON values, printer and parser.
+
+    The observability layer must export metrics without pulling a JSON
+    dependency into the build, so this module implements just enough of
+    RFC 8259: objects, arrays, strings (with escapes), numbers, booleans
+    and null. Printing integers-valued numbers omits the fractional part;
+    other numbers round-trip exactly through {!to_string}/{!of_string}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Raised by {!of_string} with a message and byte offset. *)
+
+val to_string : t -> string
+(** Compact (single-line) rendering. Non-finite numbers print as [null]
+    — JSON has no representation for them. *)
+
+val pp : Format.formatter -> t -> unit
+
+val of_string : string -> t
+(** Parse exactly one JSON value (surrounding whitespace allowed).
+    Raises {!Parse_error} on anything else. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for missing keys and non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality; numbers compare with [Float.equal] (so [NaN]
+    equals [NaN]). *)

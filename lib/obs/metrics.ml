@@ -1,0 +1,190 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+
+  let incr t = t.v <- t.v + 1
+
+  let add t n =
+    if n < 0 then invalid_arg "Counter.add: negative increment";
+    t.v <- t.v + n
+
+  let value t = t.v
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let create () = { v = 0.0 }
+
+  let set t v = t.v <- v
+
+  let value t = t.v
+end
+
+module Histogram = struct
+  (* bucket 0 holds [0, 1); bucket i >= 1 holds [2^((i-1)/4), 2^(i/4));
+     the last bucket absorbs the tail (~2^63, far beyond any sample the
+     simulator produces) *)
+  let n_buckets = 256
+
+  type t = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min_v : float;
+    mutable max_v : float;
+    buckets : int array;
+  }
+
+  let create () =
+    {
+      count = 0;
+      sum = 0.0;
+      min_v = infinity;
+      max_v = neg_infinity;
+      buckets = Array.make n_buckets 0;
+    }
+
+  let index v =
+    if v < 1.0 then 0
+    else
+      let i = 1 + int_of_float (4.0 *. Float.log2 v) in
+      if i < 1 then 1 else if i >= n_buckets then n_buckets - 1 else i
+
+  let lower i = if i <= 0 then 0.0 else Float.pow 2.0 (float_of_int (i - 1) /. 4.0)
+
+  let upper i = Float.pow 2.0 (float_of_int i /. 4.0)
+
+  let observe t v =
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v;
+    let i = index v in
+    t.buckets.(i) <- t.buckets.(i) + 1
+
+  let count t = t.count
+
+  let sum t = t.sum
+
+  let min_value t = if t.count = 0 then Float.nan else t.min_v
+
+  let max_value t = if t.count = 0 then Float.nan else t.max_v
+
+  let mean t = if t.count = 0 then Float.nan else t.sum /. float_of_int t.count
+
+  let quantile t q =
+    if t.count = 0 then Float.nan
+    else if q <= 0.0 then t.min_v
+    else if q >= 1.0 then t.max_v
+    else begin
+      let rank =
+        min t.count (max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))))
+      in
+      let rec go i cum =
+        let cum = cum + t.buckets.(i) in
+        if cum >= rank then
+          let est = if i = 0 then 0.5 else sqrt (lower i *. upper i) in
+          Float.min t.max_v (Float.max t.min_v est)
+        else go (i + 1) cum
+      in
+      go 0 0
+    end
+end
+
+module Registry = struct
+  type metric =
+    | Counter of Counter.t
+    | Gauge of Gauge.t
+    | Histogram of Histogram.t
+
+  type t = {
+    tbl : (string, metric) Hashtbl.t;
+    mutable order_rev : string list;
+  }
+
+  let create () = { tbl = Hashtbl.create 16; order_rev = [] }
+
+  let register t name m =
+    if Hashtbl.mem t.tbl name then
+      invalid_arg (Printf.sprintf "Registry.register: duplicate metric %S" name);
+    Hashtbl.replace t.tbl name m;
+    t.order_rev <- name :: t.order_rev
+
+  let kind = function
+    | Counter _ -> "counter"
+    | Gauge _ -> "gauge"
+    | Histogram _ -> "histogram"
+
+  let clash name want got =
+    invalid_arg
+      (Printf.sprintf "Registry: metric %S is a %s, not a %s" name (kind got) want)
+
+  let counter t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Counter c) -> c
+    | Some m -> clash name "counter" m
+    | None ->
+      let c = Counter.create () in
+      register t name (Counter c);
+      c
+
+  let gauge t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Gauge g) -> g
+    | Some m -> clash name "gauge" m
+    | None ->
+      let g = Gauge.create () in
+      register t name (Gauge g);
+      g
+
+  let histogram t name =
+    match Hashtbl.find_opt t.tbl name with
+    | Some (Histogram h) -> h
+    | Some m -> clash name "histogram" m
+    | None ->
+      let h = Histogram.create () in
+      register t name (Histogram h);
+      h
+
+  let find t name = Hashtbl.find_opt t.tbl name
+
+  let to_list t =
+    List.rev_map (fun name -> (name, Hashtbl.find t.tbl name)) t.order_rev
+
+  let pp_num ppf f =
+    if Float.is_nan f then Format.pp_print_string ppf "-"
+    else if Float.is_integer f && Float.abs f < 1e15 then
+      Format.fprintf ppf "%.0f" f
+    else Format.fprintf ppf "%.2f" f
+
+  let pp ppf t =
+    let items = to_list t in
+    let width =
+      List.fold_left (fun w (name, _) -> max w (String.length name)) 0 items
+    in
+    Format.pp_open_vbox ppf 0;
+    List.iteri
+      (fun i (name, m) ->
+        if i > 0 then Format.pp_print_cut ppf ();
+        Format.fprintf ppf "%-*s  " width name;
+        match m with
+        | Counter c -> Format.fprintf ppf "counter    %d" (Counter.value c)
+        | Gauge g -> Format.fprintf ppf "gauge      %a" pp_num (Gauge.value g)
+        | Histogram h ->
+          if Histogram.count h = 0 then Format.fprintf ppf "histogram  count=0"
+          else
+            Format.fprintf ppf
+              "histogram  count=%d min=%a mean=%a p50=%a p90=%a p99=%a max=%a"
+              (Histogram.count h) pp_num (Histogram.min_value h) pp_num
+              (Histogram.mean h) pp_num
+              (Histogram.quantile h 0.5)
+              pp_num
+              (Histogram.quantile h 0.9)
+              pp_num
+              (Histogram.quantile h 0.99)
+              pp_num (Histogram.max_value h))
+      items;
+    Format.pp_close_box ppf ()
+end

@@ -1,0 +1,103 @@
+(** Zero-dependency metrics core: counters, gauges and log-scaled
+    histograms behind a named registry.
+
+    The simulator is deterministic and single-threaded, so the metrics are
+    plain mutable cells — no atomics, no sampling, no clock reads. Values
+    are dimensionless; by convention the simulator records bytes, counts
+    and simulated-time durations.
+
+    Histograms bucket non-negative samples geometrically (4 buckets per
+    power of two, ~19% wide), so quantile estimates carry at most ~9%
+    relative error while storing a fixed 256-slot array regardless of the
+    number or range of samples. Exact [min], [max], [sum] and [count] are
+    tracked alongside, and quantile estimates are clamped to
+    [[min, max]] — a single-sample histogram reports that sample exactly
+    at every quantile. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : t -> unit
+
+  val add : t -> int -> unit
+  (** Raises [Invalid_argument] on a negative increment — counters are
+      monotone. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  (** Initially [0.0]. *)
+
+  val set : t -> float -> unit
+
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+
+  val create : unit -> t
+
+  val observe : t -> float -> unit
+  (** Negative and NaN samples are clamped to [0.0]. *)
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val min_value : t -> float
+  (** NaN when empty. *)
+
+  val max_value : t -> float
+  (** NaN when empty. *)
+
+  val mean : t -> float
+  (** NaN when empty. *)
+
+  val quantile : t -> float -> float
+  (** [quantile h q] estimates the [q]-quantile ([q] clamped to [0,1]) from
+      the bucket boundaries: the geometric midpoint of the bucket holding
+      the rank-[ceil q*count] sample, clamped to [[min, max]]; [q <= 0]
+      and [q >= 1] return the exact minimum and maximum. NaN when
+      empty. *)
+end
+
+module Registry : sig
+  (** A named collection of metrics, in registration order. *)
+
+  type t
+
+  type metric =
+    | Counter of Counter.t
+    | Gauge of Gauge.t
+    | Histogram of Histogram.t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Create-or-get by name. Raises [Invalid_argument] if the name is
+      registered as a different kind. *)
+
+  val gauge : t -> string -> Gauge.t
+
+  val histogram : t -> string -> Histogram.t
+
+  val register : t -> string -> metric -> unit
+  (** Attach an existing metric (e.g. a histogram the producer already
+      holds). Raises [Invalid_argument] on a duplicate name. *)
+
+  val find : t -> string -> metric option
+
+  val to_list : t -> (string * metric) list
+  (** In registration order. *)
+
+  val pp : Format.formatter -> t -> unit
+  (** Human summary table: one line per metric; histograms show count,
+      min, mean, p50/p90/p99 and max. *)
+end

@@ -1,0 +1,202 @@
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type snapshot = {
+  meta : (string * Json.t) list;
+  metrics : (string * value) list;
+}
+
+exception Malformed of string
+
+let magic = "haec-metrics"
+
+let version = 1
+
+let summarize h =
+  if Metrics.Histogram.count h = 0 then
+    { count = 0; sum = 0.; min_v = 0.; max_v = 0.; mean = 0.; p50 = 0.; p90 = 0.; p99 = 0. }
+  else
+    {
+      count = Metrics.Histogram.count h;
+      sum = Metrics.Histogram.sum h;
+      min_v = Metrics.Histogram.min_value h;
+      max_v = Metrics.Histogram.max_value h;
+      mean = Metrics.Histogram.mean h;
+      p50 = Metrics.Histogram.quantile h 0.5;
+      p90 = Metrics.Histogram.quantile h 0.9;
+      p99 = Metrics.Histogram.quantile h 0.99;
+    }
+
+let snapshot ?(meta = []) reg =
+  let metrics =
+    List.map
+      (fun (name, m) ->
+        ( name,
+          match m with
+          | Metrics.Registry.Counter c -> Counter (Metrics.Counter.value c)
+          | Metrics.Registry.Gauge g -> Gauge (Metrics.Gauge.value g)
+          | Metrics.Registry.Histogram h -> Histogram (summarize h) ))
+      (Metrics.Registry.to_list reg)
+  in
+  { meta; metrics }
+
+let find snap name = List.assoc_opt name snap.metrics
+
+(* ---------- encoding ---------- *)
+
+let header_json meta =
+  Json.Obj
+    ((("magic", Json.Str magic) :: ("version", Json.Num (float_of_int version)) :: meta))
+
+let metric_json (name, v) =
+  let base = [ ("name", Json.Str name) ] in
+  match v with
+  | Counter c ->
+    Json.Obj
+      (base @ [ ("type", Json.Str "counter"); ("value", Json.Num (float_of_int c)) ])
+  | Gauge g -> Json.Obj (base @ [ ("type", Json.Str "gauge"); ("value", Json.Num g) ])
+  | Histogram h ->
+    Json.Obj
+      (base
+      @ [
+          ("type", Json.Str "histogram");
+          ("count", Json.Num (float_of_int h.count));
+          ("sum", Json.Num h.sum);
+          ("min", Json.Num h.min_v);
+          ("max", Json.Num h.max_v);
+          ("mean", Json.Num h.mean);
+          ("p50", Json.Num h.p50);
+          ("p90", Json.Num h.p90);
+          ("p99", Json.Num h.p99);
+        ])
+
+let to_jsonl snap =
+  let lines =
+    header_json snap.meta :: List.map metric_json snap.metrics
+  in
+  String.concat "\n" (List.map Json.to_string lines) ^ "\n"
+
+(* ---------- decoding ---------- *)
+
+let num_field obj key =
+  match Json.member key obj with
+  | Some (Json.Num f) -> f
+  | Some _ -> raise (Malformed (Printf.sprintf "field %S is not a number" key))
+  | None -> raise (Malformed (Printf.sprintf "missing field %S" key))
+
+let str_field obj key =
+  match Json.member key obj with
+  | Some (Json.Str s) -> s
+  | Some _ -> raise (Malformed (Printf.sprintf "field %S is not a string" key))
+  | None -> raise (Malformed (Printf.sprintf "missing field %S" key))
+
+let decode_header obj =
+  if str_field obj "magic" <> magic then raise (Malformed "not a haec metrics snapshot");
+  let v = int_of_float (num_field obj "version") in
+  if v < 1 || v > version then
+    raise (Malformed (Printf.sprintf "unsupported snapshot version %d" v));
+  match obj with
+  | Json.Obj fields ->
+    List.filter (fun (k, _) -> k <> "magic" && k <> "version") fields
+  | _ -> raise (Malformed "header is not an object")
+
+let decode_metric obj =
+  let name = str_field obj "name" in
+  let v =
+    match str_field obj "type" with
+    | "counter" -> Counter (int_of_float (num_field obj "value"))
+    | "gauge" -> Gauge (num_field obj "value")
+    | "histogram" ->
+      Histogram
+        {
+          count = int_of_float (num_field obj "count");
+          sum = num_field obj "sum";
+          min_v = num_field obj "min";
+          max_v = num_field obj "max";
+          mean = num_field obj "mean";
+          p50 = num_field obj "p50";
+          p90 = num_field obj "p90";
+          p99 = num_field obj "p99";
+        }
+    | k -> raise (Malformed (Printf.sprintf "unknown metric type %S" k))
+  in
+  (name, v)
+
+let snapshots_of_jsonl s =
+  let lines =
+    String.split_on_char '\n' s
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "")
+  in
+  let parse line =
+    match Json.of_string line with
+    | v -> v
+    | exception Json.Parse_error m -> raise (Malformed m)
+  in
+  let finish meta metrics_rev acc =
+    { meta; metrics = List.rev metrics_rev } :: acc
+  in
+  let rec go lines current acc =
+    match lines with
+    | [] -> (
+      match current with
+      | None -> List.rev acc
+      | Some (meta, metrics_rev) -> List.rev (finish meta metrics_rev acc))
+    | line :: rest -> (
+      let obj = parse line in
+      match Json.member "magic" obj with
+      | Some _ ->
+        (* header line: starts a new snapshot *)
+        let meta = decode_header obj in
+        let acc =
+          match current with
+          | None -> acc
+          | Some (m, mr) -> finish m mr acc
+        in
+        go rest (Some (meta, [])) acc
+      | None -> (
+        match current with
+        | None -> raise (Malformed "metric line before snapshot header")
+        | Some (meta, metrics_rev) ->
+          go rest (Some (meta, decode_metric obj :: metrics_rev)) acc))
+  in
+  go lines None []
+
+let of_jsonl s =
+  match snapshots_of_jsonl s with
+  | [ snap ] -> snap
+  | [] -> raise (Malformed "empty snapshot")
+  | _ :: _ -> raise (Malformed "expected exactly one snapshot")
+
+(* ---------- files ---------- *)
+
+let save_all path snaps =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> List.iter (fun s -> output_string oc (to_jsonl s)) snaps)
+
+let save path snap = save_all path [ snap ]
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load path = of_jsonl (read_file path)
+
+let load_all path = snapshots_of_jsonl (read_file path)

@@ -1,0 +1,63 @@
+(** JSONL snapshot format for metrics — the {!Haec_model.Trace_io}
+    counterpart for registries.
+
+    A snapshot is a sequence of JSON objects, one per line: a header line
+    carrying the magic, format version and caller-supplied metadata,
+    followed by one line per metric in registration order. Histograms are
+    exported as summaries (count/sum/min/max/mean/p50/p90/p99), which is
+    what every consumer of the simulator's metrics reads; raw buckets are
+    not serialized. Decoding rejects unknown magics, future versions and
+    malformed lines, so a CI job can fail on any invalid snapshot.
+
+    Several snapshots may share one file (e.g. one per chaos seed): each
+    header line starts a new snapshot. *)
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min_v : float;
+  max_v : float;
+  mean : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+(** An empty histogram summarizes as all zeros (JSON has no NaN). *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of histogram_summary
+
+type snapshot = {
+  meta : (string * Json.t) list;  (** header fields beyond magic/version *)
+  metrics : (string * value) list;  (** in registration order *)
+}
+
+exception Malformed of string
+
+val magic : string
+
+val version : int
+
+val snapshot : ?meta:(string * Json.t) list -> Metrics.Registry.t -> snapshot
+(** Summarize a registry (histogram quantiles are computed here). *)
+
+val find : snapshot -> string -> value option
+
+val to_jsonl : snapshot -> string
+
+val of_jsonl : string -> snapshot
+(** Raises {!Malformed} unless the input holds exactly one snapshot. *)
+
+val snapshots_of_jsonl : string -> snapshot list
+(** Raises {!Malformed} on any bad line; empty input yields []. *)
+
+val save : string -> snapshot -> unit
+
+val save_all : string -> snapshot list -> unit
+
+val load : string -> snapshot
+(** Raises [Sys_error] on IO errors, {!Malformed} on bad content. *)
+
+val load_all : string -> snapshot list

@@ -17,6 +17,7 @@ type outcome = {
   plan : Fault_plan.t;
   require : level;
   stats : Runner.stats;
+  metrics : Haec_obs.Metrics.Registry.t;
   exec : Execution.t;
   ops : int;
   skipped : int;
@@ -153,6 +154,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
       plan;
       require;
       stats = R.stats sim;
+      metrics = R.metrics sim;
       exec = R.execution sim;
       ops = !executed;
       skipped = !skipped;

@@ -33,6 +33,8 @@ type outcome = {
   plan : Fault_plan.t;
   require : level;
   stats : Runner.stats;
+  metrics : Haec_obs.Metrics.Registry.t;
+      (** the runner's wire/visibility telemetry (see {!Runner.Make.metrics}) *)
   exec : Execution.t;
   ops : int;  (** client operations executed (after failover) *)
   skipped : int;  (** operations dropped because every replica was down *)

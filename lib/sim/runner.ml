@@ -3,6 +3,7 @@ open Haec_model
 open Haec_spec
 open Haec_vclock
 open Haec_wire
+module Obs = Haec_obs.Metrics
 
 exception Divergence of { in_flight : int; pending : int; budget : int }
 
@@ -49,6 +50,17 @@ module Make (S : Haec_store.Store_intf.S) = struct
     mutable do_rev : Event.do_event list;
     (* per-link monotone delivery times, for FIFO policies *)
     mutable fifo_last : float array;
+    (* wire telemetry *)
+    msg_count : int array;  (* sends per replica *)
+    payload_hist : Obs.Histogram.t;  (* bytes per sent payload *)
+    fanout_hist : Obs.Histogram.t;  (* deliveries scheduled per send *)
+    mutable s_duplicates : int;
+    mutable s_deliveries : int;
+    (* visibility-lag telemetry: when did each do event happen, and which
+       (update, observer) pairs have already been witnessed *)
+    do_info : (int, float * int) Hashtbl.t;  (* do index -> (time, replica) *)
+    first_seen : (int * int, unit) Hashtbl.t;  (* (do index, observer) *)
+    lag_hist : Obs.Histogram.t;
   }
 
   let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?policy ?faults
@@ -80,6 +92,14 @@ module Make (S : Haec_store.Store_intf.S) = struct
       wit_rev = [];
       do_rev = [];
       fifo_last = Array.make (n * n) 0.0;
+      msg_count = Array.make n 0;
+      payload_hist = Obs.Histogram.create ();
+      fanout_hist = Obs.Histogram.create ();
+      s_duplicates = 0;
+      s_deliveries = 0;
+      do_info = Hashtbl.create 64;
+      first_seen = Hashtbl.create 256;
+      lag_hist = Obs.Histogram.create ();
     }
 
   let n_replicas t = t.n
@@ -97,6 +117,27 @@ module Make (S : Haec_store.Store_intf.S) = struct
       corrupt_rejected = t.s_corrupt_rejected;
       corrupt_collisions = t.s_corrupt_collisions;
     }
+
+  let visibility_lag t = t.lag_hist
+
+  let metrics t =
+    let reg = Obs.Registry.create () in
+    let c name v = Obs.Counter.add (Obs.Registry.counter reg name) v in
+    c "wire.messages" (Array.fold_left ( + ) 0 t.msg_count);
+    Array.iteri (fun r v -> c (Printf.sprintf "wire.messages.r%d" r) v) t.msg_count;
+    Obs.Registry.register reg "wire.payload_bytes" (Obs.Registry.Histogram t.payload_hist);
+    Obs.Registry.register reg "wire.fanout" (Obs.Registry.Histogram t.fanout_hist);
+    c "wire.deliveries" t.s_deliveries;
+    c "wire.duplicates" t.s_duplicates;
+    c "wire.retransmissions" t.s_retransmitted;
+    c "wire.dropped" t.s_dropped;
+    c "wire.corrupt_rejected" t.s_corrupt_rejected;
+    Obs.Registry.register reg "visibility.lag" (Obs.Registry.Histogram t.lag_hist);
+    c "sim.ops" t.do_count;
+    c "sim.crashes" t.s_crashes;
+    c "sim.recoveries" t.s_recoveries;
+    Obs.Gauge.set (Obs.Registry.gauge reg "sim.now") t.now_;
+    reg
 
   let has_pending t ~replica = S.has_pending t.states.(replica)
 
@@ -116,6 +157,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
     match t.policy with
     | None -> ()
     | Some p ->
+      let scheduled = ref 0 in
       for dst = 0 to t.n - 1 do
         if dst <> src then begin
           let d = p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst in
@@ -141,14 +183,20 @@ module Make (S : Haec_store.Store_intf.S) = struct
             t.s_dropped <- t.s_dropped + 1;
             t.s_retransmitted <- t.s_retransmitted + 1;
             let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
-            Pqueue.add t.queue ~priority:(heal +. d') { dst; msg }
+            Pqueue.add t.queue ~priority:(heal +. d') { dst; msg };
+            incr scheduled
           | None -> (
             Pqueue.add t.queue ~priority:at { dst; msg };
+            incr scheduled;
             match p.Net_policy.duplicate t.rng ~now:t.now_ with
-            | Some extra -> Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg }
+            | Some extra ->
+              Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg };
+              incr scheduled;
+              t.s_duplicates <- t.s_duplicates + 1
             | None -> ())
         end
-      done
+      done;
+      Obs.Histogram.observe t.fanout_hist (float_of_int !scheduled)
 
   let flush t ~replica =
     if t.down.(replica) || not (S.has_pending t.states.(replica)) then None
@@ -157,6 +205,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
       t.states.(replica) <- state;
       let msg = { Message.sender = replica; seq = t.send_seq.(replica); payload } in
       t.send_seq.(replica) <- t.send_seq.(replica) + 1;
+      t.msg_count.(replica) <- t.msg_count.(replica) + 1;
+      Obs.Histogram.observe t.payload_hist (float_of_int (String.length payload));
       record t (Event.Send { replica; msg });
       schedule_deliveries t ~src:replica msg;
       Some msg
@@ -175,9 +225,27 @@ module Make (S : Haec_store.Store_intf.S) = struct
     if t.record_witness then begin
       let w = Lazy.force witness in
       t.wit_rev <- (t.do_count, w.Haec_store.Store_intf.visible) :: t.wit_rev;
+      (* visibility lag: the first time this replica witnesses an update
+         that originated elsewhere, record how long it was in flight in
+         simulated time (staleness, Definition 17's "eventually visible"
+         made quantitative) *)
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt t.dot_pos key with
+          | Some i -> (
+            match Hashtbl.find_opt t.do_info i with
+            | Some (t0, origin) when origin <> replica ->
+              if not (Hashtbl.mem t.first_seen (i, replica)) then begin
+                Hashtbl.add t.first_seen (i, replica) ();
+                Obs.Histogram.observe t.lag_hist (t.now_ -. t0)
+              end
+            | Some _ | None -> ())
+          | None -> ())
+        w.Haec_store.Store_intf.visible;
       (match w.Haec_store.Store_intf.self with
       | Some dot -> Hashtbl.replace t.dot_pos (obj, dot) t.do_count
-      | None -> ())
+      | None -> ());
+      Hashtbl.replace t.do_info t.do_count (t.now_, replica)
     end;
     t.do_rev <- d :: t.do_rev;
     t.do_count <- t.do_count + 1;
@@ -190,6 +258,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
     if t.down.(dst) then
       invalid_arg (Printf.sprintf "Runner.deliver_msg: replica %d is crashed" dst);
     t.states.(dst) <- S.receive t.states.(dst) ~sender:msg.Message.sender msg.Message.payload;
+    t.s_deliveries <- t.s_deliveries + 1;
     record t (Event.Receive { replica = dst; msg });
     (* non-op-driven stores may now have a message pending *)
     auto_flush t ~replica:dst

@@ -113,6 +113,24 @@ module Make (S : Haec_store.Store_intf.S) : sig
 
   val stats : t -> stats
 
+  val metrics : t -> Haec_obs.Metrics.Registry.t
+  (** Wire and visibility telemetry of the run so far, as a fresh
+      registry: [wire.messages] (plus one [wire.messages.r<i>] counter per
+      replica), the [wire.payload_bytes] and [wire.fanout] histograms,
+      [wire.deliveries] / [wire.duplicates] / [wire.retransmissions] /
+      [wire.dropped] / [wire.corrupt_rejected] counters, the
+      [visibility.lag] staleness histogram (see {!visibility_lag}), and
+      [sim.ops] / [sim.crashes] / [sim.recoveries] / [sim.now]. Counters
+      are copied at call time; histograms are live references into the
+      runner, so a snapshot taken after further events reflects them. *)
+
+  val visibility_lag : t -> Haec_obs.Metrics.Histogram.t
+  (** Staleness histogram, in simulated time: for every update and every
+      other replica, the lag from the update's do event until the first
+      operation at that replica whose witness includes the update. Only
+      recorded while witness collection is enabled; drive a read per
+      object per replica after quiescence to capture full convergence. *)
+
   val advance_to : t -> float -> unit
   (** Process all scheduled deliveries up to the given time. *)
 

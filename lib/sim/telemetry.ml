@@ -1,0 +1,74 @@
+open Haec_model
+module Obs = Haec_obs.Metrics
+
+let theorem12_floor_bits ~n ~s ~k =
+  let n' = min (n - 2) (s - 1) in
+  if n' <= 0 || k <= 1 then 0.0 else float_of_int n' *. Float.log2 (float_of_int k)
+
+let max_writes_per_replica exec =
+  let counts = Array.make (Execution.n_replicas exec) 0 in
+  List.iter
+    (fun (_, (d : Event.do_event)) ->
+      if Op.is_update d.Event.op then
+        counts.(d.Event.replica) <- counts.(d.Event.replica) + 1)
+    (Execution.do_events exec);
+  Array.fold_left max 0 counts
+
+let objects_of exec =
+  List.fold_left
+    (fun acc (_, (d : Event.do_event)) -> max acc (d.Event.obj + 1))
+    0 (Execution.do_events exec)
+
+let wire_of_execution exec =
+  let n = Execution.n_replicas exec in
+  let msg_count = Array.make n 0 in
+  let payload_hist = Obs.Histogram.create () in
+  let deliveries = ref 0 in
+  let duplicates = ref 0 in
+  (* per sent message id: how many deliveries; per (id, dst): duplicates *)
+  let delivered : (Message.id, int) Hashtbl.t = Hashtbl.create 64 in
+  let seen_at : (Message.id * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Event.Send { replica; msg } ->
+        msg_count.(replica) <- msg_count.(replica) + 1;
+        Obs.Histogram.observe payload_hist (float_of_int (Message.size_bytes msg));
+        Hashtbl.replace delivered (Message.id msg) 0
+      | Event.Receive { replica; msg } ->
+        incr deliveries;
+        let id = Message.id msg in
+        (match Hashtbl.find_opt delivered id with
+        | Some c -> Hashtbl.replace delivered id (c + 1)
+        | None -> ());
+        if Hashtbl.mem seen_at (id, replica) then incr duplicates
+        else Hashtbl.add seen_at (id, replica) ()
+      | Event.Do _ | Event.Crash _ | Event.Recover _ -> ())
+    (Execution.events exec);
+  let fanout_hist = Obs.Histogram.create () in
+  Hashtbl.iter
+    (fun _ c -> Obs.Histogram.observe fanout_hist (float_of_int c))
+    delivered;
+  let reg = Obs.Registry.create () in
+  let c name v = Obs.Counter.add (Obs.Registry.counter reg name) v in
+  c "wire.messages" (Array.fold_left ( + ) 0 msg_count);
+  Array.iteri (fun r v -> c (Printf.sprintf "wire.messages.r%d" r) v) msg_count;
+  Obs.Registry.register reg "wire.payload_bytes" (Obs.Registry.Histogram payload_hist);
+  Obs.Registry.register reg "wire.fanout" (Obs.Registry.Histogram fanout_hist);
+  c "wire.deliveries" !deliveries;
+  c "wire.duplicates" !duplicates;
+  reg
+
+let snapshot ?(meta = []) ?objects exec reg =
+  let n = Execution.n_replicas exec in
+  let s = match objects with Some s -> s | None -> objects_of exec in
+  let k = max_writes_per_replica exec in
+  Obs.Gauge.set
+    (Obs.Registry.gauge reg "theorem12_floor_bits")
+    (theorem12_floor_bits ~n ~s ~k);
+  Obs.Gauge.set
+    (Obs.Registry.gauge reg "wire.max_message_bits")
+    (float_of_int (Execution.max_message_bits exec));
+  Obs.Gauge.set
+    (Obs.Registry.gauge reg "wire.total_bytes")
+    (float_of_int (Execution.total_message_bits exec / 8));
+  Haec_obs.Metrics_io.snapshot ~meta reg
