@@ -1,12 +1,15 @@
 (* The full benchmark and experiment harness.
 
    Running `dune exec bench/main.exe` first regenerates every experiment
-   table of the reproduction (E1..E16, covering all figures and theorems of
-   the paper — see DESIGN.md section 3 and EXPERIMENTS.md), then runs
-   Bechamel microbenchmarks of the core operations.
+   table registered in Haec_experiments.Registry — whatever the registry
+   currently holds; `haec_cli list` or EXPERIMENTS.md enumerate them —
+   then runs Bechamel microbenchmarks of the core operations and the
+   replication soak macro-benchmark, writing both to BENCH_results.json.
 
    `dune exec bench/main.exe -- E6 E7` runs only the named experiments;
-   `dune exec bench/main.exe -- --micro` runs only the microbenchmarks. *)
+   `dune exec bench/main.exe -- --micro` runs only the micro + soak
+   benchmarks; `--quick` shrinks trial counts and soak sizes for CI smoke
+   runs (the JSON artifact keeps the same shape). *)
 
 open Bechamel
 open Toolkit
@@ -219,13 +222,62 @@ let tests =
       bench_search;
     ]
 
-let run_micro () =
+(* ---------- replication soak (E20 harness, machine-readable) ---------- *)
+
+module E20 = Haec_experiments.E20_soak
+
+let soak_json ~quick =
+  let module Json = Haec.Obs.Json in
+  let scale k = if quick then max 64 (k / 8) else k in
+  let stress_entry (s : E20.stress) =
+    ( Printf.sprintf "stress/reverse-%s-k%d" s.E20.s_label s.E20.k,
+      Json.Obj
+        [
+          ("scans", Json.Num (float_of_int s.E20.s_scans));
+          ("scans_per_record", Json.Num (float_of_int s.E20.s_scans /. float_of_int s.E20.k));
+          ("peak_buffer", Json.Num (float_of_int s.E20.s_max_buffer));
+          ("elapsed_s", Json.Num s.E20.s_elapsed);
+        ] )
+  in
+  let soak_entry (s : E20.soak) =
+    ( Printf.sprintf "soak/%s-n%d-ops%d" s.E20.label s.E20.n s.E20.ops,
+      Json.Obj
+        [
+          ("ops_per_sec", Json.Num (if s.E20.elapsed > 0.0 then float_of_int s.E20.ops /. s.E20.elapsed else 0.0));
+          ("bytes_per_op", Json.Num (float_of_int s.E20.total_bytes /. float_of_int s.E20.ops));
+          ("messages", Json.Num (float_of_int s.E20.messages));
+          ("scans", Json.Num (float_of_int s.E20.scans));
+          ("scans_per_delivery", Json.Num (float_of_int s.E20.scans /. float_of_int (max 1 s.E20.deliveries)));
+          ("elapsed_s", Json.Num s.E20.elapsed);
+        ] )
+  in
+  let stress =
+    List.concat_map
+      (fun k -> [ stress_entry (E20.stress_naive ~k); stress_entry (E20.stress_indexed ~k) ])
+      [ scale 1024; scale 2048 ]
+  in
+  let soaks =
+    List.concat_map
+      (fun (n, ops, seed) ->
+        [
+          soak_entry (E20.soak_indexed ~n ~objects:(2 * n) ~ops:(scale ops) ~seed ());
+          soak_entry (E20.soak_indexed ~coalesce:true ~n ~objects:(2 * n) ~ops:(scale ops) ~seed ());
+        ])
+      [ (4, 2000, 2001); (8, 4000, 2002) ]
+    @ [ soak_entry (E20.soak_naive ~n:4 ~objects:8 ~ops:(scale 2000) ~seed:2001 ()) ]
+  in
+  stress @ soaks
+
+let run_micro ~quick () =
   print_newline ();
   print_endline "Microbenchmarks (Bechamel, monotonic clock)";
   print_endline "===========================================";
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Instance.[ monotonic_clock; minor_allocated ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    if quick then Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~kde:None ()
+    else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let allocs = Analyze.all ols Instance.minor_allocated raw in
@@ -257,6 +309,20 @@ let run_micro () =
      diffed across commits *)
   let module Json = Haec.Obs.Json in
   let num = function Some v -> Json.Num v | None -> Json.Null in
+  print_newline ();
+  print_endline "Replication soak (E20 harness)";
+  print_endline "==============================";
+  let soak_rows = soak_json ~quick in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Json.Obj fields ->
+        let cell (k, v) =
+          match v with Json.Num f -> Printf.sprintf "%s=%.1f" k f | _ -> ""
+        in
+        Printf.printf "%-44s %s\n" name (String.concat "  " (List.map cell fields))
+      | _ -> ())
+    soak_rows;
   let doc =
     Json.Obj
       (List.map
@@ -269,7 +335,8 @@ let run_micro () =
                  ("r_square", num r2);
                  ("minor_words_per_run", num (estimate allocs name));
                ] ))
-         rows)
+         rows
+      @ soak_rows)
   in
   let oc = open_out "BENCH_results.json" in
   output_string oc (Json.to_string doc);
@@ -281,7 +348,8 @@ let run_micro () =
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let micro_only = List.mem "--micro" args in
-  let experiment_ids = List.filter (fun a -> a <> "--micro") args in
+  let quick = List.mem "--quick" args in
+  let experiment_ids = List.filter (fun a -> a <> "--micro" && a <> "--quick") args in
   let ppf = Format.std_formatter in
   if not micro_only then begin
     print_endline "Experiment tables (paper figures and theorems; see EXPERIMENTS.md)";
@@ -297,4 +365,4 @@ let () =
         ids);
     Format.pp_print_flush ppf ()
   end;
-  if experiment_ids = [] then run_micro ()
+  if experiment_ids = [] then run_micro ~quick ()

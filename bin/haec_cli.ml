@@ -601,6 +601,41 @@ let render_cmd =
     (Cmd.info "render" ~doc:"Emit a graphviz dot drawing of a simulated run")
     Term.(const run $ store $ n $ ops $ seed $ what)
 
+(* ---------- json-check: validate benchmark/metrics artifacts ---------- *)
+
+let json_check_cmd =
+  let path =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"JSON file to check")
+  in
+  let require =
+    Arg.(
+      value & opt_all string []
+      & info [ "require" ] ~docv:"KEY"
+          ~doc:"Fail unless the top-level object contains this key (repeatable)")
+  in
+  let run path require =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let s = really_input_string ic len in
+    close_in ic;
+    match Json.of_string s with
+    | exception Json.Parse_error m -> `Error (false, Printf.sprintf "%s: %s" path m)
+    | Json.Obj fields ->
+      let missing = List.filter (fun k -> not (List.mem_assoc k fields)) require in
+      if missing <> [] then
+        `Error
+          (false, Printf.sprintf "%s: missing keys: %s" path (String.concat ", " missing))
+      else begin
+        Format.printf "%s: valid JSON object, %d entries@." path (List.length fields);
+        `Ok ()
+      end
+    | _ -> `Error (false, Printf.sprintf "%s: not a JSON object" path)
+  in
+  Cmd.v
+    (Cmd.info "json-check"
+       ~doc:"Parse a JSON artifact (e.g. BENCH_results.json) and verify required keys")
+    Term.(ret (const run $ path $ require))
+
 let main =
   let doc = "Limitations of highly-available eventually-consistent data stores, executable" in
   Cmd.group
@@ -615,6 +650,7 @@ let main =
       render_cmd;
       replay_cmd;
       metrics_cmd;
+      json_check_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -22,6 +22,7 @@ module Util = struct
   module Pqueue = Haec_util.Pqueue
   module Bitset = Haec_util.Bitset
   module Sorted_list = Haec_util.Sorted_list
+  module Fqueue = Haec_util.Fqueue
 end
 
 module Wire = Haec_wire.Wire
@@ -72,6 +73,7 @@ module Store = struct
   module Mvr_object = Haec_store.Mvr_object
   module Mvr_store = Haec_store.Mvr_store
   module Causal_mvr_store = Haec_store.Causal_mvr_store
+  module Causal_naive_store = Haec_store.Causal_naive_store
   module Causal_reg_store = Haec_store.Causal_reg_store
   module Cops_store = Haec_store.Cops_store
   module Counter_store = Haec_store.Counter_store

@@ -49,6 +49,7 @@ let all =
       run = E18_fault_recovery.run;
     };
     { id = E19_wire_floor.name; title = E19_wire_floor.title; run = E19_wire_floor.run };
+    { id = E20_soak.name; title = E20_soak.title; run = E20_soak.run };
   ]
 
 let find id =

@@ -19,6 +19,13 @@ type stats = {
 module Make (S : Haec_store.Store_intf.S) = struct
   type delivery = { dst : int; msg : Message.t }
 
+  (* The scheduled-event queue carries deliveries and, when gossip
+     coalescing is on, deferred transmissions: a replica that becomes
+     dirty schedules one [Transmit] instead of flushing immediately, so
+     every update it performs inside the coalescing window rides the same
+     frame. *)
+  type qevent = Deliver of delivery | Transmit of int
+
   type t = {
     n : int;
     rng : Rng.t;
@@ -27,6 +34,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
     recover_state : replica:int -> S.state -> S.state;
     auto_send : bool;
     record_witness : bool;
+    coalesce : bool;
+    coalesce_window : float;
+    dirty : bool array;  (** replicas owing a deferred (coalesced) flush *)
     states : S.state array;
     down : bool array;
     mutable lost_rev : delivery list;
@@ -34,7 +44,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
             owed a retransmission once the destination is back *)
     mutable events_rev : Event.t list;
     send_seq : int array;
-    queue : delivery Pqueue.t;
+    queue : qevent Pqueue.t;
     mutable now_ : float;
     (* fault statistics *)
     mutable s_crashes : int;
@@ -63,9 +73,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
     lag_hist : Obs.Histogram.t;
   }
 
-  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?policy ?faults
+  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?(coalesce = false)
+      ?(coalesce_window = 2.0) ?policy ?faults
       ?(recover_state = fun ~replica:_ st -> st) ~n () =
     if n <= 0 then invalid_arg "Runner.create: n must be positive";
+    if coalesce_window < 0.0 then invalid_arg "Runner.create: negative coalesce window";
     {
       n;
       rng = Rng.create seed;
@@ -74,6 +86,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
       recover_state;
       auto_send;
       record_witness;
+      coalesce;
+      coalesce_window;
+      dirty = Array.make n false;
       states = Array.init n (fun me -> S.init ~n ~me);
       down = Array.make n false;
       lost_rev = [];
@@ -151,7 +166,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
   let requeue t d =
     t.s_retransmitted <- t.s_retransmitted + 1;
     let at = t.now_ +. retransmit_delay t ~src:d.msg.Message.sender ~dst:d.dst in
-    Pqueue.add t.queue ~priority:at d
+    Pqueue.add t.queue ~priority:at (Deliver d)
 
   let schedule_deliveries t ~src msg =
     match t.policy with
@@ -183,14 +198,14 @@ module Make (S : Haec_store.Store_intf.S) = struct
             t.s_dropped <- t.s_dropped + 1;
             t.s_retransmitted <- t.s_retransmitted + 1;
             let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
-            Pqueue.add t.queue ~priority:(heal +. d') { dst; msg };
+            Pqueue.add t.queue ~priority:(heal +. d') (Deliver { dst; msg });
             incr scheduled
           | None -> (
-            Pqueue.add t.queue ~priority:at { dst; msg };
+            Pqueue.add t.queue ~priority:at (Deliver { dst; msg });
             incr scheduled;
             match p.Net_policy.duplicate t.rng ~now:t.now_ with
             | Some extra ->
-              Pqueue.add t.queue ~priority:(at +. max 0.0 extra) { dst; msg };
+              Pqueue.add t.queue ~priority:(at +. max 0.0 extra) (Deliver { dst; msg });
               incr scheduled;
               t.s_duplicates <- t.s_duplicates + 1
             | None -> ())
@@ -199,6 +214,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
       Obs.Histogram.observe t.fanout_hist (float_of_int !scheduled)
 
   let flush t ~replica =
+    t.dirty.(replica) <- false;
     if t.down.(replica) || not (S.has_pending t.states.(replica)) then None
     else begin
       let state, payload = S.send t.states.(replica) in
@@ -212,8 +228,16 @@ module Make (S : Haec_store.Store_intf.S) = struct
       Some msg
     end
 
+  (* With coalescing on, a dirty replica defers its flush by one window so
+     that further updates inside the window share the frame; the transmit
+     event performs the (single) send. Without coalescing, flush now. *)
   let auto_flush t ~replica =
-    if t.auto_send then ignore (flush t ~replica)
+    if t.auto_send then
+      if not t.coalesce then ignore (flush t ~replica)
+      else if (not t.dirty.(replica)) && S.has_pending t.states.(replica) then begin
+        t.dirty.(replica) <- true;
+        Pqueue.add t.queue ~priority:(t.now_ +. t.coalesce_window) (Transmit replica)
+      end
 
   let op t ~replica ~obj o =
     if t.down.(replica) then
@@ -273,12 +297,12 @@ module Make (S : Haec_store.Store_intf.S) = struct
     let inflight = Pqueue.to_list t.queue in
     Pqueue.clear t.queue;
     List.iter
-      (fun (at, d) ->
-        if d.dst = replica then begin
+      (fun (at, ev) ->
+        match ev with
+        | Deliver d when d.dst = replica ->
           t.s_dropped <- t.s_dropped + 1;
           t.lost_rev <- d :: t.lost_rev
-        end
-        else Pqueue.add t.queue ~priority:at d)
+        | Deliver _ | Transmit _ -> Pqueue.add t.queue ~priority:at ev)
       inflight
 
   let recover t ~replica =
@@ -310,7 +334,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
   let step t =
     match Pqueue.pop t.queue with
     | None -> false
-    | Some (at, ({ dst; msg } as d)) ->
+    | Some (at, Transmit replica) ->
+      t.now_ <- max t.now_ at;
+      if t.dirty.(replica) then ignore (flush t ~replica);
+      true
+    | Some (at, Deliver ({ dst; msg } as d)) ->
       t.now_ <- max t.now_ at;
       (if t.down.(dst) then begin
          t.s_dropped <- t.s_dropped + 1;

@@ -52,6 +52,8 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?seed:int ->
     ?record_witness:bool ->
     ?auto_send:bool ->
+    ?coalesce:bool ->
+    ?coalesce_window:float ->
     ?policy:Net_policy.t ->
     ?faults:Fault_plan.t ->
     ?recover_state:(replica:int -> S.state -> S.state) ->
@@ -62,6 +64,17 @@ module Make (S : Haec_store.Store_intf.S) : sig
       that leaves a message pending (client op, or receive for non-op-driven
       stores). Without a [policy], sent messages are only recorded and
       returned — delivery is up to the caller.
+
+      [coalesce] (default [false]) turns on gossip coalescing for
+      auto-sends: instead of flushing immediately, a replica that becomes
+      dirty schedules a single deferred transmission [coalesce_window]
+      (default [2.0]) simulated-time units later, so every update it
+      performs inside the window is batched into one frame. Fewer, larger
+      messages; per-message byte accounting (and the Theorem 12 floor
+      audit) is unchanged because the batched frame is a real recorded
+      message. Manual {!flush} still sends immediately, and
+      {!run_until_quiescent} flushes any still-dirty replica directly when
+      the queue drains, so quiescence and convergence are unaffected.
 
       [faults] enables link-drop and corruption injection on scheduled
       deliveries. [recover_state] maps a crashed replica's last state to

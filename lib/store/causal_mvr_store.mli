@@ -11,3 +11,10 @@
     the upper bound matching the Theorem 12 lower bound when [s >= n]. *)
 
 include Store_intf.S
+
+val delivery_stats : unit -> Store_intf.delivery_stats
+(** Delivery-buffer work counters (scans, deliveries, peak buffered),
+    aggregated across all replicas of this module; read by the E20 soak
+    benchmark. *)
+
+val reset_delivery_stats : unit -> unit

@@ -2,6 +2,7 @@ open Haec_wire
 open Haec_vclock
 open Haec_model
 module Int_map = Map.Make (Int)
+module Dot_map = Map.Make (Dot)
 
 (* Global update identifiers: (replica, per-replica update counter),
    distinct from the MVR object layer's per-object dots. *)
@@ -34,7 +35,12 @@ type state = {
                         subsumed by a later applied update's deps *)
   objects : Mvr_object.t Int_map.t;
   pending : update_record list;  (** newest first *)
-  buffer : update_record list;
+  buffer : update_record Dot_map.t;
+      (** remote updates awaiting dependencies, keyed by their global dot *)
+  waiting : Dot.t list Dot_map.t;
+      (** wakeup index: [waiting.(d)] holds the dots of buffered records
+          parked until dependency [d] is applied; each buffered record
+          sits in at most one bucket *)
 }
 
 let name = "mvr-cops-deps"
@@ -52,7 +58,8 @@ let init ~n ~me =
     ctx = Dot.Set.empty;
     objects = Int_map.empty;
     pending = [];
-    buffer = [];
+    buffer = Dot_map.empty;
+    waiting = Dot_map.empty;
   }
 
 let obj_state t obj =
@@ -78,17 +85,46 @@ let apply_obj t r =
     objects = Int_map.add r.obj (Mvr_object.apply (obj_state t r.obj) r.u) t.objects;
   }
 
-let deliverable t r = Dot.Set.subset r.deps t.applied
+(* some dependency not yet applied, or [None] when deliverable *)
+let missing_dep t deps =
+  Dot.Set.fold
+    (fun d acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> if Dot.Set.mem d t.applied then None else Some d)
+    deps None
 
-let rec drain t =
-  let rec pick acc = function
-    | [] -> None
-    | r :: rest ->
-      if deliverable t r then Some (r, List.rev_append acc rest) else pick (r :: acc) rest
-  in
-  match pick [] t.buffer with
-  | None -> t
-  | Some (r, buffer) -> drain (apply_obj { t with buffer } r)
+(* Process newly buffered records: each is either applied — waking the
+   records parked on its dot — or parked under one still-missing
+   dependency. A record is re-examined once per dependency that becomes
+   satisfied instead of once per scan of the whole buffer. *)
+let drain_from t dots =
+  let st = ref t in
+  let work = Queue.create () in
+  List.iter (fun d -> Queue.add d work) dots;
+  while not (Queue.is_empty work) do
+    let dot = Queue.pop work in
+    match Dot_map.find_opt dot !st.buffer with
+    | None -> ()
+    | Some r -> (
+      if Dot.Set.mem r.dot !st.applied then
+        st := { !st with buffer = Dot_map.remove dot !st.buffer }
+      else
+        match missing_dep !st r.deps with
+        | Some d ->
+          let bucket =
+            match Dot_map.find_opt d !st.waiting with Some b -> b | None -> []
+          in
+          st := { !st with waiting = Dot_map.add d (r.dot :: bucket) !st.waiting }
+        | None ->
+          st := apply_obj { !st with buffer = Dot_map.remove dot !st.buffer } r;
+          (match Dot_map.find_opt r.dot !st.waiting with
+          | None -> ()
+          | Some woken ->
+            st := { !st with waiting = Dot_map.remove r.dot !st.waiting };
+            List.iter (fun d -> Queue.add d work) woken))
+  done;
+  !st
 
 let do_op t ~obj op =
   match op with
@@ -129,8 +165,9 @@ let receive t ~sender:_ payload =
       if r.dot.Dot.replica < 0 || r.dot.Dot.replica >= t.n then
         raise (Wire.Decoder.Malformed "update origin out of range"))
     records;
-  let fresh r =
-    (not (Dot.Set.mem r.dot t.applied))
-    && not (List.exists (fun b -> Dot.equal b.dot r.dot) t.buffer)
+  let fresh r = (not (Dot.Set.mem r.dot t.applied)) && not (Dot_map.mem r.dot t.buffer) in
+  let fresh_records = List.filter fresh records in
+  let buffer =
+    List.fold_left (fun b r -> Dot_map.add r.dot r b) t.buffer fresh_records
   in
-  drain { t with buffer = t.buffer @ List.filter fresh records }
+  drain_from { t with buffer } (List.map (fun r -> r.dot) fresh_records)

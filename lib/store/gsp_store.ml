@@ -2,6 +2,7 @@ open Haec_wire
 open Haec_vclock
 open Haec_model
 module Int_map = Map.Make (Int)
+module Fqueue = Haec_util.Fqueue
 
 type swrite = {
   origin : int;
@@ -59,7 +60,7 @@ type state = {
   applied : Dot.Set.t;  (** dots (origin, oseq) of confirmed writes *)
   order_buffer : (int * swrite) list;  (** out-of-order sequencer output *)
   (* this replica's writes not yet confirmed, oldest first *)
-  unconfirmed : swrite list;
+  unconfirmed : swrite Fqueue.t;
   next_oseq : int;
   (* outgoing *)
   out_writes : swrite list;  (** newest first *)
@@ -85,7 +86,7 @@ let init ~n ~me =
     objects = Int_map.empty;
     applied = Dot.Set.empty;
     order_buffer = [];
-    unconfirmed = [];
+    unconfirmed = Fqueue.empty;
     next_oseq = 1;
     out_writes = [];
     out_orders = [];
@@ -106,8 +107,20 @@ let rec drain t =
       | Some (g', _) when g' > g -> t.objects
       | _ -> Int_map.add w.obj (g, w) t.objects
     in
+    (* only own writes sit in [unconfirmed], so a remote confirmation
+       never needs the O(n) sweep *)
     let unconfirmed =
-      List.filter (fun u -> not (Dot.equal (dot_of u) (dot_of w))) t.unconfirmed
+      if w.origin <> t.me then t.unconfirmed
+      else
+        match Fqueue.peek t.unconfirmed with
+        | Some u when Dot.equal (dot_of u) (dot_of w) ->
+          (* the common case: own writes confirm in issue order *)
+          snd (Option.get (Fqueue.pop t.unconfirmed))
+        | _ ->
+          Fqueue.of_list
+            (List.filter
+               (fun u -> not (Dot.equal (dot_of u) (dot_of w)))
+               (Fqueue.to_list t.unconfirmed))
     in
     drain
       {
@@ -143,25 +156,31 @@ let witness_of t =
   let confirmed_winners =
     Int_map.fold (fun obj (_, w) acc -> (obj, dot_of w) :: acc) t.objects []
   in
-  let own = List.map (fun w -> (w.obj, dot_of w)) t.unconfirmed in
+  let own =
+    List.rev (Fqueue.fold (fun acc w -> (w.obj, dot_of w) :: acc) [] t.unconfirmed)
+  in
   confirmed_winners @ own
 
 let do_op t ~obj op =
   match op with
   | Op.Read ->
     (* own unconfirmed writes overlay the confirmed prefix *)
-    let own = List.filter (fun w -> w.obj = obj) t.unconfirmed in
+    let own_last =
+      Fqueue.fold (fun acc w -> if w.obj = obj then Some w else acc) None t.unconfirmed
+    in
     let vals =
-      match (List.rev own, Int_map.find_opt obj t.objects) with
-      | last :: _, _ -> [ last.value ]
-      | [], Some (_, w) -> [ w.value ]
-      | [], None -> []
+      match (own_last, Int_map.find_opt obj t.objects) with
+      | Some last, _ -> [ last.value ]
+      | None, Some (_, w) -> [ w.value ]
+      | None, None -> []
     in
     (t, Op.vals vals, lazy { Store_intf.visible = witness_of t; self = None })
   | Op.Write v ->
     let w = { origin = t.me; oseq = t.next_oseq; obj; value = v } in
     let witness = lazy { Store_intf.visible = witness_of t; self = Some (dot_of w) } in
-    let t = { t with next_oseq = t.next_oseq + 1; unconfirmed = t.unconfirmed @ [ w ] } in
+    let t =
+      { t with next_oseq = t.next_oseq + 1; unconfirmed = Fqueue.push t.unconfirmed w }
+    in
     let t =
       if t.me = sequencer then sequence t w else { t with out_writes = w :: t.out_writes }
     in

@@ -11,6 +11,19 @@
 open Haec_wire
 open Haec_vclock
 open Haec_model
+module Int_map = Map.Make (Int)
+
+(* Shared by the dot-generating object layers: the highest sequence number
+   seen per replica, maintained incrementally so [next_seq] is a lookup
+   instead of a fold over every dot ever observed (which made each update
+   op O(|seen|) and a long run quadratic). The cache is advanced at every
+   dot insertion, so it stays exact under duplicated and replayed
+   deliveries. *)
+let bump_max (d : Dot.t) m =
+  let cur = match Int_map.find_opt d.Dot.replica m with Some s -> s | None -> 0 in
+  if d.Dot.seq > cur then Int_map.add d.Dot.replica d.Dot.seq m else m
+
+let max_seq m me = match Int_map.find_opt me m with Some s -> s | None -> 0
 
 module type OBJECT = sig
   val kind : string
@@ -102,17 +115,14 @@ module Lww_register : OBJECT = struct
     n : int;
     current : entry option;
     seen : Dot.Set.t;
+    maxes : int Int_map.t;  (** per-replica max seq in [seen] *)
   }
 
   type update = entry
 
-  let empty ~n = { n; current = None; seen = Dot.Set.empty }
+  let empty ~n = { n; current = None; seen = Dot.Set.empty; maxes = Int_map.empty }
 
-  let next_seq t me =
-    Dot.Set.fold
-      (fun d acc -> if d.Dot.replica = me then max acc d.Dot.seq else acc)
-      t.seen 0
-    + 1
+  let next_seq t me = max_seq t.maxes me + 1
 
   let better a b = if Lamport.compare a.ts b.ts >= 0 then a else b
 
@@ -123,6 +133,7 @@ module Lww_register : OBJECT = struct
         t with
         current = (match t.current with None -> Some e | Some c -> Some (better c e));
         seen = Dot.Set.add e.dot t.seen;
+        maxes = bump_max e.dot t.maxes;
       }
 
   let do_op t ~me ~now op =
@@ -175,20 +186,30 @@ module Orset : OBJECT = struct
     entries : (Dot.t * Value.t) list;  (** live add-dots *)
     tombstones : Dot.Set.t;  (** add-dots covered by some applied remove *)
     known : Dot.Set.t;
+    maxes : int Int_map.t;  (** per-replica max seq in [known] *)
   }
 
-  let empty ~n = { n; entries = []; tombstones = Dot.Set.empty; known = Dot.Set.empty }
+  let empty ~n =
+    {
+      n;
+      entries = [];
+      tombstones = Dot.Set.empty;
+      known = Dot.Set.empty;
+      maxes = Int_map.empty;
+    }
 
-  let next_seq t me =
-    Dot.Set.fold
-      (fun d acc -> if d.Dot.replica = me then max acc d.Dot.seq else acc)
-      t.known 0
-    + 1
+  let next_seq t me = max_seq t.maxes me + 1
 
   let apply t = function
     | Uadd { dot; value } ->
       if Dot.Set.mem dot t.known then t
-      else { t with entries = (dot, value) :: t.entries; known = Dot.Set.add dot t.known }
+      else
+        {
+          t with
+          entries = (dot, value) :: t.entries;
+          known = Dot.Set.add dot t.known;
+          maxes = bump_max dot t.maxes;
+        }
     | Uremove { dot; removed } ->
       if Dot.Set.mem dot t.known then t
       else
@@ -197,6 +218,7 @@ module Orset : OBJECT = struct
           entries = List.filter (fun (d, _) -> not (Dot.Set.mem d removed)) t.entries;
           tombstones = Dot.Set.union t.tombstones removed;
           known = Dot.Set.add dot (Dot.Set.union t.known removed);
+          maxes = Dot.Set.fold bump_max removed (bump_max dot t.maxes);
         }
 
   let do_op t ~me ~now:_ op =
@@ -260,19 +282,22 @@ module Pn_counter : OBJECT = struct
     n : int;
     total : int;
     seen : Dot.Set.t;
+    maxes : int Int_map.t;  (** per-replica max seq in [seen] *)
   }
 
-  let empty ~n = { n; total = 0; seen = Dot.Set.empty }
+  let empty ~n = { n; total = 0; seen = Dot.Set.empty; maxes = Int_map.empty }
 
-  let next_seq t me =
-    Dot.Set.fold
-      (fun d acc -> if d.Dot.replica = me then max acc d.Dot.seq else acc)
-      t.seen 0
-    + 1
+  let next_seq t me = max_seq t.maxes me + 1
 
   let apply t u =
     if Dot.Set.mem u.dot t.seen then t
-    else { t with total = t.total + u.delta; seen = Dot.Set.add u.dot t.seen }
+    else
+      {
+        t with
+        total = t.total + u.delta;
+        seen = Dot.Set.add u.dot t.seen;
+        maxes = bump_max u.dot t.maxes;
+      }
 
   let do_op t ~me ~now:_ op =
     match op with

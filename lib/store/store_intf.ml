@@ -16,6 +16,25 @@
 open Haec_model
 open Haec_vclock
 
+(** Instrumentation shared by delivery layers that buffer remote updates:
+    how much work the buffer did, aggregated across every replica of the
+    instantiated store module (the counters are module-global, not part of
+    the pure per-replica state). The soak benchmark (E20) reads these to
+    show how buffer cost scales with the number of buffered records. *)
+type delivery_stats = {
+  mutable scans : int;
+      (** deliverability checks performed against buffered records *)
+  mutable delivered : int;
+      (** records handed to the object layer (or the hidden queue) *)
+  mutable max_buffer : int;
+      (** peak number of simultaneously buffered records at one replica *)
+}
+
+let fresh_delivery_stats () = { scans = 0; delivered = 0; max_buffer = 0 }
+
+let copy_delivery_stats s =
+  { scans = s.scans; delivered = s.delivered; max_buffer = s.max_buffer }
+
 type witness = {
   visible : (int * Dot.t) list;
       (** [(obj, dot)] of every update visible to this operation. Dots are

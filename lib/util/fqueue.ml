@@ -1,0 +1,30 @@
+type 'a t = { front : 'a list; back : 'a list }
+
+let empty = { front = []; back = [] }
+
+let is_empty q = q.front = [] && q.back = []
+
+let length q = List.length q.front + List.length q.back
+
+let push q x = { q with back = x :: q.back }
+
+let pop q =
+  match q.front with
+  | x :: front -> Some (x, { q with front })
+  | [] -> (
+    match List.rev q.back with
+    | [] -> None
+    | x :: front -> Some (x, { front; back = [] }))
+
+let peek q =
+  match q.front with
+  | x :: _ -> Some x
+  | [] -> ( match List.rev q.back with x :: _ -> Some x | [] -> None)
+
+let of_list l = { front = l; back = [] }
+
+let to_list q = q.front @ List.rev q.back
+
+let fold f acc q =
+  let acc = List.fold_left f acc q.front in
+  List.fold_left f acc (List.rev q.back)

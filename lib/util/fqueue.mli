@@ -1,0 +1,35 @@
+(** Persistent FIFO queue (Okasaki's two-list batched queue).
+
+    [push] is O(1); [pop] is amortized O(1) — the back list is reversed
+    into the front at most once per element. The point versus a plain
+    list used as a queue is the tail: appending with [xs @ [x]] costs
+    O(|xs|) per enqueue and quadratic over a run, which is exactly the
+    pattern this replaces in the store hot paths. Being persistent, old
+    versions of the queue remain valid after any operation — a property
+    the pure store state machines rely on. *)
+
+type 'a t
+
+val empty : 'a t
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+(** O(n). *)
+
+val push : 'a t -> 'a -> 'a t
+(** Enqueue at the back. *)
+
+val pop : 'a t -> ('a * 'a t) option
+(** Dequeue from the front (FIFO order). *)
+
+val peek : 'a t -> 'a option
+
+val of_list : 'a list -> 'a t
+(** The list head becomes the queue front. *)
+
+val to_list : 'a t -> 'a list
+(** Front first. *)
+
+val fold : ('a -> 'b -> 'a) -> 'a -> 'b t -> 'a
+(** Front-to-back fold. *)

@@ -1,68 +1,157 @@
 open Haec_wire
 
-type t = int array
+(* The component array plus its cached sum. The sum is an order
+   homomorphism — [a <= b] componentwise implies [sum a <= sum b] — so it
+   settles most comparisons on the replication hot path without touching
+   the array: [leq] refutes on [a.sum > b.sum], and [a <= b] with equal
+   sums forces [a = b]. The cache is kept exact at construction and by
+   the in-place operations, never recomputed lazily. *)
+type t = { v : int array; mutable sum : int }
 
 type order = Equal | Before | After | Concurrent
 
+let sum_of = Array.fold_left ( + ) 0
+
 let zero ~n =
   if n <= 0 then invalid_arg "Vclock.zero: n must be positive";
-  Array.make n 0
+  { v = Array.make n 0; sum = 0 }
 
 let of_array a =
   Array.iter (fun x -> if x < 0 then invalid_arg "Vclock.of_array: negative entry") a;
-  Array.copy a
+  { v = Array.copy a; sum = sum_of a }
 
-let to_array = Array.copy
+let to_array t = Array.copy t.v
 
-let size = Array.length
+let size t = Array.length t.v
 
-let get v r = v.(r)
+let get t r = t.v.(r)
 
-let tick v r =
-  let v' = Array.copy v in
+let copy t = { v = Array.copy t.v; sum = t.sum }
+
+let tick t r =
+  let v' = Array.copy t.v in
   v'.(r) <- v'.(r) + 1;
-  v'
+  { v = v'; sum = t.sum + 1 }
+
+let tick_into t r =
+  t.v.(r) <- t.v.(r) + 1;
+  t.sum <- t.sum + 1
 
 let check_sizes a b =
-  if Array.length a <> Array.length b then
-    invalid_arg "Vclock: size mismatch"
+  if Array.length a.v <> Array.length b.v then invalid_arg "Vclock: size mismatch"
 
 let merge a b =
   check_sizes a b;
-  Array.mapi (fun i x -> max x b.(i)) a
+  let n = Array.length a.v in
+  let v' = Array.make n 0 in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    let ai = Array.unsafe_get a.v i and bi = Array.unsafe_get b.v i in
+    let m = if ai >= bi then ai else bi in
+    Array.unsafe_set v' i m;
+    s := !s + m
+  done;
+  { v = v'; sum = !s }
+
+let merge_into a b =
+  check_sizes a b;
+  let s = ref a.sum in
+  for i = 0 to Array.length a.v - 1 do
+    let ai = Array.unsafe_get a.v i and bi = Array.unsafe_get b.v i in
+    if bi > ai then begin
+      Array.unsafe_set a.v i bi;
+      s := !s + (bi - ai)
+    end
+  done;
+  a.sum <- !s
 
 let compare_causal a b =
   check_sizes a b;
-  let some_lt = ref false and some_gt = ref false in
-  for i = 0 to Array.length a - 1 do
-    if a.(i) < b.(i) then some_lt := true;
-    if a.(i) > b.(i) then some_gt := true
-  done;
-  match (!some_lt, !some_gt) with
-  | false, false -> Equal
-  | true, false -> Before
-  | false, true -> After
-  | true, true -> Concurrent
+  if a == b then Equal
+  else begin
+    let n = Array.length a.v in
+    let some_lt = ref false and some_gt = ref false in
+    let i = ref 0 in
+    (* stop as soon as both directions are witnessed: Concurrent *)
+    while !i < n && not (!some_lt && !some_gt) do
+      let ai = Array.unsafe_get a.v !i and bi = Array.unsafe_get b.v !i in
+      if ai < bi then some_lt := true else if ai > bi then some_gt := true;
+      incr i
+    done;
+    match (!some_lt, !some_gt) with
+    | false, false -> Equal
+    | true, false -> Before
+    | false, true -> After
+    | true, true -> Concurrent
+  end
 
-let leq a b = match compare_causal a b with Equal | Before -> true | After | Concurrent -> false
+let leq a b =
+  check_sizes a b;
+  a.sum <= b.sum
+  &&
+  let n = Array.length a.v in
+  let rec go i =
+    i >= n || (Array.unsafe_get a.v i <= Array.unsafe_get b.v i && go (i + 1))
+  in
+  go 0
 
-let lt a b = compare_causal a b = Before
+(* componentwise <= with equal sums forces equality, so strictness is
+   just a sum test away *)
+let lt a b = a.sum < b.sum && leq a b
+
+let equal a b = Array.length a.v = Array.length b.v && a.sum = b.sum && a.v = b.v
 
 let concurrent a b = compare_causal a b = Concurrent
 
-let equal a b = Array.length a = Array.length b && compare_causal a b = Equal
+let compare a b = Stdlib.compare a.v b.v
 
-let compare = Stdlib.compare
+let sum t = t.sum
 
-let sum = Array.fold_left ( + ) 0
+(* Specialized paths (rather than [Encoder.array]/[Decoder.array]): every
+   replicated message carries at least one clock, and the generic
+   combinators pay an indirect call per entry. Decoding also folds the
+   cached sum in the same pass. *)
+let encode enc t = Wire.Encoder.uint_array enc t.v
 
-let encode enc v = Wire.Encoder.array enc Wire.Encoder.uint v
+let decode dec =
+  let n = Wire.Decoder.uint dec in
+  if n < 0 || n > Wire.Decoder.remaining dec then
+    raise (Wire.Decoder.Malformed "Vclock.decode: length exceeds input");
+  let v = Array.make n 0 in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    let x = Wire.Decoder.uint dec in
+    Array.unsafe_set v i x;
+    s := !s + x
+  done;
+  { v; sum = !s }
 
-let decode dec = Wire.Decoder.array dec Wire.Decoder.uint
+let encode_delta enc ~prev t =
+  check_sizes prev t;
+  let n = Array.length t.v in
+  Wire.Encoder.uint enc n;
+  for i = 0 to n - 1 do
+    let d = t.v.(i) - prev.v.(i) in
+    if d < 0 then invalid_arg "Vclock.encode_delta: prev exceeds clock";
+    Wire.Encoder.uint enc d
+  done
 
-let pp ppf v =
+let decode_delta dec ~prev =
+  let n = Wire.Decoder.uint dec in
+  if n <> Array.length prev.v then
+    raise (Wire.Decoder.Malformed "Vclock.decode_delta: size mismatch");
+  let v = Array.make n 0 in
+  let s = ref 0 in
+  for i = 0 to n - 1 do
+    let x = prev.v.(i) + Wire.Decoder.uint dec in
+    v.(i) <- x;
+    s := !s + x
+  done;
+  { v; sum = !s }
+
+let pp ppf t =
   Format.fprintf ppf "[%a]"
     (Format.pp_print_array
        ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
        Format.pp_print_int)
-    v
+    t.v

@@ -28,11 +28,27 @@ val size : t -> int
 
 val get : t -> int -> int
 
+val copy : t -> t
+(** A clock sharing no mutable state with the original — the required
+    starting point for the [_into] operations below. *)
+
 val tick : t -> int -> t
 (** [tick v r] increments component [r]. *)
 
+val tick_into : t -> int -> unit
+(** In-place {!tick}. {b Only} for clocks the caller uniquely owns (e.g.
+    obtained via {!copy}); a clock that has been shared — stored in a
+    state, captured in a record, returned to a caller — must never be
+    mutated, as every [t] handed across an API boundary is immutable by
+    contract. *)
+
 val merge : t -> t -> t
 (** Component-wise maximum. Requires equal sizes. *)
+
+val merge_into : t -> t -> unit
+(** [merge_into a b] sets [a] to the component-wise maximum of [a] and
+    [b] in place, leaving [b] untouched. Same unique-ownership caveat as
+    {!tick_into}. *)
 
 val compare_causal : t -> t -> order
 
@@ -55,5 +71,19 @@ val sum : t -> int
 val encode : Wire.Encoder.t -> t -> unit
 
 val decode : Wire.Decoder.t -> t
+
+val encode_delta : Wire.Encoder.t -> prev:t -> t -> unit
+(** Encode the clock as entrywise differences against [prev], which must
+    be componentwise [<=] the clock (raises [Invalid_argument] otherwise).
+    Dependency vectors within one message batch are componentwise
+    non-decreasing, so successive deltas are mostly zero and each costs
+    one varint byte where an absolute entry costs up to five. The framing
+    stays self-contained: [prev] comes from the {e same} message, never
+    from connection state, so loss, duplication, and reordering cannot
+    desynchronize the codec. *)
+
+val decode_delta : Wire.Decoder.t -> prev:t -> t
+(** Inverse of {!encode_delta} against the same [prev]. Raises
+    [Wire.Decoder.Malformed] on a size mismatch. *)
 
 val pp : Format.formatter -> t -> unit

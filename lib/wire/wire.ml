@@ -1,57 +1,132 @@
 module Encoder = struct
-  type t = Buffer.t
+  (* A bare [Bytes.t] grown in place: [Buffer] pays a closure-guarded
+     bounds check and a function call per byte, which dominates varint
+     encoding where almost every write is a single byte. Writes go
+     through [add_byte] after an explicit [reserve], so the unsafe
+     accesses are bounds-checked in one place, once per value. *)
+  type t = { mutable buf : Bytes.t; mutable len : int }
 
-  let create () = Buffer.create 64
+  let create () = { buf = Bytes.create 64; len = 0 }
+
+  let reset t = t.len <- 0
+
+  let grow t needed =
+    let cap = ref (Bytes.length t.buf * 2) in
+    while t.len + needed > !cap do
+      cap := !cap * 2
+    done;
+    let b = Bytes.create !cap in
+    Bytes.blit t.buf 0 b 0 t.len;
+    t.buf <- b
+
+  let[@inline] reserve t n = if t.len + n > Bytes.length t.buf then grow t n
+
+  (* callers must [reserve] first *)
+  let[@inline] add_byte t c =
+    Bytes.unsafe_set t.buf t.len (Char.unsafe_chr c);
+    t.len <- t.len + 1
 
   (* Emit the word as an unsigned bit pattern (logical shifts), so zigzag
-     patterns whose top bit is set — from [max_int]/[min_int] — survive. *)
-  let uint_bits buf n =
-    let rec go n =
-      if n >= 0 && n < 0x80 then Buffer.add_char buf (Char.chr n)
+     patterns whose top bit is set — from [max_int]/[min_int] — survive.
+     The loop writes through a local [buf] binding and stores [len] once
+     at the end: going through [add_byte] would pay a call plus a field
+     store per byte, which dominates on mostly-1-and-2-byte varints. *)
+  let uint_bits t n =
+    reserve t 10 (* a 63-bit word is at most ceil(63/7) = 9 varint bytes *);
+    let buf = t.buf in
+    let rec go pos n =
+      if n >= 0 && n < 0x80 then begin
+        Bytes.unsafe_set buf pos (Char.unsafe_chr n);
+        t.len <- pos + 1
+      end
       else begin
-        Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7F)));
-        go (n lsr 7)
+        Bytes.unsafe_set buf pos (Char.unsafe_chr (0x80 lor (n land 0x7F)));
+        go (pos + 1) (n lsr 7)
       end
     in
-    go n
+    go t.len n
 
-  let uint buf n =
+  let uint t n =
     if n < 0 then invalid_arg "Wire.Encoder.uint: negative";
-    uint_bits buf n
+    uint_bits t n
+
+  (* Length-prefixed array of non-negative varints with one reservation
+     and one fused loop — a vector clock is the bulk of nearly every
+     replicated message, so the per-entry [uint] call overhead matters. *)
+  let uint_array t a =
+    let n = Array.length a in
+    uint_bits t n;
+    reserve t (10 * n);
+    let buf = t.buf in
+    let rec entry i pos =
+      if i = n then t.len <- pos
+      else begin
+        let v = Array.unsafe_get a i in
+        if v < 0 then invalid_arg "Wire.Encoder.uint_array: negative";
+        let rec go pos v =
+          if v < 0x80 then begin
+            Bytes.unsafe_set buf pos (Char.unsafe_chr v);
+            entry (i + 1) (pos + 1)
+          end
+          else begin
+            Bytes.unsafe_set buf pos (Char.unsafe_chr (0x80 lor (v land 0x7F)));
+            go (pos + 1) (v lsr 7)
+          end
+        in
+        go pos v
+      end
+    in
+    entry 0 t.len
 
   (* Zigzag: 0,-1,1,-2,2,... -> 0,1,2,3,4,... so small magnitudes of either
      sign encode in one byte. *)
-  let int buf n = uint_bits buf ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
+  let int t n = uint_bits t ((n lsl 1) lxor (n asr (Sys.int_size - 1)))
 
-  let bool buf b = Buffer.add_char buf (if b then '\001' else '\000')
+  let bool t b =
+    reserve t 1;
+    add_byte t (if b then 1 else 0)
 
-  let string buf s =
-    uint buf (String.length s);
-    Buffer.add_string buf s
+  let string t s =
+    let len = String.length s in
+    uint t len;
+    reserve t len;
+    Bytes.blit_string s 0 t.buf t.len len;
+    t.len <- t.len + len
 
-  let list buf f l =
-    uint buf (List.length l);
-    List.iter (f buf) l
+  (* Explicit loops: [List.iter (f t)] would allocate a closure for the
+     partial application on every call, which shows up on the per-message
+     hot path. *)
+  let list t f l =
+    uint t (List.length l);
+    let rec go = function
+      | [] -> ()
+      | x :: tl ->
+        f t x;
+        go tl
+    in
+    go l
 
-  let array buf f a =
-    uint buf (Array.length a);
-    Array.iter (f buf) a
+  let array t f a =
+    uint t (Array.length a);
+    for i = 0 to Array.length a - 1 do
+      f t (Array.unsafe_get a i)
+    done
 
-  let option buf f = function
-    | None -> bool buf false
+  let option t f = function
+    | None -> bool t false
     | Some x ->
-      bool buf true;
-      f buf x
+      bool t true;
+      f t x
 
-  let pair buf f g (a, b) =
-    f buf a;
-    g buf b
+  let pair t f g (a, b) =
+    f t a;
+    g t b
 
-  let to_string = Buffer.contents
+  let to_string t = Bytes.sub_string t.buf 0 t.len
 
-  let size_bytes = Buffer.length
+  let size_bytes t = t.len
 
-  let size_bits buf = 8 * Buffer.length buf
+  let size_bits t = 8 * t.len
 end
 
 module Decoder = struct
@@ -61,20 +136,34 @@ module Decoder = struct
 
   let of_string input = { input; pos = 0 }
 
+  let remaining t = String.length t.input - t.pos
+
   let byte t =
     if t.pos >= String.length t.input then raise (Malformed "truncated input");
-    let c = Char.code t.input.[t.pos] in
+    let c = Char.code (String.unsafe_get t.input t.pos) in
     t.pos <- t.pos + 1;
     c
 
+  (* Single-byte varints are the overwhelmingly common case; decode them
+     without entering the shift-accumulate loop. *)
   let uint t =
-    let rec go shift acc =
-      if shift > Sys.int_size then raise (Malformed "varint overflow");
-      let b = byte t in
-      let acc = acc lor ((b land 0x7F) lsl shift) in
-      if b land 0x80 = 0 then acc else go (shift + 7) acc
-    in
-    go 0 0
+    let pos = t.pos in
+    if pos < String.length t.input then begin
+      let b = Char.code (String.unsafe_get t.input pos) in
+      if b < 0x80 then begin
+        t.pos <- pos + 1;
+        b
+      end
+      else
+        let rec go shift acc =
+          if shift > Sys.int_size then raise (Malformed "varint overflow");
+          let b = byte t in
+          let acc = acc lor ((b land 0x7F) lsl shift) in
+          if b land 0x80 = 0 then acc else go (shift + 7) acc
+        in
+        go 0 0
+    end
+    else raise (Malformed "truncated input")
 
   let int t =
     let z = uint t in
@@ -95,20 +184,24 @@ module Decoder = struct
     s
 
   (* [List.init]/[Array.init] do not specify the order in which they apply
-     their function, so decode into an explicit accumulator instead. *)
+     their function, so decode with explicit left-to-right loops instead. *)
   let list t f =
     let len = uint t in
-    if len < 0 || len > String.length t.input - t.pos then
-      raise (Malformed "list length exceeds input");
+    if len < 0 || len > remaining t then raise (Malformed "list length exceeds input");
     let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f t :: acc) in
     go len []
 
   let array t f =
     let len = uint t in
-    if len < 0 || len > String.length t.input - t.pos then
-      raise (Malformed "array length exceeds input");
-    let rec go n acc = if n = 0 then List.rev acc else go (n - 1) (f t :: acc) in
-    Array.of_list (go len [])
+    if len < 0 || len > remaining t then raise (Malformed "array length exceeds input");
+    if len = 0 then [||]
+    else begin
+      let a = Array.make len (f t) in
+      for i = 1 to len - 1 do
+        Array.unsafe_set a i (f t)
+      done;
+      a
+    end
 
   let option t f = if bool t then Some (f t) else None
 
@@ -162,10 +255,45 @@ module Frame = struct
     payload
 end
 
+(* One long-lived scratch encoder serves every non-nested [encode]: the
+   replication hot path serializes one small message at a time, and
+   reusing the grown byte block removes the per-message allocation. The
+   [in_use] flag keeps nested [encode] calls (an encoder callback that
+   itself encodes) correct by giving inner calls a fresh encoder; the
+   scratch block is dropped if an oversized message grew it past 64 KiB
+   so one outlier doesn't pin memory forever. *)
+let scratch = Encoder.create ()
+
+let scratch_in_use = ref false
+
+let scratch_max_bytes = 65536
+
+(* Hand-rolled unwind instead of [Fun.protect]: the latter allocates two
+   closures per call, measurable on a path that encodes one small message
+   per varint-sized payload. *)
+let release_scratch () =
+  scratch_in_use := false;
+  if Bytes.length scratch.Encoder.buf > scratch_max_bytes then
+    scratch.Encoder.buf <- Bytes.create 64
+
 let encode f =
-  let e = Encoder.create () in
-  f e;
-  Encoder.to_string e
+  if !scratch_in_use then begin
+    let e = Encoder.create () in
+    f e;
+    Encoder.to_string e
+  end
+  else begin
+    scratch_in_use := true;
+    Encoder.reset scratch;
+    match f scratch with
+    | () ->
+      let s = Encoder.to_string scratch in
+      release_scratch ();
+      s
+    | exception exn ->
+      release_scratch ();
+      raise exn
+  end
 
 let decode s f =
   let d = Decoder.of_string s in

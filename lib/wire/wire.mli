@@ -16,6 +16,10 @@ module Encoder : sig
   val uint : t -> int -> unit
   (** LEB128 varint. Requires a non-negative argument. *)
 
+  val uint_array : t -> int array -> unit
+  (** Length-prefixed array of varints, fused into a single reservation
+      and write loop. Requires non-negative entries. *)
+
   val int : t -> int -> unit
   (** Zigzag + LEB128; accepts any int. *)
 
@@ -65,6 +69,10 @@ module Decoder : sig
   val option : t -> (t -> 'a) -> 'a option
 
   val pair : t -> (t -> 'a) -> (t -> 'b) -> 'a * 'b
+
+  val remaining : t -> int
+  (** Bytes of input not yet consumed. Lets length-prefixed decoders
+      reject a bogus count before allocating for it. *)
 
   val at_end : t -> bool
 

@@ -171,11 +171,11 @@ let test_snapshot_rejects_garbage () =
 
 (* ---------- wire telemetry vs the trace ---------- *)
 
-let run_causal ~seed ~policy ~ops =
+let run_causal ?(coalesce = false) ~seed ~policy ~ops () =
   let module R = Sim.Runner.Make (Store.Causal_mvr_store) in
   let rng = Rng.create seed in
   let n = 4 and objects = 3 in
-  let sim = R.create ~seed ~n ~policy () in
+  let sim = R.create ~seed ~n ~policy ~coalesce () in
   let steps = Sim.Workload.generate ~rng ~n ~objects ~ops Sim.Workload.register_mix in
   Sim.Workload.run
     (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
@@ -202,7 +202,7 @@ let prop_wire_bytes_match_trace =
   q ~count:25 "wire.payload_bytes telemetry = encoded message bytes"
     QCheck2.Gen.(int_range 0 10_000)
     (fun seed ->
-      let live, exec = run_causal ~seed ~policy:(Sim.Net_policy.random_delay ()) ~ops:40 in
+      let live, exec = run_causal ~seed ~policy:(Sim.Net_policy.random_delay ()) ~ops:40 () in
       let encoded =
         List.fold_left
           (fun acc m -> acc + String.length m.Message.payload)
@@ -213,9 +213,33 @@ let prop_wire_bytes_match_trace =
       && hist_sum offline "wire.payload_bytes" = float_of_int encoded
       && counter live "wire.messages" = List.length (Execution.messages_sent exec))
 
+let prop_wire_bytes_match_trace_coalesced =
+  q ~count:25 "wire.payload_bytes telemetry = encoded bytes under coalescing"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      (* coalescing batches pending updates into fewer frames, but every
+         frame is still a real recorded message, so the byte accounting
+         identity must be untouched *)
+      let run coalesce =
+        run_causal ~coalesce ~seed ~policy:(Sim.Net_policy.random_delay ()) ~ops:40 ()
+      in
+      let live, exec = run true in
+      let _, exec_plain = run false in
+      let encoded =
+        List.fold_left
+          (fun acc m -> acc + String.length m.Message.payload)
+          0 (Execution.messages_sent exec)
+      in
+      let offline = Telemetry.wire_of_execution exec in
+      hist_sum live "wire.payload_bytes" = float_of_int encoded
+      && hist_sum offline "wire.payload_bytes" = float_of_int encoded
+      && counter live "wire.messages" = List.length (Execution.messages_sent exec)
+      && List.length (Execution.messages_sent exec)
+         <= List.length (Execution.messages_sent exec_plain))
+
 let test_offline_matches_live_fifo () =
   (* on a reliable network every wire metric is recomputable from the trace *)
-  let live, exec = run_causal ~seed:11 ~policy:(Sim.Net_policy.reliable_fifo ()) ~ops:60 in
+  let live, exec = run_causal ~seed:11 ~policy:(Sim.Net_policy.reliable_fifo ()) ~ops:60 () in
   let offline = Telemetry.wire_of_execution exec in
   List.iter
     (fun name ->
@@ -227,7 +251,7 @@ let test_offline_matches_live_fifo () =
     (hist_sum offline "wire.payload_bytes")
 
 let test_visibility_lag_recorded () =
-  let live, _ = run_causal ~seed:3 ~policy:(Sim.Net_policy.random_delay ()) ~ops:60 in
+  let live, _ = run_causal ~seed:3 ~policy:(Sim.Net_policy.random_delay ()) ~ops:60 () in
   match Metrics.Registry.find live "visibility.lag" with
   | Some (Metrics.Registry.Histogram h) ->
     Alcotest.(check bool) "some lags observed" true (Metrics.Histogram.count h > 0);
@@ -237,7 +261,7 @@ let test_visibility_lag_recorded () =
 (* ---------- E19 smoke: floor holds on a random causal run ---------- *)
 
 let test_theorem12_floor_holds () =
-  let _, exec = run_causal ~seed:19 ~policy:(Sim.Net_policy.random_delay ()) ~ops:60 in
+  let _, exec = run_causal ~seed:19 ~policy:(Sim.Net_policy.random_delay ()) ~ops:60 () in
   let k = Telemetry.max_writes_per_replica exec in
   let floor = Telemetry.theorem12_floor_bits ~n:4 ~s:3 ~k in
   Alcotest.(check bool) "floor positive" true (floor > 0.0);
@@ -270,6 +294,7 @@ let suite =
       Alcotest.test_case "snapshot: multi-snapshot file" `Quick test_snapshot_file_roundtrip;
       Alcotest.test_case "snapshot: rejects garbage" `Quick test_snapshot_rejects_garbage;
       prop_wire_bytes_match_trace;
+      prop_wire_bytes_match_trace_coalesced;
       Alcotest.test_case "offline = live on fifo" `Quick test_offline_matches_live_fifo;
       Alcotest.test_case "visibility lag recorded" `Quick test_visibility_lag_recorded;
       Alcotest.test_case "theorem 12 floor holds (E19 smoke)" `Quick test_theorem12_floor_holds;

@@ -308,6 +308,75 @@ let test_gossip_relays () =
   let b = Gossip_relay_store.receive b ~sender:0 ma in
   Alcotest.(check bool) "no second relay" false (Gossip_relay_store.has_pending b)
 
+(* ---------- indexed vs naive causal delivery equivalence ---------- *)
+
+(* Replay one random script of writes, sends and (possibly duplicated,
+   reordered) deliveries, then force full convergence and read back every
+   object at every replica. The script is derived from the seed alone, so
+   running it against two store implementations drives them identically. *)
+module Equiv (S : Store_intf.S) = struct
+  let run ~seed ~n ~objects ~steps =
+    let rng = Rng.create seed in
+    let states = Array.init n (fun me -> S.init ~n ~me) in
+    let msgs = ref [] (* (sender, payload), newest first *) in
+    let nmsgs = ref 0 in
+    let flush r =
+      if S.has_pending states.(r) then begin
+        let st, payload = S.send states.(r) in
+        states.(r) <- st;
+        msgs := (r, payload) :: !msgs;
+        incr nmsgs
+      end
+    in
+    for _ = 1 to steps do
+      match Rng.int rng 4 with
+      | 0 | 1 ->
+        let r = Rng.int rng n in
+        let st, _, _ =
+          S.do_op states.(r) ~obj:(Rng.int rng objects) (Op.Write (vi (Rng.int rng 50)))
+        in
+        states.(r) <- st
+      | 2 -> flush (Rng.int rng n)
+      | _ ->
+        if !nmsgs > 0 then begin
+          let sender, payload = List.nth !msgs (Rng.int rng !nmsgs) in
+          let dst = Rng.int rng n in
+          if dst <> sender then states.(dst) <- S.receive states.(dst) ~sender payload
+        end
+    done;
+    for r = 0 to n - 1 do
+      flush r
+    done;
+    (* two shuffled full-broadcast passes: every message reaches every
+       replica at least once more, duplicating most deliveries *)
+    let all = Array.of_list !msgs in
+    for _pass = 1 to 2 do
+      Rng.shuffle rng all;
+      Array.iter
+        (fun (sender, payload) ->
+          for dst = 0 to n - 1 do
+            if dst <> sender then states.(dst) <- S.receive states.(dst) ~sender payload
+          done)
+        all
+    done;
+    Array.to_list states
+    |> List.concat_map (fun st ->
+           List.init objects (fun obj ->
+               let _, rval, _ = S.do_op st ~obj Op.Read in
+               rval))
+end
+
+module Equiv_indexed = Equiv (Causal_mvr_store)
+module Equiv_naive = Equiv (Causal_naive_store)
+
+let prop_indexed_matches_naive =
+  q ~count:50 "indexed causal delivery = naive list-scan reference"
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let reads_i = Equiv_indexed.run ~seed ~n:4 ~objects:3 ~steps:60 in
+      let reads_n = Equiv_naive.run ~seed ~n:4 ~objects:3 ~steps:60 in
+      List.for_all2 Op.equal_response reads_i reads_n)
+
 (* ---------- wire robustness ---------- *)
 
 let test_store_rejects_garbage () =
@@ -341,5 +410,6 @@ let suite =
       tc "delayed: own writes immediate" test_delayed_own_writes_immediate;
       tc "delayed: witness valid on random runs" test_delayed_witness_valid;
       tc "gossip: relays without ops" test_gossip_relays;
+      prop_indexed_matches_naive;
       tc "stores reject garbage payloads" test_store_rejects_garbage;
     ] )

@@ -2,6 +2,7 @@ open Helpers
 module Pqueue = Haec.Util.Pqueue
 module Bitset = Haec.Util.Bitset
 module Sorted_list = Haec.Util.Sorted_list
+module Fqueue = Haec.Util.Fqueue
 
 (* ---------- Rng ---------- *)
 
@@ -98,6 +99,65 @@ let test_pqueue_peek_clear () =
   Pqueue.clear q;
   Alcotest.(check bool) "cleared" true (Pqueue.is_empty q)
 
+let test_pqueue_interleaved () =
+  (* equal priorities with pops interleaved between pushes: FIFO order
+     must survive the heap's internal swaps *)
+  let q = Pqueue.create () in
+  Pqueue.add q ~priority:1.0 "a";
+  Pqueue.add q ~priority:1.0 "b";
+  (match Pqueue.pop q with
+  | Some (1.0, "a") -> ()
+  | _ -> Alcotest.fail "first pop");
+  Pqueue.add q ~priority:1.0 "c";
+  Pqueue.add q ~priority:0.5 "urgent";
+  Pqueue.add q ~priority:1.0 "d";
+  let rec drain acc =
+    match Pqueue.pop q with None -> List.rev acc | Some (_, v) -> drain (v :: acc)
+  in
+  Alcotest.(check (list string))
+    "urgent first, then fifo among equals" [ "urgent"; "b"; "c"; "d" ] (drain []);
+  Alcotest.(check bool) "drained" true (Pqueue.is_empty q)
+
+(* ---------- Fqueue ---------- *)
+
+let test_fqueue_fifo () =
+  let q = List.fold_left Fqueue.push Fqueue.empty [ 1; 2; 3; 4 ] in
+  Alcotest.(check (list int)) "to_list" [ 1; 2; 3; 4 ] (Fqueue.to_list q);
+  Alcotest.(check int) "length" 4 (Fqueue.length q);
+  (match Fqueue.pop q with
+  | Some (1, q') ->
+    (* persistence: popping the derived queue leaves the original intact *)
+    Alcotest.(check (list int)) "original intact" [ 1; 2; 3; 4 ] (Fqueue.to_list q);
+    Alcotest.(check (list int)) "rest" [ 2; 3; 4 ] (Fqueue.to_list q')
+  | _ -> Alcotest.fail "pop");
+  Alcotest.(check bool) "peek" true (Fqueue.peek q = Some 1);
+  Alcotest.(check bool) "empty pops none" true (Fqueue.pop Fqueue.empty = None);
+  Alcotest.(check bool) "empty" true (Fqueue.is_empty Fqueue.empty)
+
+let prop_fqueue_matches_list =
+  q ~count:100 "fqueue = list queue under interleaved push/pop"
+    QCheck2.Gen.(list (option (int_bound 100)))
+    (fun script ->
+      (* Some v = push v, None = pop; replay against a reference list *)
+      let fq = ref Fqueue.empty and model = ref [] in
+      List.for_all
+        (fun step ->
+          match step with
+          | Some v ->
+            fq := Fqueue.push !fq v;
+            model := !model @ [ v ];
+            true
+          | None -> (
+            match (Fqueue.pop !fq, !model) with
+            | None, [] -> true
+            | Some (x, fq'), m :: rest ->
+              fq := fq';
+              model := rest;
+              x = m
+            | _ -> false))
+        script
+      && Fqueue.to_list !fq = !model)
+
 (* ---------- Bitset ---------- *)
 
 let test_bitset_basic () =
@@ -122,6 +182,28 @@ let test_bitset_union_subset () =
   Bitset.union_into ~dst:b a;
   Alcotest.(check bool) "after union" true (Bitset.is_subset a b);
   Alcotest.(check (list int)) "union contents" [ 1; 70 ] (Bitset.to_list b)
+
+let test_bitset_word_boundaries () =
+  (* sizes and indices straddling the 63-bit word packing *)
+  List.iter
+    (fun n ->
+      let b = Bitset.create n in
+      Alcotest.(check int) (Printf.sprintf "empty n=%d" n) 0 (Bitset.cardinal b);
+      Alcotest.(check (list int)) (Printf.sprintf "empty list n=%d" n) [] (Bitset.to_list b);
+      for i = 0 to n - 1 do
+        Bitset.set b i
+      done;
+      Alcotest.(check int) (Printf.sprintf "full n=%d" n) n (Bitset.cardinal b);
+      Alcotest.(check (list int))
+        (Printf.sprintf "full list n=%d" n)
+        (List.init n Fun.id) (Bitset.to_list b);
+      (* full set is its own subset and a superset of empty *)
+      Alcotest.(check bool) "empty subset full" true (Bitset.is_subset (Bitset.create n) b);
+      for i = 0 to n - 1 do
+        Bitset.clear b i
+      done;
+      Alcotest.(check int) (Printf.sprintf "cleared n=%d" n) 0 (Bitset.cardinal b))
+    [ 1; 62; 63; 64; 65; 126; 127; 128 ]
 
 let test_bitset_bounds () =
   let b = Bitset.create 10 in
@@ -171,8 +253,12 @@ let suite =
       tc "pqueue breaks ties fifo" test_pqueue_fifo_ties;
       tc "pqueue mixed stress" test_pqueue_mixed;
       tc "pqueue peek/clear" test_pqueue_peek_clear;
+      tc "pqueue interleaved ties" test_pqueue_interleaved;
+      tc "fqueue fifo + persistence" test_fqueue_fifo;
+      prop_fqueue_matches_list;
       tc "bitset basic" test_bitset_basic;
       tc "bitset union/subset" test_bitset_union_subset;
+      tc "bitset word boundaries" test_bitset_word_boundaries;
       tc "bitset bounds" test_bitset_bounds;
       prop_bitset_roundtrip;
       tc "sorted list ops" test_sorted_ops;

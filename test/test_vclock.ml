@@ -45,7 +45,64 @@ let test_vclock_wire () =
   let v' = Wire.decode (Wire.encode (fun e -> Vclock.encode e v)) Vclock.decode in
   Alcotest.(check bool) "roundtrip" true (Vclock.equal v v')
 
+let test_in_place () =
+  (* copy severs all sharing: mutating the copy leaves the original alone *)
+  let a = vc [ 1; 2; 3 ] in
+  let c = Vclock.copy a in
+  Vclock.tick_into c 0;
+  Alcotest.(check (array int)) "tick_into" [| 2; 2; 3 |] (Vclock.to_array c);
+  Alcotest.(check (array int)) "original untouched" [| 1; 2; 3 |] (Vclock.to_array a);
+  Alcotest.(check int) "sum tracks tick_into" 7 (Vclock.sum c);
+  Vclock.merge_into c (vc [ 0; 9; 1 ]);
+  Alcotest.(check (array int)) "merge_into" [| 2; 9; 3 |] (Vclock.to_array c);
+  Alcotest.(check int) "sum tracks merge_into" 14 (Vclock.sum c);
+  Alcotest.(check bool) "equal agrees after mutation" true (Vclock.equal c (vc [ 2; 9; 3 ]));
+  Alcotest.(check bool) "leq after mutation" true (Vclock.leq a c);
+  Alcotest.(check bool) "lt after mutation" true (Vclock.lt a c)
+
+let test_delta_wire () =
+  let prev = vc [ 3; 0; 140; 7 ] in
+  let v = vc [ 3; 2; 141; 300 ] in
+  let bytes = Wire.encode (fun e -> Vclock.encode_delta e ~prev v) in
+  let v' = Wire.decode bytes (fun d -> Vclock.decode_delta d ~prev) in
+  Alcotest.(check bool) "delta roundtrip" true (Vclock.equal v v');
+  Alcotest.(check int) "sum restored" (Vclock.sum v) (Vclock.sum v');
+  (* mostly-zero deltas beat absolute encoding on multi-byte entries *)
+  let absolute = Wire.encode (fun e -> Vclock.encode e v) in
+  Alcotest.(check bool) "delta no larger" true (String.length bytes <= String.length absolute);
+  Alcotest.check_raises "prev above clock"
+    (Invalid_argument "Vclock.encode_delta: prev exceeds clock") (fun () ->
+      ignore (Wire.encode (fun e -> Vclock.encode_delta e ~prev:v prev)));
+  Alcotest.check_raises "size mismatch decoding"
+    (Wire.Decoder.Malformed "Vclock.decode_delta: size mismatch") (fun () ->
+      ignore (Wire.decode bytes (fun d -> Vclock.decode_delta d ~prev:(vc [ 0; 0 ]))))
+
 let gen_vc n = QCheck2.Gen.(array_size (return n) (int_bound 20))
+
+let prop_delta_roundtrip =
+  q "vclock delta codec inverts against any dominated prev"
+    QCheck2.Gen.(pair (gen_vc 5) (gen_vc 5))
+    (fun (base, inc) ->
+      let prev = Vclock.of_array base in
+      let v = Vclock.of_array (Array.map2 ( + ) base inc) in
+      let v' =
+        Wire.decode
+          (Wire.encode (fun e -> Vclock.encode_delta e ~prev v))
+          (fun d -> Vclock.decode_delta d ~prev)
+      in
+      Vclock.equal v v' && Vclock.sum v = Vclock.sum v')
+
+let prop_in_place_agree =
+  q "in-place tick/merge agree with the pure versions"
+    QCheck2.Gen.(triple (gen_vc 4) (gen_vc 4) (int_bound 3))
+    (fun (a, b, r) ->
+      let a = Vclock.of_array a and b = Vclock.of_array b in
+      let m = Vclock.copy a in
+      Vclock.merge_into m b;
+      Vclock.tick_into m r;
+      let pure = Vclock.tick (Vclock.merge a b) r in
+      Vclock.equal m pure && Vclock.sum m = Vclock.sum pure
+      && Vclock.compare_causal m pure = Vclock.Equal)
 
 let prop_merge_laws =
   q "vclock merge: commutative, associative, idempotent, monotone"
@@ -96,6 +153,10 @@ let suite =
       tc "tick and merge" test_tick_merge;
       tc "errors" test_vclock_errors;
       tc "wire roundtrip" test_vclock_wire;
+      tc "in-place ops" test_in_place;
+      tc "delta wire" test_delta_wire;
+      prop_delta_roundtrip;
+      prop_in_place_agree;
       prop_merge_laws;
       prop_order_antisymmetry;
       tc "lamport" test_lamport;

@@ -86,6 +86,35 @@ let test_size_accounting () =
   Alcotest.(check int) "1 + 1 + 3 bytes" 40 (Wire.Encoder.size_bits e);
   Alcotest.(check int) "size_bits of payload" 40 (Wire.size_bits (Wire.Encoder.to_string e))
 
+let test_nested_encode () =
+  (* [Wire.encode] reuses a pooled scratch encoder; a callback that itself
+     calls [Wire.encode] must still see independent byte streams *)
+  let inner = ref "" in
+  let outer =
+    Wire.encode (fun e ->
+        Wire.Encoder.uint e 7;
+        inner := Wire.encode (fun e' -> Wire.Encoder.string e' "nested");
+        Wire.Encoder.string e "outer")
+  in
+  Alcotest.(check string) "inner" "nested" (Wire.decode !inner Wire.Decoder.string);
+  Alcotest.(check (pair int string)) "outer" (7, "outer")
+    (Wire.decode outer (fun d -> Wire.Decoder.pair d Wire.Decoder.uint Wire.Decoder.string))
+
+let test_large_payload () =
+  (* forces the encoder past its initial capacity and past the scratch
+     retention cap; both the growth path and the next (fresh) scratch use
+     must produce intact bytes *)
+  let big = String.init 100_000 (fun i -> Char.chr (i land 0xFF)) in
+  let go () =
+    Wire.decode
+      (Wire.encode (fun e -> Wire.Encoder.string e big))
+      Wire.Decoder.string
+  in
+  Alcotest.(check bool) "big roundtrip" true (go () = big);
+  Alcotest.(check bool) "after scratch reset" true (go () = big);
+  Alcotest.(check string) "small after big" "ok"
+    (Wire.decode (Wire.encode (fun e -> Wire.Encoder.string e "ok")) Wire.Decoder.string)
+
 let prop_int_roundtrip =
   q "wire int roundtrip" QCheck2.Gen.int (fun n ->
       roundtrip Wire.Encoder.int Wire.Decoder.int n = n)
@@ -163,6 +192,8 @@ let suite =
       tc "malformed inputs" test_malformed;
       tc "decoder order" test_decoder_order;
       tc "size accounting" test_size_accounting;
+      tc "nested encode" test_nested_encode;
+      tc "large payload growth" test_large_payload;
       tc "frame crc check value" test_frame_crc_vector;
       tc "frame roundtrip" test_frame_roundtrip;
       tc "frame rejects byte flips" test_frame_rejects_byte_flips;
