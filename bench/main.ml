@@ -205,14 +205,7 @@ let tests =
       bench_causal_hist;
       bench_session;
       bench_trace_roundtrip;
-      bench_state_join;
       bench_orset_remove;
-      bench_vclock_merge;
-      bench_vclock_compare;
-      bench_wire_encode;
-      bench_wire_decode;
-      bench_mvr_write;
-      bench_mvr_read;
       bench_causal_receive;
       bench_hb_compute;
       bench_spec_check;
@@ -220,6 +213,23 @@ let tests =
       bench_theorem6;
       bench_theorem12;
       bench_search;
+    ]
+
+(* Sub-100ns operations need far more samples before the OLS slope is
+   trustworthy: at the default budget the vclock rows fit with r^2 of
+   0.41/0.59 (i.e. noise). They get their own group under the same "haec"
+   prefix — row names in BENCH_results.json are unchanged — run with a
+   larger trial/quota budget. *)
+let tests_fast =
+  Test.make_grouped ~name:"haec"
+    [
+      bench_state_join;
+      bench_vclock_merge;
+      bench_vclock_compare;
+      bench_wire_encode;
+      bench_wire_decode;
+      bench_mvr_write;
+      bench_mvr_read;
     ]
 
 (* ---------- replication soak (E20 harness, machine-readable) ---------- *)
@@ -278,9 +288,19 @@ let run_micro ~quick () =
     if quick then Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~kde:None ()
     else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
+  let cfg_fast =
+    if quick then Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.1) ~kde:None ()
+    else Benchmark.cfg ~limit:5000 ~quota:(Time.second 1.5) ~kde:None ()
+  in
   let raw = Benchmark.all cfg instances tests in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let allocs = Analyze.all ols Instance.minor_allocated raw in
+  let raw_fast = Benchmark.all cfg_fast instances tests_fast in
+  let merged analyze =
+    let tbl = analyze raw in
+    Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) (analyze raw_fast);
+    tbl
+  in
+  let results = merged (Analyze.all ols Instance.monotonic_clock) in
+  let allocs = merged (Analyze.all ols Instance.minor_allocated) in
   let estimate tbl name =
     match Hashtbl.find_opt tbl name with
     | Some ols -> (
@@ -346,7 +366,21 @@ let run_micro ~quick () =
   print_endline "results written to BENCH_results.json"
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
+  let jobs = ref None in
+  (* -j N / --jobs N / -jN: worker domains for the experiment seed sweeps
+     (tables are bit-identical at any value; see Haec_util.Par) *)
+  let rec strip_jobs = function
+    | [] -> []
+    | ("-j" | "--jobs") :: v :: rest ->
+      jobs := int_of_string_opt v;
+      strip_jobs rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-j" ->
+      jobs := int_of_string_opt (String.sub a 2 (String.length a - 2));
+      strip_jobs rest
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs (List.tl (Array.to_list Sys.argv)) in
+  (match !jobs with Some j -> Util.Par.set_default_domains j | None -> ());
   let micro_only = List.mem "--micro" args in
   let quick = List.mem "--quick" args in
   let experiment_ids = List.filter (fun a -> a <> "--micro" && a <> "--quick") args in

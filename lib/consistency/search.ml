@@ -37,6 +37,14 @@ let target_of_events ~n ?(post_quiescent = []) events =
 
 exception Budget_exhausted
 
+module Row_tbl = Hashtbl.Make (struct
+  type t = Bitset.t
+
+  let hash = Bitset.hash
+
+  let equal = Bitset.equal
+end)
+
 type state = {
   target : target;
   spec_of : int -> Spec.t;
@@ -52,6 +60,8 @@ type state = {
   mutable states : int;
   (* (replica, position) -> is post-quiescent *)
   is_post : (int * int, unit) Hashtbl.t;
+  (* canonical operation context -> spec verdict; see [response_consistent] *)
+  memo : (int list, bool) Hashtbl.t;
 }
 
 let make_state ?(require_causal = true) ?(max_states = 5_000_000) ~spec_of target =
@@ -74,6 +84,7 @@ let make_state ?(require_causal = true) ?(max_states = 5_000_000) ~spec_of targe
     last_of = Array.make target.n (-1);
     states = 0;
     is_post;
+    memo = Hashtbl.create 256;
   }
 
 (* All (replica, position) of update events on object [o]. *)
@@ -92,15 +103,16 @@ let inserted st (r, pos) = pos < st.consumed.(r)
 
 (* Check event [m]'s recorded response against its spec, where [m]'s
    visibility row has just been fixed. Builds the operation context as a
-   small abstract execution over the same-object visible events. *)
-let response_consistent st m =
+   small abstract execution over the same-object visible events.
+
+   The same context recurs across many branches of the search (the events
+   outside it vary, the context does not), so verdicts are memoized on a
+   canonical key: the (replica, position) source of [m] and of each member
+   in context order, plus each member's visibility restricted to the
+   members as a bitmask over context positions. Sources determine the
+   events themselves, so equal keys rebuild identical contexts. *)
+let eval_response st m idx =
   let d = st.h.(m) in
-  if Op.is_update d.Event.op then Op.equal_response d.Event.rval Op.Ok
-  else begin
-    let members = ref [] in
-    Bitset.iter st.rows.(m) (fun i ->
-        if st.h.(i).Event.obj = d.Event.obj then members := i :: !members);
-    let idx = Array.of_list (List.rev !members @ [ m ]) in
     let pos = Hashtbl.create 8 in
     Array.iteri (fun new_i old_i -> Hashtbl.replace pos old_i new_i) idx;
     let vis = ref [] in
@@ -123,6 +135,41 @@ let response_consistent st m =
     in
     let expected = (st.spec_of d.Event.obj).Spec.apply ~ctx ~target:(Array.length idx - 1) in
     Op.equal_response expected d.Event.rval
+
+let response_consistent st m =
+  let d = st.h.(m) in
+  if Op.is_update d.Event.op then Op.equal_response d.Event.rval Op.Ok
+  else begin
+    let members = ref [] in
+    Bitset.iter st.rows.(m) (fun i ->
+        if st.h.(i).Event.obj = d.Event.obj then members := i :: !members);
+    let member_list = List.rev !members in
+    let idx = Array.of_list (member_list @ [ m ]) in
+    let nmem = Array.length idx - 1 in
+    if nmem > 62 then eval_response st m idx
+    else begin
+      let ctx_pos = Hashtbl.create 8 in
+      List.iteri (fun ci old_i -> Hashtbl.replace ctx_pos old_i ci) member_list;
+      let mr, mp = st.src.(m) in
+      let key = ref [ mp; mr ] in
+      List.iter
+        (fun old_i ->
+          let r, p = st.src.(old_i) in
+          let mask = ref 0 in
+          Bitset.iter st.rows.(old_i) (fun old_k ->
+              match Hashtbl.find_opt ctx_pos old_k with
+              | Some ck -> mask := !mask lor (1 lsl ck)
+              | None -> ());
+          key := !mask :: p :: r :: !key)
+        member_list;
+      let key = !key in
+      match Hashtbl.find_opt st.memo key with
+      | Some v -> v
+      | None ->
+        let v = eval_response st m idx in
+        Hashtbl.replace st.memo key v;
+        v
+    end
   end
 
 (* Enumerate candidate visibility rows for the event about to become index
@@ -141,12 +188,12 @@ let candidate_rows st m r =
   for i = m - 1 downto 0 do
     if not (Bitset.get base i) then optional := i :: !optional
   done;
-  let seen = Hashtbl.create 16 in
+  let seen = Row_tbl.create 16 in
   let out = ref [] in
   let emit row =
-    let key = String.concat "," (List.map string_of_int (Bitset.to_list row)) in
-    if not (Hashtbl.mem seen key) then begin
-      Hashtbl.replace seen key ();
+    (* emitted rows are never mutated afterwards, so they are stable keys *)
+    if not (Row_tbl.mem seen row) then begin
+      Row_tbl.add seen row ();
       out := row :: !out
     end
   in
@@ -162,8 +209,12 @@ let candidate_rows st m r =
       enum row' rest
   in
   enum base !optional;
-  (* smaller rows first: visibility-minimal solutions found sooner *)
-  List.sort (fun a b -> Int.compare (Bitset.cardinal a) (Bitset.cardinal b)) !out
+  (* smaller rows first: visibility-minimal solutions found sooner.
+     Cardinals are computed once up front, not once per comparison. *)
+  !out
+  |> List.map (fun row -> (Bitset.cardinal row, row))
+  |> List.sort (fun (ca, _) (cb, _) -> Int.compare ca cb)
+  |> List.map snd
 
 let post_row_ok st m row d =
   (* post-quiescent events must see every update on their object *)

@@ -1,3 +1,4 @@
+open Haec_util
 open Haec_model
 open Haec_spec
 
@@ -8,7 +9,11 @@ type report = {
   writes_follow_reads : (unit, string) result;
 }
 
-let check_read_your_writes a =
+(* Frozen quantifier-literal implementations, kept verbatim as the oracle
+   for the bitset-based fast paths below (and as the authoritative witness
+   scan when a fast path reports a violation). Do not optimize them. *)
+
+let check_read_your_writes_reference a =
   let len = Abstract.length a in
   let exception Bad of string in
   try
@@ -27,7 +32,7 @@ let check_read_your_writes a =
     Ok ()
   with Bad m -> Error m
 
-let check_monotonic_reads a =
+let check_monotonic_reads_reference a =
   let len = Abstract.length a in
   let exception Bad of string in
   try
@@ -47,7 +52,7 @@ let check_monotonic_reads a =
     Ok ()
   with Bad m -> Error m
 
-let check_monotonic_writes a =
+let check_monotonic_writes_reference a =
   let len = Abstract.length a in
   let exception Bad of string in
   try
@@ -71,7 +76,7 @@ let check_monotonic_writes a =
     Ok ()
   with Bad m -> Error m
 
-let check_writes_follow_reads a =
+let check_writes_follow_reads_reference a =
   let len = Abstract.length a in
   let exception Bad of string in
   try
@@ -96,12 +101,127 @@ let check_writes_follow_reads a =
     Ok ()
   with Bad m -> Error m
 
-let check a =
+let check_reference a =
   {
-    read_your_writes = check_read_your_writes a;
-    monotonic_reads = check_monotonic_reads a;
-    monotonic_writes = check_monotonic_writes a;
-    writes_follow_reads = check_writes_follow_reads a;
+    read_your_writes = check_read_your_writes_reference a;
+    monotonic_reads = check_monotonic_reads_reference a;
+    monotonic_writes = check_monotonic_writes_reference a;
+    writes_follow_reads = check_writes_follow_reads_reference a;
+  }
+
+(* Bit-parallel fast paths. Each guarantee reduces to subset tests over
+   whole visibility rows:
+
+   - RYW: walking each replica in H order with an accumulator of its own
+     updates per object, every event must see the whole accumulator.
+   - MR: visibility at a replica only grows, and [⊆] is transitive, so
+     checking consecutive same-replica pairs covers all pairs.
+   - MW: [w] visible at [e] must drag along the issuer's earlier update
+     [w']; in transpose rows that is [seen(w) ⊆ seen(w')], and again
+     consecutive same-replica update pairs suffice by transitivity.
+   - WFR: same subset test, for every update [w'] visible to [w]'s issuer
+     when issuing.
+
+   MW/WFR via full transpose rows quantify over *all* events seeing [w],
+   whereas the definitions quantify only over [e] after [w]; on any
+   order-respecting execution (Definition 4 condition 3) these coincide.
+   The fast paths are therefore conservative: a fast pass implies the
+   reference passes, and a fast failure re-runs the reference checker both
+   to confirm and to produce the same witness message it always produced. *)
+
+let build_rows a =
+  let len = Abstract.length a in
+  Array.init len (fun e -> Abstract.vis_row a e)
+
+let build_seen rows =
+  let len = Array.length rows in
+  let seen = Array.init len (fun _ -> Bitset.create len) in
+  for e = 0 to len - 1 do
+    Bitset.iter rows.(e) (fun i -> Bitset.set seen.(i) e)
+  done;
+  seen
+
+let ryw_holds a rows =
+  let len = Abstract.length a in
+  let acc : (int * int, Bitset.t) Hashtbl.t = Hashtbl.create 16 in
+  let ok = ref true in
+  let e = ref 0 in
+  while !ok && !e < len do
+    let d = Abstract.event a !e in
+    let key = (d.Event.replica, d.Event.obj) in
+    (match Hashtbl.find_opt acc key with
+    | Some own -> if not (Bitset.is_subset own rows.(!e)) then ok := false
+    | None -> ());
+    if !ok && Op.is_update d.Event.op then begin
+      let own =
+        match Hashtbl.find_opt acc key with
+        | Some own -> own
+        | None ->
+          let own = Bitset.create len in
+          Hashtbl.add acc key own;
+          own
+      in
+      Bitset.set own !e
+    end;
+    incr e
+  done;
+  !ok
+
+let mr_holds a rows =
+  let len = Abstract.length a in
+  let last : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  let e = ref 0 in
+  while !ok && !e < len do
+    let d = Abstract.event a !e in
+    (match Hashtbl.find_opt last d.Event.replica with
+    | Some p -> if not (Bitset.is_subset rows.(p) rows.(!e)) then ok := false
+    | None -> ());
+    Hashtbl.replace last d.Event.replica !e;
+    incr e
+  done;
+  !ok
+
+let mw_holds a seen =
+  let len = Abstract.length a in
+  let last_upd : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let ok = ref true in
+  let w = ref 0 in
+  while !ok && !w < len do
+    let d = Abstract.event a !w in
+    if Op.is_update d.Event.op then begin
+      (match Hashtbl.find_opt last_upd d.Event.replica with
+      | Some w' -> if not (Bitset.is_subset seen.(!w) seen.(w')) then ok := false
+      | None -> ());
+      Hashtbl.replace last_upd d.Event.replica !w
+    end;
+    incr w
+  done;
+  !ok
+
+let wfr_holds a rows seen =
+  let len = Abstract.length a in
+  let is_upd = Array.init len (fun i -> Op.is_update (Abstract.event a i).Event.op) in
+  let exception Bad in
+  try
+    for w = 0 to len - 1 do
+      if is_upd.(w) then
+        Bitset.iter rows.(w) (fun w' ->
+            if is_upd.(w') && not (Bitset.is_subset seen.(w) seen.(w')) then raise Bad)
+    done;
+    true
+  with Bad -> false
+
+let check a =
+  let rows = build_rows a in
+  let seen = build_seen rows in
+  let guard fast reference = if fast () then Ok () else reference a in
+  {
+    read_your_writes = guard (fun () -> ryw_holds a rows) check_read_your_writes_reference;
+    monotonic_reads = guard (fun () -> mr_holds a rows) check_monotonic_reads_reference;
+    monotonic_writes = guard (fun () -> mw_holds a seen) check_monotonic_writes_reference;
+    writes_follow_reads =
+      guard (fun () -> wfr_holds a rows seen) check_writes_follow_reads_reference;
   }
 
 let entries r =

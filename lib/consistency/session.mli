@@ -33,6 +33,14 @@ type report = {
 }
 
 val check : Abstract.t -> report
+(** Evaluates the guarantees by word-parallel subset tests over visibility
+    rows and their transpose; any reported violation is re-derived (with
+    the same witness message) by the reference scan. *)
+
+val check_reference : Abstract.t -> report
+(** The frozen quantifier-literal implementation, kept as the oracle for
+    randomized equivalence testing of {!check}; never use it on large
+    executions. *)
 
 val all_hold : report -> bool
 

@@ -19,6 +19,7 @@
 
 module Util = struct
   module Rng = Haec_util.Rng
+  module Par = Haec_util.Par
   module Pqueue = Haec_util.Pqueue
   module Bitset = Haec_util.Bitset
   module Sorted_list = Haec_util.Sorted_list

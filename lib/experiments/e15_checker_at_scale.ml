@@ -15,8 +15,7 @@ let title = "E15: causal anomalies found by the polynomial checker (register his
 module Probe (S : Store.Store_intf.S) = struct
   module R = Sim.Runner.Make (S)
 
-  let run_one seed policy =
-    let rng = Util.Rng.create seed in
+  let run_one ~rng ~seed policy =
     let sim = R.create ~seed ~n:4 ~policy () in
     let steps =
       Sim.Workload.generate ~rng ~n:4 ~objects:4 ~ops:150 Sim.Workload.register_mix
@@ -27,35 +26,41 @@ module Probe (S : Store.Store_intf.S) = struct
     R.run_until_quiescent sim;
     CH.check (R.execution sim)
 
+  (* seeds fan out over domains; [Par.run_seeds] hands each one its own
+     freshly seeded rng, so the verdicts are independent of [-j] *)
   let stats policy ~seeds =
-    let violations = ref 0 and consistent = ref 0 and unsupported = ref 0 in
-    for seed = 1 to seeds do
-      match run_one seed policy with
-      | CH.Consistent -> incr consistent
-      | CH.Violation _ -> incr violations
-      | CH.Unsupported _ -> incr unsupported
-    done;
-    (!consistent, !violations, !unsupported)
+    let verdicts =
+      Util.Par.run_seeds
+        ~seeds:(List.init seeds (fun i -> i + 1))
+        (fun ~rng ~seed -> run_one ~rng ~seed policy)
+    in
+    List.fold_left
+      (fun (c, v, u) verdict ->
+        match verdict with
+        | CH.Consistent -> (c + 1, v, u)
+        | CH.Violation _ -> (c, v + 1, u)
+        | CH.Unsupported _ -> (c, v, u + 1))
+      (0, 0, 0) verdicts
 end
 
 module P_lww = Probe (Store.Lww_store)
 module P_causal = Probe (Store.Causal_reg_store)
 
+let table ?(seeds = 20) () =
+  List.concat_map
+    (fun (pname, policy) ->
+      let c1, v1, u1 = P_lww.stats policy ~seeds in
+      let c2, v2, u2 = P_causal.stats policy ~seeds in
+      [
+        [ "lww-register"; pname; string_of_int seeds; string_of_int c1;
+          string_of_int v1; string_of_int u1 ];
+        [ "reg-causal"; pname; string_of_int seeds; string_of_int c2;
+          string_of_int v2; string_of_int u2 ];
+      ])
+    (Harness.policies ())
+
 let run ppf =
-  let seeds = 20 in
-  let rows =
-    List.concat_map
-      (fun (pname, policy) ->
-        let c1, v1, u1 = P_lww.stats policy ~seeds in
-        let c2, v2, u2 = P_causal.stats policy ~seeds in
-        [
-          [ "lww-register"; pname; string_of_int seeds; string_of_int c1;
-            string_of_int v1; string_of_int u1 ];
-          [ "reg-causal"; pname; string_of_int seeds; string_of_int c2;
-            string_of_int v2; string_of_int u2 ];
-        ])
-      (Harness.policies ())
-  in
+  let rows = table () in
   Tables.print ppf ~title
     ~header:[ "store"; "network"; "runs"; "consistent"; "violations"; "unsupported" ]
     rows;

@@ -23,9 +23,10 @@ let chaos_row label (module S : Store.Store_intf.S) require spec mix =
   let crashes = ref 0 and dropped = ref 0 and retrans = ref 0 and corrupt = ref 0 in
   let causal_viol = ref 0 and occ_viol = ref 0 in
   let lag_p99 = ref 0.0 in
+  (* the seeds fan out over domains; counters fold sequentially after *)
+  let outcomes = C.run_seeds ~spec_of:(fun _ -> spec) ~mix ~require ~seeds () in
   List.iter
-    (fun seed ->
-      let o = C.run ~spec_of:(fun _ -> spec) ~mix ~require ~seed () in
+    (fun o ->
       if Sim.Chaos.converged o then incr conv;
       (* staleness under faults: worst p99 visibility lag across schedules *)
       (match Obs.Metrics.Registry.find o.Sim.Chaos.metrics "visibility.lag" with
@@ -43,7 +44,7 @@ let chaos_row label (module S : Store.Store_intf.S) require spec mix =
       dropped := !dropped + s.Sim.Runner.dropped;
       retrans := !retrans + s.Sim.Runner.retransmitted;
       corrupt := !corrupt + s.Sim.Runner.corrupt_rejected)
-    seeds;
+    outcomes;
   [
     label;
     Printf.sprintf "%d/%d" !conv (List.length seeds);

@@ -149,22 +149,27 @@ let soak_naive ?coalesce ~n ~objects ~ops ~seed () =
 let f_ops_per_s s = if s.elapsed > 0.0 then Tables.f1 (float_of_int s.ops /. s.elapsed) else "-"
 
 let run ppf =
+  (* one task per k, fanned out over domains: a task's reset/run/read of the
+     domain-local delivery counters never leaves its domain, and same-domain
+     tasks run sequentially, so the counters stay coherent at any -j *)
   let stress_rows =
-    List.concat_map
-      (fun k ->
-        let naive = stress_naive ~k in
-        let indexed = stress_indexed ~k in
-        let row (s : stress) =
-          [
-            s.s_label;
-            string_of_int s.k;
-            string_of_int s.s_scans;
-            Tables.f1 (float_of_int s.s_scans /. float_of_int s.k);
-            string_of_int s.s_max_buffer;
-          ]
-        in
-        [ row naive; row indexed ])
-      [ 256; 512; 1024; 2048 ]
+    Harness.sweep
+      (List.map
+         (fun k () ->
+           let naive = stress_naive ~k in
+           let indexed = stress_indexed ~k in
+           let row (s : stress) =
+             [
+               s.s_label;
+               string_of_int s.k;
+               string_of_int s.s_scans;
+               Tables.f1 (float_of_int s.s_scans /. float_of_int s.k);
+               string_of_int s.s_max_buffer;
+             ]
+           in
+           [ row naive; row indexed ])
+         [ 256; 512; 1024; 2048 ])
+    |> List.concat
   in
   Tables.print ppf ~title:(title ^ " — reverse-delivery buffering stress")
     ~header:[ "store"; "k"; "scans"; "scans/k"; "peak buffer" ]
@@ -177,9 +182,11 @@ let run ppf =
     "total); the dependency-indexed buffer wakes only the one dependent";
   Tables.note ppf "record per delivery (scans/k is a small constant).";
   let soak_rows =
-    List.map
-      (fun (n, ops, seed) ->
-        let s = soak_indexed ~n ~objects:(2 * n) ~ops ~seed () in
+    Harness.sweep
+      (List.map
+         (fun (n, ops, seed) () -> soak_indexed ~n ~objects:(2 * n) ~ops ~seed ())
+         [ (4, 2000, 2001); (8, 4000, 2002); (16, 4000, 2003) ])
+    |> List.map (fun s ->
         [
           s.label;
           string_of_int s.n;
@@ -190,7 +197,6 @@ let run ppf =
           Tables.f1 (float_of_int s.scans /. float_of_int (max 1 s.deliveries));
           f_ops_per_s s;
         ])
-      [ (4, 2000, 2001); (8, 4000, 2002); (16, 4000, 2003) ]
   in
   Tables.print ppf ~title:(title ^ " — random-workload soak (indexed store)")
     ~header:[ "store"; "n"; "ops"; "messages"; "bytes/op"; "scans"; "scans/delivery"; "ops/s" ]
@@ -199,4 +205,5 @@ let run ppf =
     "Random register workloads over a reordering network, run to quiescence.";
   Tables.note ppf
     "scans/delivery is the delivery-buffer work per applied update; ops/s is";
-  Tables.note ppf "CPU-clock dependent and excluded from any test assertion."
+  Tables.note ppf "CPU-clock dependent (and inflated under -j > 1: Sys.time counts";
+  Tables.note ppf "every domain) and excluded from any test assertion."

@@ -67,6 +67,12 @@ module Run (S : Store.Store_intf.S) = struct
     }
 end
 
+let sweep ?domains tasks = Util.Par.map_list ?domains (fun task -> task ()) tasks
+(* Independent experiment runs fanned out over domains (Util.Par); results
+   come back in task order, so tables print identically at any [-j]. Each
+   task must derive all randomness from its own seed — see the determinism
+   contract in [Haec_util.Par]. *)
+
 let policies () =
   [
     ("fifo", Sim.Net_policy.reliable_fifo ());

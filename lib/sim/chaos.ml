@@ -160,4 +160,13 @@ module Make (S : Haec_store.Store_intf.S) = struct
       skipped = !skipped;
       result;
     }
+
+  (* Runs are deterministic in their seed and share no state, so a sweep
+     fans out over domains; outcomes come back in seed order regardless of
+     [?domains] (see the contract in [Haec_util.Par]). *)
+  let run_seeds ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?domains
+      ~seeds () =
+    Par.map_list ?domains
+      (fun seed -> run ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ~seed ())
+      seeds
 end

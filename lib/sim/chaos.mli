@@ -66,4 +66,21 @@ module Make (S : Haec_store.Store_intf.S) : sig
     outcome
   (** One seeded chaos run (defaults: 3 replicas, 2 objects, 40 ops,
       MVR spec, register mix, random-delay policy, [`Correct] bar). *)
+
+  val run_seeds :
+    ?n:int ->
+    ?objects:int ->
+    ?ops:int ->
+    ?spec_of:(int -> Spec.t) ->
+    ?mix:Workload.mix ->
+    ?policy:Net_policy.t ->
+    ?max_events:int ->
+    ?require:level ->
+    ?domains:int ->
+    seeds:int list ->
+    unit ->
+    outcome list
+  (** The same run fanned out over domains, one task per seed; outcomes
+      come back in seed order and are bit-identical at any [?domains]
+      (default {!Haec_util.Par.default_domains}). *)
 end

@@ -48,11 +48,17 @@ module Immediate = struct
 end
 
 module Make (Obj : Object_layer.OBJECT) (P : POLICY) = struct
-  let stats = Store_intf.fresh_delivery_stats ()
+  (* one counter record per domain: parallel sweeps (Haec_util.Par) must
+     not race their instrumentation, and a reset/run/read sequence inside
+     one task stays coherent because a task never migrates domains *)
+  let stats_key = Domain.DLS.new_key Store_intf.fresh_delivery_stats
 
-  let delivery_stats () = Store_intf.copy_delivery_stats stats
+  let stats () = Domain.DLS.get stats_key
+
+  let delivery_stats () = Store_intf.copy_delivery_stats (stats ())
 
   let reset_delivery_stats () =
+    let stats = stats () in
     stats.Store_intf.scans <- 0;
     stats.Store_intf.delivered <- 0;
     stats.Store_intf.max_buffer <- 0
@@ -204,6 +210,7 @@ module Make (Obj : Object_layer.OBJECT) (P : POLICY) = struct
      deliverability scan of the old list buffer, so it carries the
      [scans] accounting the E20 experiment compares. *)
   let blocker uv r =
+    let stats = stats () in
     stats.Store_intf.scans <- stats.Store_intf.scans + 1;
     if Vclock.get uv r.origin < r.useq - 1 then Some (r.origin, r.useq - 1)
     else begin
@@ -304,6 +311,7 @@ module Make (Obj : Object_layer.OBJECT) (P : POLICY) = struct
           buffer := add_rec !buffer r;
           incr buffered)
         fresh_records;
+      let stats = stats () in
       stats.Store_intf.max_buffer <- max stats.Store_intf.max_buffer !buffered;
       let work = Queue.create () in
       List.iter (fun r -> Queue.add (r.origin, r.useq) work) fresh_records;

@@ -17,11 +17,17 @@ module Int_map = Map.Make (Int)
 
 let name = "mvr-causal-naive"
 
-let stats = Store_intf.fresh_delivery_stats ()
+(* one counter record per domain: parallel sweeps (Haec_util.Par) must
+   not race their instrumentation, and a reset/run/read sequence inside
+   one task stays coherent because a task never migrates domains *)
+let stats_key = Domain.DLS.new_key Store_intf.fresh_delivery_stats
 
-let delivery_stats () = Store_intf.copy_delivery_stats stats
+let stats () = Domain.DLS.get stats_key
+
+let delivery_stats () = Store_intf.copy_delivery_stats (stats ())
 
 let reset_delivery_stats () =
+  let stats = stats () in
   stats.Store_intf.scans <- 0;
   stats.Store_intf.delivered <- 0;
   stats.Store_intf.max_buffer <- 0
@@ -77,10 +83,12 @@ let expose t r =
   { t with objects = Int_map.add r.obj (apply_remote (obj_state t r.obj) r.u) t.objects }
 
 let deliverable t r =
+  let stats = stats () in
   stats.Store_intf.scans <- stats.Store_intf.scans + 1;
   Vclock.get t.uv r.origin = r.useq - 1 && Vclock.leq r.dep t.uv
 
 let deliver t r =
+  let stats = stats () in
   stats.Store_intf.delivered <- stats.Store_intf.delivered + 1;
   let t =
     { t with uv = Vclock.tick t.uv r.origin; clock = max t.clock (Obj.time_of r.u) }
@@ -154,5 +162,6 @@ let receive t ~sender:_ payload =
     && not (List.exists (fun b -> b.origin = r.origin && b.useq = r.useq) t.buffer)
   in
   let t = { t with buffer = t.buffer @ List.filter fresh records } in
+  let stats = stats () in
   stats.Store_intf.max_buffer <- max stats.Store_intf.max_buffer (List.length t.buffer);
   drain t

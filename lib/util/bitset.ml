@@ -31,7 +31,56 @@ let union_into ~dst src =
     dst.words.(w) <- dst.words.(w) lor src.words.(w)
   done
 
-let equal a b = a.cap = b.cap && a.words = b.words
+let union_into_changed ~dst src =
+  if dst.cap <> src.cap then
+    invalid_arg "Bitset.union_into_changed: capacity mismatch";
+  let changed = ref false in
+  for w = 0 to Array.length dst.words - 1 do
+    let old = dst.words.(w) in
+    let v = old lor src.words.(w) in
+    if v <> old then begin
+      dst.words.(w) <- v;
+      changed := true
+    end
+  done;
+  !changed
+
+let copy_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset.copy_into: capacity mismatch";
+  Array.blit src.words 0 dst.words 0 (Array.length src.words)
+
+let inter_into ~dst src =
+  if dst.cap <> src.cap then invalid_arg "Bitset.inter_into: capacity mismatch";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) land src.words.(w)
+  done
+
+let intersects a b =
+  if a.cap <> b.cap then invalid_arg "Bitset.intersects: capacity mismatch";
+  let hit = ref false in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) land b.words.(w) <> 0 then hit := true
+  done;
+  !hit
+
+let equal a b =
+  a.cap = b.cap
+  &&
+  let ok = ref true in
+  for w = 0 to Array.length a.words - 1 do
+    if a.words.(w) <> b.words.(w) then ok := false
+  done;
+  !ok
+
+(* FNV-1a-style word mix; agrees with [equal] (capacity + word contents). *)
+let hash t =
+  let h = ref (t.cap * 0x01000193) in
+  for w = 0 to Array.length t.words - 1 do
+    let x = t.words.(w) in
+    h := (!h lxor (x land 0x3FFFFFFF)) * 0x01000193;
+    h := (!h lxor (x lsr 30)) * 0x01000193
+  done;
+  !h land max_int
 
 let is_subset a b =
   if a.cap <> b.cap then invalid_arg "Bitset.is_subset: capacity mismatch";
@@ -46,6 +95,25 @@ let popcount x =
   go x 0
 
 let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t =
+  let empty = ref true in
+  for w = 0 to Array.length t.words - 1 do
+    if t.words.(w) <> 0 then empty := false
+  done;
+  !empty
+
+let min_elt t =
+  let n = Array.length t.words in
+  let rec word w =
+    if w = n then None
+    else if t.words.(w) = 0 then word (w + 1)
+    else
+      let x = t.words.(w) in
+      let rec bit b = if x land (1 lsl b) <> 0 then Some ((w * 63) + b) else bit (b + 1) in
+      bit 0
+  in
+  word 0
 
 let iter t f =
   for w = 0 to Array.length t.words - 1 do

@@ -22,12 +22,36 @@ val get : t -> int -> bool
 val union_into : dst:t -> t -> unit
 (** [union_into ~dst src] ors [src] into [dst]. Requires equal capacity. *)
 
+val union_into_changed : dst:t -> t -> bool
+(** Like {!union_into}, but reports whether [dst] gained any bit — the
+    word-level change test that drives transitive-closure saturation
+    without recomputing cardinals. *)
+
+val copy_into : dst:t -> t -> unit
+(** [copy_into ~dst src] overwrites [dst] with [src]'s bits (no allocation;
+    lets hot loops reuse one scratch row). Requires equal capacity. *)
+
+val inter_into : dst:t -> t -> unit
+(** [inter_into ~dst src] ands [src] into [dst]. Requires equal capacity. *)
+
+val intersects : t -> t -> bool
+(** Whether the two sets share any element, word-parallel. *)
+
 val equal : t -> t -> bool
+
+val hash : t -> int
+(** Structural hash, compatible with {!equal} — usable as a [Hashtbl]
+    key via [Hashtbl.Make]. *)
 
 val is_subset : t -> t -> bool
 (** [is_subset a b] iff every bit of [a] is set in [b]. *)
 
 val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val min_elt : t -> int option
+(** Smallest element, if any. *)
 
 val iter : t -> (int -> unit) -> unit
 (** Calls the function on each set bit, ascending. *)

@@ -1,0 +1,55 @@
+(* Hand-rolled domain pool (domainslib is not a dependency): one atomic
+   work index self-schedules array slots across [domains - 1] spawned
+   domains plus the calling one. Each task writes only its own result
+   slot, and [Domain.join] publishes those writes to the caller, so the
+   output is a pure function of the input array — never of the domain
+   count or the interleaving. *)
+
+let configured = Atomic.make 0 (* 0 = unset: fall back to the hardware count *)
+
+let available_domains () = Domain.recommended_domain_count ()
+
+let set_default_domains n = Atomic.set configured (max 1 n)
+
+let default_domains () =
+  let d = Atomic.get configured in
+  if d > 0 then d else available_domains ()
+
+let resolve_domains domains n =
+  let d = match domains with Some d -> max 1 d | None -> default_domains () in
+  min d (max 1 n)
+
+let map ?domains f arr =
+  let n = Array.length arr in
+  let domains = resolve_domains domains n in
+  if domains <= 1 then Array.map f arr
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (results.(i) <-
+             Some (match f arr.(i) with v -> Ok v | exception e -> Error e));
+          go ()
+        end
+      in
+      go ()
+    in
+    let spawned = Array.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    (* re-raise the lowest-index failure, like the sequential path would *)
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index was claimed before the joins *))
+      results
+  end
+
+let map_list ?domains f l = Array.to_list (map ?domains f (Array.of_list l))
+
+let run_seeds ?domains ~seeds f =
+  map_list ?domains (fun seed -> f ~rng:(Rng.create seed) ~seed) seeds

@@ -255,43 +255,47 @@ module Frame = struct
     payload
 end
 
-(* One long-lived scratch encoder serves every non-nested [encode]: the
-   replication hot path serializes one small message at a time, and
-   reusing the grown byte block removes the per-message allocation. The
-   [in_use] flag keeps nested [encode] calls (an encoder callback that
-   itself encodes) correct by giving inner calls a fresh encoder; the
-   scratch block is dropped if an oversized message grew it past 64 KiB
-   so one outlier doesn't pin memory forever. *)
-let scratch = Encoder.create ()
+(* One long-lived scratch encoder per domain serves every non-nested
+   [encode]: the replication hot path serializes one small message at a
+   time, and reusing the grown byte block removes the per-message
+   allocation. The scratch is domain-local state ([Domain.DLS]) so
+   parallel seed sweeps (Haec_util.Par) never share it across domains.
+   The [in_use] flag keeps nested [encode] calls (an encoder callback
+   that itself encodes) correct by giving inner calls a fresh encoder;
+   the scratch block is dropped if an oversized message grew it past
+   64 KiB so one outlier doesn't pin memory forever. *)
+type scratch = { enc : Encoder.t; mutable in_use : bool }
 
-let scratch_in_use = ref false
+let scratch_key =
+  Domain.DLS.new_key (fun () -> { enc = Encoder.create (); in_use = false })
 
 let scratch_max_bytes = 65536
 
 (* Hand-rolled unwind instead of [Fun.protect]: the latter allocates two
    closures per call, measurable on a path that encodes one small message
    per varint-sized payload. *)
-let release_scratch () =
-  scratch_in_use := false;
-  if Bytes.length scratch.Encoder.buf > scratch_max_bytes then
-    scratch.Encoder.buf <- Bytes.create 64
+let release_scratch s =
+  s.in_use <- false;
+  if Bytes.length s.enc.Encoder.buf > scratch_max_bytes then
+    s.enc.Encoder.buf <- Bytes.create 64
 
 let encode f =
-  if !scratch_in_use then begin
+  let s = Domain.DLS.get scratch_key in
+  if s.in_use then begin
     let e = Encoder.create () in
     f e;
     Encoder.to_string e
   end
   else begin
-    scratch_in_use := true;
-    Encoder.reset scratch;
-    match f scratch with
+    s.in_use <- true;
+    Encoder.reset s.enc;
+    match f s.enc with
     | () ->
-      let s = Encoder.to_string scratch in
-      release_scratch ();
-      s
+      let out = Encoder.to_string s.enc in
+      release_scratch s;
+      out
     | exception exn ->
-      release_scratch ();
+      release_scratch s;
       raise exn
   end
 

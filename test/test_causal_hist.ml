@@ -244,6 +244,70 @@ let prop_cross_validation_random =
         | Search.No_solution -> violation verdict
         | Search.Gave_up -> true))
 
+let prop_bitset_matches_reference =
+  (* oracle: the bit-parallel checker returns the exact verdict (witness
+     indices included) of the frozen list-based implementation, under both
+     models, on random register histories *)
+  q ~count:120 "bit-parallel checker == reference"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 3 in
+      let len = 3 + Rng.int rng 18 in
+      let counter = ref 0 in
+      let rec gen i acc =
+        if i >= len then List.rev acc
+        else
+          let replica = Rng.int rng n in
+          let obj = Rng.int rng 3 in
+          let d =
+            if Rng.bool rng then begin
+              incr counter;
+              w_ replica obj !counter
+            end
+            else if Rng.bool rng && !counter > 0 then
+              rd1 replica obj (1 + Rng.int rng !counter)
+            else rd_ replica obj []
+          in
+          gen (i + 1) (d :: acc)
+      in
+      let events = gen 0 [] in
+      List.for_all
+        (fun model ->
+          CH.check_events ~model ~n events = CH.check_events_reference ~model ~n events)
+        [ `Cc; `Ccv ])
+
+let test_bitset_matches_reference_on_store_runs () =
+  (* the same oracle on real store histories (150-op runs like the E15
+     sweep), including the anomaly-producing lww store *)
+  let check (module S : Store.Store_intf.S) seed =
+    let module R = Sim.Runner.Make (S) in
+    let rng = Rng.create seed in
+    let sim = R.create ~seed ~n:4 ~policy:(Sim.Net_policy.random_delay ()) () in
+    let steps =
+      Sim.Workload.generate ~rng ~n:4 ~objects:4 ~ops:150 Sim.Workload.register_mix
+    in
+    Sim.Workload.run
+      (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+      ~advance:(R.advance_to sim) steps;
+    R.run_until_quiescent sim;
+    let exec = R.execution sim in
+    let events = List.map snd (Model.Execution.do_events exec) in
+    let n = Model.Execution.n_replicas exec in
+    List.iter
+      (fun model ->
+        let fast = CH.check_events ~model ~n events in
+        let slow = CH.check_events_reference ~model ~n events in
+        if fast <> slow then
+          Alcotest.failf "%s seed %d: fast %a but reference %a" S.name seed CH.pp_verdict
+            fast CH.pp_verdict slow)
+      [ `Cc; `Ccv ]
+  in
+  for seed = 1 to 6 do
+    check (module Store.Lww_store) seed;
+    check (module Store.Causal_reg_store) seed
+  done
+
 let test_cross_object_arbitration_regression () =
   (* Regression: per-object Lamport clocks let a causal chain through a
      second object contradict the per-object arbitration order — a cyclic
@@ -297,6 +361,8 @@ let suite =
       tc "cc vs ccv distinction" test_cc_vs_ccv;
       tc "cross-object arbitration cycle (regression)" test_cross_object_arbitration_regression;
       prop_cross_validation_random;
+      prop_bitset_matches_reference;
+      tc "bit-parallel == reference on store runs" test_bitset_matches_reference_on_store_runs;
       tc "consistent history accepted" test_consistent_history;
       tc "thin-air read" test_thin_air;
       tc "write-co-init-read" test_write_co_init_read;

@@ -1,0 +1,88 @@
+(* The parallel sweep driver: results must be bit-identical at any domain
+   count — the determinism contract documented in Haec_util.Par. *)
+
+open Helpers
+open Haec
+module Par = Util.Par
+
+let test_map_matches_sequential () =
+  let arr = Array.init 100 (fun i -> i) in
+  (* a task with its own per-index rng, like every real sweep task *)
+  let f i =
+    let rng = Rng.create (i + 1) in
+    (i * 3) + Rng.int rng 1000
+  in
+  let seq = Array.map f arr in
+  List.iter
+    (fun d ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d" d)
+        seq (Par.map ~domains:d f arr))
+    [ 1; 2; 4; 7 ]
+
+let test_map_edge_sizes () =
+  Alcotest.(check (array int)) "empty" [||] (Par.map ~domains:4 (fun i -> i) [||]);
+  Alcotest.(check (array int)) "singleton" [| 9 |] (Par.map ~domains:4 (fun i -> i * 9) [| 1 |]);
+  (* more domains than elements *)
+  Alcotest.(check (array int))
+    "2 elements, 8 domains" [| 0; 2 |]
+    (Par.map ~domains:8 (fun i -> 2 * i) (Array.init 2 (fun i -> i)))
+
+let test_map_propagates_exception () =
+  let boom i = if i = 13 then failwith "boom" else i in
+  Alcotest.check_raises "failure surfaces" (Failure "boom") (fun () ->
+      ignore (Par.map ~domains:4 boom (Array.init 20 (fun i -> i))))
+
+let test_run_seeds_deterministic () =
+  let seeds = List.init 24 (fun i -> i * 7) in
+  let f ~rng ~seed = (seed, Rng.int rng 1_000_000, Rng.int rng 1_000_000) in
+  let one = Par.run_seeds ~domains:1 ~seeds f in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "domains=%d matches domains=1" d)
+        true
+        (Par.run_seeds ~domains:d ~seeds f = one))
+    [ 2; 4 ]
+
+(* chaos sweeps: the full simulator + durable store + fault plans, fanned
+   out over domains, must reach the very same verdicts as sequentially *)
+let test_chaos_verdicts_j_independent () =
+  let module C = Sim.Chaos.Make (Store.Causal_mvr_store) in
+  let seeds = List.init 20 (fun i -> i + 1) in
+  let digest outcomes =
+    List.map
+      (fun o ->
+        ( o.Sim.Chaos.seed,
+          Sim.Chaos.converged o,
+          List.map fst (Sim.Chaos.failures o),
+          Model.Execution.length o.Sim.Chaos.exec,
+          o.Sim.Chaos.ops ))
+      outcomes
+  in
+  let one = digest (C.run_seeds ~ops:30 ~require:`Causal ~domains:1 ~seeds ()) in
+  let four = digest (C.run_seeds ~ops:30 ~require:`Causal ~domains:4 ~seeds ()) in
+  Alcotest.(check bool) "chaos verdicts identical at -j 1 and -j 4" true (one = four)
+
+(* an experiment table (E15's seed sweep) rendered at -j 1 and -j 4 must be
+   the same rows, via the process-wide default the CLI's -j flag sets *)
+let test_e15_table_j_independent () =
+  let module E15 = Haec_experiments.E15_checker_at_scale in
+  let at domains =
+    Par.set_default_domains domains;
+    Fun.protect
+      ~finally:(fun () -> Par.set_default_domains (Par.available_domains ()))
+      (fun () -> E15.table ~seeds:3 ())
+  in
+  Alcotest.(check (list (list string))) "E15 rows identical" (at 1) (at 4)
+
+let suite =
+  ( "par",
+    [
+      tc "map matches sequential at any domain count" test_map_matches_sequential;
+      tc "map edge sizes" test_map_edge_sizes;
+      tc "map re-raises task exceptions" test_map_propagates_exception;
+      tc "run_seeds bit-identical across domains" test_run_seeds_deterministic;
+      tc "chaos verdicts independent of -j" test_chaos_verdicts_j_independent;
+      tc "E15 table independent of -j" test_e15_table_j_independent;
+    ] )

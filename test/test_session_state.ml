@@ -44,6 +44,50 @@ let test_ryw_violation_impossible_in_valid_ae () =
   let a = A.create ~n:1 [| w_ 0 0 1; rd_ 0 0 [ 1 ] |] ~vis:[] in
   Alcotest.(check bool) "ryw structural" true ((Session.check a).Session.read_your_writes = Ok ())
 
+let prop_bitset_matches_reference =
+  (* oracle: the subset-test implementation must return exactly the report
+     (witness messages included) of the frozen quantifier-literal scan, on
+     random abstract executions with arbitrary forward visibility *)
+  q ~count:150 "session check == reference"
+    QCheck2.Gen.(int_range 0 100000)
+    (fun seed ->
+      let rng = Rng.create seed in
+      let n = 2 + Rng.int rng 3 in
+      let len = 2 + Rng.int rng 10 in
+      let events =
+        Array.init len (fun _ ->
+            let replica = Rng.int rng n in
+            let obj = Rng.int rng 2 in
+            if Rng.bool rng then w_ replica obj (Rng.int rng 50) else rd_ replica obj [])
+      in
+      let vis = ref [] in
+      for j = 1 to len - 1 do
+        for i = 0 to j - 1 do
+          if Rng.int rng 4 = 0 then vis := (i, j) :: !vis
+        done
+      done;
+      let a = A.create_unchecked ~n events ~vis:!vis in
+      Session.check a = Session.check_reference a)
+
+let test_bitset_matches_reference_on_witnesses () =
+  (* the same oracle on real witness abstract executions from simulator
+     runs, where the guarantees mostly hold (the fast path's common case) *)
+  let module R = Sim.Runner.Make (Store.Causal_mvr_store) in
+  for seed = 1 to 5 do
+    let rng = Rng.create seed in
+    let sim = R.create ~seed ~n:3 ~policy:(Sim.Net_policy.lossy ()) () in
+    let steps =
+      Sim.Workload.generate ~rng ~n:3 ~objects:3 ~ops:60 Sim.Workload.register_mix
+    in
+    Sim.Workload.run
+      (fun ~replica ~obj op -> R.op sim ~replica ~obj op)
+      ~advance:(R.advance_to sim) steps;
+    R.run_until_quiescent sim;
+    let w = R.witness_abstract sim in
+    if Session.check w <> Session.check_reference w then
+      Alcotest.failf "seed %d: fast and reference session reports differ" seed
+  done
+
 (* ---------- state-based store ---------- *)
 
 module RS = Sim.Runner.Make (Store.State_mvr_store)
@@ -152,6 +196,8 @@ let suite =
       tc "monotonic-writes violation detected" test_monotonic_writes_violation;
       tc "writes-follow-reads violation detected" test_wfr_violation;
       tc "read-your-writes structural" test_ryw_violation_impossible_in_valid_ae;
+      prop_bitset_matches_reference;
+      tc "session fast == reference on witnesses" test_bitset_matches_reference_on_witnesses;
       tc "state store converges" test_state_store_converges;
       tc "state store causal by construction" test_state_store_causal_by_construction;
       tc "state message grows with objects" test_state_message_grows;
