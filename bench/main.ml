@@ -278,6 +278,57 @@ let soak_json ~quick =
   in
   stress @ soaks
 
+(* ---------- anti-entropy recovery macro (E21 harness) ---------- *)
+
+(* Chaos under `Anti_entropy with adversarial plans: the oracle never
+   retransmits, so the digest/repair wire cost and the post-heal repair
+   latency are properties of the protocol alone — worth tracking across
+   commits next to the soak rows. *)
+let gossip_json ~quick =
+  let module Json = Haec.Obs.Json in
+  let seeds n = List.init (if quick then 4 else 12) (fun i -> i + n) in
+  let entry label (module S : Haec.Store.Store_intf.S) require spec mix first_seed =
+    let module C = Haec.Sim.Chaos.Make (S) in
+    let outcomes =
+      C.run_seeds ~spec_of:(fun _ -> spec) ~mix ~require ~recovery:`Anti_entropy
+        ~adversarial:true ~seeds:(seeds first_seed) ()
+    in
+    let runs = List.length outcomes in
+    let conv = ref 0 and lost = ref 0 and rounds = ref 0 in
+    let digest_b = ref 0 and repair_b = ref 0 and lat = ref 0.0 in
+    List.iter
+      (fun o ->
+        if Haec.Sim.Chaos.converged o then incr conv;
+        let s = o.Haec.Sim.Chaos.stats in
+        lost := !lost + s.Haec.Sim.Runner.lost_permanent;
+        rounds := !rounds + s.Haec.Sim.Runner.gossip_rounds;
+        lat := !lat +. Float.max 0.0 (o.Haec.Sim.Chaos.quiesced_at -. o.Haec.Sim.Chaos.horizon);
+        let counter name =
+          match Haec.Obs.Metrics.Registry.find o.Haec.Sim.Chaos.metrics name with
+          | Some (Haec.Obs.Metrics.Registry.Counter c) -> Haec.Obs.Metrics.Counter.value c
+          | Some _ | None -> 0
+        in
+        digest_b := !digest_b + counter "gossip.digest_bytes";
+        repair_b := !repair_b + counter "gossip.repair_bytes")
+      outcomes;
+    ( Printf.sprintf "gossip/ae-%s-n3" label,
+      Json.Obj
+        [
+          ("converged", Json.Num (float_of_int !conv /. float_of_int runs));
+          ("lost_permanent", Json.Num (float_of_int !lost));
+          ("gossip_rounds", Json.Num (float_of_int !rounds));
+          ("digest_bytes", Json.Num (float_of_int !digest_b));
+          ("repair_bytes", Json.Num (float_of_int !repair_b));
+          ("repair_latency_mean", Json.Num (!lat /. float_of_int runs));
+        ] )
+  in
+  [
+    entry "mvr" (module Haec.Store.Mvr_store) `Correct Haec.Spec.Spec.mvr
+      Haec.Sim.Workload.register_mix 1;
+    entry "causal" (module Haec.Store.Causal_mvr_store) `Causal Haec.Spec.Spec.mvr
+      Haec.Sim.Workload.register_mix 101;
+  ]
+
 let run_micro ~quick () =
   print_newline ();
   print_endline "Microbenchmarks (Bechamel, monotonic clock)";
@@ -343,6 +394,20 @@ let run_micro ~quick () =
         Printf.printf "%-44s %s\n" name (String.concat "  " (List.map cell fields))
       | _ -> ())
     soak_rows;
+  print_newline ();
+  print_endline "Anti-entropy recovery (E21 harness)";
+  print_endline "===================================";
+  let gossip_rows = gossip_json ~quick in
+  List.iter
+    (fun (name, entry) ->
+      match entry with
+      | Json.Obj fields ->
+        let cell (k, v) =
+          match v with Json.Num f -> Printf.sprintf "%s=%.1f" k f | _ -> ""
+        in
+        Printf.printf "%-44s %s\n" name (String.concat "  " (List.map cell fields))
+      | _ -> ())
+    gossip_rows;
   let doc =
     Json.Obj
       (List.map
@@ -356,7 +421,7 @@ let run_micro ~quick () =
                  ("minor_words_per_run", num (estimate allocs name));
                ] ))
          rows
-      @ soak_rows)
+      @ soak_rows @ gossip_rows)
   in
   let oc = open_out "BENCH_results.json" in
   output_string oc (Json.to_string doc);

@@ -250,11 +250,13 @@ let simulate_cmd =
 
 (* ---------- chaos ---------- *)
 
-let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs ~n
-    ~objects ~ops ~policy ~dump_dir ~metrics =
+let chaos_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial
+    ~shrink ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy ~dump_dir ~metrics =
   let module C = Sim.Chaos.Make (S) in
-  Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d@." S.name n
-    objects ops runs;
+  Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d recovery=%s%s@."
+    S.name n objects ops runs
+    (match recovery with `Oracle -> "oracle" | `Anti_entropy -> "anti-entropy")
+    (if adversarial then " adversarial" else "");
   Format.printf "%6s  %9s  %7s  %7s  %7s  %7s  %s@." "seed" "converged" "crashes"
     "dropped" "retrans" "corrupt" "checks failed";
   let failed = ref 0 in
@@ -263,6 +265,7 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs 
      in seed order, so the output is bit-identical at any -j *)
   let outcomes =
     C.run_seeds ~n ~objects ~ops ~spec_of:(fun _ -> spec) ~mix ~policy ~require
+      ~recovery ~adversarial
       ~seeds:(List.init runs (fun i -> seed + i))
       ()
   in
@@ -292,7 +295,7 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs 
     if not (Sim.Chaos.converged o) then begin
       incr failed;
       Format.printf "%a@." Sim.Chaos.pp_outcome o;
-      match dump_dir with
+      (match dump_dir with
       | Some dir ->
         if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
         let path =
@@ -300,7 +303,49 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~spec ~mix ~seed ~runs 
         in
         Model.Trace_io.save path o.Sim.Chaos.exec;
         Format.printf "trace written to %s (replay with: haec_cli replay %s)@." path path
-      | None -> ()
+      | None -> ());
+      if shrink then begin
+        (* delta-debug the failing run down to a minimal still-failing
+           (plan, workload) pair; deterministic, so the repro is canonical *)
+        let plan, steps = Sim.Chaos.derive ~n ~objects ~ops ~mix ~adversarial ~seed () in
+        let run ~plan ~steps =
+          C.run_plan ~objects ~spec_of:(fun _ -> spec) ~policy ~require ~recovery ~n
+            ~plan ~steps ~seed ()
+        in
+        match Sim.Shrink.minimize ~run ~plan ~steps () with
+        | None ->
+          (* the checks can fail on artifacts the shrinker does not replay
+             (e.g. a divergence budget): report rather than pretend *)
+          Format.printf "shrink: replaying the derived inputs converged — nothing to shrink@."
+        | Some r ->
+          Format.printf "shrink: %a@." Sim.Shrink.pp_repro r;
+          (match dump_dir with
+          | Some dir ->
+            let trace =
+              Filename.concat dir (Printf.sprintf "chaos-%s-seed%d.min.trace" S.name seed)
+            in
+            Model.Trace_io.save trace r.Sim.Shrink.outcome.Sim.Chaos.exec;
+            let repro =
+              Filename.concat dir (Printf.sprintf "chaos-%s-seed%d.repro" S.name seed)
+            in
+            let oc = open_out repro in
+            let ppf = Format.formatter_of_out_channel oc in
+            Format.fprintf ppf
+              "# minimal failing repro for store=%s seed=%d (n=%d objects=%d ops=%d \
+               require=%s recovery=%s%s)@.%a@."
+              S.name seed n objects ops
+              (match require with
+              | `Converge -> "converge"
+              | `Correct -> "correct"
+              | `Causal -> "causal"
+              | `Occ -> "occ")
+              (match recovery with `Oracle -> "oracle" | `Anti_entropy -> "anti-entropy")
+              (if adversarial then " adversarial" else "")
+              Sim.Shrink.pp_repro r;
+            close_out oc;
+            Format.printf "minimized trace written to %s, repro to %s@." trace repro
+          | None -> ())
+      end
     end)
     outcomes;
   (match metrics with
@@ -341,13 +386,61 @@ let chaos_cmd =
       & info [ "metrics" ]
           ~doc:"Write per-seed metrics snapshots (JSONL, one snapshot per run) to FILE")
   in
-  let run jobs store net n objects ops seed runs dump_dir metrics =
+  let require_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("converge", `Converge);
+                  ("correct", `Correct);
+                  ("causal", `Causal);
+                  ("occ", `Occ);
+                ]))
+          None
+      & info [ "require" ]
+          ~doc:
+            "Checks every seed must pass: converge|correct|causal|occ (cumulative). \
+             Default: the bar the store's class guarantees. occ is known-failing \
+             (Theorem 6) — useful with --shrink.")
+  in
+  let recovery_arg =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("anti-entropy", `Anti_entropy) ]) `Oracle
+      & info [ "recovery" ]
+          ~doc:
+            "Loss recovery: 'oracle' (the runner retransmits, omniscient baseline) or \
+             'anti-entropy' (every loss is permanent; the store's digest/repair \
+             protocol closes gaps over the wire)")
+  in
+  let adversarial_arg =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ]
+          ~doc:
+            "Add adversarial network faults to each plan: message duplication, bounded \
+             reordering, and permanently dead (never-healing) links that keep the \
+             network connected")
+  in
+  let shrink_arg =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Delta-debug each failing seed to a minimal still-failing (plan, workload) \
+             repro; with --dump-dir also writes the minimized trace and repro file")
+  in
+  let run jobs store net n objects ops seed runs dump_dir metrics require recovery
+      adversarial shrink =
     set_jobs jobs;
     let policy = policy_of net in
     let dump_dir = match dump_dir with Some "" -> None | d -> d in
-    let go (module S : Store.Store_intf.S) ~require ~spec mix =
-      chaos_store (module S) ~require ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy
-        ~dump_dir ~metrics
+    let go (module S : Store.Store_intf.S) ~require:default_require ~spec mix =
+      let require = Option.value require ~default:default_require in
+      chaos_store (module S) ~require ~recovery ~adversarial ~shrink ~spec ~mix ~seed
+        ~runs ~n ~objects ~ops ~policy ~dump_dir ~metrics
     in
     (* each store is held to the checks its class guarantees under faulty
        re-delivery: causal stores to causal consistency, the lww register
@@ -378,7 +471,7 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir
-        $ metrics))
+        $ metrics $ require_arg $ recovery_arg $ adversarial_arg $ shrink_arg))
 
 (* ---------- theorem demos ---------- *)
 

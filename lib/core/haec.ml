@@ -68,6 +68,7 @@ end
 module Store = struct
   module Store_intf = Haec_store.Store_intf
   module Durable = Haec_store.Durable
+  module Anti_entropy = Haec_store.Anti_entropy
   module Object_layer = Haec_store.Object_layer
   module Eager_core = Haec_store.Eager_core
   module Causal_core = Haec_store.Causal_core
@@ -95,6 +96,7 @@ module Sim = struct
   module Scenario = Haec_sim.Scenario
   module Checks = Haec_sim.Checks
   module Chaos = Haec_sim.Chaos
+  module Shrink = Haec_sim.Shrink
   module Telemetry = Haec_sim.Telemetry
 end
 

@@ -2,32 +2,39 @@ open Haec_util
 open Haec_model
 open Haec_spec
 open Haec_wire
+module Obs = Haec_obs.Metrics
 
 (* Which checks a store class is on the hook for. Every store must stay
    well-formed, comply with its witness, and converge post-heal; most also
    keep the witness correct. [`Causal] adds the causal-consistency check —
    only stores with causal delivery guarantee it under the arbitrary
-   re-delivery orders faults induce. OCC is reported but never required:
-   Theorem 6 is precisely that no available store satisfies it in all
-   executions, and chaos schedules do find the violating patterns. *)
-type level = [ `Converge | `Correct | `Causal ]
+   re-delivery orders faults induce. [`Occ] additionally requires
+   OCC — which Theorem 6 shows no available store satisfies in all
+   executions, so chaos schedules reliably find a failing seed: the
+   principled known-failing target the shrinker is smoke-tested on. *)
+type level = [ `Converge | `Correct | `Causal | `Occ ]
 
 type outcome = {
   seed : int;
   plan : Fault_plan.t;
+  steps : Workload.step list;
   require : level;
+  recovery : Runner.recovery;
   stats : Runner.stats;
   metrics : Haec_obs.Metrics.Registry.t;
   exec : Execution.t;
   ops : int;
   skipped : int;
+  horizon : float;
+  quiesced_at : float;
   result : (Checks.report, string) result;
 }
 
 let required level =
   [ "well-formed"; "complies"; "eventual" ]
-  @ (match level with `Converge -> [] | `Correct | `Causal -> [ "correct" ])
-  @ match level with `Causal -> [ "causal" ] | `Converge | `Correct -> []
+  @ (match level with `Converge -> [] | `Correct | `Causal | `Occ -> [ "correct" ])
+  @ (match level with `Causal | `Occ -> [ "causal" ] | `Converge | `Correct -> [])
+  @ match level with `Occ -> [ "occ" ] | `Converge | `Correct | `Causal -> []
 
 let failures o =
   match o.result with
@@ -42,13 +49,14 @@ let pp_outcome ppf o =
   let s = o.stats in
   Format.fprintf ppf
     "@[<v>seed %d: %s@,%a\
-     crashes=%d recoveries=%d dropped=%d retransmitted=%d corrupt_rejected=%d@,\
+     crashes=%d recoveries=%d dropped=%d retransmitted=%d corrupt_rejected=%d \
+     lost_permanent=%d gossip_rounds=%d@,\
      %d ops (%d skipped, all replicas down), %d events@]"
     o.seed
     (if converged o then "converged" else "FAILED")
     Fault_plan.pp o.plan s.Runner.crashes s.Runner.recoveries s.Runner.dropped
-    s.Runner.retransmitted s.Runner.corrupt_rejected o.ops o.skipped
-    (Execution.length o.exec);
+    s.Runner.retransmitted s.Runner.corrupt_rejected s.Runner.lost_permanent
+    s.Runner.gossip_rounds o.ops o.skipped (Execution.length o.exec);
   match o.result with
   | Ok r ->
     List.iter
@@ -56,9 +64,38 @@ let pp_outcome ppf o =
       (Checks.failures r)
   | Error e -> Format.fprintf ppf "@,%s" e
 
-module Make (S : Haec_store.Store_intf.S) = struct
-  module D = Haec_store.Durable.Make (S)
-  module R = Runner.Make (D)
+(* The seed fully determines a run's inputs: the fault plan, then the
+   client workload, drawn from one generator in that order (the draw order
+   is part of the reproducibility contract — a dumped seed must rebuild
+   the same run forever). The shrinker edits the resulting pair directly
+   and replays it through [run_plan]. *)
+let derive ?(n = 3) ?(objects = 2) ?(ops = 40) ?(mix = Workload.register_mix)
+    ?(adversarial = false) ~seed () =
+  let rng = Rng.create seed in
+  (* client steps are spaced 1.0 apart, so the fault horizon leaves room
+     for every window to open during the workload and heal after it *)
+  let horizon = float_of_int ops +. 10.0 in
+  let plan = Fault_plan.random rng ~n ~horizon ~adversarial () in
+  let steps = Workload.generate ~rng ~n ~objects ~ops mix in
+  (plan, steps)
+
+(* One recovery stack: a durable store driven through a runner, with the
+   gossip hooks (or their absence) baked in. Instantiated twice per store —
+   the omniscient [`Oracle] baseline and the protocol-level
+   [`Anti_entropy] stack. *)
+module Drive (DS : sig
+  include Haec_store.Store_intf.DURABLE
+
+  val recovery : Runner.recovery
+
+  val gossip : ((state -> state) * (state array -> bool)) option
+
+  val reset_stats : unit -> unit
+
+  val gossip_stats : unit -> Haec_store.Store_intf.gossip_stats option
+end) =
+struct
+  module R = Runner.Make (DS)
 
   (* First live replica at or after [r], if any — a client whose home
      replica is down fails over to another one (availability!). *)
@@ -69,23 +106,24 @@ module Make (S : Haec_store.Store_intf.S) = struct
     in
     go 0
 
-  let run ?(n = 3) ?(objects = 2) ?(ops = 40) ?(spec_of = fun (_ : int) -> Spec.mvr)
-      ?(mix = Workload.register_mix) ?policy ?(max_events = 200_000)
-      ?(require = `Correct) ~seed () =
+  let run_plan ?(objects = 2) ?(spec_of = fun (_ : int) -> Spec.mvr) ?policy
+      ?(max_events = 200_000) ?(require = `Correct) ?(gossip_interval = 2.0) ~n ~plan
+      ~steps ~seed () =
     let policy =
       match policy with Some p -> p | None -> Net_policy.random_delay ()
     in
-    let rng = Rng.create seed in
-    (* client steps are spaced 1.0 apart, so the fault horizon leaves room
-       for every window to open during the workload and heal after it *)
-    let horizon = float_of_int ops +. 10.0 in
-    let plan = Fault_plan.random rng ~n ~horizon () in
+    let horizon = plan.Fault_plan.horizon in
+    DS.reset_stats ();
+    let gossip =
+      match DS.gossip with
+      | None -> None
+      | Some (tick, settled) -> Some (gossip_interval, tick, settled)
+    in
     let sim =
-      R.create ~seed ~n ~policy ~faults:plan
-        ~recover_state:(fun ~replica:_ st -> D.recover st)
+      R.create ~seed ~n ~policy ~faults:plan ~recovery:DS.recovery ?gossip
+        ~recover_state:(fun ~replica:_ st -> DS.recover st)
         ()
     in
-    let steps = Workload.generate ~rng ~n ~objects ~ops mix in
     let skipped = ref 0 in
     let executed = ref 0 in
     (* interleave the fault schedule with the client workload by time *)
@@ -149,24 +187,100 @@ module Make (S : Haec_store.Store_intf.S) = struct
         (* must never happen: corruption is rejected inside the runner *)
         Error (Printf.sprintf "corruption escaped the frame check: %s" m)
     in
+    let metrics = R.metrics sim in
+    (match DS.gossip_stats () with
+    | None -> ()
+    | Some gs ->
+      (* digest/repair traffic of the anti-entropy protocol, alongside the
+         runner's wire telemetry so E21 can hold repair bytes against the
+         Theorem 12 floor *)
+      let c name v = Obs.Counter.add (Obs.Registry.counter metrics name) v in
+      c "gossip.digests" gs.Haec_store.Store_intf.digests;
+      c "gossip.digest_bytes" gs.Haec_store.Store_intf.digest_bytes;
+      c "gossip.repairs" gs.Haec_store.Store_intf.repairs;
+      c "gossip.repair_bytes" gs.Haec_store.Store_intf.repair_bytes;
+      c "gossip.requests" gs.Haec_store.Store_intf.requests;
+      c "gossip.request_bytes" gs.Haec_store.Store_intf.request_bytes;
+      c "gossip.updates" gs.Haec_store.Store_intf.updates;
+      c "gossip.update_bytes" gs.Haec_store.Store_intf.update_bytes;
+      c "gossip.dup_payloads" gs.Haec_store.Store_intf.dup_payloads;
+      c "gossip.repair_applied" gs.Haec_store.Store_intf.repair_applied);
     {
       seed;
       plan;
+      steps;
       require;
+      recovery = DS.recovery;
       stats = R.stats sim;
-      metrics = R.metrics sim;
+      metrics;
       exec = R.execution sim;
       ops = !executed;
       skipped = !skipped;
+      horizon;
+      quiesced_at = R.now sim;
       result;
     }
+end
+
+module Make (S : Haec_store.Store_intf.S) = struct
+  module D = Haec_store.Durable.Make (S)
+  module AE = Haec_store.Anti_entropy.Make (S)
+  module DA = Haec_store.Durable.Make (AE)
+
+  module Oracle_drive = Drive (struct
+    include D
+
+    let recovery = `Oracle
+
+    let gossip = None
+
+    let reset_stats () = ()
+
+    let gossip_stats () = None
+  end)
+
+  module Ae_drive = Drive (struct
+    include DA
+
+    let recovery = `Anti_entropy
+
+    (* the tick mutates only unlogged control state, so it goes under the
+       durable image without a WAL entry; [settled] reads through both
+       transformers *)
+    let gossip =
+      Some
+        ( DA.map_inner AE.tick,
+          fun states -> AE.settled (Array.map DA.inner states) )
+
+    let reset_stats () = AE.reset_gossip_stats ()
+
+    let gossip_stats () = Some (AE.gossip_stats ())
+  end)
+
+  let run_plan ?objects ?spec_of ?policy ?max_events ?require
+      ?(recovery = `Oracle) ?gossip_interval ~n ~plan ~steps ~seed () =
+    match recovery with
+    | `Oracle ->
+      Oracle_drive.run_plan ?objects ?spec_of ?policy ?max_events ?require
+        ?gossip_interval ~n ~plan ~steps ~seed ()
+    | `Anti_entropy ->
+      Ae_drive.run_plan ?objects ?spec_of ?policy ?max_events ?require
+        ?gossip_interval ~n ~plan ~steps ~seed ()
+
+  let run ?(n = 3) ?(objects = 2) ?(ops = 40) ?spec_of ?(mix = Workload.register_mix)
+      ?policy ?max_events ?require ?recovery ?adversarial ?gossip_interval ~seed () =
+    let plan, steps = derive ~n ~objects ~ops ~mix ?adversarial ~seed () in
+    run_plan ~objects ?spec_of ?policy ?max_events ?require ?recovery ?gossip_interval
+      ~n ~plan ~steps ~seed ()
 
   (* Runs are deterministic in their seed and share no state, so a sweep
      fans out over domains; outcomes come back in seed order regardless of
      [?domains] (see the contract in [Haec_util.Par]). *)
-  let run_seeds ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?domains
-      ~seeds () =
+  let run_seeds ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?recovery
+      ?adversarial ?gossip_interval ?domains ~seeds () =
     Par.map_list ?domains
-      (fun seed -> run ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ~seed ())
+      (fun seed ->
+        run ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?recovery
+          ?adversarial ?gossip_interval ~seed ())
       seeds
 end

@@ -11,33 +11,56 @@
     convergence survived the faults, corruption never got past the frame
     checksum, and recovery replayed every durable update.
 
+    Two recovery stacks are built per store. Under the default [`Oracle]
+    the runner itself retransmits every loss — the frozen omniscient
+    baseline. Under [`Anti_entropy] the store is additionally wrapped in
+    {!Haec_store.Anti_entropy.Make} and must close its own gaps over the
+    wire: the runner retransmits nothing, and quiescence means the
+    protocol's digest exchange converged. Combined with
+    [~adversarial:true] plans (duplication, reordering, dead links), this
+    is the paper's sufficiently-connected-network setting made executable.
+
     Everything is deterministic in the seed, so a failing outcome is
     reproducible bit-for-bit from its seed alone (the CLI also dumps the
-    trace for offline replay). *)
+    trace for offline replay); {!derive} + [run_plan] expose the
+    seed-to-inputs mapping so the {!Shrink} delta-debugger can replay
+    edited copies of a failing run's inputs. *)
 
 open Haec_model
 open Haec_spec
 
-type level = [ `Converge | `Correct | `Causal ]
-(** Which checks the store is on the hook for. [`Converge]: well-formed,
-    complies with its witness, and reads agree post-heal — every store's
-    contract. [`Correct] (the default) adds correctness of the witness.
-    [`Causal] adds causal consistency — only stores with causal delivery
-    guarantee it under the re-delivery orders faults induce. OCC is
-    reported but never required: Theorem 6 shows no available store
-    satisfies it in all executions, and chaos schedules do find the
-    violating patterns. *)
+type level = [ `Converge | `Correct | `Causal | `Occ ]
+(** Which checks the store is on the hook for, cumulatively. [`Converge]:
+    well-formed, complies with its witness, and reads agree post-heal —
+    every store's contract. [`Correct] (the default) adds correctness of
+    the witness. [`Causal] adds causal consistency — only stores with
+    causal delivery guarantee it under the re-delivery orders faults
+    induce. [`Occ] adds observable causal consistency, which Theorem 6
+    shows {e no} available store satisfies in all executions — chaos
+    schedules reliably find the violating patterns, making [`Occ] the
+    principled known-failing bar the {!Shrink} smoke test minimizes
+    against. *)
 
 type outcome = {
   seed : int;
   plan : Fault_plan.t;
+  steps : Workload.step list;  (** the client workload the run replayed *)
   require : level;
+  recovery : Runner.recovery;
   stats : Runner.stats;
   metrics : Haec_obs.Metrics.Registry.t;
-      (** the runner's wire/visibility telemetry (see {!Runner.Make.metrics}) *)
+      (** the runner's wire/visibility telemetry (see {!Runner.Make.metrics});
+          under [`Anti_entropy] also the [gossip.*] digest/repair traffic
+          counters (items and encoded bytes, plus [gossip.dup_payloads] and
+          [gossip.repair_applied]) *)
   exec : Execution.t;
   ops : int;  (** client operations executed (after failover) *)
   skipped : int;  (** operations dropped because every replica was down *)
+  horizon : float;  (** when every healing fault had healed *)
+  quiesced_at : float;
+      (** simulated time at quiescence; [quiesced_at -. horizon] is the
+          repair latency — how long past the last heal the system needed
+          to converge (E21's metric) *)
   result : (Checks.report, string) result;
       (** [Error] when the run diverged instead of reaching quiescence *)
 }
@@ -51,7 +74,41 @@ val failures : outcome -> (string * string) list
 
 val pp_outcome : Format.formatter -> outcome -> unit
 
+val derive :
+  ?n:int ->
+  ?objects:int ->
+  ?ops:int ->
+  ?mix:Workload.mix ->
+  ?adversarial:bool ->
+  seed:int ->
+  unit ->
+  Fault_plan.t * Workload.step list
+(** The inputs a seed determines: the fault plan, then the workload, drawn
+    from one generator in that order (the draw order is part of the
+    reproducibility contract). [~adversarial] (default false) adds
+    duplication, reordering, and dead-link faults to the plan — see
+    {!Fault_plan.random}. *)
+
 module Make (S : Haec_store.Store_intf.S) : sig
+  val run_plan :
+    ?objects:int ->
+    ?spec_of:(int -> Spec.t) ->
+    ?policy:Net_policy.t ->
+    ?max_events:int ->
+    ?require:level ->
+    ?recovery:Runner.recovery ->
+    ?gossip_interval:float ->
+    n:int ->
+    plan:Fault_plan.t ->
+    steps:Workload.step list ->
+    seed:int ->
+    unit ->
+    outcome
+  (** Replay explicit inputs — the entry point the shrinker minimizes
+      through. [seed] seeds only the network schedule (delivery delays,
+      corruption choices), not the inputs. [gossip_interval] (default 2.0,
+      [`Anti_entropy] only) is the simulated time between digest rounds. *)
+
   val run :
     ?n:int ->
     ?objects:int ->
@@ -61,11 +118,15 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?policy:Net_policy.t ->
     ?max_events:int ->
     ?require:level ->
+    ?recovery:Runner.recovery ->
+    ?adversarial:bool ->
+    ?gossip_interval:float ->
     seed:int ->
     unit ->
     outcome
-  (** One seeded chaos run (defaults: 3 replicas, 2 objects, 40 ops,
-      MVR spec, register mix, random-delay policy, [`Correct] bar). *)
+  (** One seeded chaos run: {!derive} then {!run_plan} (defaults: 3
+      replicas, 2 objects, 40 ops, MVR spec, register mix, random-delay
+      policy, [`Correct] bar, [`Oracle] recovery, baseline faults). *)
 
   val run_seeds :
     ?n:int ->
@@ -76,6 +137,9 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?policy:Net_policy.t ->
     ?max_events:int ->
     ?require:level ->
+    ?recovery:Runner.recovery ->
+    ?adversarial:bool ->
+    ?gossip_interval:float ->
     ?domains:int ->
     seeds:int list ->
     unit ->

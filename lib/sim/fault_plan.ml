@@ -6,16 +6,60 @@ type link_fault = { src : int; dst : int; from_ : float; until : float }
 
 type corruption = { p : float; from_ : float; until : float }
 
+type dup_window = { dup_p : float; copies : int; from_ : float; until : float }
+
+type reorder_window = { jitter : float; from_ : float; until : float }
+
+type dead_link = { src : int; dst : int; from_ : float }
+
 type t = {
   crashes : crash_window list;
   links : link_fault list;
   corruption : corruption option;
+  dup : dup_window option;
+  reorder : reorder_window option;
+  dead : dead_link list;
   horizon : float;
 }
 
-let none = { crashes = []; links = []; corruption = None; horizon = 0.0 }
+let none =
+  {
+    crashes = [];
+    links = [];
+    corruption = None;
+    dup = None;
+    reorder = None;
+    dead = [];
+    horizon = 0.0;
+  }
 
-let validate t =
+(* The undirected "both directions live forever" graph over [n] replicas
+   must stay connected: a pair cut off in both directions can still be
+   reached transitively through a neighbor that relays repairs, but a
+   replica (or group) with every remaining edge severed is outside the
+   paper's sufficiently-connected assumption (Section 2) and no protocol
+   can converge it. *)
+let dead_keeps_connected ~n dead =
+  if n <= 1 then true
+  else begin
+    let cut = Array.make (n * n) false in
+    List.iter
+      (fun (d : dead_link) ->
+        cut.((d.src * n) + d.dst) <- true;
+        cut.((d.dst * n) + d.src) <- true)
+      dead;
+    let seen = Array.make n false in
+    let rec dfs i =
+      seen.(i) <- true;
+      for j = 0 to n - 1 do
+        if (not seen.(j)) && j <> i && not cut.((i * n) + j) then dfs j
+      done
+    in
+    dfs 0;
+    Array.for_all Fun.id seen
+  end
+
+let validate ?n t =
   List.iter
     (fun c ->
       if c.at >= c.recover_at then invalid_arg "Fault_plan: crash window must be positive";
@@ -49,10 +93,41 @@ let validate t =
     if c.p < 0.0 || c.p > 1.0 then invalid_arg "Fault_plan: corruption probability";
     if c.until > t.horizon then invalid_arg "Fault_plan: corruption past the horizon"
   | None -> ());
+  (match t.dup with
+  | Some d ->
+    if d.dup_p < 0.0 || d.dup_p > 1.0 then invalid_arg "Fault_plan: duplication probability";
+    if d.copies < 1 then invalid_arg "Fault_plan: duplication needs at least one copy";
+    if d.from_ >= d.until then invalid_arg "Fault_plan: duplication window must be positive";
+    if d.until > t.horizon then invalid_arg "Fault_plan: duplication past the horizon"
+  | None -> ());
+  (match t.reorder with
+  | Some r ->
+    if r.jitter <= 0.0 then invalid_arg "Fault_plan: reorder jitter must be positive";
+    if r.from_ >= r.until then invalid_arg "Fault_plan: reorder window must be positive";
+    if r.until > t.horizon then invalid_arg "Fault_plan: reordering past the horizon"
+  | None -> ());
+  List.iter
+    (fun (d : dead_link) ->
+      if d.src = d.dst then invalid_arg "Fault_plan: dead link must join distinct replicas";
+      if d.from_ < 0.0 then invalid_arg "Fault_plan: dead link strikes before time zero")
+    t.dead;
+  (match (t.dead, n) with
+  | [], _ -> ()
+  | _ :: _, None ->
+    invalid_arg "Fault_plan: dead links need ~n to check the network stays connected"
+  | dead, Some n ->
+    List.iter
+      (fun (d : dead_link) ->
+        if d.src < 0 || d.src >= n || d.dst < 0 || d.dst >= n then
+          invalid_arg "Fault_plan: dead link endpoint out of range")
+      dead;
+    if not (dead_keeps_connected ~n dead) then
+      invalid_arg "Fault_plan: dead links disconnect the network");
   t
 
-let make ?(crashes = []) ?(links = []) ?corruption ~horizon () =
-  validate { crashes; links; corruption; horizon }
+let make ?(crashes = []) ?(links = []) ?corruption ?dup ?reorder ?(dead = []) ?n
+    ~horizon () =
+  validate ?n { crashes; links; corruption; dup; reorder; dead; horizon }
 
 type event = { at : float; what : [ `Crash of int | `Recover of int ] }
 
@@ -70,45 +145,68 @@ let events t =
 
 let link_dropped t ~src ~dst ~at =
   List.find_map
-    (fun l ->
+    (fun (l : link_fault) ->
       if l.src = src && l.dst = dst && at >= l.from_ && at < l.until then Some l.until
       else None)
     t.links
+
+let link_dead t ~src ~dst ~at =
+  List.exists (fun (d : dead_link) -> d.src = src && d.dst = dst && at >= d.from_) t.dead
 
 let corruption_p t ~now =
   match t.corruption with
   | Some c when now >= c.from_ && now < c.until -> c.p
   | Some _ | None -> 0.0
 
-let active t ~now = now < t.horizon && (t.crashes <> [] || t.links <> [] || t.corruption <> None)
+let duplication t ~now =
+  match t.dup with
+  | Some d when now >= d.from_ && now < d.until -> Some (d.dup_p, d.copies)
+  | Some _ | None -> None
+
+let reorder_jitter t ~now =
+  match t.reorder with
+  | Some r when now >= r.from_ && now < r.until -> r.jitter
+  | Some _ | None -> 0.0
+
+let active t ~now =
+  t.dead <> []
+  || now < t.horizon
+     && (t.crashes <> [] || t.links <> [] || t.corruption <> None || t.dup <> None
+        || t.reorder <> None)
 
 (* Byte-level mutations of a sealed payload. Every shape either breaks the
-   frame structure or flips content bytes the checksum covers. *)
+   frame structure or flips content bytes the checksum covers; a flip is
+   the fallback for the one shape (zeroing) that can be the identity, so
+   the result always differs from the input. *)
 let mutate rng s =
   let len = String.length s in
   if len = 0 then "\x2a"
   else
-    match Rng.int rng 4 with
-    | 0 ->
-      (* flip one byte *)
+    let flip () =
       let i = Rng.int rng len in
       let b = Bytes.of_string s in
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 + Rng.int rng 255)));
       Bytes.to_string b
-    | 1 -> String.sub s 0 (Rng.int rng len) (* truncate *)
+    in
+    match Rng.int rng 4 with
+    | 0 -> flip ()
+    | 1 -> String.sub s 0 (Rng.int rng len) (* truncate: strictly shorter *)
     | 2 ->
       (* append garbage *)
       let extra = 1 + Rng.int rng 4 in
       s ^ String.init extra (fun _ -> Char.chr (Rng.int rng 256))
     | _ ->
-      (* zero a short run of bytes *)
+      (* zero a short run of bytes; if the run was already all zeros the
+         result would be the input, so flip a byte instead *)
       let i = Rng.int rng len in
       let run = min (1 + Rng.int rng 4) (len - i) in
       let b = Bytes.of_string s in
       Bytes.fill b i run '\x00';
-      Bytes.to_string b
+      let z = Bytes.to_string b in
+      if String.equal z s then flip () else z
 
-let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.15) () =
+let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.15)
+    ?(adversarial = false) () =
   if n <= 0 then invalid_arg "Fault_plan.random: n must be positive";
   if horizon <= 0.0 then invalid_arg "Fault_plan.random: horizon must be positive";
   (* crash windows in the first ~70% of the horizon, recoveries strictly
@@ -143,7 +241,48 @@ let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.1
       if from_ < until then Some { p = corrupt_p; from_; until } else None
     else None
   in
-  validate { crashes; links; corruption; horizon }
+  (* the adversarial draws come strictly after the baseline ones, so plans
+     with [~adversarial:false] are bit-identical to the historical ones *)
+  let dup =
+    if adversarial && Rng.chance rng 0.7 then
+      let from_ = Rng.float rng (0.6 *. horizon) in
+      let until = Float.min (from_ +. ((0.1 +. Rng.float rng 0.3) *. horizon)) (0.95 *. horizon) in
+      if from_ < until then
+        Some { dup_p = 0.1 +. Rng.float rng 0.4; copies = 1 + Rng.int rng 2; from_; until }
+      else None
+    else None
+  in
+  let reorder =
+    if adversarial && Rng.chance rng 0.7 then
+      let from_ = Rng.float rng (0.5 *. horizon) in
+      let until = Float.min (from_ +. ((0.15 +. Rng.float rng 0.35) *. horizon)) (0.95 *. horizon) in
+      if from_ < until then
+        Some { jitter = (0.05 +. Rng.float rng 0.2) *. horizon; from_; until }
+      else None
+    else None
+  in
+  let dead =
+    if not adversarial then []
+    else begin
+      (* up to n permanent-loss arcs, admitted greedily only while the
+         both-directions-live graph stays connected *)
+      let wanted = Rng.int rng (n + 1) in
+      let picked = ref [] in
+      for _ = 1 to wanted do
+        let src = Rng.int rng n in
+        let dst = (src + 1 + Rng.int rng (max 1 (n - 1))) mod n in
+        let from_ = Rng.float rng (0.6 *. horizon) in
+        let candidate = { src; dst; from_ } in
+        let duplicate =
+          List.exists (fun (d : dead_link) -> d.src = src && d.dst = dst) !picked
+        in
+        if (not duplicate) && dead_keeps_connected ~n (candidate :: !picked) then
+          picked := candidate :: !picked
+      done;
+      List.rev !picked
+    end
+  in
+  validate ~n { crashes; links; corruption; dup; reorder; dead; horizon }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>horizon %.1f@," t.horizon;
@@ -151,9 +290,22 @@ let pp ppf t =
     (fun c -> Format.fprintf ppf "crash R%d [%.1f, %.1f)@," c.replica c.at c.recover_at)
     t.crashes;
   List.iter
-    (fun l -> Format.fprintf ppf "drop %d->%d [%.1f, %.1f)@," l.src l.dst l.from_ l.until)
+    (fun (l : link_fault) ->
+      Format.fprintf ppf "drop %d->%d [%.1f, %.1f)@," l.src l.dst l.from_ l.until)
     t.links;
   (match t.corruption with
   | Some c -> Format.fprintf ppf "corrupt p=%.2f [%.1f, %.1f)@," c.p c.from_ c.until
   | None -> ());
+  (match t.dup with
+  | Some d ->
+    Format.fprintf ppf "dup p=%.2f x%d [%.1f, %.1f)@," d.dup_p d.copies d.from_ d.until
+  | None -> ());
+  (match t.reorder with
+  | Some r ->
+    Format.fprintf ppf "reorder jitter=%.1f [%.1f, %.1f)@," r.jitter r.from_ r.until
+  | None -> ());
+  List.iter
+    (fun (d : dead_link) ->
+      Format.fprintf ppf "dead %d->%d [%.1f, inf)@," d.src d.dst d.from_)
+    t.dead;
   Format.fprintf ppf "@]"

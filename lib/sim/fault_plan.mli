@@ -7,16 +7,32 @@
       state and every in-flight delivery addressed to it, and recovers from
       durable state at [recover_at];
     - {b link faults}: messages from [src] to [dst] whose delivery would
-      fall inside the window are dropped by the network and retransmitted
-      after the window closes ("drops that heal");
+      fall inside the window are dropped by the network and — under the
+      runner's [`Oracle] recovery mode — retransmitted after the window
+      closes ("drops that heal");
     - {b corruption}: while active, each delivery is corrupted at the byte
       level with probability [p]; the checksummed transport envelope
       ({!Haec_wire.Wire.Frame}) must reject every such delivery as
-      [Malformed], after which it is retransmitted clean.
+      [Malformed], after which it is retransmitted clean (again [`Oracle]
+      only);
+    - {b duplication}: while active, each delivery is additionally
+      delivered [copies] extra times with probability [dup_p] — exactly-once
+      transport is a fiction, so stores must deduplicate;
+    - {b reordering}: while active, each delivery independently receives an
+      extra latency in [0, jitter), so messages overtake each other within a
+      bounded window;
+    - {b dead links}: messages from [src] to [dst] at or after [from_] are
+      lost permanently and {e never} retransmitted by the runner, whatever
+      the recovery mode. Only a wire protocol (anti-entropy repair routed
+      through live links) can converge such a run, so validation insists the
+      undirected graph of replica pairs with both directions alive stays
+      connected — the paper's sufficiently-connected-network assumption
+      (Section 2).
 
-    All faults heal strictly before [horizon], so a run driven past the
-    horizon and then to quiescence must converge — that is the chaos
-    harness's acceptance bar. *)
+    All healing faults heal strictly before [horizon], so a run driven past
+    the horizon and then to quiescence must converge — that is the chaos
+    harness's acceptance bar. Dead links never heal; convergence then
+    relies on the store's own repair protocol. *)
 
 open Haec_util
 
@@ -26,10 +42,19 @@ type link_fault = { src : int; dst : int; from_ : float; until : float }
 
 type corruption = { p : float; from_ : float; until : float }
 
+type dup_window = { dup_p : float; copies : int; from_ : float; until : float }
+
+type reorder_window = { jitter : float; from_ : float; until : float }
+
+type dead_link = { src : int; dst : int; from_ : float }
+
 type t = {
   crashes : crash_window list;
   links : link_fault list;
   corruption : corruption option;
+  dup : dup_window option;
+  reorder : reorder_window option;
+  dead : dead_link list;
   horizon : float;
 }
 
@@ -40,12 +65,19 @@ val make :
   ?crashes:crash_window list ->
   ?links:link_fault list ->
   ?corruption:corruption ->
+  ?dup:dup_window ->
+  ?reorder:reorder_window ->
+  ?dead:dead_link list ->
+  ?n:int ->
   horizon:float ->
   unit ->
   t
 (** Validates the plan: positive windows, per-replica crash windows
-    disjoint, everything healed by [horizon]. Raises [Invalid_argument]
-    otherwise. *)
+    disjoint, every healing fault healed by [horizon]. Dead links
+    additionally require [~n] (the replica count) so the
+    sufficiently-connected check can run: endpoints must be in range and
+    the undirected graph of pairs with both directions alive must be
+    connected. Raises [Invalid_argument] otherwise. *)
 
 val random :
   Rng.t ->
@@ -54,12 +86,19 @@ val random :
   ?max_crashes:int ->
   ?max_links:int ->
   ?corrupt_p:float ->
+  ?adversarial:bool ->
   unit ->
   t
 (** A seeded random plan: up to [max_crashes] crash windows (at most one
     per replica), up to [max_links] link faults, and with probability 0.7 a
     corruption window with per-delivery probability [corrupt_p]
-    (default 0.15). Deterministic in the generator state. *)
+    (default 0.15). With [~adversarial:true] (default false) the plan may
+    additionally carry a duplication window, a reordering window, and up to
+    [n] dead links admitted only while the network stays sufficiently
+    connected. Deterministic in the generator state; the adversarial draws
+    are consumed strictly after the baseline ones, so for any generator
+    state the [~adversarial:false] plan is bit-identical to the plan this
+    function produced before adversarial faults existed. *)
 
 type event = { at : float; what : [ `Crash of int | `Recover of int ] }
 
@@ -70,18 +109,28 @@ val link_dropped : t -> src:int -> dst:int -> at:float -> float option
 (** If a delivery on [src -> dst] at time [at] falls in a link fault
     window, the time at which that window heals. *)
 
+val link_dead : t -> src:int -> dst:int -> at:float -> bool
+(** Whether [src -> dst] is permanently dead at time [at]. *)
+
 val corruption_p : t -> now:float -> float
 (** The per-delivery corruption probability in force at [now] (0 outside
     any corruption window). *)
 
+val duplication : t -> now:float -> (float * int) option
+(** [(dup_p, copies)] if a duplication window is in force at [now]. *)
+
+val reorder_jitter : t -> now:float -> float
+(** The reordering jitter bound in force at [now] (0 outside any
+    reordering window: deliveries keep their nominal latency). *)
+
 val active : t -> now:float -> bool
-(** Whether any fault can still strike at or after [now]. *)
+(** Whether any fault can still strike at or after [now]. A plan with dead
+    links is active forever. *)
 
 val mutate : Rng.t -> string -> string
 (** A random byte-level mutation: flip a byte, truncate, append garbage,
-    or zero a short run. Never the identity on non-degenerate input shapes
-    (a zeroing pass can be one, which the checksum then accepts — callers
-    treat an accepted frame with unchanged bytes as an uncorrupted
-    delivery). *)
+    or zero a short run. Never the identity: the one shape that could
+    return its input unchanged (zeroing an already-zero run) falls back to
+    a byte flip, so the result always differs from the input. *)
 
 val pp : Format.formatter -> t -> unit

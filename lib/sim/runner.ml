@@ -14,7 +14,11 @@ type stats = {
   retransmitted : int;
   corrupt_rejected : int;
   corrupt_collisions : int;
+  lost_permanent : int;
+  gossip_rounds : int;
 }
+
+type recovery = [ `Oracle | `Anti_entropy ]
 
 module Make (S : Haec_store.Store_intf.S) = struct
   type delivery = { dst : int; msg : Message.t }
@@ -26,11 +30,25 @@ module Make (S : Haec_store.Store_intf.S) = struct
      frame. *)
   type qevent = Deliver of delivery | Transmit of int
 
+  (* The gossip driver of a protocol-level recovery store: every
+     [interval] of simulated time the runner ticks each live replica
+     (queuing its digest broadcast) and flushes it; [settled] is the
+     quiescence oracle — observation-only omniscience over the replica
+     states, while repair itself stays on the wire. *)
+  type gossip = {
+    interval : float;
+    tick : S.state -> S.state;
+    settled : S.state array -> bool;
+  }
+
   type t = {
     n : int;
     rng : Rng.t;
     policy : Net_policy.t option;
     faults : Fault_plan.t option;
+    recovery : recovery;
+    gossip : gossip option;
+    mutable next_gossip : float;
     recover_state : replica:int -> S.state -> S.state;
     auto_send : bool;
     record_witness : bool;
@@ -53,6 +71,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
     mutable s_retransmitted : int;
     mutable s_corrupt_rejected : int;
     mutable s_corrupt_collisions : int;
+    mutable s_lost_permanent : int;
+    mutable s_gossip_rounds : int;
     (* witness bookkeeping, indexed by do-event position in H *)
     mutable do_count : int;
     dot_pos : (int * Dot.t, int) Hashtbl.t;  (* (obj, dot) -> do index *)
@@ -74,15 +94,30 @@ module Make (S : Haec_store.Store_intf.S) = struct
   }
 
   let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?(coalesce = false)
-      ?(coalesce_window = 2.0) ?policy ?faults
+      ?(coalesce_window = 2.0) ?policy ?faults ?(recovery = `Oracle) ?gossip
       ?(recover_state = fun ~replica:_ st -> st) ~n () =
     if n <= 0 then invalid_arg "Runner.create: n must be positive";
     if coalesce_window < 0.0 then invalid_arg "Runner.create: negative coalesce window";
+    let gossip =
+      match gossip with
+      | None -> None
+      | Some ((interval, _, _) as g) ->
+        if interval <= 0.0 then invalid_arg "Runner.create: gossip interval must be positive";
+        let interval, tick, settled = g in
+        Some { interval; tick; settled }
+    in
+    (match (recovery, gossip) with
+    | `Anti_entropy, None ->
+      invalid_arg "Runner.create: `Anti_entropy recovery needs a gossip driver"
+    | (`Oracle | `Anti_entropy), _ -> ());
     {
       n;
       rng = Rng.create seed;
       policy;
       faults;
+      recovery;
+      gossip;
+      next_gossip = (match gossip with Some g -> g.interval | None -> infinity);
       recover_state;
       auto_send;
       record_witness;
@@ -102,6 +137,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
       s_retransmitted = 0;
       s_corrupt_rejected = 0;
       s_corrupt_collisions = 0;
+      s_lost_permanent = 0;
+      s_gossip_rounds = 0;
       do_count = 0;
       dot_pos = Hashtbl.create 64;
       wit_rev = [];
@@ -131,6 +168,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
       retransmitted = t.s_retransmitted;
       corrupt_rejected = t.s_corrupt_rejected;
       corrupt_collisions = t.s_corrupt_collisions;
+      lost_permanent = t.s_lost_permanent;
+      gossip_rounds = t.s_gossip_rounds;
     }
 
   let visibility_lag t = t.lag_hist
@@ -147,10 +186,12 @@ module Make (S : Haec_store.Store_intf.S) = struct
     c "wire.retransmissions" t.s_retransmitted;
     c "wire.dropped" t.s_dropped;
     c "wire.corrupt_rejected" t.s_corrupt_rejected;
+    c "wire.lost_permanent" t.s_lost_permanent;
     Obs.Registry.register reg "visibility.lag" (Obs.Registry.Histogram t.lag_hist);
     c "sim.ops" t.do_count;
     c "sim.crashes" t.s_crashes;
     c "sim.recoveries" t.s_recoveries;
+    c "sim.gossip_rounds" t.s_gossip_rounds;
     Obs.Gauge.set (Obs.Registry.gauge reg "sim.now") t.now_;
     reg
 
@@ -168,6 +209,14 @@ module Make (S : Haec_store.Store_intf.S) = struct
     let at = t.now_ +. retransmit_delay t ~src:d.msg.Message.sender ~dst:d.dst in
     Pqueue.add t.queue ~priority:at (Deliver d)
 
+  let oracle t = match t.recovery with `Oracle -> true | `Anti_entropy -> false
+
+  (* a delivery the network will never perform and the runner will never
+     retransmit: the store protocol alone must make up for it *)
+  let lose_permanently t =
+    t.s_dropped <- t.s_dropped + 1;
+    t.s_lost_permanent <- t.s_lost_permanent + 1
+
   let schedule_deliveries t ~src msg =
     match t.policy with
     | None -> ()
@@ -175,40 +224,71 @@ module Make (S : Haec_store.Store_intf.S) = struct
       let scheduled = ref 0 in
       for dst = 0 to t.n - 1 do
         if dst <> src then begin
-          let d = p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst in
-          let at = t.now_ +. max 0.0 d in
-          let at =
-            if p.Net_policy.fifo then begin
-              let link = (src * t.n) + dst in
-              let clamped = max at (t.fifo_last.(link) +. 1e-9) in
-              t.fifo_last.(link) <- clamped;
-              clamped
-            end
-            else at
-          in
-          let link_heal =
+          let dead =
             match t.faults with
-            | Some f -> Fault_plan.link_dropped f ~src ~dst ~at
-            | None -> None
+            | Some f -> Fault_plan.link_dead f ~src ~dst ~at:t.now_
+            | None -> false
           in
-          match link_heal with
-          | Some heal ->
-            (* the link eats the packet; the retransmission protocol gets it
-               through once the fault heals *)
-            t.s_dropped <- t.s_dropped + 1;
-            t.s_retransmitted <- t.s_retransmitted + 1;
-            let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
-            Pqueue.add t.queue ~priority:(heal +. d') (Deliver { dst; msg });
-            incr scheduled
-          | None -> (
-            Pqueue.add t.queue ~priority:at (Deliver { dst; msg });
-            incr scheduled;
-            match p.Net_policy.duplicate t.rng ~now:t.now_ with
-            | Some extra ->
-              Pqueue.add t.queue ~priority:(at +. max 0.0 extra) (Deliver { dst; msg });
+          if dead then lose_permanently t
+          else begin
+            let d = p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst in
+            let at = t.now_ +. max 0.0 d in
+            let at =
+              (* bounded reordering: an adversarial extra latency in
+                 [0, jitter), drawn per delivery, lets messages overtake
+                 each other within the window *)
+              match t.faults with
+              | Some f ->
+                let jitter = Fault_plan.reorder_jitter f ~now:t.now_ in
+                if jitter > 0.0 then at +. Rng.float t.rng jitter else at
+              | None -> at
+            in
+            let at =
+              if p.Net_policy.fifo then begin
+                let link = (src * t.n) + dst in
+                let clamped = max at (t.fifo_last.(link) +. 1e-9) in
+                t.fifo_last.(link) <- clamped;
+                clamped
+              end
+              else at
+            in
+            let link_heal =
+              match t.faults with
+              | Some f -> Fault_plan.link_dropped f ~src ~dst ~at
+              | None -> None
+            in
+            match link_heal with
+            | Some heal when oracle t ->
+              (* the link eats the packet; the retransmission protocol gets
+                 it through once the fault heals *)
+              t.s_dropped <- t.s_dropped + 1;
+              t.s_retransmitted <- t.s_retransmitted + 1;
+              let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
+              Pqueue.add t.queue ~priority:(heal +. d') (Deliver { dst; msg });
+              incr scheduled
+            | Some _ -> lose_permanently t
+            | None ->
+              Pqueue.add t.queue ~priority:at (Deliver { dst; msg });
               incr scheduled;
-              t.s_duplicates <- t.s_duplicates + 1
-            | None -> ())
+              (match p.Net_policy.duplicate t.rng ~now:t.now_ with
+              | Some extra ->
+                Pqueue.add t.queue ~priority:(at +. max 0.0 extra) (Deliver { dst; msg });
+                incr scheduled;
+                t.s_duplicates <- t.s_duplicates + 1
+              | None -> ());
+              (match t.faults with
+              | Some f -> (
+                match Fault_plan.duplication f ~now:t.now_ with
+                | Some (p_dup, copies) when Rng.chance t.rng p_dup ->
+                  for _ = 1 to copies do
+                    let extra = max 0.01 (p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst) in
+                    Pqueue.add t.queue ~priority:(at +. extra) (Deliver { dst; msg });
+                    incr scheduled;
+                    t.s_duplicates <- t.s_duplicates + 1
+                  done
+                | Some _ | None -> ())
+              | None -> ())
+          end
         end
       done;
       Obs.Histogram.observe t.fanout_hist (float_of_int !scheduled)
@@ -300,8 +380,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
       (fun (at, ev) ->
         match ev with
         | Deliver d when d.dst = replica ->
-          t.s_dropped <- t.s_dropped + 1;
-          t.lost_rev <- d :: t.lost_rev
+          if oracle t then begin
+            t.s_dropped <- t.s_dropped + 1;
+            t.lost_rev <- d :: t.lost_rev
+          end
+          else lose_permanently t
         | Deliver _ | Transmit _ -> Pqueue.add t.queue ~priority:at ev)
       inflight
 
@@ -326,14 +409,53 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let lost_count t = List.length t.lost_rev
 
-  (* Deliver one scheduled message, routing it through the fault layer: a
-     down destination swallows it (owed a retransmission on recovery), and
-     an active corruption window may mangle its bytes — the checksummed
-     frame rejects the mangled copy as [Malformed] and a clean copy is
-     retransmitted. *)
-  let step t =
-    match Pqueue.pop t.queue with
+  (* One gossip round: advance the clock to the round's scheduled time,
+     tick every live replica (queuing its digest) and flush it. Crashed
+     replicas skip the round and resume announcing after recovery. A round
+     that comes due while the whole system is already settled is skipped
+     (the timer still advances): every replica would only announce a
+     vector every other replica already has, and the resulting deliveries
+     would keep the queue busy past the next timer forever — quiescence
+     would then depend on every digest of a round landing inside one
+     interval, a coin-flip that can take thousands of rounds to win. *)
+  let fire_gossip_round t =
+    match t.gossip with
+    | None -> ()
+    | Some g ->
+      t.now_ <- max t.now_ t.next_gossip;
+      t.next_gossip <- t.next_gossip +. g.interval;
+      if not (g.settled t.states) then begin
+        t.s_gossip_rounds <- t.s_gossip_rounds + 1;
+        for r = 0 to t.n - 1 do
+          if not t.down.(r) then begin
+            t.states.(r) <- g.tick t.states.(r);
+            ignore (flush t ~replica:r)
+          end
+        done
+      end
+
+  (* the next gossip round fires in event order, before any queued event
+     scheduled after it *)
+  let gossip_due t =
+    t.gossip <> None
+    &&
+    match Pqueue.peek t.queue with
+    | Some (at, _) -> t.next_gossip <= at
     | None -> false
+
+  (* Deliver one scheduled message, routing it through the fault layer: a
+     down destination swallows it (owed a retransmission on recovery under
+     [`Oracle], lost for good under [`Anti_entropy]), and an active
+     corruption window may mangle its bytes — the checksummed frame
+     rejects the mangled copy as [Malformed]. *)
+  let step t =
+    if gossip_due t then begin
+      fire_gossip_round t;
+      true
+    end
+    else
+      match Pqueue.pop t.queue with
+      | None -> false
     | Some (at, Transmit replica) ->
       t.now_ <- max t.now_ at;
       if t.dirty.(replica) then ignore (flush t ~replica);
@@ -341,8 +463,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
     | Some (at, Deliver ({ dst; msg } as d)) ->
       t.now_ <- max t.now_ at;
       (if t.down.(dst) then begin
-         t.s_dropped <- t.s_dropped + 1;
-         t.lost_rev <- d :: t.lost_rev
+         if oracle t then begin
+           t.s_dropped <- t.s_dropped + 1;
+           t.lost_rev <- d :: t.lost_rev
+         end
+         else lose_permanently t
        end
        else
          let corrupt_p =
@@ -351,29 +476,35 @@ module Make (S : Haec_store.Store_intf.S) = struct
            | None -> 0.0
          in
          if corrupt_p > 0.0 && Rng.chance t.rng corrupt_p then begin
+           (* [Fault_plan.mutate] is never the identity, so an unseal that
+              succeeds can only be a checksum collision *)
            let mangled = Fault_plan.mutate t.rng (Wire.Frame.seal msg.Message.payload) in
            match Wire.Frame.unseal mangled with
            | exception Wire.Decoder.Malformed _ ->
              t.s_corrupt_rejected <- t.s_corrupt_rejected + 1;
-             requeue t d
-           | p when String.equal p msg.Message.payload ->
-             (* the mutation happened to be the identity *)
-             deliver_msg t ~dst msg
+             if oracle t then requeue t d else lose_permanently t
            | _ ->
-             (* checksum collision (~2^-32): treat as loss, retransmit *)
+             (* checksum collision (~2^-32): treat as loss *)
              t.s_corrupt_collisions <- t.s_corrupt_collisions + 1;
-             requeue t d
+             if oracle t then requeue t d else lose_permanently t
          end
          else deliver_msg t ~dst msg);
       true
 
   let advance_to t time =
     let rec go () =
-      match Pqueue.peek t.queue with
-      | Some (at, _) when at <= time ->
+      let next_ev =
+        match Pqueue.peek t.queue with Some (at, _) -> at | None -> infinity
+      in
+      if t.gossip <> None && t.next_gossip <= time && t.next_gossip <= next_ev then begin
+        fire_gossip_round t;
+        go ()
+      end
+      else if next_ev <= time then begin
         ignore (step t);
         go ()
-      | Some _ | None -> t.now_ <- max t.now_ time
+      end
+      else t.now_ <- max t.now_ time
     in
     go ()
 
@@ -412,6 +543,22 @@ module Make (S : Haec_store.Store_intf.S) = struct
           end
         done;
         if !flushed || requeued > 0 then go ()
+        else
+          (* nothing in flight and nothing to flush; with a gossip driver
+             quiescence additionally means the protocol has converged —
+             otherwise keep firing rounds until it has (the event budget
+             backstops a protocol that cannot converge). Rounds pause while
+             any replica is down: gossip cannot repair into a crashed
+             replica, so the run parks until the caller recovers it. *)
+          match t.gossip with
+          | None -> ()
+          | Some g ->
+            if Array.exists Fun.id t.down then ()
+            else if g.settled t.states then ()
+            else begin
+              fire_gossip_round t;
+              go ()
+            end
       end
     in
     go ()

@@ -14,15 +14,24 @@
     operation's visibility witness, from which {!witness_abstract} builds an
     abstract execution the run complies with by construction.
 
-    {b Fault injection.} A {!Fault_plan.t} adds three failure modes on top
-    of the paper's failure-free model: replica crashes ({!crash} /
+    {b Fault injection.} A {!Fault_plan.t} adds failure modes on top of
+    the paper's failure-free model: replica crashes ({!crash} /
     {!recover}, also recorded in the trace), link faults that drop
-    messages until they heal, and byte-level payload corruption checked by
-    the {!Haec_wire.Wire.Frame} checksum. Every lost or rejected delivery
-    is owed a retransmission — once all faults heal and all replicas
-    recover, every message sent is eventually delivered, preserving the
-    "sufficiently connected" requirement eventual consistency
-    presupposes. *)
+    messages until they heal, byte-level payload corruption checked by the
+    {!Haec_wire.Wire.Frame} checksum, message duplication, bounded
+    reordering, and permanent-loss dead links.
+
+    {b Recovery modes.} Under the default [`Oracle] recovery, every
+    delivery lost to a crash or a healing link fault is owed a
+    retransmission by the runner itself — an omniscient network that keeps
+    the "sufficiently connected" requirement satisfied by fiat; this is
+    the frozen baseline. Under [`Anti_entropy], the runner never
+    retransmits: every loss is final, and convergence is up to the store's
+    own wire protocol ({!Haec_store.Anti_entropy.Make}), driven by the
+    [gossip] hook — the runner ticks every live replica each gossip
+    interval and, once the network drains, keeps firing rounds until the
+    protocol's own [settled] predicate holds. Dead links are never
+    retransmitted in either mode. *)
 
 open Haec_model
 open Haec_spec
@@ -42,8 +51,18 @@ type stats = {
       (** corrupted deliveries rejected as [Malformed] by the frame check *)
   corrupt_collisions : int;
       (** corrupted frames whose checksum still verified (~2^-32 each);
-          treated as loss and retransmitted, never delivered *)
+          treated as loss, never delivered *)
+  lost_permanent : int;
+      (** deliveries lost for good — dead links always, and under
+          [`Anti_entropy] recovery also crash-swallowed, link-faulted, and
+          corrupt-rejected deliveries (the runner retransmits none of
+          them) *)
+  gossip_rounds : int;  (** gossip rounds fired by the [gossip] driver *)
 }
+
+type recovery = [ `Oracle | `Anti_entropy ]
+(** Who repairs a loss: the omniscient runner ([`Oracle], the frozen
+    baseline) or the store's own wire protocol ([`Anti_entropy]). *)
 
 module Make (S : Haec_store.Store_intf.S) : sig
   type t
@@ -56,6 +75,8 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?coalesce_window:float ->
     ?policy:Net_policy.t ->
     ?faults:Fault_plan.t ->
+    ?recovery:recovery ->
+    ?gossip:float * (S.state -> S.state) * (S.state array -> bool) ->
     ?recover_state:(replica:int -> S.state -> S.state) ->
     n:int ->
     unit ->
@@ -76,11 +97,21 @@ module Make (S : Haec_store.Store_intf.S) : sig
       {!run_until_quiescent} flushes any still-dirty replica directly when
       the queue drains, so quiescence and convergence are unaffected.
 
-      [faults] enables link-drop and corruption injection on scheduled
-      deliveries. [recover_state] maps a crashed replica's last state to
-      its post-recovery state (default: identity, i.e. perfect
-      durability); pass the [recover] of a {!Haec_store.Durable.Make}
-      store to actually exercise checkpoint recovery. *)
+      [faults] enables link-drop, corruption, duplication, reordering, and
+      dead-link injection on scheduled deliveries. [recover_state] maps a
+      crashed replica's last state to its post-recovery state (default:
+      identity, i.e. perfect durability); pass the [recover] of a
+      {!Haec_store.Durable.Make} store to actually exercise checkpoint
+      recovery.
+
+      [recovery] (default [`Oracle]) picks who makes up for lost
+      deliveries — see the module comment. [`Anti_entropy] requires
+      [gossip], a triple [(interval, tick, settled)]: every [interval] of
+      simulated time (in event order relative to the delivery queue) the
+      runner applies [tick] to each live replica's state and flushes it,
+      and when the network drains, quiescence is declared only once
+      [settled] holds over the replica states — otherwise further rounds
+      fire, bounded by [run_until_quiescent]'s event budget. *)
 
   val n_replicas : t -> int
 

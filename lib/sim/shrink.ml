@@ -1,0 +1,104 @@
+open Haec_util
+
+type repro = {
+  plan : Fault_plan.t;
+  steps : Workload.step list;
+  outcome : Chaos.outcome;
+  rounds : int;
+  tried : int;
+}
+
+let batch_size = 16
+
+(* Candidate reductions of a failing (plan, workload) pair, in a fixed
+   order: first drop whole faults (each crash window, each link fault, the
+   corruption / duplication / reordering windows, each dead link), then
+   drop workload chunks, halving the chunk size down to single operations
+   (the classic ddmin granularity schedule). Every candidate removes at
+   least one element, so the configuration measure strictly decreases
+   whenever one is adopted and the greedy loop terminates. *)
+let candidates (plan : Fault_plan.t) steps =
+  let without l i = List.filteri (fun j _ -> j <> i) l in
+  let faults =
+    List.init (List.length plan.crashes) (fun i ->
+        ({ plan with crashes = without plan.crashes i }, steps))
+    @ List.init (List.length plan.links) (fun i ->
+          ({ plan with links = without plan.links i }, steps))
+    @ (match plan.corruption with
+      | Some _ -> [ ({ plan with corruption = None }, steps) ]
+      | None -> [])
+    @ (match plan.dup with Some _ -> [ ({ plan with dup = None }, steps) ] | None -> [])
+    @ (match plan.reorder with
+      | Some _ -> [ ({ plan with reorder = None }, steps) ]
+      | None -> [])
+    @ List.init (List.length plan.dead) (fun i ->
+          ({ plan with dead = without plan.dead i }, steps))
+  in
+  let len = List.length steps in
+  let rec sizes s acc = if s < 1 then List.rev acc else sizes (s / 2) (s :: acc) in
+  let chunks =
+    if len = 0 then []
+    else
+      List.concat_map
+        (fun size ->
+          let rec offsets off acc =
+            if off >= len then List.rev acc
+            else
+              offsets (off + size)
+                ((plan, List.filteri (fun j _ -> j < off || j >= off + size) steps) :: acc)
+          in
+          offsets 0 [])
+        (sizes (len / 2) [])
+  in
+  faults @ chunks
+
+(* Evaluate candidates in fixed-size batches fanned out over [Par.map];
+   adopt the lowest-index failing candidate of the first batch containing
+   one. The batch size is a constant — never derived from the domain
+   count — and [Par.map] returns results in input order, so the chosen
+   candidate (and hence the final repro) is bit-identical at any [-j]. *)
+let minimize ?domains ~run ~plan ~steps () =
+  let failing o = not (Chaos.converged o) in
+  let first = run ~plan ~steps in
+  if not (failing first) then None
+  else begin
+    let tried = ref 1 in
+    let rec go plan steps outcome rounds =
+      let rec scan = function
+        | [] -> { plan; steps; outcome; rounds; tried = !tried }
+        | cands ->
+          let batch, rest =
+            let rec split i acc = function
+              | x :: tl when i < batch_size -> split (i + 1) (x :: acc) tl
+              | tl -> (List.rev acc, tl)
+            in
+            split 0 [] cands
+          in
+          let results =
+            Par.map_list ?domains (fun (p, s) -> run ~plan:p ~steps:s) batch
+          in
+          tried := !tried + List.length batch;
+          let hit =
+            List.find_opt (fun ((_, _), o) -> failing o) (List.combine batch results)
+          in
+          (match hit with
+          | Some ((p, s), o) -> go p s o (rounds + 1)
+          | None -> scan rest)
+      in
+      scan (candidates plan steps)
+    in
+    Some (go plan steps first 0)
+  end
+
+let pp_repro ppf r =
+  Format.fprintf ppf
+    "@[<v>minimized to %d ops, %d crash windows, %d link faults, %d dead links%s%s%s \
+     (%d rounds, %d runs)@,%a@,%a@]"
+    (List.length r.steps)
+    (List.length r.plan.Fault_plan.crashes)
+    (List.length r.plan.Fault_plan.links)
+    (List.length r.plan.Fault_plan.dead)
+    (if r.plan.Fault_plan.corruption <> None then ", corruption" else "")
+    (if r.plan.Fault_plan.dup <> None then ", duplication" else "")
+    (if r.plan.Fault_plan.reorder <> None then ", reordering" else "")
+    r.rounds r.tried Fault_plan.pp r.plan Chaos.pp_outcome r.outcome

@@ -1,0 +1,42 @@
+(** Delta-debugging shrinker for failing chaos runs.
+
+    A failing chaos seed names a 40-op workload under a multi-fault plan —
+    far more than the few events that actually trigger the violation. The
+    shrinker greedily minimizes the [(plan, workload)] pair while the run
+    keeps failing: each round proposes removing one fault (a crash window,
+    a link fault, the corruption / duplication / reordering window, a dead
+    link) or one workload chunk (halving chunk sizes down to single
+    operations, the ddmin granularity schedule), replays the candidates
+    deterministically through {!Chaos.Make.run_plan}, and adopts the first
+    one that still fails. The result is a local minimum: no single listed
+    removal keeps it failing.
+
+    Candidates are evaluated in fixed-size batches fanned out over
+    {!Haec_util.Par}; the batch size is a constant, independent of the
+    domain count, and the adopted candidate is the lowest-index failing
+    one of the first batch containing any — so the minimized repro is
+    bit-identical at any [-j]. *)
+
+type repro = {
+  plan : Fault_plan.t;
+  steps : Workload.step list;
+  outcome : Chaos.outcome;  (** the (still failing) run of the minimum *)
+  rounds : int;  (** reductions adopted *)
+  tried : int;  (** candidate runs evaluated, including the initial one *)
+}
+
+val minimize :
+  ?domains:int ->
+  run:(plan:Fault_plan.t -> steps:Workload.step list -> Chaos.outcome) ->
+  plan:Fault_plan.t ->
+  steps:Workload.step list ->
+  unit ->
+  repro option
+(** [minimize ~run ~plan ~steps ()] first replays the input pair through
+    [run] (a closure over {!Chaos.Make.run_plan} fixing store, seed, and
+    required level); if that run converges there is nothing to shrink and
+    the result is [None]. [run] must be deterministic in [(plan, steps)] —
+    true of [run_plan], whose network schedule depends only on its [seed]
+    argument. *)
+
+val pp_repro : Format.formatter -> repro -> unit

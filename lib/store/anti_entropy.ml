@@ -1,0 +1,436 @@
+(** Protocol-level anti-entropy as a store transformer.
+
+    [Make (S)] wraps any store with a digest/repair protocol so that
+    replicas detect and close their own delivery gaps over the wire,
+    instead of relying on the simulator's omniscient retransmission:
+
+    - every broadcast of the inner store leaves as a sequence-numbered
+      {e update} item ([(origin, seq)] with [origin] the sender and [seq]
+      its send counter), and every replica logs {e every} payload it
+      applies — its own and every peer's — so any replica can repair any
+      origin's stream for anybody else;
+    - a gossip {e tick} (driven by the simulator clock) queues a {e digest}
+      broadcast: the replica's version vector [have], whose component [o]
+      counts the contiguous prefix of origin [o]'s stream it has applied;
+    - a received digest is compared against [have]: where the peer is
+      behind, the replica {e pushes} a batched {e repair} (capped at
+      {!repair_batch} payloads per origin, gated by per-peer exponential
+      backoff); where the peer is ahead, it sends a targeted
+      {e repair request} (per-origin exponential backoff), which the peer
+      answers ungated — an explicit ask is never throttled;
+    - repairs and direct updates alike are deduplicated against the log
+      and applied to the inner store in per-origin sequence order, so the
+      inner replica sees an exactly-once, per-origin-FIFO stream no matter
+      how the network duplicated, reordered, or dropped.
+
+    Backoff is counted in gossip rounds and capped ({!max_backoff}), never
+    infinite, so repair stays live: as long as ticks keep firing and the
+    network is sufficiently connected in the sense of the paper's
+    Section 2 (the undirected graph of pairs with both directions alive is
+    connected), every update reaches every replica even when some links
+    are permanently dead — a digest travelling one live direction triggers
+    a push from any third replica that already has the bytes.
+
+    Digests, repairs, and requests are control traffic: they carry no
+    sequence numbers of their own and are regenerated from state, so a
+    crash that loses the queued control items costs nothing — the next
+    tick re-announces, and the durable replay of the logged update stream
+    ({!Durable.Make}) reconstructs [have] and the log exactly. *)
+
+open Haec_wire
+open Haec_vclock
+
+let repair_batch = 32
+
+let max_backoff = 32
+
+module Make (S : Store_intf.S) : sig
+  include Store_intf.S
+
+  val tick : state -> state
+  (** Advance the gossip round counter and queue a digest broadcast (the
+      store then [has_pending]). Called by the simulator's gossip driver;
+      deliberately {e not} a logged input — see the module comment. *)
+
+  val settled : state array -> bool
+  (** Whether the whole system has converged: every replica has applied
+      the same contiguous streams ([have] vectors all equal), holds no
+      out-of-order payloads, and has nothing queued to send. An
+      observation-only hook for the simulator's quiescence detection; the
+      replicas themselves never see each other's state. *)
+
+  val inner : state -> S.state
+
+  val rounds : state -> int
+
+  val have : state -> Vclock.t
+
+  val orphans : state -> int
+  (** Logged payloads beyond the contiguous applied prefix (received
+      out-of-order, waiting for a gap to fill). *)
+
+  val gossip_stats : unit -> Store_intf.gossip_stats
+  (** Aggregate traffic counters across every replica of this module on
+      the calling domain, like {!Causal_mvr_store.delivery_stats}. *)
+
+  val reset_gossip_stats : unit -> unit
+end = struct
+  module Int_map = Map.Make (Int)
+
+  let stats_key = Domain.DLS.new_key Store_intf.fresh_gossip_stats
+
+  let stats () = Domain.DLS.get stats_key
+
+  let gossip_stats () = Store_intf.copy_gossip_stats (stats ())
+
+  let reset_gossip_stats () =
+    let s = stats () in
+    s.Store_intf.digests <- 0;
+    s.Store_intf.digest_bytes <- 0;
+    s.Store_intf.repairs <- 0;
+    s.Store_intf.repair_bytes <- 0;
+    s.Store_intf.requests <- 0;
+    s.Store_intf.request_bytes <- 0;
+    s.Store_intf.updates <- 0;
+    s.Store_intf.update_bytes <- 0;
+    s.Store_intf.dup_payloads <- 0;
+    s.Store_intf.repair_applied <- 0
+
+  type peer = {
+    view : Vclock.t;  (** pointwise max of every digest heard from this peer *)
+    push_due : int;  (** earliest round a repair may be pushed to them *)
+    push_backoff : int;
+  }
+
+  (* control items queued for the next broadcast; a digest is a marker,
+     not a snapshot — the [have] vector is read at send time so it always
+     reflects the updates travelling in the same payload *)
+  type out_item =
+    | Out_digest
+    | Out_request of { dst : int; origin : int; from_seq : int }
+    | Out_repair of { dst : int; items : (int * int * string) list }
+
+  type state = {
+    n : int;
+    me : int;
+    inner : S.state;
+    log : string Int_map.t Int_map.t;  (** origin -> seq -> payload *)
+    logged : int;  (** total payloads in [log] *)
+    have : Vclock.t;  (** contiguous applied prefix per origin *)
+    peers : peer Int_map.t;
+    req_due : int Int_map.t;  (** origin -> earliest round to re-request *)
+    req_backoff : int Int_map.t;
+    rounds : int;
+    outq_rev : out_item list;
+  }
+
+  let name = "anti-entropy(" ^ S.name ^ ")"
+
+  let invisible_reads = S.invisible_reads
+
+  (* receiving a digest can enqueue a repair: messages become pending
+     without any client operation, so the transformer is not op-driven
+     (Definition 15) even when the inner store is *)
+  let op_driven = false
+
+  let init ~n ~me =
+    let peers = ref Int_map.empty in
+    for p = 0 to n - 1 do
+      if p <> me then
+        peers :=
+          Int_map.add p { view = Vclock.zero ~n; push_due = 0; push_backoff = 1 } !peers
+    done;
+    {
+      n;
+      me;
+      inner = S.init ~n ~me;
+      log = Int_map.empty;
+      logged = 0;
+      have = Vclock.zero ~n;
+      peers = !peers;
+      req_due = Int_map.empty;
+      req_backoff = Int_map.empty;
+      rounds = 0;
+      outq_rev = [];
+    }
+
+  let inner t = t.inner
+
+  let rounds t = t.rounds
+
+  let have t = t.have
+
+  let orphans t = t.logged - Vclock.sum t.have
+
+  let log_find t ~origin ~seq =
+    match Int_map.find_opt origin t.log with
+    | None -> None
+    | Some m -> Int_map.find_opt seq m
+
+  let log_add t ~origin ~seq payload =
+    let m =
+      match Int_map.find_opt origin t.log with Some m -> m | None -> Int_map.empty
+    in
+    { t with log = Int_map.add origin (Int_map.add seq payload m) t.log;
+             logged = t.logged + 1 }
+
+  (* apply every payload of [origin] that is now contiguous with the
+     applied prefix, in sequence order; progress resets the per-origin
+     request backoff so the next gap is chased eagerly again *)
+  let rec cascade t ~origin =
+    let next = Vclock.get t.have origin in
+    match log_find t ~origin ~seq:next with
+    | None -> t
+    | Some payload ->
+      let inner = S.receive t.inner ~sender:origin payload in
+      let t =
+        {
+          t with
+          inner;
+          have = Vclock.tick t.have origin;
+          req_due = Int_map.remove origin t.req_due;
+          req_backoff = Int_map.remove origin t.req_backoff;
+        }
+      in
+      cascade t ~origin
+
+  let ingest t ~origin ~seq ~payload ~via_repair =
+    if seq < Vclock.get t.have origin || log_find t ~origin ~seq <> None then begin
+      (stats ()).Store_intf.dup_payloads <- (stats ()).Store_intf.dup_payloads + 1;
+      t
+    end
+    else begin
+      if via_repair then
+        (stats ()).Store_intf.repair_applied <- (stats ()).Store_intf.repair_applied + 1;
+      cascade (log_add t ~origin ~seq payload) ~origin
+    end
+
+  (* a batch of [origin]'s stream starting at [from_seq]: consecutive
+     logged payloads, at most [repair_batch] — stopping at the first gap
+     never sends less than the contiguous prefix the requester is missing *)
+  let batch_from t ~origin ~from_seq =
+    let rec go seq acc count =
+      if count = repair_batch then List.rev acc
+      else
+        match log_find t ~origin ~seq with
+        | None -> List.rev acc
+        | Some payload -> go (seq + 1) ((origin, seq, payload) :: acc) (count + 1)
+    in
+    go from_seq [] 0
+
+  let on_digest t ~sender clock =
+    if Vclock.size clock <> t.n then
+      raise (Wire.Decoder.Malformed "anti-entropy digest: wrong vector size");
+    let p =
+      match Int_map.find_opt sender t.peers with
+      | Some p -> p
+      | None -> raise (Wire.Decoder.Malformed "anti-entropy digest: bad sender")
+    in
+    let view = Vclock.merge p.view clock in
+    (* push what they are missing, batched per origin, per-peer backoff *)
+    let behind = ref [] in
+    for o = t.n - 1 downto 0 do
+      if Vclock.get t.have o > Vclock.get view o then behind := o :: !behind
+    done;
+    let t, p =
+      if !behind = [] then
+        (* caught up: forgive the backoff so the next divergence is
+           repaired promptly *)
+        (t, { view; push_due = t.rounds; push_backoff = 1 })
+      else if t.rounds >= p.push_due then begin
+        let items =
+          List.concat_map
+            (fun o -> batch_from t ~origin:o ~from_seq:(Vclock.get view o))
+            !behind
+        in
+        let t = { t with outq_rev = Out_repair { dst = sender; items } :: t.outq_rev } in
+        ( t,
+          {
+            view;
+            push_due = t.rounds + p.push_backoff;
+            push_backoff = min (2 * p.push_backoff) max_backoff;
+          } )
+      end
+      else (t, { p with view })
+    in
+    let t = { t with peers = Int_map.add sender p t.peers } in
+    (* request what they have and we lack, per-origin backoff *)
+    let t = ref t in
+    for o = 0 to t.contents.n - 1 do
+      if Vclock.get view o > Vclock.get t.contents.have o then begin
+        let due = Option.value (Int_map.find_opt o t.contents.req_due) ~default:0 in
+        if t.contents.rounds >= due then begin
+          let backoff =
+            Option.value (Int_map.find_opt o t.contents.req_backoff) ~default:1
+          in
+          t :=
+            {
+              t.contents with
+              outq_rev =
+                Out_request
+                  { dst = sender; origin = o; from_seq = Vclock.get t.contents.have o }
+                :: t.contents.outq_rev;
+              req_due = Int_map.add o (t.contents.rounds + backoff) t.contents.req_due;
+              req_backoff =
+                Int_map.add o (min (2 * backoff) max_backoff) t.contents.req_backoff;
+            }
+        end
+      end
+    done;
+    t.contents
+
+  let check_replica t what r =
+    if r < 0 || r >= t.n then
+      raise
+        (Wire.Decoder.Malformed (Printf.sprintf "anti-entropy %s: replica %d" what r))
+
+  let receive_item t ~sender dec =
+    match Wire.Gossip.decode_kind dec with
+    | Wire.Gossip.Update ->
+      let seq = Wire.Decoder.uint dec in
+      let payload = Wire.Decoder.string dec in
+      check_replica t "update" sender;
+      ingest t ~origin:sender ~seq ~payload ~via_repair:false
+    | Wire.Gossip.Digest ->
+      let clock = Vclock.decode dec in
+      check_replica t "digest" sender;
+      on_digest t ~sender clock
+    | Wire.Gossip.Repair_request ->
+      let dst = Wire.Decoder.uint dec in
+      let origin = Wire.Decoder.uint dec in
+      let from_seq = Wire.Decoder.uint dec in
+      check_replica t "repair-request" dst;
+      check_replica t "repair-request" origin;
+      if dst <> t.me then t (* broadcast transport: not addressed to us *)
+      else begin
+        (* an explicit ask is answered ungated: the requester paces itself *)
+        match batch_from t ~origin ~from_seq with
+        | [] -> t
+        | items -> { t with outq_rev = Out_repair { dst = sender; items } :: t.outq_rev }
+      end
+    | Wire.Gossip.Repair ->
+      let dst = Wire.Decoder.uint dec in
+      let items =
+        Wire.Decoder.list dec (fun dec ->
+            let origin = Wire.Decoder.uint dec in
+            let seq = Wire.Decoder.uint dec in
+            let payload = Wire.Decoder.string dec in
+            (origin, seq, payload))
+      in
+      check_replica t "repair" dst;
+      List.iter (fun (origin, _, _) -> check_replica t "repair" origin) items;
+      if dst <> t.me then t
+      else
+        List.fold_left
+          (fun t (origin, seq, payload) -> ingest t ~origin ~seq ~payload ~via_repair:true)
+          t items
+
+  let receive t ~sender payload =
+    check_replica t "sender" sender;
+    (* fold the envelope's items in order through the state; [Wire.decode]
+       checks the whole input was consumed *)
+    Wire.decode payload (fun dec ->
+        let count = Wire.Decoder.uint dec in
+        if count > Wire.Decoder.remaining dec then
+          raise (Wire.Decoder.Malformed "anti-entropy envelope: item count exceeds input");
+        let t = ref t in
+        for _ = 1 to count do
+          t := receive_item !t ~sender dec
+        done;
+        !t)
+
+  let do_op t ~obj op =
+    let inner, rval, witness = S.do_op t.inner ~obj op in
+    ({ t with inner }, rval, witness)
+
+  let has_pending t = t.outq_rev <> [] || S.has_pending t.inner
+
+  let tick t =
+    let t = { t with rounds = t.rounds + 1 } in
+    if List.exists (function Out_digest -> true | _ -> false) t.outq_rev then t
+    else { t with outq_rev = Out_digest :: t.outq_rev }
+
+  let send t =
+    if not (has_pending t) then invalid_arg "Anti_entropy.send: nothing pending";
+    (* a fresh inner broadcast takes the next slot of my stream: my own
+       stream is contiguous by construction, so the next sequence number
+       is exactly have(me) *)
+    let t, update =
+      if S.has_pending t.inner then begin
+        let inner, payload = S.send t.inner in
+        let seq = Vclock.get t.have t.me in
+        let t = log_add { t with inner } ~origin:t.me ~seq payload in
+        ({ t with have = Vclock.tick t.have t.me }, Some (seq, payload))
+      end
+      else (t, None)
+    in
+    (* collapse to a single digest: every marker reads the same [have] *)
+    let outs = List.rev t.outq_rev in
+    let digest = List.exists (function Out_digest -> true | _ -> false) outs in
+    let outs = List.filter (function Out_digest -> false | _ -> true) outs in
+    let count =
+      (if update = None then 0 else 1) + (if digest then 1 else 0) + List.length outs
+    in
+    let st = stats () in
+    let payload =
+      Wire.encode (fun enc ->
+          Wire.Encoder.uint enc count;
+          let mark = ref (Wire.Encoder.size_bytes enc) in
+          let bytes () =
+            let now = Wire.Encoder.size_bytes enc in
+            let d = now - !mark in
+            mark := now;
+            d
+          in
+          (match update with
+          | None -> ()
+          | Some (seq, payload) ->
+            Wire.Gossip.encode_kind enc Wire.Gossip.Update;
+            Wire.Encoder.uint enc seq;
+            Wire.Encoder.string enc payload;
+            st.Store_intf.updates <- st.Store_intf.updates + 1;
+            st.Store_intf.update_bytes <- st.Store_intf.update_bytes + bytes ());
+          if digest then begin
+            Wire.Gossip.encode_kind enc Wire.Gossip.Digest;
+            Vclock.encode enc t.have;
+            st.Store_intf.digests <- st.Store_intf.digests + 1;
+            st.Store_intf.digest_bytes <- st.Store_intf.digest_bytes + bytes ()
+          end;
+          List.iter
+            (function
+              | Out_digest -> ()
+              | Out_request { dst; origin; from_seq } ->
+                Wire.Gossip.encode_kind enc Wire.Gossip.Repair_request;
+                Wire.Encoder.uint enc dst;
+                Wire.Encoder.uint enc origin;
+                Wire.Encoder.uint enc from_seq;
+                st.Store_intf.requests <- st.Store_intf.requests + 1;
+                st.Store_intf.request_bytes <- st.Store_intf.request_bytes + bytes ()
+              | Out_repair { dst; items } ->
+                Wire.Gossip.encode_kind enc Wire.Gossip.Repair;
+                Wire.Encoder.uint enc dst;
+                Wire.Encoder.list enc
+                  (fun enc (origin, seq, payload) ->
+                    Wire.Encoder.uint enc origin;
+                    Wire.Encoder.uint enc seq;
+                    Wire.Encoder.string enc payload)
+                  items;
+                st.Store_intf.repairs <- st.Store_intf.repairs + 1;
+                st.Store_intf.repair_bytes <- st.Store_intf.repair_bytes + bytes ())
+            outs)
+    in
+    ({ t with outq_rev = [] }, payload)
+
+  let settled states =
+    Array.length states = 0
+    || begin
+         let ref_have = states.(0).have in
+         Array.for_all
+           (fun t ->
+             t.outq_rev = []
+             && (not (S.has_pending t.inner))
+             && orphans t = 0
+             && Vclock.equal t.have ref_have)
+           states
+       end
+end

@@ -27,6 +27,18 @@ module Make (S : Store_intf.S) : sig
   val inject : n:int -> me:int -> S.state -> state
   (** Wrap an existing inner state with an empty durable image — for tests
       that need a replica whose durable image is deliberately stale. *)
+
+  val inner : state -> S.state
+  (** The wrapped volatile state, read-only — for observation hooks such as
+      {!Anti_entropy.Make.settled} that inspect the protocol layer under
+      the durable image. *)
+
+  val map_inner : (S.state -> S.state) -> state -> state
+  (** Apply a function to the wrapped state {e without logging anything}.
+      Only for inputs the inner protocol regenerates on its own (the
+      anti-entropy gossip tick): a state change that influences the inner
+      replica's logged-replay behavior must instead go through
+      {!do_op}/{!receive}/{!send}, or recovery would not reproduce it. *)
 end = struct
   type entry =
     | Apply of { obj : int; op : Op.t }
@@ -79,6 +91,10 @@ end = struct
 
   let inject ~n ~me inner =
     { n; me; inner; snapshot = empty_snapshot; wal_rev = []; wal_len = 0 }
+
+  let inner t = t.inner
+
+  let map_inner f t = { t with inner = f t.inner }
 
   let snapshot_entries t =
     Wire.decode t.snapshot (fun dec -> Wire.Decoder.list dec decode_entry)

@@ -35,6 +35,55 @@ let fresh_delivery_stats () = { scans = 0; delivered = 0; max_buffer = 0 }
 let copy_delivery_stats s =
   { scans = s.scans; delivered = s.delivered; max_buffer = s.max_buffer }
 
+(** Instrumentation for the anti-entropy gossip layer ({!Anti_entropy}),
+    aggregated across every replica of the instantiated store module, same
+    module-global convention as {!delivery_stats}. Counts are per broadcast
+    payload (the simulator fans one payload out to [n-1] peers); bytes are
+    wire bytes of the encoded items inside those payloads, so the E21
+    digest/repair traffic columns measure real encoded bytes. *)
+type gossip_stats = {
+  mutable digests : int;  (** digest items sent *)
+  mutable digest_bytes : int;
+  mutable repairs : int;  (** repair items sent (pushes and request answers) *)
+  mutable repair_bytes : int;
+  mutable requests : int;  (** repair-request items sent *)
+  mutable request_bytes : int;
+  mutable updates : int;  (** fresh update items sent *)
+  mutable update_bytes : int;
+  mutable dup_payloads : int;
+      (** received update/repair payloads already logged (duplicates) *)
+  mutable repair_applied : int;
+      (** previously missing payloads obtained through a repair *)
+}
+
+let fresh_gossip_stats () =
+  {
+    digests = 0;
+    digest_bytes = 0;
+    repairs = 0;
+    repair_bytes = 0;
+    requests = 0;
+    request_bytes = 0;
+    updates = 0;
+    update_bytes = 0;
+    dup_payloads = 0;
+    repair_applied = 0;
+  }
+
+let copy_gossip_stats s =
+  {
+    digests = s.digests;
+    digest_bytes = s.digest_bytes;
+    repairs = s.repairs;
+    repair_bytes = s.repair_bytes;
+    requests = s.requests;
+    request_bytes = s.request_bytes;
+    updates = s.updates;
+    update_bytes = s.update_bytes;
+    dup_payloads = s.dup_payloads;
+    repair_applied = s.repair_applied;
+  }
+
 type witness = {
   visible : (int * Dot.t) list;
       (** [(obj, dot)] of every update visible to this operation. Dots are

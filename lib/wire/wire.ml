@@ -255,6 +255,32 @@ module Frame = struct
     payload
 end
 
+module Gossip = struct
+  (* The anti-entropy envelope kinds (Haec_store.Anti_entropy) live here so
+     the tag space is fixed at the wire layer: telemetry, tests, and any
+     future store transformer agree on what a digest or a repair item is
+     without depending on the store library. *)
+  type kind = Update | Digest | Repair_request | Repair
+
+  let tag = function Update -> 0 | Digest -> 1 | Repair_request -> 2 | Repair -> 3
+
+  let name = function
+    | Update -> "update"
+    | Digest -> "digest"
+    | Repair_request -> "repair-request"
+    | Repair -> "repair"
+
+  let encode_kind enc k = Encoder.uint enc (tag k)
+
+  let decode_kind dec =
+    match Decoder.uint dec with
+    | 0 -> Update
+    | 1 -> Digest
+    | 2 -> Repair_request
+    | 3 -> Repair
+    | t -> raise (Decoder.Malformed (Printf.sprintf "bad gossip kind tag %d" t))
+end
+
 (* One long-lived scratch encoder per domain serves every non-nested
    [encode]: the replication hot path serializes one small message at a
    time, and reusing the grown byte block removes the per-message

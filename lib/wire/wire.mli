@@ -101,6 +101,27 @@ module Frame : sig
       trailing garbage, or checksum mismatch. *)
 end
 
+module Gossip : sig
+  (** Message kinds of the anti-entropy protocol
+      ({!Haec_store.Anti_entropy}). The tag space is fixed here, at the
+      wire layer, so stores, telemetry and tests agree on the envelope
+      without depending on each other: an anti-entropy payload is a
+      length-prefixed sequence of tagged items — seq-numbered {!Update}
+      payloads, version-vector {!Digest}s, targeted {!Repair_request}s and
+      batched {!Repair} payloads answering them. *)
+
+  type kind = Update | Digest | Repair_request | Repair
+
+  val tag : kind -> int
+
+  val name : kind -> string
+
+  val encode_kind : Encoder.t -> kind -> unit
+
+  val decode_kind : Decoder.t -> kind
+  (** Raises {!Decoder.Malformed} on an unknown tag. *)
+end
+
 val encode : (Encoder.t -> unit) -> string
 (** [encode f] runs [f] on a fresh encoder and returns the bytes. *)
 
