@@ -250,13 +250,15 @@ let simulate_cmd =
 
 (* ---------- chaos ---------- *)
 
-let chaos_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial
-    ~shrink ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy ~dump_dir ~metrics =
+let chaos_store (module S : Store.Store_intf.S) ~store_flag ~require ~recovery
+    ~adversarial ~churn ~shrink ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy
+    ~dump_dir ~metrics =
   let module C = Sim.Chaos.Make (S) in
-  Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d recovery=%s%s@."
+  Format.printf "chaos: store=%s replicas=%d objects=%d ops=%d runs=%d recovery=%s%s%s@."
     S.name n objects ops runs
     (match recovery with `Oracle -> "oracle" | `Anti_entropy -> "anti-entropy")
-    (if adversarial then " adversarial" else "");
+    (if adversarial then " adversarial" else "")
+    (if churn then " churn" else "");
   Format.printf "%6s  %9s  %7s  %7s  %7s  %7s  %s@." "seed" "converged" "crashes"
     "dropped" "retrans" "corrupt" "checks failed";
   let failed = ref 0 in
@@ -265,7 +267,7 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial
      in seed order, so the output is bit-identical at any -j *)
   let outcomes =
     C.run_seeds ~n ~objects ~ops ~spec_of:(fun _ -> spec) ~mix ~policy ~require
-      ~recovery ~adversarial
+      ~recovery ~adversarial ~churn
       ~seeds:(List.init runs (fun i -> seed + i))
       ()
   in
@@ -307,7 +309,9 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial
       if shrink then begin
         (* delta-debug the failing run down to a minimal still-failing
            (plan, workload) pair; deterministic, so the repro is canonical *)
-        let plan, steps = Sim.Chaos.derive ~n ~objects ~ops ~mix ~adversarial ~seed () in
+        let plan, steps =
+          Sim.Chaos.derive ~n ~objects ~ops ~mix ~adversarial ~churn ~seed ()
+        in
         let run ~plan ~steps =
           C.run_plan ~objects ~spec_of:(fun _ -> spec) ~policy ~require ~recovery ~n
             ~plan ~steps ~seed ()
@@ -330,17 +334,23 @@ let chaos_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial
             in
             let oc = open_out repro in
             let ppf = Format.formatter_of_out_channel oc in
+            (* the header carries every flag that shapes the seed's inputs,
+               as a ready-to-paste command line: replaying with any fault
+               kind missing would derive a different plan from the same
+               seed and chase a different bug *)
             Format.fprintf ppf
-              "# minimal failing repro for store=%s seed=%d (n=%d objects=%d ops=%d \
-               require=%s recovery=%s%s)@.%a@."
-              S.name seed n objects ops
+              "# minimal failing repro for store=%s seed=%d@.\
+               # replay: haec_cli chaos --store %s --seed %d --runs 1 --replicas %d \
+               --objects %d --ops %d --require %s --recovery %s%s%s --shrink@.%a@."
+              S.name seed store_flag seed n objects ops
               (match require with
               | `Converge -> "converge"
               | `Correct -> "correct"
               | `Causal -> "causal"
               | `Occ -> "occ")
               (match recovery with `Oracle -> "oracle" | `Anti_entropy -> "anti-entropy")
-              (if adversarial then " adversarial" else "")
+              (if adversarial then " --adversarial" else "")
+              (if churn then " --churn" else "")
               Sim.Shrink.pp_repro r;
             close_out oc;
             Format.printf "minimized trace written to %s, repro to %s@." trace repro
@@ -424,6 +434,16 @@ let chaos_cmd =
              reordering, and permanently dead (never-healing) links that keep the \
              network connected")
   in
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Add dynamic membership to each plan: 1-2 reserve replicas join mid-run \
+             (booting empty, bootstrapped over anti-entropy, refusing reads until \
+             caught up) and up to two members leave (gracefully or by vanishing). \
+             Requires --recovery anti-entropy.")
+  in
   let shrink_arg =
     Arg.(
       value & flag
@@ -433,14 +453,26 @@ let chaos_cmd =
              repro; with --dump-dir also writes the minimized trace and repro file")
   in
   let run jobs store net n objects ops seed runs dump_dir metrics require recovery
-      adversarial shrink =
+      adversarial churn shrink =
     set_jobs jobs;
     let policy = policy_of net in
     let dump_dir = match dump_dir with Some "" -> None | d -> d in
+    if churn && recovery <> `Anti_entropy then
+      `Error
+        ( false,
+          "--churn needs --recovery anti-entropy: a joiner bootstraps over the \
+           digest/repair protocol, and a crash-leaver's losses are permanent" )
+    else
+    let store_flag =
+      match store with
+      | Mvr -> "mvr" | Causal -> "causal" | Cops -> "cops" | State -> "state"
+      | Orset -> "orset" | Lww -> "lww" | Counter -> "counter" | Gossip -> "gossip"
+      | Delayed -> "delayed" | Gsp -> "gsp"
+    in
     let go (module S : Store.Store_intf.S) ~require:default_require ~spec mix =
       let require = Option.value require ~default:default_require in
-      chaos_store (module S) ~require ~recovery ~adversarial ~shrink ~spec ~mix ~seed
-        ~runs ~n ~objects ~ops ~policy ~dump_dir ~metrics
+      chaos_store (module S) ~store_flag ~require ~recovery ~adversarial ~churn ~shrink
+        ~spec ~mix ~seed ~runs ~n ~objects ~ops ~policy ~dump_dir ~metrics
     in
     (* each store is held to the checks its class guarantees under faulty
        re-delivery: causal stores to causal consistency, the lww register
@@ -471,7 +503,8 @@ let chaos_cmd =
     Term.(
       ret
         (const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir
-        $ metrics $ require_arg $ recovery_arg $ adversarial_arg $ shrink_arg))
+        $ metrics $ require_arg $ recovery_arg $ adversarial_arg $ churn_arg
+        $ shrink_arg))
 
 (* ---------- theorem demos ---------- *)
 
@@ -732,7 +765,9 @@ let json_check_cmd =
     Arg.(
       value & opt_all string []
       & info [ "require" ] ~docv:"KEY"
-          ~doc:"Fail unless the top-level object contains this key (repeatable)")
+          ~doc:
+            "Fail unless the top-level object contains this key (repeatable). For a \
+             metrics JSONL stream, keys are metric names checked in every snapshot.")
   in
   let run path require =
     let ic = open_in_bin path in
@@ -740,7 +775,30 @@ let json_check_cmd =
     let s = really_input_string ic len in
     close_in ic;
     match Json.of_string s with
-    | exception Json.Parse_error m -> `Error (false, Printf.sprintf "%s: %s" path m)
+    | exception Json.Parse_error m -> (
+      (* not a single JSON document — maybe a metrics snapshot stream
+         (JSONL, one object per line, as written by chaos --metrics):
+         required keys are then metric names, checked in every snapshot *)
+      match Metrics_io.snapshots_of_jsonl s with
+      | exception _ -> `Error (false, Printf.sprintf "%s: %s" path m)
+      | [] -> `Error (false, Printf.sprintf "%s: no metrics snapshots" path)
+      | snaps ->
+        let missing =
+          List.filter
+            (fun k ->
+              not (List.for_all (fun sn -> Metrics_io.find sn k <> None) snaps))
+            require
+        in
+        if missing <> [] then
+          `Error
+            ( false,
+              Printf.sprintf "%s: missing metrics: %s" path
+                (String.concat ", " missing) )
+        else begin
+          Format.printf "%s: valid metrics JSONL, %d snapshots@." path
+            (List.length snaps);
+          `Ok ()
+        end)
     | Json.Obj fields ->
       let missing = List.filter (fun k -> not (List.mem_assoc k fields)) require in
       if missing <> [] then

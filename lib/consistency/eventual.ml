@@ -50,7 +50,8 @@ let check_reads_agree exec ~suffix =
                  (Format.asprintf
                     "reads of object %d disagree: event %d returned %a, event %d returned %a"
                     d.Event.obj first Op.pp_response rv i Op.pp_response d.Event.rval)))
-      | Event.Do _ | Event.Send _ | Event.Receive _ | Event.Crash _ | Event.Recover _ -> ()
+      | Event.Do _ | Event.Send _ | Event.Receive _ | Event.Crash _ | Event.Recover _
+      | Event.Join _ | Event.Leave _ -> ()
     done;
     Ok ()
   with Bad m -> Error m

@@ -51,6 +51,7 @@ let all =
     { id = E19_wire_floor.name; title = E19_wire_floor.title; run = E19_wire_floor.run };
     { id = E20_soak.name; title = E20_soak.title; run = E20_soak.run };
     { id = E21_anti_entropy.name; title = E21_anti_entropy.title; run = E21_anti_entropy.run };
+    { id = E22_membership.name; title = E22_membership.title; run = E22_membership.run };
   ]
 
 let find id =

@@ -11,6 +11,8 @@ type t =
   | Receive of { replica : int; msg : Message.t }
   | Crash of { replica : int }
   | Recover of { replica : int }
+  | Join of { replica : int; epoch : int }
+  | Leave of { replica : int; epoch : int; graceful : bool }
 
 type action =
   | Act_do
@@ -18,13 +20,17 @@ type action =
   | Act_receive
   | Act_crash
   | Act_recover
+  | Act_join
+  | Act_leave
 
 let replica = function
   | Do { replica; _ }
   | Send { replica; _ }
   | Receive { replica; _ }
   | Crash { replica }
-  | Recover { replica } -> replica
+  | Recover { replica }
+  | Join { replica; _ }
+  | Leave { replica; _ } -> replica
 
 let act = function
   | Do _ -> Act_do
@@ -32,22 +38,28 @@ let act = function
   | Receive _ -> Act_receive
   | Crash _ -> Act_crash
   | Recover _ -> Act_recover
+  | Join _ -> Act_join
+  | Leave _ -> Act_leave
 
 let msg = function
-  | Do _ | Crash _ | Recover _ -> None
+  | Do _ | Crash _ | Recover _ | Join _ | Leave _ -> None
   | Send { msg; _ } | Receive { msg; _ } -> Some msg
 
-let as_do = function Do d -> Some d | Send _ | Receive _ | Crash _ | Recover _ -> None
+let as_do = function
+  | Do d -> Some d
+  | Send _ | Receive _ | Crash _ | Recover _ | Join _ | Leave _ -> None
 
-let is_do = function Do _ -> true | Send _ | Receive _ | Crash _ | Recover _ -> false
+let is_do = function
+  | Do _ -> true
+  | Send _ | Receive _ | Crash _ | Recover _ | Join _ | Leave _ -> false
 
 let is_write_do = function
   | Do { op; _ } -> Op.is_update op
-  | Send _ | Receive _ | Crash _ | Recover _ -> false
+  | Send _ | Receive _ | Crash _ | Recover _ | Join _ | Leave _ -> false
 
 let is_read_do = function
   | Do { op; _ } -> Op.is_read op
-  | Send _ | Receive _ | Crash _ | Recover _ -> false
+  | Send _ | Receive _ | Crash _ | Recover _ | Join _ | Leave _ -> false
 
 let pp_do ppf { replica; obj; op; rval } =
   Format.fprintf ppf "do@%d(o%d, %a) -> %a" replica obj Op.pp op Op.pp_response rval
@@ -59,3 +71,6 @@ let pp ppf = function
     Format.fprintf ppf "recv@%d(%a)" replica Message.pp msg
   | Crash { replica } -> Format.fprintf ppf "crash@%d" replica
   | Recover { replica } -> Format.fprintf ppf "recover@%d" replica
+  | Join { replica; epoch } -> Format.fprintf ppf "join@%d[e%d]" replica epoch
+  | Leave { replica; epoch; graceful } ->
+    Format.fprintf ppf "%s@%d[e%d]" (if graceful then "leave" else "crash-leave") replica epoch

@@ -10,7 +10,16 @@
     volatile state and stops taking events, [recover] the instant it
     resumes from durable state. Between a [crash] and its matching
     [recover] the replica has no events at all — well-formedness
-    ({!Execution.check_well_formed}) enforces this. *)
+    ({!Execution.check_well_formed}) enforces this.
+
+    Dynamic membership adds [join] and [leave]: a [join] marks the instant
+    a reserve replica enters the replica set (booting empty), a [leave]
+    the instant a member departs for good — gracefully (it flushed its
+    pending message first) or as a crash-leave (it simply vanished; repair
+    is up to the surviving replicas). Both carry the membership epoch in
+    force {e after} the change; epochs increase strictly across the
+    execution. A replica has no events before its [join] or after its
+    [leave]. *)
 
 type do_event = {
   replica : int;
@@ -25,6 +34,8 @@ type t =
   | Receive of { replica : int; msg : Message.t }
   | Crash of { replica : int }
   | Recover of { replica : int }
+  | Join of { replica : int; epoch : int }
+  | Leave of { replica : int; epoch : int; graceful : bool }
 
 type action =
   | Act_do
@@ -32,6 +43,8 @@ type action =
   | Act_receive
   | Act_crash
   | Act_recover
+  | Act_join
+  | Act_leave
 
 val replica : t -> int
 (** [R(e)]: the replica at which the event occurs. *)

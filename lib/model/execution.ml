@@ -1,14 +1,19 @@
-type t = { n : int; events : Event.t array }
+type t = { n : int; initial : int; events : Event.t array }
 
-let of_array ~n events =
+let of_array ~n ?initial events =
   if n <= 0 then invalid_arg "Execution.of_array: n must be positive";
-  { n; events = Array.copy events }
+  let initial = match initial with Some i -> i | None -> n in
+  if initial <= 0 || initial > n then
+    invalid_arg "Execution.of_array: initial members out of range";
+  { n; initial; events = Array.copy events }
 
-let of_list ~n events = of_array ~n (Array.of_list events)
+let of_list ~n ?initial events = of_array ~n ?initial (Array.of_list events)
 
 let empty ~n = of_array ~n [||]
 
 let n_replicas t = t.n
+
+let initial_members t = t.initial
 
 let length t = Array.length t.events
 
@@ -41,9 +46,16 @@ let do_projection t r =
     (fun (_, d) -> if d.Event.replica = r then Some d else None)
     (do_events t)
 
+(* lifecycle of a replica id along the trace: a reserve id joins at most
+   once, a member leaves at most once, and membership epochs stamped on
+   join/leave events increase strictly *)
+type presence = Reserve | Member | Departed
+
 let check_well_formed t =
   let sent : (Message.id, int) Hashtbl.t = Hashtbl.create 64 in
   let down = Array.make t.n false in
+  let present = Array.init t.n (fun r -> if r < t.initial then Member else Reserve) in
+  let last_epoch = ref 0 in
   let exception Bad of string in
   try
     Array.iteri
@@ -51,10 +63,17 @@ let check_well_formed t =
         let r = Event.replica e in
         if r < 0 || r >= t.n then
           raise (Bad (Printf.sprintf "event %d at out-of-range replica %d" i r));
-        (* a crashed replica takes no events until it recovers *)
+        (* a crashed replica takes no events until it recovers, and a
+           replica has no events outside its membership *)
         (match e with
-        | Event.Crash _ | Event.Recover _ -> ()
+        | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ()
         | Event.Do _ | Event.Send _ | Event.Receive _ ->
+          (match present.(r) with
+          | Member -> ()
+          | Reserve ->
+            raise (Bad (Printf.sprintf "event %d at replica %d before it joined" i r))
+          | Departed ->
+            raise (Bad (Printf.sprintf "event %d at replica %d after it left" i r)));
           if down.(r) then
             raise (Bad (Printf.sprintf "event %d at crashed replica %d" i r)));
         match e with
@@ -71,13 +90,42 @@ let check_well_formed t =
             if msg.Message.sender = r then
               raise (Bad (Printf.sprintf "event %d: replica %d receives its own message" i r)))
         | Event.Crash _ ->
+          if present.(r) <> Member then
+            raise (Bad (Printf.sprintf "event %d: non-member replica %d crashes" i r));
           if down.(r) then
             raise (Bad (Printf.sprintf "event %d: replica %d crashes while down" i r));
           down.(r) <- true
         | Event.Recover _ ->
+          if present.(r) <> Member then
+            raise (Bad (Printf.sprintf "event %d: non-member replica %d recovers" i r));
           if not down.(r) then
             raise (Bad (Printf.sprintf "event %d: replica %d recovers while up" i r));
           down.(r) <- false
+        | Event.Join { epoch; _ } ->
+          (match present.(r) with
+          | Reserve -> ()
+          | Member -> raise (Bad (Printf.sprintf "event %d: replica %d joins while a member" i r))
+          | Departed ->
+            raise (Bad (Printf.sprintf "event %d: departed replica %d rejoins" i r)));
+          if epoch <= !last_epoch then
+            raise
+              (Bad
+                 (Printf.sprintf "event %d: join epoch %d not past epoch %d" i epoch
+                    !last_epoch));
+          last_epoch := epoch;
+          present.(r) <- Member
+        | Event.Leave { epoch; _ } ->
+          if present.(r) <> Member then
+            raise (Bad (Printf.sprintf "event %d: non-member replica %d leaves" i r));
+          if down.(r) then
+            raise (Bad (Printf.sprintf "event %d: crashed replica %d leaves" i r));
+          if epoch <= !last_epoch then
+            raise
+              (Bad
+                 (Printf.sprintf "event %d: leave epoch %d not past epoch %d" i epoch
+                    !last_epoch));
+          last_epoch := epoch;
+          present.(r) <- Departed
         | Event.Do _ -> ())
       t.events;
     Ok ()
@@ -94,7 +142,8 @@ let messages_sent t =
   List.filter_map
     (function
       | Event.Send { msg; _ } -> Some msg
-      | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ -> None)
+      | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ | Event.Join _
+      | Event.Leave _ -> None)
     (events t)
 
 let total_message_bits t =

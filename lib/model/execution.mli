@@ -1,18 +1,27 @@
 (** Concrete executions: interleaved sequences of events (Section 2).
 
     An execution carries the number of replicas [n]; replicas are numbered
-    [0 .. n-1]. Events are addressed by their index in the sequence. *)
+    [0 .. n-1]. Events are addressed by their index in the sequence.
+
+    With dynamic membership, [n] is the replica-id {e capacity}: ids
+    [0 .. initial-1] are members from time zero, ids [initial .. n-1] form
+    a reserve pool that may enter via [Join] events. [initial] defaults to
+    [n] (the static case, every id a member throughout). *)
 
 type t
 
-val of_list : n:int -> Event.t list -> t
+val of_list : n:int -> ?initial:int -> Event.t list -> t
 
-val of_array : n:int -> Event.t array -> t
+val of_array : n:int -> ?initial:int -> Event.t array -> t
 (** Copies its argument. *)
 
 val empty : n:int -> t
 
 val n_replicas : t -> int
+
+val initial_members : t -> int
+(** Count of replicas that are members at time zero; equals [n_replicas]
+    for static executions. *)
 
 val length : t -> int
 
@@ -45,6 +54,12 @@ val check_well_formed : t -> (unit, string) result
     sequence numbers are distinct. Crash–recovery faults must alternate
     per replica ([crash] only while up, [recover] only while down) and a
     crashed replica has no do/send/receive events until it recovers.
+    Membership is checked too: replicas [initial .. n-1] have no events
+    before their [Join]; a departed replica has none after its [Leave];
+    joins and leaves carry strictly increasing epochs; only members
+    crash, recover, or leave, and a crashed replica cannot leave (a
+    vanished member is a crash-leave, a single [Leave] with
+    [graceful = false]).
     (State-machine well-formedness — that each replica's subsequence is a
     run of its transition function — is guaranteed by construction when
     executions are produced by the simulator, and checked there.) *)

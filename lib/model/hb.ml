@@ -26,7 +26,7 @@ let compute exec =
         if sender_label.(p) > base.(p) then base.(p) <- sender_label.(p)
       done
     | Event.Send { msg; _ } -> Hashtbl.replace send_index (Message.id msg) i
-    | Event.Do _ | Event.Crash _ | Event.Recover _ -> ());
+    | Event.Do _ | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ());
     base.(r) <- i;
     labels.(i) <- base;
     last.(r) <- i

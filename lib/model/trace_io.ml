@@ -2,9 +2,10 @@ open Haec_wire
 
 let magic = "HAEC"
 
-(* version 2 added crash/recover fault events; version 1 traces (no fault
-   events) decode unchanged *)
-let version = 2
+(* version 2 added crash/recover fault events; version 3 added the initial
+   member count to the header and join/leave membership events; traces of
+   earlier versions decode unchanged (initial defaults to n) *)
+let version = 3
 
 let encode_response enc = function
   | Op.Ok -> Wire.Encoder.uint enc 0
@@ -50,6 +51,15 @@ let encode_event enc = function
   | Event.Recover { replica } ->
     Wire.Encoder.uint enc 4;
     Wire.Encoder.uint enc replica
+  | Event.Join { replica; epoch } ->
+    Wire.Encoder.uint enc 5;
+    Wire.Encoder.uint enc replica;
+    Wire.Encoder.uint enc epoch
+  | Event.Leave { replica; epoch; graceful } ->
+    Wire.Encoder.uint enc 6;
+    Wire.Encoder.uint enc replica;
+    Wire.Encoder.uint enc epoch;
+    Wire.Encoder.uint enc (if graceful then 1 else 0)
 
 let decode_event dec =
   match Wire.Decoder.uint dec with
@@ -73,12 +83,22 @@ let decode_event dec =
   | 4 ->
     let replica = Wire.Decoder.uint dec in
     Event.Recover { replica }
+  | 5 ->
+    let replica = Wire.Decoder.uint dec in
+    let epoch = Wire.Decoder.uint dec in
+    Event.Join { replica; epoch }
+  | 6 ->
+    let replica = Wire.Decoder.uint dec in
+    let epoch = Wire.Decoder.uint dec in
+    let graceful = Wire.Decoder.uint dec <> 0 in
+    Event.Leave { replica; epoch; graceful }
   | tag -> raise (Wire.Decoder.Malformed (Printf.sprintf "bad event tag %d" tag))
 
 let encode_execution enc exec =
   Wire.Encoder.string enc magic;
   Wire.Encoder.uint enc version;
   Wire.Encoder.uint enc (Execution.n_replicas exec);
+  Wire.Encoder.uint enc (Execution.initial_members exec);
   Wire.Encoder.list enc encode_event (Execution.events exec)
 
 let decode_execution dec =
@@ -89,8 +109,11 @@ let decode_execution dec =
     raise (Wire.Decoder.Malformed (Printf.sprintf "unsupported trace version %d" v));
   let n = Wire.Decoder.uint dec in
   if n <= 0 then raise (Wire.Decoder.Malformed "bad replica count");
+  let initial = if v >= 3 then Wire.Decoder.uint dec else n in
+  if initial <= 0 || initial > n then
+    raise (Wire.Decoder.Malformed "bad initial member count");
   let events = Wire.Decoder.list dec decode_event in
-  Execution.of_list ~n events
+  Execution.of_list ~n ~initial events
 
 let to_string exec = Wire.encode (fun enc -> encode_execution enc exec)
 

@@ -25,6 +25,10 @@ type outcome = {
   exec : Execution.t;
   ops : int;
   skipped : int;
+  refused : int;
+      (** steps whose home replica was churn-unavailable — a bootstrapping
+          joiner (refuses reads until caught up) or already departed — and
+          the client had to fail over or give up *)
   horizon : float;
   quiesced_at : float;
   result : (Checks.report, string) result;
@@ -50,13 +54,14 @@ let pp_outcome ppf o =
   Format.fprintf ppf
     "@[<v>seed %d: %s@,%a\
      crashes=%d recoveries=%d dropped=%d retransmitted=%d corrupt_rejected=%d \
-     lost_permanent=%d gossip_rounds=%d@,\
-     %d ops (%d skipped, all replicas down), %d events@]"
+     lost_permanent=%d gossip_rounds=%d joins=%d leaves=%d@,\
+     %d ops (%d skipped: nobody serving; %d refused at a churned home), %d events@]"
     o.seed
     (if converged o then "converged" else "FAILED")
     Fault_plan.pp o.plan s.Runner.crashes s.Runner.recoveries s.Runner.dropped
     s.Runner.retransmitted s.Runner.corrupt_rejected s.Runner.lost_permanent
-    s.Runner.gossip_rounds o.ops o.skipped (Execution.length o.exec);
+    s.Runner.gossip_rounds s.Runner.joins s.Runner.leaves o.ops o.skipped o.refused
+    (Execution.length o.exec);
   match o.result with
   | Ok r ->
     List.iter
@@ -70,12 +75,15 @@ let pp_outcome ppf o =
    the same run forever). The shrinker edits the resulting pair directly
    and replays it through [run_plan]. *)
 let derive ?(n = 3) ?(objects = 2) ?(ops = 40) ?(mix = Workload.register_mix)
-    ?(adversarial = false) ~seed () =
+    ?(adversarial = false) ?(churn = false) ~seed () =
   let rng = Rng.create seed in
   (* client steps are spaced 1.0 apart, so the fault horizon leaves room
      for every window to open during the workload and heal after it *)
   let horizon = float_of_int ops +. 10.0 in
-  let plan = Fault_plan.random rng ~n ~horizon ~adversarial () in
+  let plan = Fault_plan.random rng ~n ~horizon ~adversarial ~churn () in
+  (* the workload is drawn over the initial members only (reserve ids have
+     no clients of their own) and, crucially, after every plan draw — so
+     the ~churn:false steps are bit-identical to the pre-churn ones *)
   let steps = Workload.generate ~rng ~n ~objects ~ops mix in
   (plan, steps)
 
@@ -90,6 +98,8 @@ module Drive (DS : sig
 
   val gossip : ((state -> state) * (state array -> bool)) option
 
+  val hooks : state Runner.membership_hooks option
+
   val reset_stats : unit -> unit
 
   val gossip_stats : unit -> Haec_store.Store_intf.gossip_stats option
@@ -97,12 +107,15 @@ end) =
 struct
   module R = Runner.Make (DS)
 
-  (* First live replica at or after [r], if any — a client whose home
-     replica is down fails over to another one (availability!). *)
-  let failover sim ~n r =
-    let rec go k = if k = n then None else
-      let r' = (r + k) mod n in
-      if R.is_down sim ~replica:r' then go (k + 1) else Some r'
+  (* First replica at or after [r] that can serve, if any — a client whose
+     home replica is down or churned away fails over to another one
+     (availability!). Scans the whole id space: a joined-and-promoted
+     reserve is as good a host as anyone. *)
+  let failover sim ~capacity r =
+    let rec go k = if k = capacity then None else
+      let r' = (r + k) mod capacity in
+      if R.is_serving sim ~replica:r' && not (R.is_down sim ~replica:r') then Some r'
+      else go (k + 1)
     in
     go 0
 
@@ -113,6 +126,25 @@ struct
       match policy with Some p -> p | None -> Net_policy.random_delay ()
     in
     let horizon = plan.Fault_plan.horizon in
+    (* with churn, [n] is the initial member count and the id space grows
+       to the plan's capacity; the reserve ids boot empty mid-run *)
+    let capacity, initial =
+      match plan.Fault_plan.churn with
+      | None -> (n, n)
+      | Some c ->
+        if c.Fault_plan.initial <> n then
+          invalid_arg
+            (Printf.sprintf "Chaos.run_plan: plan churn has initial=%d but n=%d"
+               c.Fault_plan.initial n);
+        (match DS.recovery with
+        | `Anti_entropy -> ()
+        | `Oracle ->
+          (* a joiner bootstraps over digest/repair, and a crash-leaver's
+             lost deliveries are lost for good — both are outside the
+             omniscient-retransmission contract *)
+          invalid_arg "Chaos.run_plan: churn requires `Anti_entropy recovery");
+        (c.Fault_plan.capacity, c.Fault_plan.initial)
+    in
     DS.reset_stats ();
     let gossip =
       match DS.gossip with
@@ -120,12 +152,14 @@ struct
       | Some (tick, settled) -> Some (gossip_interval, tick, settled)
     in
     let sim =
-      R.create ~seed ~n ~policy ~faults:plan ~recovery:DS.recovery ?gossip
+      R.create ~seed ~n:capacity ~initial ?hooks:DS.hooks ~policy ~faults:plan
+        ~recovery:DS.recovery ?gossip
         ~recover_state:(fun ~replica:_ st -> DS.recover st)
         ()
     in
     let skipped = ref 0 in
     let executed = ref 0 in
+    let refused = ref 0 in
     (* interleave the fault schedule with the client workload by time *)
     let faults = ref (Fault_plan.events plan) in
     let fire_up_to time =
@@ -136,7 +170,9 @@ struct
           R.advance_to sim at;
           (match what with
           | `Crash r -> R.crash sim ~replica:r
-          | `Recover r -> R.recover sim ~replica:r);
+          | `Recover r -> R.recover sim ~replica:r
+          | `Join r -> R.join sim ~replica:r
+          | `Leave (r, graceful) -> R.leave sim ~replica:r ~graceful);
           go ()
         | _ -> ()
       in
@@ -146,8 +182,14 @@ struct
       (fun (s : Workload.step) ->
         fire_up_to s.at;
         R.advance_to sim s.at;
-        match failover sim ~n s.replica with
-        | None -> incr skipped (* every replica is down: no one to serve *)
+        if
+          R.is_member sim ~replica:s.replica
+          && not (R.is_serving sim ~replica:s.replica)
+          || not (R.is_member sim ~replica:s.replica)
+             && s.replica < initial (* departed home, not an unjoined reserve *)
+        then incr refused;
+        match failover sim ~capacity s.replica with
+        | None -> incr skipped (* nobody is serving: no one to take the op *)
         | Some replica ->
           incr executed;
           ignore (R.op sim ~replica ~obj:s.obj s.op))
@@ -158,10 +200,16 @@ struct
     let finish () =
       R.run_until_quiescent ~max_events sim;
       let quiescent_at = List.length (Execution.do_events (R.execution sim)) in
+      (* the convergence audit reads every object at every serving member —
+         bootstrapping joiners refuse reads and departed ids have no one to
+         ask, so neither takes part *)
+      let readers =
+        List.filter
+          (fun r -> R.is_serving sim ~replica:r)
+          (Membership.members (R.membership sim))
+      in
       for obj = 0 to objects - 1 do
-        for replica = 0 to n - 1 do
-          ignore (R.op sim ~replica ~obj Op.Read)
-        done
+        List.iter (fun replica -> ignore (R.op sim ~replica ~obj Op.Read)) readers
       done;
       let exec = R.execution sim in
       let witness = R.witness_abstract sim in
@@ -170,7 +218,8 @@ struct
          check, as the experiment harness does *)
       match
         ( report.Checks.eventual,
-          Haec_consistency.Eventual.check_reads_agree exec ~suffix:(n * objects) )
+          Haec_consistency.Eventual.check_reads_agree exec
+            ~suffix:(List.length readers * objects) )
       with
       | Ok (), (Error _ as e) -> { report with Checks.eventual = e }
       | _ -> report
@@ -204,7 +253,9 @@ struct
       c "gossip.updates" gs.Haec_store.Store_intf.updates;
       c "gossip.update_bytes" gs.Haec_store.Store_intf.update_bytes;
       c "gossip.dup_payloads" gs.Haec_store.Store_intf.dup_payloads;
-      c "gossip.repair_applied" gs.Haec_store.Store_intf.repair_applied);
+      c "gossip.repair_applied" gs.Haec_store.Store_intf.repair_applied;
+      c "gossip.memberships" gs.Haec_store.Store_intf.memberships;
+      c "gossip.membership_bytes" gs.Haec_store.Store_intf.membership_bytes);
     {
       seed;
       plan;
@@ -216,6 +267,7 @@ struct
       exec = R.execution sim;
       ops = !executed;
       skipped = !skipped;
+      refused = !refused;
       horizon;
       quiesced_at = R.now sim;
       result;
@@ -233,6 +285,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
     let recovery = `Oracle
 
     let gossip = None
+
+    let hooks = None
 
     let reset_stats () = ()
 
@@ -252,6 +306,18 @@ module Make (S : Haec_store.Store_intf.S) = struct
         ( DA.map_inner AE.tick,
           fun states -> AE.settled (Array.map DA.inner states) )
 
+    (* membership announcements are control state too: [map_inner], no WAL
+       entry — a recovering replica re-announces through normal gossip *)
+    let hooks =
+      Some
+        {
+          Runner.progress = (fun st -> AE.have (DA.inner st));
+          on_join = (fun ~epoch st -> DA.map_inner (AE.announce_join ~epoch) st);
+          on_leave =
+            (fun ~epoch ~graceful st ->
+              if graceful then DA.map_inner (AE.announce_leave ~epoch) st else st);
+        }
+
     let reset_stats () = AE.reset_gossip_stats ()
 
     let gossip_stats () = Some (AE.gossip_stats ())
@@ -268,8 +334,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
         ?gossip_interval ~n ~plan ~steps ~seed ()
 
   let run ?(n = 3) ?(objects = 2) ?(ops = 40) ?spec_of ?(mix = Workload.register_mix)
-      ?policy ?max_events ?require ?recovery ?adversarial ?gossip_interval ~seed () =
-    let plan, steps = derive ~n ~objects ~ops ~mix ?adversarial ~seed () in
+      ?policy ?max_events ?require ?recovery ?adversarial ?churn ?gossip_interval
+      ~seed () =
+    let plan, steps = derive ~n ~objects ~ops ~mix ?adversarial ?churn ~seed () in
     run_plan ~objects ?spec_of ?policy ?max_events ?require ?recovery ?gossip_interval
       ~n ~plan ~steps ~seed ()
 
@@ -277,10 +344,10 @@ module Make (S : Haec_store.Store_intf.S) = struct
      fans out over domains; outcomes come back in seed order regardless of
      [?domains] (see the contract in [Haec_util.Par]). *)
   let run_seeds ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?recovery
-      ?adversarial ?gossip_interval ?domains ~seeds () =
+      ?adversarial ?churn ?gossip_interval ?domains ~seeds () =
     Par.map_list ?domains
       (fun seed ->
         run ?n ?objects ?ops ?spec_of ?mix ?policy ?max_events ?require ?recovery
-          ?adversarial ?gossip_interval ~seed ())
+          ?adversarial ?churn ?gossip_interval ~seed ())
       seeds
 end

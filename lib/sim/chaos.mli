@@ -55,7 +55,12 @@ type outcome = {
           [gossip.repair_applied]) *)
   exec : Execution.t;
   ops : int;  (** client operations executed (after failover) *)
-  skipped : int;  (** operations dropped because every replica was down *)
+  skipped : int;  (** operations dropped because nobody could serve them *)
+  refused : int;
+      (** operations whose home replica was churn-unavailable — a
+          bootstrapping joiner (refuses reads until caught up) or a
+          departed member — whether or not failover then placed them;
+          E22's availability-during-churn numerator *)
   horizon : float;  (** when every healing fault had healed *)
   quiesced_at : float;
       (** simulated time at quiescence; [quiesced_at -. horizon] is the
@@ -80,14 +85,19 @@ val derive :
   ?ops:int ->
   ?mix:Workload.mix ->
   ?adversarial:bool ->
+  ?churn:bool ->
   seed:int ->
   unit ->
   Fault_plan.t * Workload.step list
 (** The inputs a seed determines: the fault plan, then the workload, drawn
     from one generator in that order (the draw order is part of the
     reproducibility contract). [~adversarial] (default false) adds
-    duplication, reordering, and dead-link faults to the plan — see
-    {!Fault_plan.random}. *)
+    duplication, reordering, and dead-link faults to the plan;
+    [~churn] (default false) adds a membership schedule — reserve ids
+    joining mid-run and members leaving (see {!Fault_plan.random}). The
+    workload is always drawn over the [n] initial members, after every
+    plan draw, so turning either flag off reproduces the exact pre-flag
+    inputs. *)
 
 module Make (S : Haec_store.Store_intf.S) : sig
   val run_plan :
@@ -107,7 +117,12 @@ module Make (S : Haec_store.Store_intf.S) : sig
   (** Replay explicit inputs — the entry point the shrinker minimizes
       through. [seed] seeds only the network schedule (delivery delays,
       corruption choices), not the inputs. [gossip_interval] (default 2.0,
-      [`Anti_entropy] only) is the simulated time between digest rounds. *)
+      [`Anti_entropy] only) is the simulated time between digest rounds.
+      A plan with churn keeps [n] as the {e initial} member count — the
+      run's id space grows to the plan's capacity — and requires
+      [`Anti_entropy] recovery (raises [Invalid_argument] under
+      [`Oracle]: bootstrap and crash-leave are outside the omniscient
+      retransmission contract). *)
 
   val run :
     ?n:int ->
@@ -120,13 +135,15 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?require:level ->
     ?recovery:Runner.recovery ->
     ?adversarial:bool ->
+    ?churn:bool ->
     ?gossip_interval:float ->
     seed:int ->
     unit ->
     outcome
   (** One seeded chaos run: {!derive} then {!run_plan} (defaults: 3
       replicas, 2 objects, 40 ops, MVR spec, register mix, random-delay
-      policy, [`Correct] bar, [`Oracle] recovery, baseline faults). *)
+      policy, [`Correct] bar, [`Oracle] recovery, baseline faults).
+      [~churn:true] requires [~recovery:`Anti_entropy]. *)
 
   val run_seeds :
     ?n:int ->
@@ -139,6 +156,7 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?require:level ->
     ?recovery:Runner.recovery ->
     ?adversarial:bool ->
+    ?churn:bool ->
     ?gossip_interval:float ->
     ?domains:int ->
     seeds:int list ->

@@ -12,6 +12,17 @@ type reorder_window = { jitter : float; from_ : float; until : float }
 
 type dead_link = { src : int; dst : int; from_ : float }
 
+type join_event = { replica : int; at : float }
+
+type leave_event = { replica : int; at : float; graceful : bool }
+
+type churn = {
+  initial : int;
+  capacity : int;
+  joins : join_event list;
+  leaves : leave_event list;
+}
+
 type t = {
   crashes : crash_window list;
   links : link_fault list;
@@ -19,6 +30,7 @@ type t = {
   dup : dup_window option;
   reorder : reorder_window option;
   dead : dead_link list;
+  churn : churn option;
   horizon : float;
 }
 
@@ -30,38 +42,79 @@ let none =
     dup = None;
     reorder = None;
     dead = [];
+    churn = None;
     horizon = 0.0;
   }
 
-(* The undirected "both directions live forever" graph over [n] replicas
-   must stay connected: a pair cut off in both directions can still be
-   reached transitively through a neighbor that relays repairs, but a
-   replica (or group) with every remaining edge severed is outside the
-   paper's sufficiently-connected assumption (Section 2) and no protocol
-   can converge it. *)
-let dead_keeps_connected ~n dead =
-  if n <= 1 then true
-  else begin
-    let cut = Array.make (n * n) false in
-    List.iter
-      (fun (d : dead_link) ->
-        cut.((d.src * n) + d.dst) <- true;
-        cut.((d.dst * n) + d.src) <- true)
-      dead;
-    let seen = Array.make n false in
-    let rec dfs i =
-      seen.(i) <- true;
-      for j = 0 to n - 1 do
-        if (not seen.(j)) && j <> i && not cut.((i * n) + j) then dfs j
-      done
-    in
-    dfs 0;
-    Array.for_all Fun.id seen
-  end
+(* The undirected "both directions live forever" graph over the replicas
+   satisfying [present] (all of them by default) must stay connected: a
+   pair cut off in both directions can still be reached transitively
+   through a neighbor that relays repairs, but a replica (or group) with
+   every remaining edge severed is outside the paper's
+   sufficiently-connected assumption (Section 2) and no protocol can
+   converge it. With churn the relaying neighbor must actually be a member
+   at the time, hence the [present] restriction. *)
+let dead_keeps_connected ?present ~n dead =
+  let here r = match present with None -> true | Some p -> p.(r) in
+  let count = ref 0 in
+  for r = 0 to n - 1 do
+    if here r then incr count
+  done;
+  !count <= 1
+  || begin
+       let cut = Array.make (n * n) false in
+       List.iter
+         (fun (d : dead_link) ->
+           cut.((d.src * n) + d.dst) <- true;
+           cut.((d.dst * n) + d.src) <- true)
+         dead;
+       let seen = Array.make n false in
+       let rec dfs i =
+         seen.(i) <- true;
+         for j = 0 to n - 1 do
+           if here j && (not seen.(j)) && j <> i && not cut.((i * n) + j) then dfs j
+         done
+       in
+       let start = ref (-1) in
+       for r = n - 1 downto 0 do
+         if here r then start := r
+       done;
+       dfs !start;
+       let ok = ref true in
+       for r = 0 to n - 1 do
+         if here r && not seen.(r) then ok := false
+       done;
+       !ok
+     end
+
+(* join/leave instants in time order; ties resolve joins-first (stable
+   sort over the joins-then-leaves concatenation) *)
+let churn_timeline c =
+  let js = List.map (fun (j : join_event) -> (j.at, `Join j.replica)) c.joins in
+  let ls =
+    List.map (fun (l : leave_event) -> (l.at, `Leave (l.replica, l.graceful))) c.leaves
+  in
+  List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (js @ ls)
+
+(* Every member set the run passes through — time zero, then after each
+   join and each leave — must stay connected over the dead links: a join
+   must not need a validated-dead link to reach the others, and a leave
+   must not sever the survivors' only relay path. *)
+let churn_keeps_connected c dead =
+  let present = Array.init c.capacity (fun r -> r < c.initial) in
+  let ok () = dead_keeps_connected ~present ~n:c.capacity dead in
+  ok ()
+  && List.for_all
+       (fun (_, e) ->
+         (match e with
+         | `Join r -> present.(r) <- true
+         | `Leave (r, _) -> present.(r) <- false);
+         ok ())
+       (churn_timeline c)
 
 let validate ?n t =
   List.iter
-    (fun c ->
+    (fun (c : crash_window) ->
       if c.at >= c.recover_at then invalid_arg "Fault_plan: crash window must be positive";
       if c.recover_at > t.horizon then invalid_arg "Fault_plan: recovery past the horizon")
     t.crashes;
@@ -69,14 +122,14 @@ let validate ?n t =
      already-down replica *)
   let by_replica =
     List.sort
-      (fun a b ->
+      (fun (a : crash_window) (b : crash_window) ->
         match Int.compare a.replica b.replica with
         | 0 -> Float.compare a.at b.at
         | c -> c)
       t.crashes
   in
   let rec check = function
-    | a :: (b :: _ as rest) ->
+    | (a : crash_window) :: ((b : crash_window) :: _ as rest) ->
       if a.replica = b.replica && b.at < a.recover_at then
         invalid_arg "Fault_plan: overlapping crash windows for one replica";
       check rest
@@ -111,7 +164,16 @@ let validate ?n t =
       if d.src = d.dst then invalid_arg "Fault_plan: dead link must join distinct replicas";
       if d.from_ < 0.0 then invalid_arg "Fault_plan: dead link strikes before time zero")
     t.dead;
-  (match (t.dead, n) with
+  (* with churn, the replica-id space is the plan's own capacity; a caller
+     passing ~n must agree with it *)
+  let cap =
+    match (t.churn, n) with
+    | Some c, Some n when n <> c.capacity ->
+      invalid_arg "Fault_plan: ~n disagrees with the churn capacity"
+    | Some c, _ -> Some c.capacity
+    | None, _ -> n
+  in
+  (match (t.dead, cap) with
   | [], _ -> ()
   | _ :: _, None ->
     invalid_arg "Fault_plan: dead links need ~n to check the network stays connected"
@@ -123,13 +185,87 @@ let validate ?n t =
       dead;
     if not (dead_keeps_connected ~n dead) then
       invalid_arg "Fault_plan: dead links disconnect the network");
+  (match t.churn with
+  | None -> ()
+  | Some c ->
+    if c.initial < 2 then
+      invalid_arg "Fault_plan: churn needs at least two initial members";
+    if c.capacity < c.initial then invalid_arg "Fault_plan: churn capacity below initial";
+    let rec dup_id = function
+      | a :: (b :: _ as rest) -> a = b || dup_id rest
+      | _ -> false
+    in
+    List.iter
+      (fun (j : join_event) ->
+        if j.replica < c.initial || j.replica >= c.capacity then
+          invalid_arg "Fault_plan: join replica must come from the reserve pool";
+        if j.at <= 0.0 || j.at >= t.horizon then
+          invalid_arg "Fault_plan: join outside the horizon")
+      c.joins;
+    if
+      dup_id
+        (List.sort Int.compare (List.map (fun (j : join_event) -> j.replica) c.joins))
+    then invalid_arg "Fault_plan: a replica joins twice";
+    List.iter
+      (fun (l : leave_event) ->
+        if l.replica < 0 || l.replica >= c.capacity then
+          invalid_arg "Fault_plan: leave replica out of range";
+        if l.at <= 0.0 || l.at >= t.horizon then
+          invalid_arg "Fault_plan: leave outside the horizon";
+        if l.replica >= c.initial then
+          match
+            List.find_opt (fun (j : join_event) -> j.replica = l.replica) c.joins
+          with
+          | None -> invalid_arg "Fault_plan: a reserve replica leaves without joining"
+          | Some j ->
+            if j.at >= l.at then
+              invalid_arg "Fault_plan: a replica leaves before it joins")
+      c.leaves;
+    if
+      dup_id
+        (List.sort Int.compare (List.map (fun (l : leave_event) -> l.replica) c.leaves))
+    then invalid_arg "Fault_plan: a replica leaves twice (ids are never reused)";
+    (* crash windows must lie entirely inside the replica's membership: a
+       reserve crashes only after it joins, and nobody crashes across (or
+       past) its leave — a member that vanishes for good is a crash-leave
+       event, not a crash window *)
+    List.iter
+      (fun (cw : crash_window) ->
+        if cw.replica >= c.capacity then
+          invalid_arg "Fault_plan: crash replica out of range";
+        (if cw.replica >= c.initial then
+           match
+             List.find_opt (fun (j : join_event) -> j.replica = cw.replica) c.joins
+           with
+           | None -> invalid_arg "Fault_plan: crash window at a replica that never joins"
+           | Some j ->
+             if cw.at <= j.at then
+               invalid_arg "Fault_plan: crash window opens before the replica joins");
+        List.iter
+          (fun (l : leave_event) ->
+            if l.replica = cw.replica && l.at < cw.recover_at then
+              invalid_arg "Fault_plan: crash window crosses the replica's leave")
+          c.leaves)
+      t.crashes;
+    (* availability needs somebody left to fail over to *)
+    let count = ref c.initial in
+    List.iter
+      (fun (_, e) ->
+        (match e with `Join _ -> incr count | `Leave _ -> decr count);
+        if !count < 2 then invalid_arg "Fault_plan: churn leaves fewer than two members")
+      (churn_timeline c);
+    if not (churn_keeps_connected c t.dead) then
+      invalid_arg "Fault_plan: churn disconnects the network over dead links");
   t
 
-let make ?(crashes = []) ?(links = []) ?corruption ?dup ?reorder ?(dead = []) ?n
+let make ?(crashes = []) ?(links = []) ?corruption ?dup ?reorder ?(dead = []) ?churn ?n
     ~horizon () =
-  validate ?n { crashes; links; corruption; dup; reorder; dead; horizon }
+  validate ?n { crashes; links; corruption; dup; reorder; dead; churn; horizon }
 
-type event = { at : float; what : [ `Crash of int | `Recover of int ] }
+type event = {
+  at : float;
+  what : [ `Crash of int | `Recover of int | `Join of int | `Leave of int * bool ];
+}
 
 let events t =
   let evs =
@@ -140,6 +276,16 @@ let events t =
           { at = c.recover_at; what = `Recover c.replica };
         ])
       t.crashes
+    @
+    match t.churn with
+    | None -> []
+    | Some c ->
+      List.map
+        (fun (at, what) ->
+          match what with
+          | `Join r -> { at; what = `Join r }
+          | `Leave (r, g) -> { at; what = `Leave (r, g) })
+        (churn_timeline c)
   in
   List.stable_sort (fun a b -> Float.compare a.at b.at) evs
 
@@ -206,7 +352,7 @@ let mutate rng s =
       if String.equal z s then flip () else z
 
 let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.15)
-    ?(adversarial = false) () =
+    ?(adversarial = false) ?(churn = false) () =
   if n <= 0 then invalid_arg "Fault_plan.random: n must be positive";
   if horizon <= 0.0 then invalid_arg "Fault_plan.random: horizon must be positive";
   (* crash windows in the first ~70% of the horizon, recoveries strictly
@@ -282,12 +428,57 @@ let random rng ~n ~horizon ?(max_crashes = 3) ?(max_links = 2) ?(corrupt_p = 0.1
       List.rev !picked
     end
   in
-  validate ~n { crashes; links; corruption; dup; reorder; dead; horizon }
+  (* the churn draws come strictly after every other draw, so plans with
+     [~churn:false] stay bit-identical to the historical ones. Joins land
+     in [0.1, 0.6)·horizon and leaves in [0.7, 0.95)·horizon, so every
+     join strictly precedes every leave; crash windows recover by
+     0.95·horizon, so leavers are drawn only from replicas without a crash
+     window (a leave must not strike a down replica, and windows must not
+     cross the leave). *)
+  let churn_plan =
+    if not churn then None
+    else begin
+      let extra = 1 + Rng.int rng 2 in
+      let capacity = n + extra in
+      let joins =
+        List.init extra (fun i ->
+            { replica = n + i; at = (0.1 +. Rng.float rng 0.5) *. horizon })
+      in
+      let crashing r = List.exists (fun (c : crash_window) -> c.replica = r) crashes in
+      let candidates =
+        List.filter (fun r -> not (crashing r)) (List.init n Fun.id)
+        @ List.map (fun (j : join_event) -> j.replica) joins
+      in
+      let max_leaves = min (List.length candidates) (capacity - 2) in
+      let wanted = Rng.int rng (1 + min 2 max_leaves) in
+      (* admit each leaver greedily only while every member set the run
+         passes through stays connected over the dead links *)
+      let leaves = ref [] in
+      List.iter
+        (fun r ->
+          if List.length !leaves < wanted then begin
+            let candidate =
+              { replica = r; at = (0.7 +. Rng.float rng 0.25) *. horizon;
+                graceful = Rng.chance rng 0.5 }
+            in
+            let c =
+              { initial = n; capacity; joins; leaves = candidate :: !leaves }
+            in
+            if List.length c.leaves <= capacity - 2 && churn_keeps_connected c dead
+            then leaves := candidate :: !leaves
+          end)
+        candidates;
+      Some { initial = n; capacity; joins; leaves = List.rev !leaves }
+    end
+  in
+  let n = match churn_plan with Some c -> c.capacity | None -> n in
+  validate ~n { crashes; links; corruption; dup; reorder; dead; churn = churn_plan; horizon }
 
 let pp ppf t =
   Format.fprintf ppf "@[<v>horizon %.1f@," t.horizon;
   List.iter
-    (fun c -> Format.fprintf ppf "crash R%d [%.1f, %.1f)@," c.replica c.at c.recover_at)
+    (fun (c : crash_window) ->
+      Format.fprintf ppf "crash R%d [%.1f, %.1f)@," c.replica c.at c.recover_at)
     t.crashes;
   List.iter
     (fun (l : link_fault) ->
@@ -308,4 +499,17 @@ let pp ppf t =
     (fun (d : dead_link) ->
       Format.fprintf ppf "dead %d->%d [%.1f, inf)@," d.src d.dst d.from_)
     t.dead;
+  (match t.churn with
+  | Some c ->
+    Format.fprintf ppf "churn initial=%d capacity=%d@," c.initial c.capacity;
+    List.iter
+      (fun (j : join_event) -> Format.fprintf ppf "join R%d at %.1f@," j.replica j.at)
+      c.joins;
+    List.iter
+      (fun (l : leave_event) ->
+        Format.fprintf ppf "%s R%d at %.1f@,"
+          (if l.graceful then "leave" else "crash-leave")
+          l.replica l.at)
+      c.leaves
+  | None -> ());
   Format.fprintf ppf "@]"

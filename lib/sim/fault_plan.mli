@@ -32,7 +32,20 @@
     All healing faults heal strictly before [horizon], so a run driven past
     the horizon and then to quiescence must converge — that is the chaos
     harness's acceptance bar. Dead links never heal; convergence then
-    relies on the store's own repair protocol. *)
+    relies on the store's own repair protocol.
+
+    A plan may additionally carry a {b churn} schedule: the replica set
+    itself changes. Ids [0 .. initial-1] are members from time zero, ids
+    [initial .. capacity-1] a reserve pool; a {!join_event} brings a
+    reserve id in (booting empty, bootstrapped over anti-entropy), a
+    {!leave_event} removes a member for good — gracefully (it flushes
+    first) or as a crash-leave (it vanishes; repair is up to the
+    survivors). Validation keeps churn runs convergeable: at least two
+    members at all times, crash windows entirely inside their replica's
+    membership, ids never reused, and every member set the run passes
+    through stays connected over the dead links — a join must not need a
+    validated-dead link to reach the others, and a leave must not sever
+    the survivors' only relay path. *)
 
 open Haec_util
 
@@ -48,6 +61,17 @@ type reorder_window = { jitter : float; from_ : float; until : float }
 
 type dead_link = { src : int; dst : int; from_ : float }
 
+type join_event = { replica : int; at : float }
+
+type leave_event = { replica : int; at : float; graceful : bool }
+
+type churn = {
+  initial : int;  (** members at time zero: ids [0 .. initial-1] *)
+  capacity : int;  (** the whole id space, reserve pool included *)
+  joins : join_event list;
+  leaves : leave_event list;
+}
+
 type t = {
   crashes : crash_window list;
   links : link_fault list;
@@ -55,6 +79,7 @@ type t = {
   dup : dup_window option;
   reorder : reorder_window option;
   dead : dead_link list;
+  churn : churn option;
   horizon : float;
 }
 
@@ -68,6 +93,7 @@ val make :
   ?dup:dup_window ->
   ?reorder:reorder_window ->
   ?dead:dead_link list ->
+  ?churn:churn ->
   ?n:int ->
   horizon:float ->
   unit ->
@@ -77,7 +103,10 @@ val make :
     additionally require [~n] (the replica count) so the
     sufficiently-connected check can run: endpoints must be in range and
     the undirected graph of pairs with both directions alive must be
-    connected. Raises [Invalid_argument] otherwise. *)
+    connected. With [~churn], [~n] (if given) must equal the churn
+    capacity, and the churn invariants of the module comment are enforced
+    — including per-member-set connectivity over the dead links. Raises
+    [Invalid_argument] otherwise. *)
 
 val random :
   Rng.t ->
@@ -87,6 +116,7 @@ val random :
   ?max_links:int ->
   ?corrupt_p:float ->
   ?adversarial:bool ->
+  ?churn:bool ->
   unit ->
   t
 (** A seeded random plan: up to [max_crashes] crash windows (at most one
@@ -95,15 +125,25 @@ val random :
     (default 0.15). With [~adversarial:true] (default false) the plan may
     additionally carry a duplication window, a reordering window, and up to
     [n] dead links admitted only while the network stays sufficiently
-    connected. Deterministic in the generator state; the adversarial draws
-    are consumed strictly after the baseline ones, so for any generator
-    state the [~adversarial:false] plan is bit-identical to the plan this
-    function produced before adversarial faults existed. *)
+    connected. With [~churn:true] (default false), [n] is the {e initial}
+    member count: the plan gains 1–2 reserve ids that join mid-run and up
+    to two leaves (graceful or crash-leave, drawn from replicas without a
+    crash window plus the joined reserves, admitted greedily while the
+    member sets stay connected). Deterministic in the generator state; the
+    adversarial draws are consumed strictly after the baseline ones and
+    the churn draws strictly after the adversarial ones, so for any
+    generator state the [~adversarial:false ~churn:false] plan is
+    bit-identical to the plan this function produced before either
+    existed. *)
 
-type event = { at : float; what : [ `Crash of int | `Recover of int ] }
+type event = {
+  at : float;
+  what : [ `Crash of int | `Recover of int | `Join of int | `Leave of int * bool ];
+}
 
 val events : t -> event list
-(** Crash and recover instants, sorted by time. *)
+(** Crash, recover, join, and leave instants, sorted by time. [`Leave
+    (r, graceful)] distinguishes a graceful leave from a crash-leave. *)
 
 val link_dropped : t -> src:int -> dst:int -> at:float -> float option
 (** If a delivery on [src -> dst] at time [at] falls in a link fault

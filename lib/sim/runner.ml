@@ -16,9 +16,22 @@ type stats = {
   corrupt_collisions : int;
   lost_permanent : int;
   gossip_rounds : int;
+  joins : int;
+  leaves : int;
 }
 
 type recovery = [ `Oracle | `Anti_entropy ]
+
+(* How the runner talks membership to the store protocol: [progress] is an
+   observation-only read of how far a state has caught up (the anti-entropy
+   [have] vector, read through the durable layer), [on_join]/[on_leave]
+   queue the wire-level announcements on the replica itself. Like the
+   gossip tick, these mutate only unlogged control state. *)
+type 'state membership_hooks = {
+  progress : 'state -> Haec_vclock.Vclock.t;
+  on_join : epoch:int -> 'state -> 'state;
+  on_leave : epoch:int -> graceful:bool -> 'state -> 'state;
+}
 
 module Make (S : Haec_store.Store_intf.S) = struct
   type delivery = { dst : int; msg : Message.t }
@@ -42,12 +55,16 @@ module Make (S : Haec_store.Store_intf.S) = struct
   }
 
   type t = {
-    n : int;
+    n : int;  (** the id-space capacity; members may be a subset *)
     rng : Rng.t;
     policy : Net_policy.t option;
     faults : Fault_plan.t option;
     recovery : recovery;
     gossip : gossip option;
+    mutable membership : Membership.t;
+    hooks : S.state membership_hooks option;
+    bootstrap : (int, Vclock.t * float) Hashtbl.t;
+        (** bootstrapping replica -> (catch-up target, join time) *)
     mutable next_gossip : float;
     recover_state : replica:int -> S.state -> S.state;
     auto_send : bool;
@@ -73,6 +90,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
     mutable s_corrupt_collisions : int;
     mutable s_lost_permanent : int;
     mutable s_gossip_rounds : int;
+    mutable s_joins : int;
+    mutable s_leaves : int;
+    mutable s_bootstrap_bytes : int;
+        (** payload bytes delivered to bootstrapping replicas *)
+    bootstrap_hist : Obs.Histogram.t;  (** join-to-serving latency *)
     (* witness bookkeeping, indexed by do-event position in H *)
     mutable do_count : int;
     dot_pos : (int * Dot.t, int) Hashtbl.t;  (* (obj, dot) -> do index *)
@@ -94,10 +116,13 @@ module Make (S : Haec_store.Store_intf.S) = struct
   }
 
   let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?(coalesce = false)
-      ?(coalesce_window = 2.0) ?policy ?faults ?(recovery = `Oracle) ?gossip
-      ?(recover_state = fun ~replica:_ st -> st) ~n () =
+      ?(coalesce_window = 2.0) ?policy ?faults ?(recovery = `Oracle) ?gossip ?initial
+      ?hooks ?(recover_state = fun ~replica:_ st -> st) ~n () =
     if n <= 0 then invalid_arg "Runner.create: n must be positive";
     if coalesce_window < 0.0 then invalid_arg "Runner.create: negative coalesce window";
+    let initial = match initial with None -> n | Some i -> i in
+    if initial <= 0 || initial > n then
+      invalid_arg "Runner.create: initial members must be in [1, n]";
     let gossip =
       match gossip with
       | None -> None
@@ -117,6 +142,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
       faults;
       recovery;
       gossip;
+      membership = Membership.create ~capacity:n ~initial;
+      hooks;
+      bootstrap = Hashtbl.create 8;
       next_gossip = (match gossip with Some g -> g.interval | None -> infinity);
       recover_state;
       auto_send;
@@ -139,6 +167,10 @@ module Make (S : Haec_store.Store_intf.S) = struct
       s_corrupt_collisions = 0;
       s_lost_permanent = 0;
       s_gossip_rounds = 0;
+      s_joins = 0;
+      s_leaves = 0;
+      s_bootstrap_bytes = 0;
+      bootstrap_hist = Obs.Histogram.create ();
       do_count = 0;
       dot_pos = Hashtbl.create 64;
       wit_rev = [];
@@ -170,9 +202,21 @@ module Make (S : Haec_store.Store_intf.S) = struct
       corrupt_collisions = t.s_corrupt_collisions;
       lost_permanent = t.s_lost_permanent;
       gossip_rounds = t.s_gossip_rounds;
+      joins = t.s_joins;
+      leaves = t.s_leaves;
     }
 
   let visibility_lag t = t.lag_hist
+
+  let membership t = t.membership
+
+  let is_member t ~replica = Membership.is_member t.membership replica
+
+  let is_serving t ~replica = Membership.is_serving t.membership replica
+
+  let bootstrap_bytes t = t.s_bootstrap_bytes
+
+  let bootstrap_latency t = t.bootstrap_hist
 
   let metrics t =
     let reg = Obs.Registry.create () in
@@ -192,6 +236,10 @@ module Make (S : Haec_store.Store_intf.S) = struct
     c "sim.crashes" t.s_crashes;
     c "sim.recoveries" t.s_recoveries;
     c "sim.gossip_rounds" t.s_gossip_rounds;
+    c "sim.joins" t.s_joins;
+    c "sim.leaves" t.s_leaves;
+    c "sim.bootstrap_bytes" t.s_bootstrap_bytes;
+    Obs.Registry.register reg "bootstrap.latency" (Obs.Registry.Histogram t.bootstrap_hist);
     Obs.Gauge.set (Obs.Registry.gauge reg "sim.now") t.now_;
     reg
 
@@ -223,7 +271,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
     | Some p ->
       let scheduled = ref 0 in
       for dst = 0 to t.n - 1 do
-        if dst <> src then begin
+        (* reserve and departed ids are not on the network: a broadcast
+           simply does not address them (no loss is counted) *)
+        if dst <> src && Membership.is_member t.membership dst then begin
           let dead =
             match t.faults with
             | Some f -> Fault_plan.link_dead f ~src ~dst ~at:t.now_
@@ -319,9 +369,17 @@ module Make (S : Haec_store.Store_intf.S) = struct
         Pqueue.add t.queue ~priority:(t.now_ +. t.coalesce_window) (Transmit replica)
       end
 
+  (* A bootstrapping replica has joined but not caught up: letting it
+     answer reads would surface stale-causal anomalies the checkers cannot
+     attribute, so the runner refuses the operation outright — the paper's
+     high-availability guarantee is scoped to serving members. *)
   let op t ~replica ~obj o =
     if t.down.(replica) then
       invalid_arg (Printf.sprintf "Runner.op: replica %d is crashed" replica);
+    if not (Membership.is_serving t.membership replica) then
+      invalid_arg
+        (Printf.sprintf "Runner.op: replica %d is %s, not serving" replica
+           (Membership.status_name (Membership.status t.membership replica)));
     let state, rval, witness = S.do_op t.states.(replica) ~obj o in
     t.states.(replica) <- state;
     let d = { Event.replica; obj; op = o; rval } in
@@ -356,13 +414,35 @@ module Make (S : Haec_store.Store_intf.S) = struct
     auto_flush t ~replica;
     rval
 
+  (* Promotion check: a bootstrapping replica becomes serving once its
+     progress vector has caught up to the catch-up target captured at join
+     time. Driven from deliveries — progress only advances when a repair
+     or update lands. *)
+  let maybe_promote t ~replica =
+    match Hashtbl.find_opt t.bootstrap replica with
+    | None -> ()
+    | Some (target, since) -> (
+      match t.hooks with
+      | None -> ()
+      | Some h ->
+        if Vclock.leq target (h.progress t.states.(replica)) then begin
+          Hashtbl.remove t.bootstrap replica;
+          t.membership <- Membership.promote t.membership replica;
+          Obs.Histogram.observe t.bootstrap_hist (t.now_ -. since)
+        end)
+
   let deliver_msg t ~dst msg =
     if dst = msg.Message.sender then
       invalid_arg "Runner.deliver_msg: replica cannot receive its own message";
     if t.down.(dst) then
       invalid_arg (Printf.sprintf "Runner.deliver_msg: replica %d is crashed" dst);
+    let bootstrapping = Hashtbl.mem t.bootstrap dst in
     t.states.(dst) <- S.receive t.states.(dst) ~sender:msg.Message.sender msg.Message.payload;
     t.s_deliveries <- t.s_deliveries + 1;
+    if bootstrapping then begin
+      t.s_bootstrap_bytes <- t.s_bootstrap_bytes + String.length msg.Message.payload;
+      maybe_promote t ~replica:dst
+    end;
     record t (Event.Receive { replica = dst; msg });
     (* non-op-driven stores may now have a message pending *)
     auto_flush t ~replica:dst
@@ -370,6 +450,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
   let crash t ~replica =
     if t.down.(replica) then
       invalid_arg (Printf.sprintf "Runner.crash: replica %d is already down" replica);
+    if not (Membership.is_member t.membership replica) then
+      invalid_arg (Printf.sprintf "Runner.crash: replica %d is not a member" replica);
     t.down.(replica) <- true;
     t.s_crashes <- t.s_crashes + 1;
     record t (Event.Crash { replica });
@@ -409,6 +491,83 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let lost_count t = List.length t.lost_rev
 
+  (* Bring a reserve id into the replica set. The joiner boots empty; its
+     catch-up target is everything any serving member has witnessed at this
+     instant (the pointwise max of their progress vectors), and it is
+     promoted to serving only once repair has carried it there — until
+     then [op] refuses it. Requires the anti-entropy stack: only a wire
+     repair protocol can transfer state into an empty replica. *)
+  let join t ~replica =
+    (match t.recovery with
+    | `Anti_entropy -> ()
+    | `Oracle ->
+      invalid_arg "Runner.join: dynamic membership requires `Anti_entropy recovery");
+    let hooks =
+      match t.hooks with
+      | Some h -> h
+      | None -> invalid_arg "Runner.join: dynamic membership requires membership hooks"
+    in
+    t.membership <- Membership.join t.membership replica;
+    let epoch = Membership.epoch t.membership in
+    t.s_joins <- t.s_joins + 1;
+    record t (Event.Join { replica; epoch });
+    let target =
+      List.fold_left
+        (fun acc r -> Vclock.merge acc (hooks.progress t.states.(r)))
+        (Vclock.zero ~n:t.n)
+        (Membership.serving t.membership)
+    in
+    t.states.(replica) <- hooks.on_join ~epoch t.states.(replica);
+    Hashtbl.replace t.bootstrap replica (target, t.now_);
+    (* an empty cluster history needs no catch-up: promote on the spot *)
+    maybe_promote t ~replica;
+    ignore (flush t ~replica)
+
+  (* Remove a member for good. A graceful leaver says goodbye and flushes
+     everything it still holds locally before departing; a crash-leaver
+     vanishes mid-protocol — in-flight deliveries addressed to it die with
+     it, permanently, and any update only it had logged is simply gone
+     (the reach-based settled check accounts for that). *)
+  let leave t ~replica ~graceful =
+    if t.down.(replica) then
+      invalid_arg
+        (Printf.sprintf "Runner.leave: replica %d is down; recover it first or crash-leave" replica);
+    t.membership <- Membership.leave t.membership replica;
+    let epoch = Membership.epoch t.membership in
+    t.s_leaves <- t.s_leaves + 1;
+    Hashtbl.remove t.bootstrap replica;
+    if graceful then begin
+      (match t.hooks with
+      | Some h -> t.states.(replica) <- h.on_leave ~epoch ~graceful t.states.(replica)
+      | None -> ());
+      t.dirty.(replica) <- false;
+      (* the farewell flush: drain every pending payload in one go *)
+      while S.has_pending t.states.(replica) do
+        let state, payload = S.send t.states.(replica) in
+        t.states.(replica) <- state;
+        let msg = { Message.sender = replica; seq = t.send_seq.(replica); payload } in
+        t.send_seq.(replica) <- t.send_seq.(replica) + 1;
+        t.msg_count.(replica) <- t.msg_count.(replica) + 1;
+        Obs.Histogram.observe t.payload_hist (float_of_int (String.length payload));
+        record t (Event.Send { replica; msg });
+        schedule_deliveries t ~src:replica msg
+      done
+    end;
+    (* either way the leaver is off the network now: deliveries already in
+       flight toward it are moot (graceful: it flushed; crash-leave: lost
+       for good — count those) *)
+    let inflight = Pqueue.to_list t.queue in
+    Pqueue.clear t.queue;
+    List.iter
+      (fun (at, ev) ->
+        match ev with
+        | Deliver d when d.dst = replica -> if not graceful then lose_permanently t
+        | Transmit r when r = replica -> ()
+        | ev -> Pqueue.add t.queue ~priority:at ev)
+      inflight;
+    t.dirty.(replica) <- false;
+    record t (Event.Leave { replica; epoch; graceful })
+
   (* One gossip round: advance the clock to the round's scheduled time,
      tick every live replica (queuing its digest) and flush it. Crashed
      replicas skip the round and resume announcing after recovery. A round
@@ -418,16 +577,22 @@ module Make (S : Haec_store.Store_intf.S) = struct
      would keep the queue busy past the next timer forever — quiescence
      would then depend on every digest of a round landing inside one
      interval, a coin-flip that can take thousands of rounds to win. *)
+  (* the quiescence oracle only ever looks at current members: reserve
+     states are untouched inits and departed states are frozen husks —
+     neither has anything left to say *)
+  let member_states t =
+    Array.of_list (List.map (fun r -> t.states.(r)) (Membership.members t.membership))
+
   let fire_gossip_round t =
     match t.gossip with
     | None -> ()
     | Some g ->
       t.now_ <- max t.now_ t.next_gossip;
       t.next_gossip <- t.next_gossip +. g.interval;
-      if not (g.settled t.states) then begin
+      if not (g.settled (member_states t)) then begin
         t.s_gossip_rounds <- t.s_gossip_rounds + 1;
         for r = 0 to t.n - 1 do
-          if not t.down.(r) then begin
+          if Membership.is_member t.membership r && not t.down.(r) then begin
             t.states.(r) <- g.tick t.states.(r);
             ignore (flush t ~replica:r)
           end
@@ -462,7 +627,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
       true
     | Some (at, Deliver ({ dst; msg } as d)) ->
       t.now_ <- max t.now_ at;
-      (if t.down.(dst) then begin
+      (if not (Membership.is_member t.membership dst) then
+         (* a straggler addressed to a replica that has since departed:
+            moot, not lost — the leave already settled the accounting *)
+         ()
+       else if t.down.(dst) then begin
          if oracle t then begin
            t.s_dropped <- t.s_dropped + 1;
            t.lost_rev <- d :: t.lost_rev
@@ -512,9 +681,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let pending_count t =
     let c = ref 0 in
-    for r = 0 to t.n - 1 do
-      if (not t.down.(r)) && S.has_pending t.states.(r) then incr c
-    done;
+    List.iter
+      (fun r -> if (not t.down.(r)) && S.has_pending t.states.(r) then incr c)
+      (Membership.members t.membership);
     !c
 
   let run_until_quiescent ?(max_events = 1_000_000) t =
@@ -536,12 +705,13 @@ module Make (S : Haec_store.Store_intf.S) = struct
            pending messages, and keep going *)
         let requeued = heal t in
         let flushed = ref false in
-        for r = 0 to t.n - 1 do
-          if (not t.down.(r)) && S.has_pending t.states.(r) then begin
-            ignore (flush t ~replica:r);
-            flushed := true
-          end
-        done;
+        List.iter
+          (fun r ->
+            if (not t.down.(r)) && S.has_pending t.states.(r) then begin
+              ignore (flush t ~replica:r);
+              flushed := true
+            end)
+          (Membership.members t.membership);
         if !flushed || requeued > 0 then go ()
         else
           (* nothing in flight and nothing to flush; with a gossip driver
@@ -553,8 +723,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
           match t.gossip with
           | None -> ()
           | Some g ->
-            if Array.exists Fun.id t.down then ()
-            else if g.settled t.states then ()
+            if List.exists (fun r -> t.down.(r)) (Membership.members t.membership) then ()
+            else if g.settled (member_states t) then ()
             else begin
               fire_gossip_round t;
               go ()
@@ -565,13 +735,16 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   let replica_state t r = t.states.(r)
 
-  let execution t = Execution.of_list ~n:t.n (List.rev t.events_rev)
+  let execution t =
+    Execution.of_list ~n:t.n ~initial:(Membership.initial t.membership)
+      (List.rev t.events_rev)
 
   let messages_sent t =
     List.filter_map
       (function
         | Event.Send { msg; _ } -> Some msg
-        | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ -> None)
+        | Event.Do _ | Event.Receive _ | Event.Crash _ | Event.Recover _ | Event.Join _
+        | Event.Leave _ -> None)
       (List.rev t.events_rev)
 
   let last_message t ~replica =

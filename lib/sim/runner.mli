@@ -31,7 +31,21 @@
     [gossip] hook — the runner ticks every live replica each gossip
     interval and, once the network drains, keeps firing rounds until the
     protocol's own [settled] predicate holds. Dead links are never
-    retransmitted in either mode. *)
+    retransmitted in either mode.
+
+    {b Dynamic membership.} The runner's [n] is an id-space capacity; the
+    actual member set is an epoch-stamped {!Membership.t} view. Ids
+    [0 .. initial-1] serve from time zero, the rest are a reserve pool.
+    {!Make.join} brings a reserve id in: it boots empty, announces itself
+    through the [hooks], and bootstraps over the ordinary anti-entropy
+    digest/repair protocol; until its progress vector reaches the
+    catch-up target captured at join time it is {e bootstrapping} and
+    {!Make.op} refuses it — a refused read is unavailability, never a
+    stale-causal answer. {!Make.leave} removes a member for good
+    (graceful: flushes everything first; crash-leave: vanishes, in-flight
+    deliveries to it are lost permanently). Ids are never reused. Both
+    transitions are recorded in the trace ({!Haec_model.Event.Join} /
+    [Leave]) and bump the view epoch. *)
 
 open Haec_model
 open Haec_spec
@@ -58,11 +72,26 @@ type stats = {
           corrupt-rejected deliveries (the runner retransmits none of
           them) *)
   gossip_rounds : int;  (** gossip rounds fired by the [gossip] driver *)
+  joins : int;  (** replicas that joined mid-run *)
+  leaves : int;  (** replicas that left mid-run (graceful or crash-leave) *)
 }
 
 type recovery = [ `Oracle | `Anti_entropy ]
 (** Who repairs a loss: the omniscient runner ([`Oracle], the frozen
     baseline) or the store's own wire protocol ([`Anti_entropy]). *)
+
+type 'state membership_hooks = {
+  progress : 'state -> Haec_vclock.Vclock.t;
+      (** how far this state has caught up: the anti-entropy [have] vector
+          (contiguous applied prefix per origin), read through whatever
+          wrappers the store stack adds. Observation only. *)
+  on_join : epoch:int -> 'state -> 'state;
+      (** queue the joiner's hello + first digest announcement *)
+  on_leave : epoch:int -> graceful:bool -> 'state -> 'state;
+      (** queue a graceful leaver's goodbye (not applied on crash-leave) *)
+}
+(** How the runner talks membership to the store protocol. Like the gossip
+    tick, these touch only unlogged control state of the replica. *)
 
 module Make (S : Haec_store.Store_intf.S) : sig
   type t
@@ -77,6 +106,8 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?faults:Fault_plan.t ->
     ?recovery:recovery ->
     ?gossip:float * (S.state -> S.state) * (S.state array -> bool) ->
+    ?initial:int ->
+    ?hooks:S.state membership_hooks ->
     ?recover_state:(replica:int -> S.state -> S.state) ->
     n:int ->
     unit ->
@@ -111,7 +142,12 @@ module Make (S : Haec_store.Store_intf.S) : sig
       runner applies [tick] to each live replica's state and flushes it,
       and when the network drains, quiescence is declared only once
       [settled] holds over the replica states — otherwise further rounds
-      fire, bounded by [run_until_quiescent]'s event budget. *)
+      fire, bounded by [run_until_quiescent]'s event budget.
+
+      [initial] (default [n]) makes ids [initial .. n-1] a reserve pool
+      for {!join} instead of members from time zero; [hooks] supplies the
+      membership announcements and the bootstrap progress read — both
+      required for {!join} / graceful {!leave} announcements. *)
 
   val n_replicas : t -> int
 
@@ -120,7 +156,9 @@ module Make (S : Haec_store.Store_intf.S) : sig
   val op : t -> replica:int -> obj:int -> Op.t -> Op.response
   (** Execute a client operation (immediately, availability!); records the
       do event; auto-sends if configured. Raises [Invalid_argument] at a
-      crashed replica — a down replica serves no clients. *)
+      crashed or non-serving replica — a down replica serves no clients,
+      and a bootstrapping joiner refuses clients rather than hand out
+      stale-causal answers (unavailable, not wrong). *)
 
   val has_pending : t -> replica:int -> bool
 
@@ -146,6 +184,41 @@ module Make (S : Haec_store.Store_intf.S) : sig
       lost while it was down. Raises [Invalid_argument] if not down. *)
 
   val is_down : t -> replica:int -> bool
+
+  val join : t -> replica:int -> unit
+  (** Bring a reserve id into the replica set: bump the view epoch, record
+      the join event, apply the [on_join] hook (hello + digest
+      announcement), and capture the catch-up target — the pointwise max
+      of every serving member's progress vector. The joiner stays
+      {e bootstrapping} (op-refusing) until ordinary digest/repair traffic
+      carries its progress to the target, at which point it is promoted to
+      serving ([bootstrap.latency] records the delay). Requires
+      [`Anti_entropy] recovery and [hooks]; raises [Invalid_argument]
+      otherwise, or if the id is not in reserve (ids are never reused). *)
+
+  val leave : t -> replica:int -> graceful:bool -> unit
+  (** Remove a member for good: bump the view epoch and record the leave
+      event. Graceful: the leaver announces goodbye ([on_leave] hook) and
+      flushes every pending payload before departing. Crash-leave
+      ([graceful:false]): it vanishes mid-protocol — in-flight deliveries
+      addressed to it are lost permanently and anything only it had logged
+      is gone (survivor convergence is up to the repair protocol). Raises
+      [Invalid_argument] if not a member or currently down. *)
+
+  val membership : t -> Membership.t
+  (** The current epoch-stamped membership view. *)
+
+  val is_member : t -> replica:int -> bool
+
+  val is_serving : t -> replica:int -> bool
+
+  val bootstrap_bytes : t -> int
+  (** Payload bytes delivered to bootstrapping replicas — the wire cost of
+      state transfer, compared against the Theorem 12 floor by E22. *)
+
+  val bootstrap_latency : t -> Haec_obs.Metrics.Histogram.t
+  (** Join-to-serving latency, in simulated time, one observation per
+      promoted joiner. *)
 
   val heal : t -> int
   (** Re-schedule every lost delivery whose destination is up again;

@@ -12,13 +12,80 @@ let batch_size = 16
 
 (* Candidate reductions of a failing (plan, workload) pair, in a fixed
    order: first drop whole faults (each crash window, each link fault, the
-   corruption / duplication / reordering windows, each dead link), then
-   drop workload chunks, halving the chunk size down to single operations
-   (the classic ddmin granularity schedule). Every candidate removes at
-   least one element, so the configuration measure strictly decreases
-   whenever one is adopted and the greedy loop terminates. *)
+   corruption / duplication / reordering windows, each dead link, each
+   membership change), then drop workload chunks, halving the chunk size
+   down to single operations (the classic ddmin granularity schedule).
+   Every candidate removes at least one element, so the configuration
+   measure strictly decreases whenever one is adopted and the greedy loop
+   terminates.
+
+   Churn candidates keep the id space stable: dropping a join never
+   changes the plan capacity (so vclock sizes and the network schedule are
+   untouched), it just leaves that reserve id unused — and takes the
+   replica's leave and crash windows with it, since a reserve that never
+   joins can do neither. Candidates that would break the plan's own
+   validation (e.g. a leave whose surviving members lose their only relay
+   path over the dead links) are filtered out rather than replayed. *)
 let candidates (plan : Fault_plan.t) steps =
   let without l i = List.filteri (fun j _ -> j <> i) l in
+  let churn_cands =
+    match plan.churn with
+    | None -> []
+    | Some c ->
+      let ok (p : Fault_plan.t) =
+        let n =
+          match p.churn with
+          | Some c' -> c'.Fault_plan.capacity
+          | None -> c.Fault_plan.initial
+        in
+        match
+          Fault_plan.make ~crashes:p.crashes ~links:p.links ?corruption:p.corruption
+            ?dup:p.dup ?reorder:p.reorder ~dead:p.dead ?churn:p.churn ~n
+            ~horizon:p.horizon ()
+        with
+        | _ -> true
+        | exception Invalid_argument _ -> false
+      in
+      let drop_join i =
+        let j = List.nth c.Fault_plan.joins i in
+        {
+          plan with
+          crashes =
+            List.filter
+              (fun (cw : Fault_plan.crash_window) -> cw.replica <> j.Fault_plan.replica)
+              plan.crashes;
+          churn =
+            Some
+              {
+                c with
+                Fault_plan.joins = without c.Fault_plan.joins i;
+                leaves =
+                  List.filter
+                    (fun (l : Fault_plan.leave_event) ->
+                      l.replica <> j.Fault_plan.replica)
+                    c.Fault_plan.leaves;
+              };
+        }
+      in
+      let drop_leave i =
+        { plan with churn = Some { c with Fault_plan.leaves = without c.Fault_plan.leaves i } }
+      in
+      let whole =
+        {
+          plan with
+          crashes =
+            List.filter
+              (fun (cw : Fault_plan.crash_window) -> cw.replica < c.Fault_plan.initial)
+              plan.crashes;
+          churn = None;
+        }
+      in
+      List.filter_map
+        (fun p -> if ok p then Some (p, steps) else None)
+        (List.init (List.length c.Fault_plan.joins) drop_join
+        @ List.init (List.length c.Fault_plan.leaves) drop_leave
+        @ [ whole ])
+  in
   let faults =
     List.init (List.length plan.crashes) (fun i ->
         ({ plan with crashes = without plan.crashes i }, steps))
@@ -33,6 +100,7 @@ let candidates (plan : Fault_plan.t) steps =
       | None -> [])
     @ List.init (List.length plan.dead) (fun i ->
           ({ plan with dead = without plan.dead i }, steps))
+    @ churn_cands
   in
   let len = List.length steps in
   let rec sizes s acc = if s < 1 then List.rev acc else sizes (s / 2) (s :: acc) in
@@ -92,7 +160,7 @@ let minimize ?domains ~run ~plan ~steps () =
 
 let pp_repro ppf r =
   Format.fprintf ppf
-    "@[<v>minimized to %d ops, %d crash windows, %d link faults, %d dead links%s%s%s \
+    "@[<v>minimized to %d ops, %d crash windows, %d link faults, %d dead links%s%s%s%s \
      (%d rounds, %d runs)@,%a@,%a@]"
     (List.length r.steps)
     (List.length r.plan.Fault_plan.crashes)
@@ -101,4 +169,10 @@ let pp_repro ppf r =
     (if r.plan.Fault_plan.corruption <> None then ", corruption" else "")
     (if r.plan.Fault_plan.dup <> None then ", duplication" else "")
     (if r.plan.Fault_plan.reorder <> None then ", reordering" else "")
+    (match r.plan.Fault_plan.churn with
+    | None -> ""
+    | Some c ->
+      Printf.sprintf ", %d joins, %d leaves"
+        (List.length c.Fault_plan.joins)
+        (List.length c.Fault_plan.leaves))
     r.rounds r.tried Fault_plan.pp r.plan Chaos.pp_outcome r.outcome

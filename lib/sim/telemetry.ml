@@ -42,7 +42,7 @@ let wire_of_execution exec =
         | None -> ());
         if Hashtbl.mem seen_at (id, replica) then incr duplicates
         else Hashtbl.add seen_at (id, replica) ()
-      | Event.Do _ | Event.Crash _ | Event.Recover _ -> ())
+      | Event.Do _ | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ())
     (Execution.events exec);
   let fanout_hist = Obs.Histogram.create () in
   Hashtbl.iter

@@ -35,7 +35,26 @@
     sequence numbers of their own and are regenerated from state, so a
     crash that loses the queued control items costs nothing — the next
     tick re-announces, and the durable replay of the logged update stream
-    ({!Durable.Make}) reconstructs [have] and the log exactly. *)
+    ({!Durable.Make}) reconstructs [have] and the log exactly.
+
+    {b Dynamic membership.} A joining replica announces itself with a
+    {!Haec_wire.Wire.Gossip.Hello} (via {!Make.announce_join}, applied by
+    the runner) that rides with its first — empty — digest; every peer
+    that hears it resets its push backoff toward the joiner and answers
+    with a digest of its own, so the ordinary digest/repair machinery
+    performs the bootstrap state transfer without a dedicated protocol. A
+    graceful leave announces a {!Haec_wire.Wire.Gossip.Goodbye}
+    ({!Make.announce_leave}); a crash-leave announces nothing, and the
+    survivors converge among themselves — the reach-based {!Make.settled}
+    predicate demands agreement only up to the longest contiguous prefix
+    of each origin's stream that the surviving logs can still reconstruct,
+    so payloads that died with a crash-leaver (orphaning later seqs) do
+    not wedge quiescence. Membership knowledge here is deliberately
+    minimal and eventually accurate — an epoch high-water mark and a
+    departed set — matching what eventual consistency actually requires
+    of a failure detector (Dubois et al., PAPERS.md); the authoritative
+    epoch-stamped view lives in the simulator
+    ({!Haec_sim.Membership}). *)
 
 open Haec_wire
 open Haec_vclock
@@ -53,11 +72,16 @@ module Make (S : Store_intf.S) : sig
       deliberately {e not} a logged input — see the module comment. *)
 
   val settled : state array -> bool
-  (** Whether the whole system has converged: every replica has applied
-      the same contiguous streams ([have] vectors all equal), holds no
-      out-of-order payloads, and has nothing queued to send. An
-      observation-only hook for the simulator's quiescence detection; the
-      replicas themselves never see each other's state. *)
+  (** Whether the given (live member) states have converged: nobody has
+      anything queued or pending, and every state has applied, for every
+      origin [o], exactly the longest contiguous prefix of [o]'s stream
+      that the union of the given logs can still reconstruct (its
+      {e reach}). On a static replica set this coincides with "all [have]
+      vectors equal and no orphans" — each origin's own log holds its full
+      stream — but under crash-leaves the reach may end at a seq that died
+      with the leaver, and later orphaned payloads are then tolerated
+      forever. An observation-only hook for the simulator's quiescence
+      detection; the replicas themselves never see each other's state. *)
 
   val inner : state -> S.state
 
@@ -69,6 +93,22 @@ module Make (S : Store_intf.S) : sig
   (** Logged payloads beyond the contiguous applied prefix (received
       out-of-order, waiting for a gap to fill). *)
 
+  val epoch : state -> int
+  (** Highest membership epoch announced by or to this replica; 0 until
+      any [Hello]/[Goodbye] is seen. *)
+
+  val knows_departed : state -> peer:int -> bool
+  (** Whether this replica heard a [Goodbye] from the peer. *)
+
+  val announce_join : epoch:int -> state -> state
+  (** Queue a [Hello] (with a digest of the — empty — local state) for the
+      next broadcast. Applied by the runner to a replica entering the set;
+      unlogged control state, like {!tick}. *)
+
+  val announce_leave : epoch:int -> state -> state
+  (** Queue a [Goodbye] for the next broadcast: a graceful leave. A
+      crash-leave announces nothing. *)
+
   val gossip_stats : unit -> Store_intf.gossip_stats
   (** Aggregate traffic counters across every replica of this module on
       the calling domain, like {!Causal_mvr_store.delivery_stats}. *)
@@ -76,6 +116,7 @@ module Make (S : Store_intf.S) : sig
   val reset_gossip_stats : unit -> unit
 end = struct
   module Int_map = Map.Make (Int)
+  module Int_set = Set.Make (Int)
 
   let stats_key = Domain.DLS.new_key Store_intf.fresh_gossip_stats
 
@@ -94,7 +135,9 @@ end = struct
     s.Store_intf.updates <- 0;
     s.Store_intf.update_bytes <- 0;
     s.Store_intf.dup_payloads <- 0;
-    s.Store_intf.repair_applied <- 0
+    s.Store_intf.repair_applied <- 0;
+    s.Store_intf.memberships <- 0;
+    s.Store_intf.membership_bytes <- 0
 
   type peer = {
     view : Vclock.t;  (** pointwise max of every digest heard from this peer *)
@@ -109,6 +152,8 @@ end = struct
     | Out_digest
     | Out_request of { dst : int; origin : int; from_seq : int }
     | Out_repair of { dst : int; items : (int * int * string) list }
+    | Out_hello of int  (** membership epoch being announced *)
+    | Out_goodbye of int
 
   type state = {
     n : int;
@@ -122,6 +167,8 @@ end = struct
     req_backoff : int Int_map.t;
     rounds : int;
     outq_rev : out_item list;
+    epoch : int;  (** highest membership epoch seen *)
+    away : Int_set.t;  (** peers that said goodbye *)
   }
 
   let name = "anti-entropy(" ^ S.name ^ ")"
@@ -152,6 +199,8 @@ end = struct
       req_backoff = Int_map.empty;
       rounds = 0;
       outq_rev = [];
+      epoch = 0;
+      away = Int_set.empty;
     }
 
   let inner t = t.inner
@@ -161,6 +210,22 @@ end = struct
   let have t = t.have
 
   let orphans t = t.logged - Vclock.sum t.have
+
+  let epoch t = t.epoch
+
+  let knows_departed t ~peer = Int_set.mem peer t.away
+
+  let announce_join ~epoch t =
+    {
+      t with
+      epoch = max epoch t.epoch;
+      outq_rev =
+        Out_digest :: Out_hello epoch
+        :: List.filter (function Out_digest -> false | _ -> true) t.outq_rev;
+    }
+
+  let announce_leave ~epoch t =
+    { t with epoch = max epoch t.epoch; outq_rev = Out_goodbye epoch :: t.outq_rev }
 
   let log_find t ~origin ~seq =
     match Int_map.find_opt origin t.log with
@@ -225,6 +290,13 @@ end = struct
       match Int_map.find_opt sender t.peers with
       | Some p -> p
       | None -> raise (Wire.Decoder.Malformed "anti-entropy digest: bad sender")
+    in
+    (* any new progress in the digest forgives the push backoff: a freshly
+       joined or long-partitioned peer advancing through its bootstrap must
+       not stay pinned at the cap, one batch per 32 rounds *)
+    let p =
+      if Vclock.leq clock p.view then p
+      else { p with push_due = t.rounds; push_backoff = 1 }
     in
     let view = Vclock.merge p.view clock in
     (* push what they are missing, batched per origin, per-peer backoff *)
@@ -324,6 +396,28 @@ end = struct
         List.fold_left
           (fun t (origin, seq, payload) -> ingest t ~origin ~seq ~payload ~via_repair:true)
           t items
+    | Wire.Gossip.Hello ->
+      let epoch = Wire.Decoder.uint dec in
+      check_replica t "hello" sender;
+      (* a joiner enters empty: forgive any backoff toward it and answer
+         with a digest so it can start requesting immediately *)
+      let peers =
+        match Int_map.find_opt sender t.peers with
+        | None -> t.peers
+        | Some p ->
+          Int_map.add sender { p with push_due = t.rounds; push_backoff = 1 } t.peers
+      in
+      let outq_rev =
+        if List.exists (function Out_digest -> true | _ -> false) t.outq_rev then
+          t.outq_rev
+        else Out_digest :: t.outq_rev
+      in
+      { t with peers; outq_rev; epoch = max epoch t.epoch;
+               away = Int_set.remove sender t.away }
+    | Wire.Gossip.Goodbye ->
+      let epoch = Wire.Decoder.uint dec in
+      check_replica t "goodbye" sender;
+      { t with epoch = max epoch t.epoch; away = Int_set.add sender t.away }
 
   let receive t ~sender payload =
     check_replica t "sender" sender;
@@ -416,21 +510,52 @@ end = struct
                     Wire.Encoder.string enc payload)
                   items;
                 st.Store_intf.repairs <- st.Store_intf.repairs + 1;
-                st.Store_intf.repair_bytes <- st.Store_intf.repair_bytes + bytes ())
+                st.Store_intf.repair_bytes <- st.Store_intf.repair_bytes + bytes ()
+              | Out_hello epoch ->
+                Wire.Gossip.encode_kind enc Wire.Gossip.Hello;
+                Wire.Encoder.uint enc epoch;
+                st.Store_intf.memberships <- st.Store_intf.memberships + 1;
+                st.Store_intf.membership_bytes <- st.Store_intf.membership_bytes + bytes ()
+              | Out_goodbye epoch ->
+                Wire.Gossip.encode_kind enc Wire.Gossip.Goodbye;
+                Wire.Encoder.uint enc epoch;
+                st.Store_intf.memberships <- st.Store_intf.memberships + 1;
+                st.Store_intf.membership_bytes <- st.Store_intf.membership_bytes + bytes ())
             outs)
     in
     ({ t with outq_rev = [] }, payload)
 
+  (* reach(o): the longest contiguous prefix of origin [o]'s stream that
+     the union of the given logs can reconstruct. On a static set this is
+     just [o]'s own send count ([o]'s log of its own stream is contiguous
+     by construction), but payloads that died with a crash-leaver cap the
+     reach of its stream at the first permanently lost seq — later seqs
+     some survivor may hold stay orphaned forever and must not block
+     quiescence. *)
   let settled states =
     Array.length states = 0
     || begin
-         let ref_have = states.(0).have in
+         let n = states.(0).n in
+         let reach o =
+           let rec go seq =
+             if Array.exists (fun t -> log_find t ~origin:o ~seq <> None) states then
+               go (seq + 1)
+             else seq
+           in
+           go 0
+         in
+         let target = Array.init n reach in
          Array.for_all
            (fun t ->
              t.outq_rev = []
              && (not (S.has_pending t.inner))
-             && orphans t = 0
-             && Vclock.equal t.have ref_have)
+             && begin
+                  let ok = ref true in
+                  for o = 0 to n - 1 do
+                    if Vclock.get t.have o <> target.(o) then ok := false
+                  done;
+                  !ok
+                end)
            states
        end
 end

@@ -54,6 +54,8 @@ type gossip_stats = {
       (** received update/repair payloads already logged (duplicates) *)
   mutable repair_applied : int;
       (** previously missing payloads obtained through a repair *)
+  mutable memberships : int;  (** hello/goodbye membership items sent *)
+  mutable membership_bytes : int;
 }
 
 let fresh_gossip_stats () =
@@ -68,6 +70,8 @@ let fresh_gossip_stats () =
     update_bytes = 0;
     dup_payloads = 0;
     repair_applied = 0;
+    memberships = 0;
+    membership_bytes = 0;
   }
 
 let copy_gossip_stats s =
@@ -82,6 +86,8 @@ let copy_gossip_stats s =
     update_bytes = s.update_bytes;
     dup_payloads = s.dup_payloads;
     repair_applied = s.repair_applied;
+    memberships = s.memberships;
+    membership_bytes = s.membership_bytes;
   }
 
 type witness = {

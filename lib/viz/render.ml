@@ -59,6 +59,9 @@ let event_label = function
   | Event.Receive { msg; _ } -> escape (Format.asprintf "recv %a" Message.pp msg)
   | Event.Crash _ -> "crash"
   | Event.Recover _ -> "recover"
+  | Event.Join { epoch; _ } -> Printf.sprintf "join e%d" epoch
+  | Event.Leave { epoch; graceful; _ } ->
+    Printf.sprintf "%s e%d" (if graceful then "leave" else "crash-leave") epoch
 
 let execution_to_dot ?(title = "execution") exec =
   let buf = Buffer.create 1024 in
@@ -92,7 +95,7 @@ let execution_to_dot ?(title = "execution") exec =
       | Some j ->
         Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [color=red, constraint=false];\n" j i)
       | None -> ())
-    | Event.Do _ | Event.Crash _ | Event.Recover _ -> ()
+    | Event.Do _ | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ()
   done;
   Buffer.add_string buf "}\n";
   Buffer.contents buf

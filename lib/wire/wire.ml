@@ -260,15 +260,23 @@ module Gossip = struct
      the tag space is fixed at the wire layer: telemetry, tests, and any
      future store transformer agree on what a digest or a repair item is
      without depending on the store library. *)
-  type kind = Update | Digest | Repair_request | Repair
+  type kind = Update | Digest | Repair_request | Repair | Hello | Goodbye
 
-  let tag = function Update -> 0 | Digest -> 1 | Repair_request -> 2 | Repair -> 3
+  let tag = function
+    | Update -> 0
+    | Digest -> 1
+    | Repair_request -> 2
+    | Repair -> 3
+    | Hello -> 4
+    | Goodbye -> 5
 
   let name = function
     | Update -> "update"
     | Digest -> "digest"
     | Repair_request -> "repair-request"
     | Repair -> "repair"
+    | Hello -> "hello"
+    | Goodbye -> "goodbye"
 
   let encode_kind enc k = Encoder.uint enc (tag k)
 
@@ -278,6 +286,8 @@ module Gossip = struct
     | 1 -> Digest
     | 2 -> Repair_request
     | 3 -> Repair
+    | 4 -> Hello
+    | 5 -> Goodbye
     | t -> raise (Decoder.Malformed (Printf.sprintf "bad gossip kind tag %d" t))
 end
 

@@ -108,9 +108,12 @@ module Gossip : sig
       without depending on each other: an anti-entropy payload is a
       length-prefixed sequence of tagged items — seq-numbered {!Update}
       payloads, version-vector {!Digest}s, targeted {!Repair_request}s and
-      batched {!Repair} payloads answering them. *)
+      batched {!Repair} payloads answering them. Dynamic membership adds
+      two control kinds: {!Hello} announces a replica entering the set at
+      a given epoch (a joiner's first digest rides with it, triggering the
+      bootstrap state transfer), {!Goodbye} announces a graceful leave. *)
 
-  type kind = Update | Digest | Repair_request | Repair
+  type kind = Update | Digest | Repair_request | Repair | Hello | Goodbye
 
   val tag : kind -> int
 

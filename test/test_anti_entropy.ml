@@ -80,6 +80,41 @@ let test_duplicates_dropped () =
   Alcotest.(check bool) "duplicate counted" true
     (gs.Store.Store_intf.dup_payloads > 0)
 
+(* The per-peer push backoff must be forgiven the moment a peer's digest
+   shows new progress: a digest that merely repeats a known-stale view is
+   suppressed (backoff doubling), but one whose clock has advanced — the
+   peer applied something since we last looked — resets the backoff and
+   queues a push immediately instead of waiting out the old deadline. *)
+let test_push_backoff_forgiven_on_progress () =
+  let a = AE.init ~n:2 ~me:0 and b = AE.init ~n:2 ~me:1 in
+  let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 1)) in
+  let a, p1 = AE.send a in
+  let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 2)) in
+  let a, _lost2 = AE.send a in
+  let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 3)) in
+  let a, _lost3 = AE.send a in
+  (* all three broadcasts are lost; b's empty digest solicits a push *)
+  let b = AE.tick b in
+  let _, d0 = AE.send b in
+  let a = AE.receive a ~sender:1 d0 in
+  Alcotest.(check bool) "first stale digest queues a push" true
+    (AE.has_pending a);
+  let a, _lost_push = AE.send a in
+  (* the same stale digest again (a duplicate delivery): the per-peer
+     backoff suppresses the redundant push *)
+  let a = AE.receive a ~sender:1 d0 in
+  Alcotest.(check bool) "repeated stale digest backed off" false
+    (AE.has_pending a);
+  (* the peer finally makes progress (the first payload lands late); its
+     next digest has advanced beyond the view we recorded, so the backoff
+     must reset and a push fire immediately — not at the old deadline *)
+  let b = AE.receive b ~sender:0 p1 in
+  let b = AE.tick b in
+  let _, d1 = AE.send b in
+  let a = AE.receive a ~sender:1 d1 in
+  Alcotest.(check bool) "digest showing progress resets the backoff" true
+    (AE.has_pending a)
+
 (* ---------- adversarial fault plans ---------- *)
 
 (* The adversarial draws are appended strictly after the baseline ones, so
@@ -285,6 +320,8 @@ let suite =
       tc "digest/repair closes a loss by hand" test_digest_repair_exchange;
       tc "out-of-order updates buffered, applied in order" test_out_of_order_buffered;
       tc "duplicate deliveries dropped" test_duplicates_dropped;
+      tc "push backoff forgiven when a digest shows progress"
+        test_push_backoff_forgiven_on_progress;
       tc "adversarial plans extend the baseline draws" test_adversarial_extends_baseline;
       tc "dead links validated for connectivity" test_dead_link_validation;
       tc "mutate is never the identity" test_mutate_never_identity;

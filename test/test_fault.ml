@@ -53,6 +53,149 @@ let test_plan_random_valid () =
       (Fault_plan.active plan ~now:50.0)
   done
 
+(* Dead-link connectivity must hold for every member set the run passes
+   through, not just the initial one: a join must not depend on a
+   validated-dead link to reach the others, and a leave must not take away
+   the survivors' only relay path. *)
+let test_churn_dead_link_validation () =
+  let bad f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  (* joiner 3 has every edge to the members dead: the initial set {0,1,2}
+     is connected, but the set after the join is not — the join must not
+     resurrect links the plan already declared dead *)
+  bad (fun () ->
+      Fault_plan.make
+        ~dead:
+          [
+            { src = 3; dst = 0; from_ = 0.0 };
+            { src = 3; dst = 1; from_ = 0.0 };
+            { src = 3; dst = 2; from_ = 0.0 };
+          ]
+        ~churn:
+          {
+            initial = 3;
+            capacity = 4;
+            joins = [ { replica = 3; at = 5.0 } ];
+            leaves = [];
+          }
+        ~horizon:20.0 ());
+  (* leave one edge alive and the same join is fine: 3 bootstraps through 2 *)
+  let plan =
+    Fault_plan.make
+      ~dead:[ { src = 3; dst = 0; from_ = 0.0 }; { src = 3; dst = 1; from_ = 0.0 } ]
+      ~churn:
+        {
+          initial = 3;
+          capacity = 4;
+          joins = [ { replica = 3; at = 5.0 } ];
+          leaves = [];
+        }
+      ~horizon:20.0 ()
+  in
+  Alcotest.(check bool) "joiner's one live edge suffices" true
+    (Fault_plan.link_dead plan ~src:3 ~dst:0 ~at:6.0
+    && not (Fault_plan.link_dead plan ~src:3 ~dst:2 ~at:6.0));
+  (* 0 and 1 are cut in both directions and relay through 2: the leave of 2
+     strands the survivors — the partition check must reject it *)
+  bad (fun () ->
+      Fault_plan.make
+        ~dead:[ { src = 0; dst = 1; from_ = 0.0 } ]
+        ~churn:
+          {
+            initial = 3;
+            capacity = 3;
+            joins = [];
+            leaves = [ { replica = 2; at = 5.0; graceful = true } ];
+          }
+        ~horizon:20.0 ());
+  (* the leave of 1 instead keeps {0,2} connected over the live 0-2 edge *)
+  ignore
+    (Fault_plan.make
+       ~dead:[ { src = 0; dst = 1; from_ = 0.0 } ]
+       ~churn:
+         {
+           initial = 3;
+           capacity = 3;
+           joins = [];
+           leaves = [ { replica = 1; at = 5.0; graceful = false } ];
+         }
+       ~horizon:20.0 ())
+
+(* The churn schedule's own invariants: ids come from the reserve pool and
+   are never reused, crash windows stay inside a replica's membership, and
+   at least two members survive every instant. *)
+let test_churn_schedule_validation () =
+  let bad f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "expected Invalid_argument"
+  in
+  let churn ?(initial = 2) ?(capacity = 4) ?(joins = []) ?(leaves = []) () =
+    { Fault_plan.initial; capacity; joins; leaves }
+  in
+  (* fewer than two initial members / capacity below initial *)
+  bad (fun () -> Fault_plan.make ~churn:(churn ~initial:1 () ) ~horizon:10.0 ());
+  bad (fun () -> Fault_plan.make ~churn:(churn ~capacity:1 ()) ~horizon:10.0 ());
+  (* joins must come from the reserve pool, once each *)
+  bad (fun () ->
+      Fault_plan.make
+        ~churn:(churn ~joins:[ { replica = 0; at = 5.0 } ] ())
+        ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make
+        ~churn:
+          (churn ~joins:[ { replica = 2; at = 3.0 }; { replica = 2; at = 6.0 } ] ())
+        ~horizon:10.0 ());
+  (* a reserve may not leave without joining, nor leave before its join *)
+  bad (fun () ->
+      Fault_plan.make
+        ~churn:(churn ~leaves:[ { replica = 2; at = 5.0; graceful = true } ] ())
+        ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make
+        ~churn:
+          (churn
+             ~joins:[ { replica = 2; at = 6.0 } ]
+             ~leaves:[ { replica = 2; at = 4.0; graceful = true } ]
+             ())
+        ~horizon:10.0 ());
+  (* crash windows: never at a reserve that never joins, never across a
+     leave (a member that vanishes for good is a crash-leave, not a crash) *)
+  bad (fun () ->
+      Fault_plan.make
+        ~crashes:[ { replica = 2; at = 3.0; recover_at = 5.0 } ]
+        ~churn:(churn ()) ~horizon:10.0 ());
+  bad (fun () ->
+      Fault_plan.make
+        ~crashes:[ { replica = 0; at = 3.0; recover_at = 7.0 } ]
+        ~churn:
+          (churn
+             ~joins:[ { replica = 2; at = 2.0 } ]
+             ~leaves:[ { replica = 0; at = 5.0; graceful = false } ]
+             ())
+        ~horizon:10.0 ());
+  (* a leave that drops the member count below two *)
+  bad (fun () ->
+      Fault_plan.make
+        ~churn:(churn ~leaves:[ { replica = 0; at = 5.0; graceful = true } ] ())
+        ~horizon:10.0 ());
+  (* a valid schedule passes, with joins and leaves on the event timeline *)
+  let plan =
+    Fault_plan.make
+      ~churn:
+        (churn ~initial:2 ~capacity:3
+           ~joins:[ { replica = 2; at = 2.0 } ]
+           ~leaves:[ { replica = 0; at = 6.0; graceful = true } ]
+           ())
+      ~horizon:10.0 ()
+  in
+  let whats = List.map (fun e -> e.Fault_plan.what) (Fault_plan.events plan) in
+  Alcotest.(check bool) "join and leave on the timeline" true
+    (whats = [ `Join 2; `Leave (0, true) ])
+
 let test_plan_link_window () =
   let plan =
     Fault_plan.make ~links:[ { src = 0; dst = 2; from_ = 3.0; until = 7.0 } ]
@@ -301,6 +444,9 @@ let suite =
     [
       tc "fault plan validation" test_plan_validation;
       tc "random plans valid and healing" test_plan_random_valid;
+      tc "churn vs dead links: member sets stay connected"
+        test_churn_dead_link_validation;
+      tc "churn schedule invariants" test_churn_schedule_validation;
       tc "link fault window" test_plan_link_window;
       tc "durable recovery replays ops" test_durable_recover_replays_ops;
       tc "durable recovery replays deliveries" test_durable_recover_replays_deliveries;

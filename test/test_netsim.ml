@@ -147,7 +147,8 @@ let eventually_delivered policy seed =
         let key = (msg.Message.sender, msg.Message.seq, replica) in
         Hashtbl.replace received key
           (1 + Option.value ~default:0 (Hashtbl.find_opt received key))
-      | Event.Do _ | Event.Send _ | Event.Crash _ | Event.Recover _ -> ())
+      | Event.Do _ | Event.Send _ | Event.Crash _ | Event.Recover _ | Event.Join _
+      | Event.Leave _ -> ())
     (Execution.events (R.execution sim));
   List.iter
     (fun msg ->

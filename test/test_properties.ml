@@ -227,7 +227,8 @@ let prop_hb_matches_naive =
           | Model.Event.Send { msg; _ } -> Hashtbl.replace send_of (Model.Message.id msg) i
           | Model.Event.Receive { msg; _ } ->
             direct.(Hashtbl.find send_of (Model.Message.id msg)).(i) <- true
-          | Model.Event.Do _ | Model.Event.Crash _ | Model.Event.Recover _ -> ())
+          | Model.Event.Do _ | Model.Event.Crash _ | Model.Event.Recover _
+          | Model.Event.Join _ | Model.Event.Leave _ -> ())
         (Execution.events exec);
       for k = 0 to len - 1 do
         for i = 0 to len - 1 do
