@@ -339,9 +339,14 @@ let run_micro ~quick () =
     if quick then Benchmark.cfg ~limit:300 ~quota:(Time.second 0.05) ~kde:None ()
     else Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None ()
   in
+  (* the fast group needs a still-larger budget than its first cut: at
+     limit 1000/5000 the encode-update row kept fitting with r^2 ~0.4
+     (ROADMAP item 4) because sub-100ns runs spend most of a short quota
+     inside clamped-iteration warm-up. Tripling trials and quota gets
+     every fast row above the 0.7 bar CI now enforces. *)
   let cfg_fast =
-    if quick then Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.1) ~kde:None ()
-    else Benchmark.cfg ~limit:5000 ~quota:(Time.second 1.5) ~kde:None ()
+    if quick then Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.3) ~kde:None ()
+    else Benchmark.cfg ~limit:15000 ~quota:(Time.second 4.0) ~kde:None ()
   in
   let raw = Benchmark.all cfg instances tests in
   let raw_fast = Benchmark.all cfg_fast instances tests_fast in

@@ -146,11 +146,12 @@ let simulate_store (type a) (module S : Store.Store_intf.S with type state = a) 
     (List.length (Model.Execution.messages_sent exec))
     (Model.Execution.total_message_bits exec / 8);
   let lag = R.visibility_lag sim in
-  if Metrics.Histogram.count lag > 0 then
-    Format.printf "visibility lag (sim time): p50=%.1f p99=%.1f max=%.1f@."
-      (Metrics.Histogram.quantile lag 0.5)
-      (Metrics.Histogram.quantile lag 0.99)
-      (Metrics.Histogram.max_value lag);
+  if Metrics.Histogram.count lag > 0 then begin
+    let p50, p95, p99 = Metrics.Histogram.percentiles lag in
+    Format.printf "visibility lag (sim time): p50=%.1f p95=%.1f p99=%.1f max=%.1f@." p50
+      p95 p99
+      (Metrics.Histogram.max_value lag)
+  end;
   (* a run under a net that drops, retransmits or duplicates should show its
      fault counters, not silently discard them *)
   let st = R.stats sim in
@@ -551,7 +552,15 @@ let theorem6_cmd =
 
 let replay_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc:"Trace file") in
-  let run file =
+  let timeline =
+    Arg.(
+      value & flag
+      & info [ "timeline" ]
+          ~doc:
+            "Draw an ASCII timeline of the trace: one row per replica, membership \
+             baselines, and Join/Leave epoch boundaries as a marker row")
+  in
+  let run file timeline =
     let exec = Model.Trace_io.load file in
     Format.printf "trace: %d events, %d replicas, %d do events@."
       (Model.Execution.length exec)
@@ -577,11 +586,13 @@ let replay_cmd =
       | Consistency.Search.Gave_up ->
         Format.printf "causal compliance: search budget exceeded@."
     end;
-    Format.printf "@.%a@." Model.Execution.pp exec
+    if timeline then
+      Format.printf "@.%s@." (Viz.Render.timeline ~title:(Filename.basename file) exec)
+    else Format.printf "@.%a@." Model.Execution.pp exec
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Load a saved trace, validate and pretty-print it")
-    Term.(const run $ file)
+    Term.(const run $ file $ timeline)
 
 (* ---------- metrics ---------- *)
 
@@ -769,11 +780,46 @@ let json_check_cmd =
             "Fail unless the top-level object contains this key (repeatable). For a \
              metrics JSONL stream, keys are metric names checked in every snapshot.")
   in
-  let run path require =
-    let ic = open_in_bin path in
+  let min_r2 =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-r2" ] ~docv:"R"
+          ~doc:
+            "Fail when a --require'd bench row has an OLS r_square below R (other \
+             rows still only warn). Without this flag a low fit is advisory.")
+  in
+  let against =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "against" ] ~docv:"BASE"
+          ~doc:
+            "Baseline bench JSON to diff against: every --require'd row present in \
+             both files must not regress its ns_per_run by more than --max-regression. \
+             Rows absent from the baseline are skipped.")
+  in
+  let max_regression =
+    Arg.(
+      value & opt float 0.25
+      & info [ "max-regression" ] ~docv:"F"
+          ~doc:"Allowed fractional ns_per_run slowdown vs --against (default 0.25)")
+  in
+  let read_file p =
+    let ic = open_in_bin p in
     let len = in_channel_length ic in
     let s = really_input_string ic len in
     close_in ic;
+    s
+  in
+  let num_entry fields key field =
+    match List.assoc_opt key fields with
+    | Some (Json.Obj entry) -> (
+      match List.assoc_opt field entry with Some (Json.Num v) -> Some v | _ -> None)
+    | _ -> None
+  in
+  let run path require min_r2 against max_regression =
+    let s = read_file path in
     match Json.of_string s with
     | exception Json.Parse_error m -> (
       (* not a single JSON document — maybe a metrics snapshot stream
@@ -806,27 +852,294 @@ let json_check_cmd =
           (false, Printf.sprintf "%s: missing keys: %s" path (String.concat ", " missing))
       else begin
         (* a low r-square means the OLS fit behind a bench row is noise;
-           warn (the numbers are advisory) rather than fail the artifact *)
+           warn (the numbers are advisory) unless --min-r2 holds a
+           required row to a floor *)
+        let errors = ref [] in
+        let fail fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
         List.iter
           (fun (key, v) ->
             match v with
             | Json.Obj entry -> (
               match List.assoc_opt "r_square" entry with
-              | Some (Json.Num r) when r < 0.7 ->
-                Format.eprintf "warning: %s: %s has r_square %.2f < 0.7 (noisy fit)@."
-                  path key r
+              | Some (Json.Num r) -> (
+                match min_r2 with
+                | Some floor when List.mem key require && r < floor ->
+                  fail "%s: r_square %.2f < required %.2f" key r floor
+                | _ ->
+                  if r < 0.7 then
+                    Format.eprintf
+                      "warning: %s: %s has r_square %.2f < 0.7 (noisy fit)@." path key r)
               | _ -> ())
             | _ -> ())
           fields;
-        Format.printf "%s: valid JSON object, %d entries@." path (List.length fields);
-        `Ok ()
+        (match against with
+        | None -> ()
+        | Some base_path -> (
+          match Json.of_string (read_file base_path) with
+          | exception Json.Parse_error m ->
+            fail "baseline %s: %s" base_path m
+          | Json.Obj base ->
+            (* the gate only bites on rows both files measure: a freshly
+               added bench has no baseline and must not fail the build *)
+            List.iter
+              (fun key ->
+                match
+                  (num_entry fields key "ns_per_run", num_entry base key "ns_per_run")
+                with
+                | Some now, Some was when now > was *. (1.0 +. max_regression) ->
+                  fail "%s: ns_per_run %.1f is %.0f%% over baseline %.1f (limit +%.0f%%)"
+                    key now
+                    ((now /. was -. 1.0) *. 100.0)
+                    was (max_regression *. 100.0)
+                | Some now, Some was ->
+                  Format.printf "  %s: %.1f ns vs baseline %.1f ns (%+.0f%%)@." key now
+                    was
+                    ((now /. was -. 1.0) *. 100.0)
+                | _, None ->
+                  Format.printf "  %s: not in baseline %s, skipped@." key base_path
+                | None, _ -> ())
+              require
+          | _ -> fail "baseline %s: not a JSON object" base_path));
+        match List.rev !errors with
+        | [] ->
+          Format.printf "%s: valid JSON object, %d entries@." path (List.length fields);
+          `Ok ()
+        | errs -> `Error (false, Printf.sprintf "%s: %s" path (String.concat "; " errs))
       end
     | _ -> `Error (false, Printf.sprintf "%s: not a JSON object" path)
   in
   Cmd.v
     (Cmd.info "json-check"
        ~doc:"Parse a JSON artifact (e.g. BENCH_results.json) and verify required keys")
-    Term.(ret (const run $ path $ require))
+    Term.(ret (const run $ path $ require $ min_r2 $ against $ max_regression))
+
+(* ---------- trace: span-level visibility-lag attribution ---------- *)
+
+let trace_store (module S : Store.Store_intf.S) ~require ~recovery ~adversarial ~churn
+    ~spec ~mix ~seed ~n ~objects ~ops ~policy ~why ~export ~out ~time_scale ~slowest =
+  let module C = Sim.Chaos.Make (S) in
+  let o =
+    C.run ~n ~objects ~ops ~spec_of:(fun _ -> spec) ~mix ~policy ~require ~recovery
+      ~adversarial ~churn ~seed ()
+  in
+  let spans = o.Sim.Chaos.spans in
+  let exec = o.Sim.Chaos.exec in
+  let tracks = Model.Execution.n_replicas exec in
+  Format.printf "trace: store=%s seed=%d replicas=%d objects=%d ops=%d recovery=%s%s%s@."
+    S.name seed n objects o.Sim.Chaos.ops
+    (match recovery with `Oracle -> "oracle" | `Anti_entropy -> "anti-entropy")
+    (if adversarial then " adversarial" else "")
+    (if churn then " churn" else "");
+  let count p = List.length (List.filter p spans) in
+  Format.printf
+    "spans: %d (ops=%d transmits=%d flights=%d visible=%d bootstraps=%d \
+     repair-rounds=%d)@."
+    (List.length spans)
+    (count (function Obs.Span.Op _ -> true | _ -> false))
+    (count (function Obs.Span.Transmit _ -> true | _ -> false))
+    (count (function Obs.Span.Flight _ -> true | _ -> false))
+    (count (function Obs.Span.Visible _ -> true | _ -> false))
+    (count (function Obs.Span.Bootstrap _ -> true | _ -> false))
+    (count (function Obs.Span.Repair_round _ -> true | _ -> false));
+  let visibles =
+    List.filter_map
+      (function
+        | Obs.Span.Visible v -> Some (v, Obs.Span.breakdown v)
+        | _ -> None)
+      spans
+  in
+  (match why with
+  | Some op ->
+    let rows = List.filter (fun (v, _) -> v.Obs.Span.v_op = op) visibles in
+    if rows = [] then
+      Format.printf "op %d: no remote observation (never witnessed off-origin)@." op
+    else begin
+      let v0, _ = List.hd rows in
+      Format.printf "@.why op %d (issued at R%d on object %d, t=%.2f):@." op
+        v0.Obs.Span.v_origin v0.Obs.Span.v_obj v0.Obs.Span.issue_at;
+      Format.printf "  %-8s %8s %8s %8s %8s %8s %8s  %s@." "observer" "total" "encode"
+        "network" "repair" "dep" "boot" "path";
+      List.iter
+        (fun (v, b) ->
+          Format.printf "  R%-7d %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f  %s@."
+            v.Obs.Span.v_observer b.Obs.Span.total b.Obs.Span.encode_wait
+            b.Obs.Span.network b.Obs.Span.repair_wait b.Obs.Span.dep_wait
+            b.Obs.Span.bootstrap_refusal
+            (if v.Obs.Span.direct then "direct" else "repair"))
+        rows
+    end
+  | None ->
+    let obs = List.length visibles in
+    if obs > 0 then begin
+      let sum f = List.fold_left (fun acc (_, b) -> acc +. f b) 0.0 visibles in
+      let grand = sum (fun b -> b.Obs.Span.total) in
+      Format.printf "@.lag attribution over %d delivered observations (sim time):@." obs;
+      Format.printf "  %-18s %10s %7s %8s@." "component" "total" "share" "mean";
+      let row name f =
+        let t = sum f in
+        Format.printf "  %-18s %10.2f %6.1f%% %8.3f@." name t
+          (if grand > 0.0 then 100.0 *. t /. grand else 0.0)
+          (t /. float_of_int obs)
+      in
+      row "encode_wait" (fun b -> b.Obs.Span.encode_wait);
+      row "network" (fun b -> b.Obs.Span.network);
+      row "repair_wait" (fun b -> b.Obs.Span.repair_wait);
+      row "dep_wait" (fun b -> b.Obs.Span.dep_wait);
+      row "bootstrap_refusal" (fun b -> b.Obs.Span.bootstrap_refusal);
+      row "total" (fun b -> b.Obs.Span.total);
+      (* the cross-check that makes the table trustworthy: every observed
+         total is the value the runner fed the visibility.lag histogram,
+         so the float sums must agree bit-for-bit *)
+      (match Metrics.Registry.find o.Sim.Chaos.metrics "visibility.lag" with
+      | Some (Metrics.Registry.Histogram h) ->
+        let hsum = Metrics.Histogram.sum h in
+        if Metrics.Histogram.count h = obs && hsum = grand then
+          Format.printf
+            "components sum to the measured lag histogram: sum=%.2f over %d \
+             observations (exact)@."
+            grand obs
+        else
+          Format.printf
+            "WARNING: span totals (%.4f over %d) disagree with visibility.lag \
+             (%.4f over %d)@."
+            grand obs hsum (Metrics.Histogram.count h)
+      | _ -> Format.printf "visibility.lag histogram missing from the run metrics@.");
+      let by_total =
+        List.sort
+          (fun (_, a) (_, b) -> compare b.Obs.Span.total a.Obs.Span.total)
+          visibles
+      in
+      Format.printf "@.slowest observations (use --why OP for the full story):@.";
+      List.iteri
+        (fun i (v, b) ->
+          if i < slowest then
+            Format.printf
+              "  op %-4d at R%-3d total=%-8.2f encode=%.2f network=%.2f repair=%.2f \
+               dep=%.2f boot=%.2f via %s@."
+              v.Obs.Span.v_op v.Obs.Span.v_observer b.Obs.Span.total
+              b.Obs.Span.encode_wait b.Obs.Span.network b.Obs.Span.repair_wait
+              b.Obs.Span.dep_wait b.Obs.Span.bootstrap_refusal
+              (if v.Obs.Span.direct then "direct" else "repair"))
+        by_total
+    end
+    else Format.printf "no delivered observations (no update became remotely visible)@.");
+  (match export with
+  | None -> ()
+  | Some `Chrome ->
+    let path = match out with Some p -> p | None -> "trace.chrome.json" in
+    Obs.Trace_export.save_chrome ~time_scale ~n:tracks path spans;
+    Format.printf "@.Chrome trace (load in Perfetto or chrome://tracing) written to %s@."
+      path
+  | Some `Jsonl ->
+    let path = match out with Some p -> p | None -> "trace.spans.jsonl" in
+    Obs.Trace_export.save
+      ~meta:
+        [
+          ("store", Json.Str S.name);
+          ("seed", Json.Num (float_of_int seed));
+          ("replicas", Json.Num (float_of_int n));
+        ]
+      path spans;
+    Format.printf "@.span stream (JSONL) written to %s@." path);
+  `Ok ()
+
+let trace_cmd =
+  let store =
+    Arg.(
+      value & opt store_conv Causal
+      & info [ "store" ] ~doc:"Store: mvr|causal|cops|state|orset|lww|gossip")
+  in
+  let net = Arg.(value & opt net_conv Reorder & info [ "net" ] ~doc:"Base network: fifo|reorder|lossy|partition") in
+  let n = Arg.(value & opt int 3 & info [ "replicas"; "n" ] ~doc:"Number of replicas") in
+  let objects = Arg.(value & opt int 2 & info [ "objects" ] ~doc:"Number of objects") in
+  let ops = Arg.(value & opt int 40 & info [ "ops" ] ~doc:"Client operations") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Seed (one run)") in
+  let recovery_arg =
+    Arg.(
+      value
+      & opt (enum [ ("oracle", `Oracle); ("anti-entropy", `Anti_entropy) ]) `Oracle
+      & info [ "recovery" ] ~doc:"Loss recovery: oracle|anti-entropy")
+  in
+  let adversarial_arg =
+    Arg.(value & flag & info [ "adversarial" ] ~doc:"Adversarial network faults")
+  in
+  let churn_arg =
+    Arg.(
+      value & flag
+      & info [ "churn" ] ~doc:"Dynamic membership (requires --recovery anti-entropy)")
+  in
+  let why =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "why" ] ~docv:"OP"
+          ~doc:
+            "Explain one op: a lag-component row per observing replica, components \
+             summing exactly to its measured Definition 17 visibility lag")
+  in
+  let export =
+    Arg.(
+      value
+      & opt (some (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ])) None
+      & info [ "export" ] ~docv:"FMT"
+          ~doc:
+            "Write the span stream: 'chrome' (trace-event JSON, loads in Perfetto) or \
+             'jsonl' (exact round-trip stream)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Export target (default trace.chrome.json / trace.spans.jsonl)")
+  in
+  let time_scale =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "time-scale" ]
+          ~doc:"Chrome export: microseconds per sim-time unit (default 1000 = 1ms)")
+  in
+  let slowest =
+    Arg.(value & opt int 5 & info [ "slowest" ] ~doc:"Slowest observations to list")
+  in
+  let run jobs store net n objects ops seed recovery adversarial churn why export out
+      time_scale slowest =
+    set_jobs jobs;
+    let policy = policy_of net in
+    if churn && recovery <> `Anti_entropy then
+      `Error (false, "--churn needs --recovery anti-entropy")
+    else
+      let go (module S : Store.Store_intf.S) ~require ~spec mix =
+        trace_store (module S) ~require ~recovery ~adversarial ~churn ~spec ~mix ~seed
+          ~n ~objects ~ops ~policy ~why ~export ~out ~time_scale ~slowest
+      in
+      match store with
+      | Mvr -> go (module Store.Mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+                 Sim.Workload.register_mix
+      | Causal -> go (module Store.Causal_mvr_store) ~require:`Causal ~spec:Spec.Spec.mvr
+                    Sim.Workload.register_mix
+      | Cops -> go (module Store.Cops_store) ~require:`Causal ~spec:Spec.Spec.mvr
+                  Sim.Workload.register_mix
+      | State -> go (module Store.State_mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+                   Sim.Workload.register_mix
+      | Orset -> go (module Store.Orset_store) ~require:`Correct ~spec:Spec.Spec.orset
+                   Sim.Workload.orset_mix
+      | Lww -> go (module Store.Lww_store) ~require:`Converge ~spec:Spec.Spec.rw_register
+                 Sim.Workload.register_mix
+      | Gossip -> go (module Store.Gossip_relay_store) ~require:`Correct
+                    ~spec:Spec.Spec.mvr Sim.Workload.register_mix
+      | Counter | Delayed | Gsp ->
+        `Error (false, "trace supports: mvr|causal|cops|state|orset|lww|gossip")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one seeded chaos schedule with lifecycle span tracing and attribute \
+          every sim-time unit of visibility lag to encode/network/repair/dep/bootstrap")
+    Term.(
+      ret
+        (const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ recovery_arg
+        $ adversarial_arg $ churn_arg $ why $ export $ out $ time_scale $ slowest))
 
 let main =
   let doc = "Limitations of highly-available eventually-consistent data stores, executable" in
@@ -843,6 +1156,7 @@ let main =
       replay_cmd;
       metrics_cmd;
       json_check_cmd;
+      trace_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -32,6 +32,8 @@ module Obs = struct
   module Json = Haec_obs.Json
   module Metrics = Haec_obs.Metrics
   module Metrics_io = Haec_obs.Metrics_io
+  module Span = Haec_obs.Span
+  module Trace_export = Haec_obs.Trace_export
 end
 
 module Clock = struct

@@ -52,6 +52,11 @@ let all =
     { id = E20_soak.name; title = E20_soak.title; run = E20_soak.run };
     { id = E21_anti_entropy.name; title = E21_anti_entropy.title; run = E21_anti_entropy.run };
     { id = E22_membership.name; title = E22_membership.title; run = E22_membership.run };
+    {
+      id = E23_lag_attribution.name;
+      title = E23_lag_attribution.title;
+      run = E23_lag_attribution.run;
+    };
   ]
 
 let find id =

@@ -91,6 +91,8 @@ module Histogram = struct
       in
       go 0 0
     end
+
+  let percentiles t = (quantile t 0.5, quantile t 0.95, quantile t 0.99)
 end
 
 module Registry = struct

@@ -66,6 +66,10 @@ module Histogram : sig
       the rank-[ceil q*count] sample, clamped to [[min, max]]; [q <= 0]
       and [q >= 1] return the exact minimum and maximum. NaN when
       empty. *)
+
+  val percentiles : t -> float * float * float
+  (** [(p50, p95, p99)] — the standard summary triple; each NaN when
+      empty. *)
 end
 
 module Registry : sig

@@ -22,6 +22,7 @@ type outcome = {
   recovery : Runner.recovery;
   stats : Runner.stats;
   metrics : Haec_obs.Metrics.Registry.t;
+  spans : Haec_obs.Span.t list;
   exec : Execution.t;
   ops : int;
   skipped : int;
@@ -100,6 +101,8 @@ module Drive (DS : sig
 
   val hooks : state Runner.membership_hooks option
 
+  val classify : (string -> string) option
+
   val reset_stats : unit -> unit
 
   val gossip_stats : unit -> Haec_store.Store_intf.gossip_stats option
@@ -152,8 +155,8 @@ struct
       | Some (tick, settled) -> Some (gossip_interval, tick, settled)
     in
     let sim =
-      R.create ~seed ~n:capacity ~initial ?hooks:DS.hooks ~policy ~faults:plan
-        ~recovery:DS.recovery ?gossip
+      R.create ~seed ~n:capacity ~initial ?hooks:DS.hooks ?classify:DS.classify ~policy
+        ~faults:plan ~recovery:DS.recovery ?gossip
         ~recover_state:(fun ~replica:_ st -> DS.recover st)
         ()
     in
@@ -264,6 +267,7 @@ struct
       recovery = DS.recovery;
       stats = R.stats sim;
       metrics;
+      spans = R.spans sim;
       exec = R.execution sim;
       ops = !executed;
       skipped = !skipped;
@@ -287,6 +291,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
     let gossip = None
 
     let hooks = None
+
+    let classify = None
 
     let reset_stats () = ()
 
@@ -317,6 +323,8 @@ module Make (S : Haec_store.Store_intf.S) = struct
             (fun ~epoch ~graceful st ->
               if graceful then DA.map_inner (AE.announce_leave ~epoch) st else st);
         }
+
+    let classify = Some Haec_store.Anti_entropy.classify
 
     let reset_stats () = AE.reset_gossip_stats ()
 

@@ -53,6 +53,10 @@ type outcome = {
           under [`Anti_entropy] also the [gossip.*] digest/repair traffic
           counters (items and encoded bytes, plus [gossip.dup_payloads] and
           [gossip.repair_applied]) *)
+  spans : Haec_obs.Span.t list;
+      (** the run's lifecycle span stream (see {!Runner.Make.spans});
+          under [`Anti_entropy] transmit spans carry protocol item kinds
+          via {!Haec_store.Anti_entropy.classify} *)
   exec : Execution.t;
   ops : int;  (** client operations executed (after failover) *)
   skipped : int;  (** operations dropped because nobody could serve them *)

@@ -113,11 +113,37 @@ module Make (S : Haec_store.Store_intf.S) = struct
     do_info : (int, float * int) Hashtbl.t;  (* do index -> (time, replica) *)
     first_seen : (int * int, unit) Hashtbl.t;  (* (do index, observer) *)
     lag_hist : Obs.Histogram.t;
+    (* span tracing: the per-op lifecycle decomposition of visibility lag
+       (see {!Haec_obs.Span}). All bookkeeping is keyed on sim-time data
+       already flowing through the runner, so the stream is bit-identical
+       at any [-j]. Implies [record_witness]. *)
+    record_spans : bool;
+    classify : (string -> string) option;  (* payload -> protocol item kinds *)
+    mutable spans_rev : Haec_obs.Span.t list;
+    unsent_ops : (int * int) list array;
+        (** per replica: (do index, obj) of updates awaiting their first
+            flush, reverse order *)
+    op_sent : (int, float) Hashtbl.t;  (* do index -> first-flush time *)
+    msg_ops : (int * int, int list) Hashtbl.t;  (* (src, seq) -> do indices *)
+    sent_time : (int * int, float) Hashtbl.t;  (* (src, seq) -> send time *)
+    delivered_once : (int * int * int, unit) Hashtbl.t;  (* (src, seq, dst) *)
+    arrive : (int * int, float) Hashtbl.t;  (* (op, dst) -> first direct arrival *)
+    dropped_at : (int * int, float) Hashtbl.t;  (* (op, dst) -> first loss *)
+    applied : (int * int, float) Hashtbl.t;  (* (op, dst) -> protocol apply time *)
+    payload_ops : (int * int, int list) Hashtbl.t;
+        (* (origin, protocol seq) -> do indices; lets repair deliveries,
+           which carry re-encoded payloads under fresh message ids, still
+           attribute their apply times to the originating ops *)
+    boot_epoch : (int, int) Hashtbl.t;  (* joiner -> epoch stamped at join *)
+    boot_win : (int, float * float) Hashtbl.t;
+        (* replica -> (join, promoted) bootstrap window; promoted is
+           [infinity] until promotion *)
   }
 
-  let create ?(seed = 42) ?(record_witness = true) ?(auto_send = true) ?(coalesce = false)
-      ?(coalesce_window = 2.0) ?policy ?faults ?(recovery = `Oracle) ?gossip ?initial
-      ?hooks ?(recover_state = fun ~replica:_ st -> st) ~n () =
+  let create ?(seed = 42) ?(record_witness = true) ?(record_spans = true)
+      ?(auto_send = true) ?(coalesce = false) ?(coalesce_window = 2.0) ?policy ?faults
+      ?(recovery = `Oracle) ?gossip ?initial ?hooks ?classify
+      ?(recover_state = fun ~replica:_ st -> st) ~n () =
     if n <= 0 then invalid_arg "Runner.create: n must be positive";
     if coalesce_window < 0.0 then invalid_arg "Runner.create: negative coalesce window";
     let initial = match initial with None -> n | Some i -> i in
@@ -184,6 +210,20 @@ module Make (S : Haec_store.Store_intf.S) = struct
       do_info = Hashtbl.create 64;
       first_seen = Hashtbl.create 256;
       lag_hist = Obs.Histogram.create ();
+      record_spans = record_spans && record_witness;
+      classify;
+      spans_rev = [];
+      unsent_ops = Array.make n [];
+      op_sent = Hashtbl.create 64;
+      msg_ops = Hashtbl.create 64;
+      sent_time = Hashtbl.create 64;
+      delivered_once = Hashtbl.create 256;
+      arrive = Hashtbl.create 256;
+      dropped_at = Hashtbl.create 64;
+      applied = Hashtbl.create 256;
+      payload_ops = Hashtbl.create 64;
+      boot_epoch = Hashtbl.create 4;
+      boot_win = Hashtbl.create 4;
     }
 
   let n_replicas t = t.n
@@ -207,6 +247,10 @@ module Make (S : Haec_store.Store_intf.S) = struct
     }
 
   let visibility_lag t = t.lag_hist
+
+  let spans t = List.rev t.spans_rev
+
+  let span t s = if t.record_spans then t.spans_rev <- s :: t.spans_rev
 
   let membership t = t.membership
 
@@ -261,9 +305,33 @@ module Make (S : Haec_store.Store_intf.S) = struct
 
   (* a delivery the network will never perform and the runner will never
      retransmit: the store protocol alone must make up for it *)
-  let lose_permanently t =
+  let lose_permanently t { dst; msg } =
     t.s_dropped <- t.s_dropped + 1;
-    t.s_lost_permanent <- t.s_lost_permanent + 1
+    t.s_lost_permanent <- t.s_lost_permanent + 1;
+    if t.record_spans then begin
+      let src = msg.Message.sender and seq = msg.Message.seq in
+      let sent =
+        match Hashtbl.find_opt t.sent_time (src, seq) with Some s -> s | None -> t.now_
+      in
+      span t
+        (Haec_obs.Span.Flight
+           {
+             f_src = src;
+             f_seq = seq;
+             f_dst = dst;
+             f_sent = sent;
+             f_at = t.now_;
+             f_outcome = Haec_obs.Span.Dropped;
+           });
+      match Hashtbl.find_opt t.msg_ops (src, seq) with
+      | Some ops ->
+        List.iter
+          (fun i ->
+            if not (Hashtbl.mem t.dropped_at (i, dst)) then
+              Hashtbl.replace t.dropped_at (i, dst) t.now_)
+          ops
+      | None -> ()
+    end
 
   let schedule_deliveries t ~src msg =
     match t.policy with
@@ -279,7 +347,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
             | Some f -> Fault_plan.link_dead f ~src ~dst ~at:t.now_
             | None -> false
           in
-          if dead then lose_permanently t
+          if dead then lose_permanently t { dst; msg }
           else begin
             let d = p.Net_policy.delay t.rng ~now:t.now_ ~src ~dst in
             let at = t.now_ +. max 0.0 d in
@@ -316,7 +384,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
               let d' = max 0.01 (p.Net_policy.delay t.rng ~now:heal ~src ~dst) in
               Pqueue.add t.queue ~priority:(heal +. d') (Deliver { dst; msg });
               incr scheduled
-            | Some _ -> lose_permanently t
+            | Some _ -> lose_permanently t { dst; msg }
             | None ->
               Pqueue.add t.queue ~priority:at (Deliver { dst; msg });
               incr scheduled;
@@ -343,20 +411,75 @@ module Make (S : Haec_store.Store_intf.S) = struct
       done;
       Obs.Histogram.observe t.fanout_hist (float_of_int !scheduled)
 
+  (* The common send path: pull one payload, wrap, record, schedule. Span
+     bookkeeping happens before delivery scheduling, so a same-instant
+     loss (dead link) already sees the transmit. An op's carrying message
+     is pinned the first time the protocol's own self-progress component
+     ticks across a send (read through [hooks.progress]); without hooks
+     any flush is assumed to carry everything issued since the last. *)
+  let send_one t ~replica =
+    let before_self =
+      match t.hooks with
+      | Some h when t.record_spans ->
+        Some (Vclock.get (h.progress t.states.(replica)) replica)
+      | _ -> None
+    in
+    let state, payload = S.send t.states.(replica) in
+    t.states.(replica) <- state;
+    let seq = t.send_seq.(replica) in
+    let msg = { Message.sender = replica; seq; payload } in
+    t.send_seq.(replica) <- t.send_seq.(replica) + 1;
+    t.msg_count.(replica) <- t.msg_count.(replica) + 1;
+    Obs.Histogram.observe t.payload_hist (float_of_int (String.length payload));
+    if t.record_spans then begin
+      Hashtbl.replace t.sent_time (replica, seq) t.now_;
+      let carried =
+        match (before_self, t.hooks) with
+        | Some before, Some h ->
+          let after = Vclock.get (h.progress t.states.(replica)) replica in
+          if after > before then Some (after - 1) else None
+        | _ -> Some (-1)
+      in
+      let ops =
+        match carried with
+        | None -> []
+        | Some proto_seq ->
+          let pending = List.rev t.unsent_ops.(replica) in
+          t.unsent_ops.(replica) <- [];
+          if proto_seq >= 0 then
+            Hashtbl.replace t.payload_ops (replica, proto_seq) (List.map fst pending);
+          pending
+      in
+      List.iter
+        (fun (i, obj) ->
+          Hashtbl.replace t.op_sent i t.now_;
+          let issue =
+            match Hashtbl.find_opt t.do_info i with Some (t0, _) -> t0 | None -> t.now_
+          in
+          span t (Haec_obs.Span.Op { op = i; origin = replica; obj; issue; sent = t.now_ }))
+        ops;
+      let op_ids = List.map fst ops in
+      Hashtbl.replace t.msg_ops (replica, seq) op_ids;
+      let kinds = match t.classify with Some f -> f payload | None -> "" in
+      span t
+        (Haec_obs.Span.Transmit
+           {
+             src = replica;
+             seq;
+             sent = t.now_;
+             bytes = String.length payload;
+             kinds;
+             ops = op_ids;
+           })
+    end;
+    record t (Event.Send { replica; msg });
+    schedule_deliveries t ~src:replica msg;
+    msg
+
   let flush t ~replica =
     t.dirty.(replica) <- false;
     if t.down.(replica) || not (S.has_pending t.states.(replica)) then None
-    else begin
-      let state, payload = S.send t.states.(replica) in
-      t.states.(replica) <- state;
-      let msg = { Message.sender = replica; seq = t.send_seq.(replica); payload } in
-      t.send_seq.(replica) <- t.send_seq.(replica) + 1;
-      t.msg_count.(replica) <- t.msg_count.(replica) + 1;
-      Obs.Histogram.observe t.payload_hist (float_of_int (String.length payload));
-      record t (Event.Send { replica; msg });
-      schedule_deliveries t ~src:replica msg;
-      Some msg
-    end
+    else Some (send_one t ~replica)
 
   (* With coalescing on, a dirty replica defers its flush by one window so
      that further updates inside the window share the frame; the transmit
@@ -368,6 +491,55 @@ module Make (S : Haec_store.Store_intf.S) = struct
         t.dirty.(replica) <- true;
         Pqueue.add t.queue ~priority:(t.now_ +. t.coalesce_window) (Transmit replica)
       end
+
+  (* Assemble the lifecycle of (update [op], observer) at witness time.
+     Timestamps are clamped monotone issue <= sent <= arrived <= applied
+     <= visible; each missing stage falls back to the previous one, which
+     zeroes the corresponding breakdown component. [direct] records
+     whether the observer ever received the carrying message itself —
+     when it did not (the direct copy was lost), the arrival-to-apply gap
+     is repair wait, not dependency wait. *)
+  let assemble_visible t ~op ~origin ~obj ~observer ~issue =
+    let visible = t.now_ in
+    let sent =
+      match Hashtbl.find_opt t.op_sent op with
+      | Some s -> Float.max issue s
+      | None -> issue
+    in
+    let direct = Hashtbl.mem t.arrive (op, observer) in
+    let arrived =
+      match Hashtbl.find_opt t.arrive (op, observer) with
+      | Some a -> a
+      | None -> (
+        match Hashtbl.find_opt t.dropped_at (op, observer) with
+        | Some d -> d
+        | None -> sent)
+    in
+    let arrived = Float.min visible (Float.max sent arrived) in
+    let applied =
+      match Hashtbl.find_opt t.applied (op, observer) with
+      | Some a -> a
+      | None -> arrived
+    in
+    let applied = Float.min visible (Float.max arrived applied) in
+    let boot_overlap =
+      match Hashtbl.find_opt t.boot_win observer with
+      | Some (j, p) -> Float.max 0.0 (Float.min p visible -. Float.max j applied)
+      | None -> 0.0
+    in
+    {
+      Haec_obs.Span.v_op = op;
+      v_origin = origin;
+      v_obj = obj;
+      v_observer = observer;
+      issue_at = issue;
+      sent_at = sent;
+      arrived_at = arrived;
+      applied_at = applied;
+      visible_at = visible;
+      direct;
+      boot_overlap;
+    }
 
   (* A bootstrapping replica has joined but not caught up: letting it
      answer reads would surface stale-causal anomalies the checkers cannot
@@ -399,7 +571,15 @@ module Make (S : Haec_store.Store_intf.S) = struct
             | Some (t0, origin) when origin <> replica ->
               if not (Hashtbl.mem t.first_seen (i, replica)) then begin
                 Hashtbl.add t.first_seen (i, replica) ();
-                Obs.Histogram.observe t.lag_hist (t.now_ -. t0)
+                if t.record_spans then begin
+                  (* the measured lag is defined as the breakdown's
+                     component sum (see {!Haec_obs.Span.breakdown}), so
+                     attribution is exact by construction *)
+                  let v = assemble_visible t ~op:i ~origin ~obj:(fst key) ~observer:replica ~issue:t0 in
+                  span t (Haec_obs.Span.Visible v);
+                  Obs.Histogram.observe t.lag_hist (Haec_obs.Span.breakdown v).total
+                end
+                else Obs.Histogram.observe t.lag_hist (t.now_ -. t0)
               end
             | Some _ | None -> ())
           | None -> ())
@@ -407,7 +587,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
       (match w.Haec_store.Store_intf.self with
       | Some dot -> Hashtbl.replace t.dot_pos (obj, dot) t.do_count
       | None -> ());
-      Hashtbl.replace t.do_info t.do_count (t.now_, replica)
+      Hashtbl.replace t.do_info t.do_count (t.now_, replica);
+      if t.record_spans && Op.is_update o then
+        t.unsent_ops.(replica) <- (t.do_count, obj) :: t.unsent_ops.(replica)
     end;
     t.do_rev <- d :: t.do_rev;
     t.do_count <- t.do_count + 1;
@@ -428,7 +610,18 @@ module Make (S : Haec_store.Store_intf.S) = struct
         if Vclock.leq target (h.progress t.states.(replica)) then begin
           Hashtbl.remove t.bootstrap replica;
           t.membership <- Membership.promote t.membership replica;
-          Obs.Histogram.observe t.bootstrap_hist (t.now_ -. since)
+          Obs.Histogram.observe t.bootstrap_hist (t.now_ -. since);
+          if t.record_spans then begin
+            Hashtbl.replace t.boot_win replica (since, t.now_);
+            let epoch =
+              match Hashtbl.find_opt t.boot_epoch replica with
+              | Some e -> e
+              | None -> Membership.epoch t.membership
+            in
+            span t
+              (Haec_obs.Span.Bootstrap
+                 { b_replica = replica; b_epoch = epoch; b_join = since; b_promoted = t.now_ })
+          end
         end)
 
   let deliver_msg t ~dst msg =
@@ -437,8 +630,60 @@ module Make (S : Haec_store.Store_intf.S) = struct
     if t.down.(dst) then
       invalid_arg (Printf.sprintf "Runner.deliver_msg: replica %d is crashed" dst);
     let bootstrapping = Hashtbl.mem t.bootstrap dst in
+    let before_progress =
+      match t.hooks with
+      | Some h when t.record_spans -> Some (h.progress t.states.(dst))
+      | _ -> None
+    in
     t.states.(dst) <- S.receive t.states.(dst) ~sender:msg.Message.sender msg.Message.payload;
     t.s_deliveries <- t.s_deliveries + 1;
+    if t.record_spans then begin
+      let src = msg.Message.sender and seq = msg.Message.seq in
+      let sent =
+        match Hashtbl.find_opt t.sent_time (src, seq) with Some s -> s | None -> t.now_
+      in
+      let dup = Hashtbl.mem t.delivered_once (src, seq, dst) in
+      if not dup then Hashtbl.add t.delivered_once (src, seq, dst) ();
+      span t
+        (Haec_obs.Span.Flight
+           {
+             f_src = src;
+             f_seq = seq;
+             f_dst = dst;
+             f_sent = sent;
+             f_at = t.now_;
+             f_outcome = (if dup then Haec_obs.Span.Duplicate else Haec_obs.Span.Delivered);
+           });
+      if not dup then (
+        match Hashtbl.find_opt t.msg_ops (src, seq) with
+        | Some ops ->
+          List.iter
+            (fun i ->
+              if not (Hashtbl.mem t.arrive (i, dst)) then
+                Hashtbl.replace t.arrive (i, dst) t.now_)
+            ops
+        | None -> ());
+      (* the protocol's progress vector names exactly which (origin, seq)
+         streams advanced under this delivery — direct applies, repair
+         applies and orphan-cascade applies all land here *)
+      match (before_progress, t.hooks) with
+      | Some before, Some h ->
+        let after = h.progress t.states.(dst) in
+        for o = 0 to t.n - 1 do
+          let b = Vclock.get before o and a = Vclock.get after o in
+          for s = b to a - 1 do
+            match Hashtbl.find_opt t.payload_ops (o, s) with
+            | Some ops ->
+              List.iter
+                (fun i ->
+                  if not (Hashtbl.mem t.applied (i, dst)) then
+                    Hashtbl.replace t.applied (i, dst) t.now_)
+                ops
+            | None -> ()
+          done
+        done
+      | _ -> ()
+    end;
     if bootstrapping then begin
       t.s_bootstrap_bytes <- t.s_bootstrap_bytes + String.length msg.Message.payload;
       maybe_promote t ~replica:dst
@@ -466,7 +711,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
             t.s_dropped <- t.s_dropped + 1;
             t.lost_rev <- d :: t.lost_rev
           end
-          else lose_permanently t
+          else lose_permanently t d
         | Deliver _ | Transmit _ -> Pqueue.add t.queue ~priority:at ev)
       inflight
 
@@ -519,6 +764,10 @@ module Make (S : Haec_store.Store_intf.S) = struct
     in
     t.states.(replica) <- hooks.on_join ~epoch t.states.(replica);
     Hashtbl.replace t.bootstrap replica (target, t.now_);
+    if t.record_spans then begin
+      Hashtbl.replace t.boot_epoch replica epoch;
+      Hashtbl.replace t.boot_win replica (t.now_, infinity)
+    end;
     (* an empty cluster history needs no catch-up: promote on the spot *)
     maybe_promote t ~replica;
     ignore (flush t ~replica)
@@ -543,14 +792,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
       t.dirty.(replica) <- false;
       (* the farewell flush: drain every pending payload in one go *)
       while S.has_pending t.states.(replica) do
-        let state, payload = S.send t.states.(replica) in
-        t.states.(replica) <- state;
-        let msg = { Message.sender = replica; seq = t.send_seq.(replica); payload } in
-        t.send_seq.(replica) <- t.send_seq.(replica) + 1;
-        t.msg_count.(replica) <- t.msg_count.(replica) + 1;
-        Obs.Histogram.observe t.payload_hist (float_of_int (String.length payload));
-        record t (Event.Send { replica; msg });
-        schedule_deliveries t ~src:replica msg
+        ignore (send_one t ~replica)
       done
     end;
     (* either way the leaver is off the network now: deliveries already in
@@ -561,7 +803,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
     List.iter
       (fun (at, ev) ->
         match ev with
-        | Deliver d when d.dst = replica -> if not graceful then lose_permanently t
+        | Deliver d when d.dst = replica -> if not graceful then lose_permanently t d
         | Transmit r when r = replica -> ()
         | ev -> Pqueue.add t.queue ~priority:at ev)
       inflight;
@@ -591,6 +833,9 @@ module Make (S : Haec_store.Store_intf.S) = struct
       t.next_gossip <- t.next_gossip +. g.interval;
       if not (g.settled (member_states t)) then begin
         t.s_gossip_rounds <- t.s_gossip_rounds + 1;
+        span t
+          (Haec_obs.Span.Repair_round
+             { round = t.s_gossip_rounds; r_at = t.now_; r_interval = g.interval });
         for r = 0 to t.n - 1 do
           if Membership.is_member t.membership r && not t.down.(r) then begin
             t.states.(r) <- g.tick t.states.(r);
@@ -636,7 +881,7 @@ module Make (S : Haec_store.Store_intf.S) = struct
            t.s_dropped <- t.s_dropped + 1;
            t.lost_rev <- d :: t.lost_rev
          end
-         else lose_permanently t
+         else lose_permanently t d
        end
        else
          let corrupt_p =
@@ -651,11 +896,11 @@ module Make (S : Haec_store.Store_intf.S) = struct
            match Wire.Frame.unseal mangled with
            | exception Wire.Decoder.Malformed _ ->
              t.s_corrupt_rejected <- t.s_corrupt_rejected + 1;
-             if oracle t then requeue t d else lose_permanently t
+             if oracle t then requeue t d else lose_permanently t d
            | _ ->
              (* checksum collision (~2^-32): treat as loss *)
              t.s_corrupt_collisions <- t.s_corrupt_collisions + 1;
-             if oracle t then requeue t d else lose_permanently t
+             if oracle t then requeue t d else lose_permanently t d
          end
          else deliver_msg t ~dst msg);
       true

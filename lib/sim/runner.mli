@@ -99,6 +99,7 @@ module Make (S : Haec_store.Store_intf.S) : sig
   val create :
     ?seed:int ->
     ?record_witness:bool ->
+    ?record_spans:bool ->
     ?auto_send:bool ->
     ?coalesce:bool ->
     ?coalesce_window:float ->
@@ -108,6 +109,7 @@ module Make (S : Haec_store.Store_intf.S) : sig
     ?gossip:float * (S.state -> S.state) * (S.state array -> bool) ->
     ?initial:int ->
     ?hooks:S.state membership_hooks ->
+    ?classify:(string -> string) ->
     ?recover_state:(replica:int -> S.state -> S.state) ->
     n:int ->
     unit ->
@@ -147,7 +149,13 @@ module Make (S : Haec_store.Store_intf.S) : sig
       [initial] (default [n]) makes ids [initial .. n-1] a reserve pool
       for {!join} instead of members from time zero; [hooks] supplies the
       membership announcements and the bootstrap progress read — both
-      required for {!join} / graceful {!leave} announcements. *)
+      required for {!join} / graceful {!leave} announcements.
+
+      [record_spans] (default [true], implies [record_witness]) collects
+      the per-op lifecycle span stream (see {!spans}); [classify] labels
+      sent payloads with their protocol item kinds in {!Haec_obs.Span}
+      [Transmit] spans (pass {!Haec_store.Anti_entropy.classify} for
+      anti-entropy stacks). *)
 
   val n_replicas : t -> int
 
@@ -246,7 +254,18 @@ module Make (S : Haec_store.Store_intf.S) : sig
       other replica, the lag from the update's do event until the first
       operation at that replica whose witness includes the update. Only
       recorded while witness collection is enabled; drive a read per
-      object per replica after quiescence to capture full convergence. *)
+      object per replica after quiescence to capture full convergence.
+      With spans on, each observation is exactly the component sum of the
+      matching [Visible] span's {!Haec_obs.Span.breakdown}. *)
+
+  val spans : t -> Haec_obs.Span.t list
+  (** The lifecycle span stream of the run so far, in emission order:
+      [Op] (issue-to-flush) and [Transmit] spans at each send, [Flight]
+      spans for every delivery/duplicate/permanent loss, [Visible] spans
+      (one per witnessed (update, observer) pair, carrying the full lag
+      decomposition), [Bootstrap] spans at promotion and [Repair_round]
+      spans per fired gossip round. Derived from sim-time data only —
+      bit-identical at any [-j]. Empty when [record_spans] is off. *)
 
   val advance_to : t -> float -> unit
   (** Process all scheduled deliveries up to the given time. *)

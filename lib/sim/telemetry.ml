@@ -58,6 +58,125 @@ let wire_of_execution exec =
   c "wire.duplicates" !duplicates;
   reg
 
+(* Offline span recompute: the wire-level slice of the lifecycle stream
+   (op/transmit/flight spans) rebuilt from a recorded trace alone. Traces
+   carry no timestamps, so event indices serve as logical time — span
+   shapes and matchings are auditable, absolute durations are not.
+   Updates are attributed to their issuing replica's next send, the same
+   heuristic the live runner uses for stores without progress hooks;
+   protocol-level apply times (hook-derived) exist only live. *)
+let spans_of_execution exec =
+  let n = Execution.n_replicas exec in
+  let pending = Array.make n [] in
+  let sent_at : (Message.id, float) Hashtbl.t = Hashtbl.create 64 in
+  let seen_at : (Message.id * int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let do_count = ref 0 in
+  let spans_rev = ref [] in
+  let emit s = spans_rev := s :: !spans_rev in
+  List.iteri
+    (fun idx ev ->
+      let now = float_of_int idx in
+      match ev with
+      | Event.Do d ->
+        if Op.is_update d.Event.op then
+          pending.(d.Event.replica) <-
+            (!do_count, d.Event.obj, now) :: pending.(d.Event.replica);
+        incr do_count
+      | Event.Send { replica; msg } ->
+        let ops = List.rev pending.(replica) in
+        pending.(replica) <- [];
+        List.iter
+          (fun (i, obj, issue) ->
+            emit (Haec_obs.Span.Op { op = i; origin = replica; obj; issue; sent = now }))
+          ops;
+        Hashtbl.replace sent_at (Message.id msg) now;
+        emit
+          (Haec_obs.Span.Transmit
+             {
+               src = replica;
+               seq = msg.Message.seq;
+               sent = now;
+               bytes = Message.size_bytes msg;
+               kinds = "";
+               ops = List.map (fun (i, _, _) -> i) ops;
+             })
+      | Event.Receive { replica; msg } ->
+        let id = Message.id msg in
+        let sent = match Hashtbl.find_opt sent_at id with Some s -> s | None -> now in
+        let dup = Hashtbl.mem seen_at (id, replica) in
+        if not dup then Hashtbl.add seen_at (id, replica) ();
+        emit
+          (Haec_obs.Span.Flight
+             {
+               f_src = msg.Message.sender;
+               f_seq = msg.Message.seq;
+               f_dst = replica;
+               f_sent = sent;
+               f_at = now;
+               f_outcome =
+                 (if dup then Haec_obs.Span.Duplicate else Haec_obs.Span.Delivered);
+             })
+      | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ())
+    (Execution.events exec);
+  List.rev !spans_rev
+
+(* Audit a (live) span stream against the recorded trace: transmit spans
+   and send events must match 1:1 on message id, and per (message, dst)
+   the delivered+duplicate flight count must equal the receive count.
+   Returns the mismatches; empty means the stream is consistent. *)
+let audit_spans exec spans =
+  let sends : (Message.id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let recvs : (Message.id * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Event.Send { msg; _ } -> Hashtbl.replace sends (Message.id msg) ()
+      | Event.Receive { replica; msg } ->
+        let key = (Message.id msg, replica) in
+        let c = match Hashtbl.find_opt recvs key with Some c -> c | None -> 0 in
+        Hashtbl.replace recvs key (c + 1)
+      | Event.Do _ | Event.Crash _ | Event.Recover _ | Event.Join _ | Event.Leave _ -> ())
+    (Execution.events exec);
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let tx : (Message.id, unit) Hashtbl.t = Hashtbl.create 64 in
+  let fl : (Message.id * int, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (s : Haec_obs.Span.t) ->
+      match s with
+      | Haec_obs.Span.Transmit x ->
+        let id = (x.src, x.seq) in
+        if Hashtbl.mem tx id then err "duplicate transmit span m%d.%d" x.src x.seq;
+        Hashtbl.replace tx id ()
+      | Haec_obs.Span.Flight f when f.f_outcome <> Haec_obs.Span.Dropped ->
+        let key = ((f.f_src, f.f_seq), f.f_dst) in
+        let c = match Hashtbl.find_opt fl key with Some c -> c | None -> 0 in
+        Hashtbl.replace fl key (c + 1)
+      | Haec_obs.Span.Flight _ | Haec_obs.Span.Op _ | Haec_obs.Span.Visible _
+      | Haec_obs.Span.Bootstrap _ | Haec_obs.Span.Repair_round _ -> ())
+    spans;
+  Hashtbl.iter
+    (fun (src, seq) () ->
+      if not (Hashtbl.mem tx (src, seq)) then
+        err "send m%d.%d has no transmit span" src seq)
+    sends;
+  Hashtbl.iter
+    (fun (src, seq) () ->
+      if not (Hashtbl.mem sends (src, seq)) then
+        err "transmit span m%d.%d has no send event" src seq)
+    tx;
+  Hashtbl.iter
+    (fun (((src, seq), dst) as key) c ->
+      let got = match Hashtbl.find_opt fl key with Some g -> g | None -> 0 in
+      if got <> c then
+        err "m%d.%d->%d: %d receive events but %d arrival flights" src seq dst c got)
+    recvs;
+  Hashtbl.iter
+    (fun (((src, seq), dst) as key) c ->
+      if not (Hashtbl.mem recvs key) then
+        err "m%d.%d->%d: %d arrival flights but no receive event" src seq dst c)
+    fl;
+  List.rev !errors
+
 let snapshot ?(meta = []) ?objects exec reg =
   let n = Execution.n_replicas exec in
   let s = match objects with Some s -> s | None -> objects_of exec in

@@ -63,6 +63,61 @@ let repair_batch = 32
 
 let max_backoff = 32
 
+(* Pure classifier for trace labels: name the protocol items riding in an
+   encoded anti-entropy envelope without touching any state. Repair items
+   report their payload count. Payloads that are not anti-entropy
+   envelopes (some other transport's bytes) classify as "". *)
+let classify payload =
+  match
+    Wire.decode payload (fun dec ->
+        let count = Wire.Decoder.uint dec in
+        let items = ref [] in
+        let add name extra =
+          match List.assoc_opt name !items with
+          | Some r -> r := !r + extra
+          | None -> items := !items @ [ (name, ref extra) ]
+        in
+        for _ = 1 to count do
+          match Wire.Gossip.decode_kind dec with
+          | Wire.Gossip.Update ->
+            let _ = Wire.Decoder.uint dec in
+            let _ = Wire.Decoder.string dec in
+            add "update" 1
+          | Wire.Gossip.Digest ->
+            let _ = Vclock.decode dec in
+            add "digest" 1
+          | Wire.Gossip.Repair_request ->
+            let _ = Wire.Decoder.uint dec in
+            let _ = Wire.Decoder.uint dec in
+            let _ = Wire.Decoder.uint dec in
+            add "request" 1
+          | Wire.Gossip.Repair ->
+            let _ = Wire.Decoder.uint dec in
+            let k = ref 0 in
+            let _ =
+              Wire.Decoder.list dec (fun dec ->
+                  let _ = Wire.Decoder.uint dec in
+                  let _ = Wire.Decoder.uint dec in
+                  let _ = Wire.Decoder.string dec in
+                  incr k)
+            in
+            add "repair" !k
+          | Wire.Gossip.Hello ->
+            let _ = Wire.Decoder.uint dec in
+            add "hello" 1
+          | Wire.Gossip.Goodbye ->
+            let _ = Wire.Decoder.uint dec in
+            add "goodbye" 1
+        done;
+        !items)
+  with
+  | items ->
+    String.concat "+"
+      (List.map
+         (fun (name, r) -> if !r <= 1 then name else Printf.sprintf "%s(%d)" name !r)
+         items)
+  | exception _ -> ""
+
 module Make (S : Store_intf.S) : sig
   include Store_intf.S
 

@@ -63,6 +63,97 @@ let event_label = function
   | Event.Leave { epoch; graceful; _ } ->
     Printf.sprintf "%s e%d" (if graceful then "leave" else "crash-leave") epoch
 
+(* ASCII timeline: one row per replica over event-index buckets, with
+   membership drawn in — presence as a dotted baseline between a
+   replica's join and leave, epoch boundaries as a marker row labelled
+   with the epoch each Join/Leave event bumped the view to. Glyph
+   priority (highest wins within a bucket): membership transitions and
+   crashes over client ops over wire traffic. *)
+let timeline ?(width = 72) ?(title = "timeline") exec =
+  let n = Execution.n_replicas exec in
+  let initial = Execution.initial_members exec in
+  let len = Execution.length exec in
+  let cols = max 1 (min width (max 1 len)) in
+  let col i = if len <= 1 then 0 else i * (cols - 1) / (len - 1) in
+  let grid = Array.make_matrix n cols ' ' in
+  let rank = Array.make_matrix n cols 0 in
+  let boundary = Array.make cols ' ' in
+  let labels = ref [] in
+  (* presence baseline: from index 0 (initial members) or the join event
+     to the leave event (or the end) *)
+  let joined = Array.make n (-1) in
+  let left = Array.make n max_int in
+  for r = 0 to initial - 1 do
+    joined.(r) <- 0
+  done;
+  List.iteri
+    (fun i ev ->
+      match ev with
+      | Event.Join { replica; _ } -> joined.(replica) <- i
+      | Event.Leave { replica; _ } -> left.(replica) <- i
+      | _ -> ())
+    (Execution.events exec);
+  for r = 0 to n - 1 do
+    if joined.(r) >= 0 then
+      for c = col joined.(r) to col (min (len - 1) left.(r)) do
+        grid.(r).(c) <- '.'
+      done
+  done;
+  let put r c glyph prio =
+    if prio > rank.(r).(c) then begin
+      grid.(r).(c) <- glyph;
+      rank.(r).(c) <- prio
+    end
+  in
+  List.iteri
+    (fun i ev ->
+      let c = col i in
+      match ev with
+      | Event.Do { replica; _ } -> put replica c 'o' 2
+      | Event.Send { replica; _ } -> put replica c 's' 1
+      | Event.Receive { replica; _ } -> put replica c 'r' 1
+      | Event.Crash { replica } -> put replica c 'X' 3
+      | Event.Recover { replica } -> put replica c '^' 3
+      | Event.Join { replica; epoch } ->
+        put replica c 'J' 4;
+        boundary.(c) <- '|';
+        labels := (c, epoch) :: !labels
+      | Event.Leave { replica; epoch; graceful } ->
+        put replica c (if graceful then 'L' else 'C') 4;
+        boundary.(c) <- '|';
+        labels := (c, epoch) :: !labels)
+    (Execution.events exec);
+  let buf = Buffer.create (n * (cols + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s — %d events, %d replicas (o=op s=send r=recv X=crash ^=recover J=join L=leave C=crash-leave)\n"
+       title len n);
+  for r = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "R%-2d |" r);
+    Buffer.add_string buf (String.init cols (fun c -> grid.(r).(c)));
+    Buffer.add_char buf '\n'
+  done;
+  if Array.exists (fun c -> c <> ' ') boundary then begin
+    (* epoch boundaries: a marker under each membership event's column,
+       then the epoch number it bumped the view to *)
+    Buffer.add_string buf "    +";
+    Buffer.add_string buf (String.init cols (fun c -> boundary.(c)));
+    Buffer.add_char buf '\n';
+    let label_row = Bytes.make cols ' ' in
+    List.iter
+      (fun (c, epoch) ->
+        let s = Printf.sprintf "e%d" epoch in
+        let start = min c (max 0 (cols - String.length s)) in
+        String.iteri
+          (fun k ch ->
+            if start + k < cols then Bytes.set label_row (start + k) ch)
+          s)
+      (List.rev !labels);
+    Buffer.add_string buf "     ";
+    Buffer.add_string buf (Bytes.to_string label_row);
+    Buffer.add_char buf '\n'
+  end;
+  Buffer.contents buf
+
 let execution_to_dot ?(title = "execution") exec =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "digraph execution {\n";

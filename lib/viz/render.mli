@@ -17,3 +17,12 @@ val abstract_to_dot :
 val execution_to_dot : ?title:string -> Execution.t -> string
 (** One node per event, clustered by replica; solid edges for program
     order along a lane and for send -> receive message delivery. *)
+
+val timeline : ?width:int -> ?title:string -> Execution.t -> string
+(** ASCII timeline of a trace: one row per replica over event-index
+    buckets ([width] columns, default 72). Glyphs: [o] op, [s] send,
+    [r] receive, [X] crash, [^] recover, [J] join, [L] graceful leave,
+    [C] crash-leave; a dotted baseline marks membership. Join/Leave
+    epoch boundaries (trace format v3) are drawn as a marker row under
+    the lanes, labelled with the epoch each transition bumped the view
+    to. *)

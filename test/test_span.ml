@@ -1,0 +1,337 @@
+(* Lifecycle span tracing: breakdown exactness against the runner's own
+   lag histogram, structural well-formedness against the trace, export
+   round-trips, and the -j determinism contract for span streams. *)
+
+open Haec
+module Span = Obs.Span
+module Trace_export = Obs.Trace_export
+module Json = Obs.Json
+module Metrics = Obs.Metrics
+module Telemetry = Sim.Telemetry
+module Chaos = Sim.Chaos
+module C = Chaos.Make (Store.Causal_mvr_store)
+
+let ae_run ?(churn = false) ?(ops = 40) seed =
+  C.run ~objects:2 ~ops ~spec_of:(fun _ -> Spec.Spec.mvr)
+    ~mix:Sim.Workload.register_mix ~require:`Causal ~recovery:`Anti_entropy
+    ~adversarial:true ~churn ~seed ()
+
+let visibles spans =
+  List.filter_map (function Span.Visible v -> Some v | _ -> None) spans
+
+(* ---------- breakdown unit semantics ---------- *)
+
+let test_breakdown_sums_exactly () =
+  let v =
+    {
+      Span.v_op = 3; v_origin = 0; v_obj = 1; v_observer = 2;
+      issue_at = 1.0; sent_at = 1.5; arrived_at = 4.25; applied_at = 6.125;
+      visible_at = 9.0; direct = true; boot_overlap = 0.5;
+    }
+  in
+  let b = Span.breakdown v in
+  (* total is defined as the float sum of the components in field order —
+     the identity everything downstream leans on *)
+  Alcotest.(check (float 0.0))
+    "total = canonical-order component sum"
+    (b.Span.encode_wait +. b.Span.network +. b.Span.repair_wait +. b.Span.dep_wait
+   +. b.Span.bootstrap_refusal)
+    b.Span.total;
+  Alcotest.(check (float 0.0)) "encode" 0.5 b.Span.encode_wait;
+  Alcotest.(check (float 0.0)) "network" 2.75 b.Span.network;
+  (* a direct copy arrived: the arrival->apply gap is dependency wait *)
+  Alcotest.(check (float 0.0)) "repair" 0.0 b.Span.repair_wait;
+  Alcotest.(check (float 0.0)) "boot clamped to tail overlap" 0.5 b.Span.bootstrap_refusal
+
+let test_breakdown_repair_path () =
+  let v =
+    {
+      Span.v_op = 0; v_origin = 0; v_obj = 0; v_observer = 1;
+      issue_at = 2.0; sent_at = 2.0; arrived_at = 3.0; applied_at = 8.0;
+      visible_at = 8.0; direct = false; boot_overlap = 0.0;
+    }
+  in
+  let b = Span.breakdown v in
+  (* no direct copy: the arrival->apply gap is what anti-entropy cost *)
+  Alcotest.(check (float 0.0)) "repair carries the gap" 5.0 b.Span.repair_wait;
+  Alcotest.(check (float 0.0)) "dep empty" 0.0 b.Span.dep_wait;
+  Alcotest.(check (float 0.0)) "total" 6.0 b.Span.total
+
+(* ---------- live stream vs the runner's own measurements ---------- *)
+
+let test_components_sum_to_lag_histogram () =
+  List.iter
+    (fun seed ->
+      let o = ae_run seed in
+      let vs = visibles o.Chaos.spans in
+      let total =
+        List.fold_left (fun acc v -> acc +. (Span.breakdown v).Span.total) 0.0 vs
+      in
+      match Metrics.Registry.find o.Chaos.metrics "visibility.lag" with
+      | Some (Metrics.Registry.Histogram h) ->
+        Alcotest.(check int)
+          (Printf.sprintf "seed %d: one visible span per lag observation" seed)
+          (Metrics.Histogram.count h) (List.length vs);
+        (* bit-for-bit, not approximately: the runner records each op's lag
+           as the breakdown total itself, in the same order *)
+        Alcotest.(check (float 0.0))
+          (Printf.sprintf "seed %d: span totals = histogram sum" seed)
+          (Metrics.Histogram.sum h) total
+      | _ -> Alcotest.fail "visibility.lag histogram missing")
+    [ 1; 2; 3; 4; 5 ]
+
+let test_visible_timestamps_monotone () =
+  let o = ae_run ~churn:true 5 in
+  List.iter
+    (fun v ->
+      let m = Printf.sprintf "op %d at R%d" v.Span.v_op v.Span.v_observer in
+      Alcotest.(check bool) (m ^ ": issue<=sent") true (v.Span.issue_at <= v.Span.sent_at);
+      Alcotest.(check bool) (m ^ ": sent<=arrived") true
+        (v.Span.sent_at <= v.Span.arrived_at);
+      Alcotest.(check bool) (m ^ ": arrived<=applied") true
+        (v.Span.arrived_at <= v.Span.applied_at);
+      Alcotest.(check bool) (m ^ ": applied<=visible") true
+        (v.Span.applied_at <= v.Span.visible_at))
+    (visibles o.Chaos.spans)
+
+let test_spans_audit_against_trace () =
+  List.iter
+    (fun seed ->
+      let o = ae_run seed in
+      match Telemetry.audit_spans o.Chaos.exec o.Chaos.spans with
+      | [] -> ()
+      | errs ->
+        Alcotest.fail
+          (Printf.sprintf "seed %d: %s" seed (String.concat "; " errs)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_transmit_kinds_classified () =
+  let o = ae_run 2 in
+  let kinds =
+    List.filter_map
+      (function Span.Transmit x -> Some x.Span.kinds | _ -> None)
+      o.Chaos.spans
+  in
+  Alcotest.(check bool) "transmits present" true (kinds <> []);
+  (* the anti-entropy drive classifies payloads: digest rounds must show *)
+  Alcotest.(check bool) "some payload carries a digest" true
+    (List.exists
+       (fun k ->
+         let re = "digest" in
+         let lk = String.length k and lr = String.length re in
+         let rec scan i = i + lr <= lk && (String.sub k i lr = re || scan (i + 1)) in
+         scan 0)
+       kinds)
+
+let test_churn_emits_bootstrap_spans () =
+  (* at least one of these seeds draws a plan with a mid-run joiner *)
+  let boots =
+    List.concat_map
+      (fun seed ->
+        let o = ae_run ~churn:true seed in
+        List.filter_map
+          (function Span.Bootstrap b -> Some b | _ -> None)
+          o.Chaos.spans)
+      [ 1; 2; 3; 4; 5 ]
+  in
+  Alcotest.(check bool) "some run promoted a joiner" true (boots <> []);
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) "join <= promoted" true (b.Span.b_join <= b.Span.b_promoted))
+    boots
+
+let test_repair_rounds_numbered () =
+  let o = ae_run 1 in
+  let rounds =
+    List.filter_map (function Span.Repair_round r -> Some r | _ -> None) o.Chaos.spans
+  in
+  Alcotest.(check bool) "gossip rounds traced" true (rounds <> []);
+  List.iteri
+    (fun i r -> Alcotest.(check int) "rounds count up from 1" (i + 1) r.Span.round)
+    rounds
+
+(* ---------- determinism: streams are bit-identical at any -j ---------- *)
+
+let test_stream_identical_across_domains () =
+  let seeds = [ 1; 2; 3; 4 ] in
+  let render domains =
+    let outcomes =
+      C.run_seeds ~objects:2 ~ops:40 ~spec_of:(fun _ -> Spec.Spec.mvr)
+        ~mix:Sim.Workload.register_mix ~require:`Causal ~recovery:`Anti_entropy
+        ~adversarial:true ~domains ~seeds ()
+    in
+    String.concat "\n" (List.map (fun o -> Trace_export.to_jsonl o.Chaos.spans) outcomes)
+  in
+  Alcotest.(check string) "-j 1 vs -j 4 byte-identical" (render 1) (render 4)
+
+(* ---------- export round-trips ---------- *)
+
+let test_jsonl_roundtrip () =
+  let o = ae_run ~churn:true 5 in
+  let meta = [ ("store", Json.Str "causal"); ("seed", Json.Num 5.0) ] in
+  let s = Trace_export.to_jsonl ~meta o.Chaos.spans in
+  let meta', spans' = Trace_export.of_jsonl s in
+  Alcotest.(check int) "span count" (List.length o.Chaos.spans) (List.length spans');
+  Alcotest.(check bool) "spans equal" true (o.Chaos.spans = spans');
+  Alcotest.(check bool) "meta preserved" true
+    (List.assoc_opt "store" meta' = Some (Json.Str "causal"));
+  (* and the stream re-renders identically *)
+  Alcotest.(check string) "re-render" s (Trace_export.to_jsonl ~meta:meta' spans')
+
+let test_jsonl_rejects_garbage () =
+  Alcotest.check_raises "wrong magic" (Trace_export.Malformed "not a haec span stream")
+    (fun () -> ignore (Trace_export.of_jsonl "{\"magic\":\"nope\",\"version\":1}\n"))
+
+let test_chrome_export_schema () =
+  let o = ae_run ~churn:true 5 in
+  let n = Model.Execution.n_replicas o.Chaos.exec in
+  let doc = Trace_export.to_chrome ~n o.Chaos.spans in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "displayTimeUnit=ms" true
+    (Json.member "displayTimeUnit" doc = Some (Json.Str "ms"));
+  Alcotest.(check bool) "non-empty" true (events <> []);
+  let phases = Hashtbl.create 8 in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Json.Obj fields ->
+        (match List.assoc_opt "ph" fields with
+        | Some (Json.Str ph) ->
+          Hashtbl.replace phases ph (1 + Option.value ~default:0 (Hashtbl.find_opt phases ph))
+        | _ -> Alcotest.fail "event without ph");
+        (* every event needs a name and a pid for Perfetto to group it *)
+        Alcotest.(check bool) "has name" true (List.mem_assoc "name" fields);
+        Alcotest.(check bool) "has pid" true (List.mem_assoc "pid" fields)
+      | _ -> Alcotest.fail "event not an object")
+    events;
+  let count ph = Option.value ~default:0 (Hashtbl.find_opt phases ph) in
+  Alcotest.(check bool) "thread metadata present" true (count "M" >= n);
+  Alcotest.(check bool) "complete slices present" true (count "X" > 0);
+  (* async flight arrows must pair up *)
+  Alcotest.(check int) "b/e balanced" (count "b") (count "e");
+  (* a spot-check that the JSON is parseable text, not just a tree *)
+  let s = Json.to_string doc in
+  Alcotest.(check bool) "serializes and re-parses" true
+    (Json.equal (Json.of_string s) doc)
+
+(* ---------- offline recompute from a saved trace ---------- *)
+
+let test_offline_spans_self_consistent () =
+  let o = ae_run 3 in
+  let spans = Telemetry.spans_of_execution o.Chaos.exec in
+  (match Telemetry.audit_spans o.Chaos.exec spans with
+  | [] -> ()
+  | errs -> Alcotest.fail (String.concat "; " errs));
+  (* offline op spans cover exactly the trace's updates *)
+  let ops =
+    List.filter_map (function Span.Op x -> Some x.Span.op | _ -> None) spans
+  in
+  let updates =
+    List.filter
+      (fun (_, (d : Model.Event.do_event)) -> Model.Op.is_update d.Model.Event.op)
+      (Model.Execution.do_events o.Chaos.exec)
+  in
+  (* every update that a send later carried appears at most once *)
+  Alcotest.(check bool) "no op attributed twice" true
+    (List.length (List.sort_uniq compare ops) = List.length ops);
+  Alcotest.(check bool) "op spans bounded by updates" true
+    (List.length ops <= List.length updates)
+
+(* ---------- percentile triple ---------- *)
+
+let test_percentiles_ordered () =
+  let h = Metrics.Histogram.create () in
+  for i = 1 to 1000 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  let p50, p95, p99 = Metrics.Histogram.percentiles h in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= p99" true (p95 <= p99);
+  Alcotest.(check bool) "p50 near 500" true (Float.abs (p50 -. 500.0) <= 75.0);
+  Alcotest.(check bool) "p99 near 990" true (Float.abs (p99 -. 990.0) <= 150.0)
+
+(* ---------- ascii timeline ---------- *)
+
+let test_timeline_draws_epochs () =
+  (* find a churn run whose trace has a membership event *)
+  let rec find seed =
+    if seed > 12 then Alcotest.fail "no churn plan drew a join in seeds 1..12"
+    else
+      let o = ae_run ~churn:true seed in
+      let has_join =
+        List.exists
+          (function Model.Event.Join _ -> true | _ -> false)
+          (Model.Execution.events o.Chaos.exec)
+      in
+      if has_join then o else find (seed + 1)
+  in
+  let o = find 1 in
+  let s = Viz.Render.timeline o.Chaos.exec in
+  Alcotest.(check bool) "join glyph" true (String.contains s 'J');
+  (* the epoch boundary marker row and its label *)
+  Alcotest.(check bool) "boundary row" true (String.contains s '|');
+  let has sub =
+    let ls = String.length s and lr = String.length sub in
+    let rec scan i = i + lr <= ls && (String.sub s i lr = sub || scan (i + 1)) in
+    scan 0
+  in
+  (* the label row tags each boundary with the epoch it bumped the view
+     to — some "e<digit>" preceded by a space *)
+  let ls = String.length s in
+  let rec epoch_label i =
+    i + 1 < ls
+    && (s.[i] = 'e'
+        && s.[i + 1] >= '0'
+        && s.[i + 1] <= '9'
+        && (i = 0 || s.[i - 1] = ' ')
+       || epoch_label (i + 1))
+  in
+  Alcotest.(check bool) "epoch label" true (epoch_label 0);
+  Alcotest.(check bool) "replica lanes" true (has "R0 ")
+
+let test_timeline_plain_run () =
+  let module R = Sim.Runner.Make (Store.Mvr_store) in
+  let sim = R.create ~seed:7 ~n:3 ~policy:(Sim.Net_policy.reliable_fifo ()) () in
+  ignore (R.op sim ~replica:0 ~obj:0 (Model.Op.Write (Model.Value.Int 1)));
+  R.run_until_quiescent sim;
+  let s = Viz.Render.timeline (R.execution sim) in
+  Alcotest.(check bool) "op glyph" true (String.contains s 'o');
+  Alcotest.(check bool) "no epoch row without churn" true
+    (not (String.contains s '+'))
+
+let suite =
+  ( "span",
+    [
+      Alcotest.test_case "breakdown: total is the canonical component sum" `Quick
+        test_breakdown_sums_exactly;
+      Alcotest.test_case "breakdown: lost direct copy bills repair-wait" `Quick
+        test_breakdown_repair_path;
+      Alcotest.test_case "live: components sum to visibility.lag bit-for-bit" `Quick
+        test_components_sum_to_lag_histogram;
+      Alcotest.test_case "live: visible timestamps are monotone" `Quick
+        test_visible_timestamps_monotone;
+      Alcotest.test_case "live: transmit/flight spans match the trace" `Quick
+        test_spans_audit_against_trace;
+      Alcotest.test_case "live: anti-entropy payloads are classified" `Quick
+        test_transmit_kinds_classified;
+      Alcotest.test_case "churn: joiner promotion emits bootstrap spans" `Quick
+        test_churn_emits_bootstrap_spans;
+      Alcotest.test_case "gossip rounds are numbered from 1" `Quick
+        test_repair_rounds_numbered;
+      Alcotest.test_case "streams are byte-identical at -j 1 and -j 4" `Quick
+        test_stream_identical_across_domains;
+      Alcotest.test_case "jsonl round-trips exactly" `Quick test_jsonl_roundtrip;
+      Alcotest.test_case "jsonl rejects a wrong magic" `Quick test_jsonl_rejects_garbage;
+      Alcotest.test_case "chrome export satisfies the trace-event schema" `Quick
+        test_chrome_export_schema;
+      Alcotest.test_case "offline recompute audits cleanly" `Quick
+        test_offline_spans_self_consistent;
+      Alcotest.test_case "histogram percentiles triple" `Quick test_percentiles_ordered;
+      Alcotest.test_case "timeline draws membership epochs" `Quick
+        test_timeline_draws_epochs;
+      Alcotest.test_case "timeline of a churn-free run" `Quick test_timeline_plain_run;
+    ] )
