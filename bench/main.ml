@@ -41,16 +41,42 @@ let sample_update =
     value = Value.Pair (3000, 3);
   }
 
+(* The wire/encode-update and wire/decode-update rows are pinned to frame
+   version v1 (the whole fast group runs under [Wire.Version.scoped V1]),
+   so they keep measuring the same codec as the seed baseline; the v2
+   chooser/compressed paths get their own -v2 rows below. *)
 let bench_wire_encode =
   Test.make ~name:"wire/encode-update"
     (Staged.stage (fun () ->
          Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update)))
 
-let encoded_update = Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update)
+let encoded_update =
+  Wire.Version.scoped Wire.Version.V1 (fun () ->
+      Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update))
 
 let bench_wire_decode =
   Test.make ~name:"wire/decode-update"
     (Staged.stage (fun () -> Wire.decode encoded_update Store.Mvr_object.decode_update))
+
+let encoded_update_v2 =
+  Wire.Version.scoped Wire.Version.V2 (fun () ->
+      Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update))
+
+let bench_wire_encode_v2 =
+  Test.make ~name:"wire/encode-update-v2"
+    (Staged.stage (fun () ->
+         Wire.encode (fun e -> Store.Mvr_object.encode_update e sample_update)))
+
+let bench_wire_decode_v2 =
+  Test.make ~name:"wire/decode-update-v2"
+    (Staged.stage (fun () -> Wire.decode encoded_update_v2 Store.Mvr_object.decode_update))
+
+let compressible_clock = Vclock.of_array (Array.init 16 (fun i -> i * 1000))
+
+let bench_vclock_encode_c =
+  Test.make ~name:"vclock/encode-c-n16"
+    (Staged.stage (fun () ->
+         Wire.encode (fun e -> Vclock.encode_c e compressible_clock)))
 
 (* a warmed-up MVR store state *)
 let warm_mvr =
@@ -206,14 +232,20 @@ let tests =
       bench_session;
       bench_trace_roundtrip;
       bench_orset_remove;
-      bench_causal_receive;
       bench_hb_compute;
       bench_spec_check;
       bench_occ_check;
       bench_theorem6;
-      bench_theorem12;
       bench_search;
     ]
+
+(* Rows whose fit stayed under the CI r^2 bar in the default group:
+   theorem12 runs ~150us/op, so the default quota yields too few samples
+   for a stable OLS slope, and causal-receive sits in the awkward ~1us
+   band where per-batch noise dominates a short quota. They get a group
+   with a larger trial/time budget of their own. *)
+let tests_mid =
+  Test.make_grouped ~name:"haec" [ bench_causal_receive; bench_theorem12 ]
 
 (* Sub-100ns operations need far more samples before the OLS slope is
    trustworthy: at the default budget the vclock rows fit with r^2 of
@@ -231,6 +263,12 @@ let tests_fast =
       bench_mvr_write;
       bench_mvr_read;
     ]
+
+(* wire-v2 codec rows: same budget as the fast group, run with the v2
+   emission default so the compressed-clock chooser is on the path *)
+let tests_fast_v2 =
+  Test.make_grouped ~name:"haec"
+    [ bench_wire_encode_v2; bench_wire_decode_v2; bench_vclock_encode_c ]
 
 (* ---------- replication soak (E20 harness, machine-readable) ---------- *)
 
@@ -287,11 +325,18 @@ let soak_json ~quick =
 let gossip_json ~quick =
   let module Json = Haec.Obs.Json in
   let seeds n = List.init (if quick then 4 else 12) (fun i -> i + n) in
-  let entry label (module S : Haec.Store.Store_intf.S) require spec mix first_seed =
+  (* each store runs the same seeds twice: once per wire version, so the
+     delta-state machinery's byte savings are a row-to-row diff in the
+     same artifact (E24 charts the same comparison against the Theorem 12
+     floor). [scoped] flips the emission default around the whole sweep —
+     replica states capture it at init — and restores it after. *)
+  let entry label version (module S : Haec.Store.Store_intf.S) require spec mix
+      first_seed =
     let module C = Haec.Sim.Chaos.Make (S) in
     let outcomes =
-      C.run_seeds ~spec_of:(fun _ -> spec) ~mix ~require ~recovery:`Anti_entropy
-        ~adversarial:true ~seeds:(seeds first_seed) ()
+      Haec.Wire.Version.scoped version (fun () ->
+          C.run_seeds ~spec_of:(fun _ -> spec) ~mix ~require ~recovery:`Anti_entropy
+            ~adversarial:true ~seeds:(seeds first_seed) ())
     in
     let runs = List.length outcomes in
     let conv = ref 0 and lost = ref 0 and rounds = ref 0 in
@@ -311,7 +356,8 @@ let gossip_json ~quick =
         digest_b := !digest_b + counter "gossip.digest_bytes";
         repair_b := !repair_b + counter "gossip.repair_bytes")
       outcomes;
-    ( Printf.sprintf "gossip/ae-%s-n3" label,
+    ( Printf.sprintf "gossip/ae-%s-n3%s" label
+        (match version with Haec.Wire.Version.V1 -> "-v1" | V2 -> ""),
       Json.Obj
         [
           ("converged", Json.Num (float_of_int !conv /. float_of_int runs));
@@ -323,10 +369,14 @@ let gossip_json ~quick =
         ] )
   in
   [
-    entry "mvr" (module Haec.Store.Mvr_store) `Correct Haec.Spec.Spec.mvr
-      Haec.Sim.Workload.register_mix 1;
-    entry "causal" (module Haec.Store.Causal_mvr_store) `Causal Haec.Spec.Spec.mvr
-      Haec.Sim.Workload.register_mix 101;
+    entry "mvr" Haec.Wire.Version.V2 (module Haec.Store.Mvr_store) `Correct
+      Haec.Spec.Spec.mvr Haec.Sim.Workload.register_mix 1;
+    entry "mvr" Haec.Wire.Version.V1 (module Haec.Store.Mvr_store) `Correct
+      Haec.Spec.Spec.mvr Haec.Sim.Workload.register_mix 1;
+    entry "causal" Haec.Wire.Version.V2 (module Haec.Store.Causal_mvr_store) `Causal
+      Haec.Spec.Spec.mvr Haec.Sim.Workload.register_mix 101;
+    entry "causal" Haec.Wire.Version.V1 (module Haec.Store.Causal_mvr_store) `Causal
+      Haec.Spec.Spec.mvr Haec.Sim.Workload.register_mix 101;
   ]
 
 let run_micro ~quick () =
@@ -348,11 +398,28 @@ let run_micro ~quick () =
     if quick then Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.3) ~kde:None ()
     else Benchmark.cfg ~limit:15000 ~quota:(Time.second 4.0) ~kde:None ()
   in
+  (* the mid group exists purely to buy theorem12 (~150us/run) and
+     causal-receive enough samples for r^2 >= 0.7; see tests_mid *)
+  let cfg_mid =
+    if quick then Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:None ()
+    else Benchmark.cfg ~limit:8000 ~quota:(Time.second 6.0) ~kde:None ()
+  in
   let raw = Benchmark.all cfg instances tests in
-  let raw_fast = Benchmark.all cfg_fast instances tests_fast in
+  let raw_mid = Benchmark.all cfg_mid instances tests_mid in
+  (* the seeded rows measure the v1 codec; the -v2 rows the v2 one *)
+  let raw_fast =
+    Wire.Version.scoped Wire.Version.V1 (fun () ->
+        Benchmark.all cfg_fast instances tests_fast)
+  in
+  let raw_fast_v2 =
+    Wire.Version.scoped Wire.Version.V2 (fun () ->
+        Benchmark.all cfg_fast instances tests_fast_v2)
+  in
   let merged analyze =
     let tbl = analyze raw in
+    Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) (analyze raw_mid);
     Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) (analyze raw_fast);
+    Hashtbl.iter (fun k v -> Hashtbl.replace tbl k v) (analyze raw_fast_v2);
     tbl
   in
   let results = merged (Analyze.all ols Instance.monotonic_clock) in

@@ -31,6 +31,68 @@ let jobs_arg =
 
 let set_jobs = function Some j -> Util.Par.set_default_domains j | None -> ()
 
+(* ---------- wire / anti-entropy tunables ---------- *)
+
+(* one shared flag block for every command that runs a store over the
+   simulated network; the setters validate, so bad values surface as a
+   cmdliner error instead of a backtrace *)
+type tuning = {
+  wire : Wire.Version.t option;
+  repair_batch : int option;
+  max_backoff : int option;
+  full_digest_every : int option;
+}
+
+let tuning_term =
+  let wire =
+    Arg.(
+      value
+      & opt (some (enum [ ("v1", Wire.Version.V1); ("v2", Wire.Version.V2) ])) None
+      & info [ "wire" ] ~docv:"VERSION"
+          ~doc:
+            "Wire format to emit: v1|v2 (default v2). Decoders accept both; a \
+             replica that receives a v1 anti-entropy envelope downgrades its \
+             own emission for that session.")
+  in
+  let repair_batch =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "repair-batch" ] ~docv:"N"
+          ~doc:"Anti-entropy: max repair payloads answered per digest (>= 1, default 32)")
+  in
+  let max_backoff =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-backoff" ] ~docv:"N"
+          ~doc:
+            "Anti-entropy: cap on the per-origin re-request backoff doubling, in \
+             gossip rounds (>= 1, default 32)")
+  in
+  let full_digest_every =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "full-digest-every" ] ~docv:"N"
+          ~doc:
+            "Wire v2: emit an absolute digest every N gossip rounds, delta or \
+             elided digests in between (>= 1, default 4)")
+  in
+  let mk wire repair_batch max_backoff full_digest_every =
+    { wire; repair_batch; max_backoff; full_digest_every }
+  in
+  Term.(const mk $ wire $ repair_batch $ max_backoff $ full_digest_every)
+
+let apply_tuning t =
+  try
+    Option.iter Wire.Version.set t.wire;
+    Option.iter Store.Anti_entropy.set_repair_batch t.repair_batch;
+    Option.iter Store.Anti_entropy.set_max_backoff t.max_backoff;
+    Option.iter Store.Anti_entropy.set_full_digest_every t.full_digest_every;
+    Ok ()
+  with Invalid_argument msg -> Error msg
+
 (* ---------- experiment commands ---------- *)
 
 let list_cmd =
@@ -223,31 +285,36 @@ let simulate_cmd =
       & opt (some string) None
       & info [ "metrics" ] ~doc:"Write a metrics snapshot (JSONL) to FILE")
   in
-  let run jobs store net n objects ops seed verbose dump metrics =
+  let run jobs tuning store net n objects ops seed verbose dump metrics =
     set_jobs jobs;
-    let policy = policy_of net in
-    let go (module S : Store.Store_intf.S) mix =
-      simulate_store (module S) ~seed ~n ~objects ~ops ~policy
-        ~net_name:(net_name_of net) ~faulty_net:(net_is_faulty net) ~mix ~verbose
-        ~dump ~metrics
-    in
-    match store with
-    | Mvr -> go (module Store.Mvr_store) Sim.Workload.register_mix
-    | Causal -> go (module Store.Causal_mvr_store) Sim.Workload.register_mix
-    | Cops -> go (module Store.Cops_store) Sim.Workload.register_mix
-    | State -> go (module Store.State_mvr_store) Sim.Workload.register_mix
-    | Orset -> go (module Store.Orset_store) Sim.Workload.orset_mix
-    | Lww -> go (module Store.Lww_store) Sim.Workload.register_mix
-    | Counter -> go (module Store.Counter_store.Causal) Sim.Workload.orset_mix
-    | Gossip -> go (module Store.Gossip_relay_store) Sim.Workload.register_mix
-    | Delayed -> go (module Store.Delayed_store.K3) Sim.Workload.register_mix
-    | Gsp -> go (module Store.Gsp_store) Sim.Workload.register_mix
+    match apply_tuning tuning with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      let policy = policy_of net in
+      let go (module S : Store.Store_intf.S) mix =
+        simulate_store (module S) ~seed ~n ~objects ~ops ~policy
+          ~net_name:(net_name_of net) ~faulty_net:(net_is_faulty net) ~mix ~verbose
+          ~dump ~metrics;
+        `Ok ()
+      in
+      (match store with
+      | Mvr -> go (module Store.Mvr_store) Sim.Workload.register_mix
+      | Causal -> go (module Store.Causal_mvr_store) Sim.Workload.register_mix
+      | Cops -> go (module Store.Cops_store) Sim.Workload.register_mix
+      | State -> go (module Store.State_mvr_store) Sim.Workload.register_mix
+      | Orset -> go (module Store.Orset_store) Sim.Workload.orset_mix
+      | Lww -> go (module Store.Lww_store) Sim.Workload.register_mix
+      | Counter -> go (module Store.Counter_store.Causal) Sim.Workload.orset_mix
+      | Gossip -> go (module Store.Gossip_relay_store) Sim.Workload.register_mix
+      | Delayed -> go (module Store.Delayed_store.K3) Sim.Workload.register_mix
+      | Gsp -> go (module Store.Gsp_store) Sim.Workload.register_mix)
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a random workload on a store over a simulated network")
     Term.(
-      const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ verbose $ dump
-      $ metrics)
+      ret
+        (const run $ jobs_arg $ tuning_term $ store $ net $ n $ objects $ ops $ seed
+        $ verbose $ dump $ metrics))
 
 (* ---------- chaos ---------- *)
 
@@ -453,9 +520,12 @@ let chaos_cmd =
             "Delta-debug each failing seed to a minimal still-failing (plan, workload) \
              repro; with --dump-dir also writes the minimized trace and repro file")
   in
-  let run jobs store net n objects ops seed runs dump_dir metrics require recovery
-      adversarial churn shrink =
+  let run jobs tuning store net n objects ops seed runs dump_dir metrics require
+      recovery adversarial churn shrink =
     set_jobs jobs;
+    match apply_tuning tuning with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     let policy = policy_of net in
     let dump_dir = match dump_dir with Some "" -> None | d -> d in
     if churn && recovery <> `Anti_entropy then
@@ -503,9 +573,9 @@ let chaos_cmd =
        ~doc:"Crash, drop and corrupt under seeded random fault schedules, then check convergence")
     Term.(
       ret
-        (const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ runs $ dump_dir
-        $ metrics $ require_arg $ recovery_arg $ adversarial_arg $ churn_arg
-        $ shrink_arg))
+        (const run $ jobs_arg $ tuning_term $ store $ net $ n $ objects $ ops $ seed
+        $ runs $ dump_dir $ metrics $ require_arg $ recovery_arg $ adversarial_arg
+        $ churn_arg $ shrink_arg))
 
 (* ---------- theorem demos ---------- *)
 
@@ -1102,9 +1172,12 @@ let trace_cmd =
   let slowest =
     Arg.(value & opt int 5 & info [ "slowest" ] ~doc:"Slowest observations to list")
   in
-  let run jobs store net n objects ops seed recovery adversarial churn why export out
-      time_scale slowest =
+  let run jobs tuning store net n objects ops seed recovery adversarial churn why
+      export out time_scale slowest =
     set_jobs jobs;
+    match apply_tuning tuning with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
     let policy = policy_of net in
     if churn && recovery <> `Anti_entropy then
       `Error (false, "--churn needs --recovery anti-entropy")
@@ -1138,8 +1211,9 @@ let trace_cmd =
           every sim-time unit of visibility lag to encode/network/repair/dep/bootstrap")
     Term.(
       ret
-        (const run $ jobs_arg $ store $ net $ n $ objects $ ops $ seed $ recovery_arg
-        $ adversarial_arg $ churn_arg $ why $ export $ out $ time_scale $ slowest))
+        (const run $ jobs_arg $ tuning_term $ store $ net $ n $ objects $ ops $ seed
+        $ recovery_arg $ adversarial_arg $ churn_arg $ why $ export $ out $ time_scale
+        $ slowest))
 
 let main =
   let doc = "Limitations of highly-available eventually-consistent data stores, executable" in

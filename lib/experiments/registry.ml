@@ -57,6 +57,7 @@ let all =
       title = E23_lag_attribution.title;
       run = E23_lag_attribution.run;
     };
+    { id = E24_wire_v2.name; title = E24_wire_v2.title; run = E24_wire_v2.run };
   ]
 
 let find id =

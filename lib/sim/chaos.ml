@@ -258,7 +258,9 @@ struct
       c "gossip.dup_payloads" gs.Haec_store.Store_intf.dup_payloads;
       c "gossip.repair_applied" gs.Haec_store.Store_intf.repair_applied;
       c "gossip.memberships" gs.Haec_store.Store_intf.memberships;
-      c "gossip.membership_bytes" gs.Haec_store.Store_intf.membership_bytes);
+      c "gossip.membership_bytes" gs.Haec_store.Store_intf.membership_bytes;
+      c "gossip.digest_deltas" gs.Haec_store.Store_intf.digest_deltas;
+      c "gossip.digests_elided" gs.Haec_store.Store_intf.digests_elided);
     {
       seed;
       plan;

@@ -37,6 +37,32 @@
     tick re-announces, and the durable replay of the logged update stream
     ({!Durable.Make}) reconstructs [have] and the log exactly.
 
+    {b Wire v2.} When {!Haec_wire.Wire.Version} selects [V2] at replica
+    creation, the same protocol rides a leaner encoding (DESIGN.md §4h):
+    the envelope leads with a [0x00, 2] version marker (a v1 envelope
+    starts with its item count, which is at least 1, so the two framings
+    are self-describing); full digests are compressed vector clocks; a
+    digest whose [have] already matches the last one sent is {e elided}
+    entirely (a full digest is still forced every {!full_digest_every}
+    rounds, bounding staleness), and otherwise only the {e changed}
+    entries go out as a {!Haec_wire.Wire.Gossip.Digest_delta}; the
+    repairs queued in one round toward one destination are merged,
+    deduplicated, and encoded as {!Haec_wire.Wire.Gossip.Repair_runs} —
+    per-origin runs of consecutive sequence numbers, so the per-payload
+    [(origin, seq)] labels collapse into one run header. Three further
+    duplicate-suppression rules exploit the broadcast transport: an
+    update or repair item proves what its {e sender} holds, so receivers
+    lift their view of the sender accordingly without waiting for a
+    digest; a replica that is not the origin of a missing prefix defers
+    its push by one digest cycle, giving the origin — which every digest
+    also reached — the first shot; and repair payloads addressed to a
+    third replica are ingested opportunistically, since the bytes arrived
+    anyway. Decoding is version-agnostic throughout — every v2 layout
+    hides behind a marker byte no v1 item starts with — so mixed fleets
+    interoperate; a replica that {e receives} a v1 envelope downgrades its
+    own emissions to v1 for good (sticky negotiation), which keeps a
+    mixed fleet conservatively on the common format.
+
     {b Dynamic membership.} A joining replica announces itself with a
     {!Haec_wire.Wire.Gossip.Hello} (via {!Make.announce_join}, applied by
     the runner) that rides with its first — empty — digest; every peer
@@ -59,9 +85,33 @@
 open Haec_wire
 open Haec_vclock
 
-let repair_batch = 32
+(* Protocol tunables. Process-global atomics rather than per-state fields
+   so the CLI can set them once before any replica exists; the setters
+   validate because a zero batch or backoff deadlocks repair. *)
 
-let max_backoff = 32
+let repair_batch_v = Atomic.make 32
+
+let max_backoff_v = Atomic.make 32
+
+let full_digest_every_v = Atomic.make 4
+
+let repair_batch () = Atomic.get repair_batch_v
+
+let max_backoff () = Atomic.get max_backoff_v
+
+let full_digest_every () = Atomic.get full_digest_every_v
+
+let set_repair_batch n =
+  if n < 1 then invalid_arg "Anti_entropy.set_repair_batch: must be >= 1";
+  Atomic.set repair_batch_v n
+
+let set_max_backoff n =
+  if n < 1 then invalid_arg "Anti_entropy.set_max_backoff: must be >= 1";
+  Atomic.set max_backoff_v n
+
+let set_full_digest_every n =
+  if n < 1 then invalid_arg "Anti_entropy.set_full_digest_every: must be >= 1";
+  Atomic.set full_digest_every_v n
 
 (* Pure classifier for trace labels: name the protocol items riding in an
    encoded anti-entropy envelope without touching any state. Repair items
@@ -70,6 +120,14 @@ let max_backoff = 32
 let classify payload =
   match
     Wire.decode payload (fun dec ->
+        (* v2 envelopes lead with a 0x00 marker and a version byte; a v1
+           envelope starts with its item count >= 1 *)
+        if Wire.Decoder.peek dec = 0 then begin
+          let _ = Wire.Decoder.uint dec in
+          let v = Wire.Decoder.uint dec in
+          if Wire.Version.of_int v = None then
+            raise (Wire.Decoder.Malformed "anti-entropy envelope: unknown version")
+        end;
         let count = Wire.Decoder.uint dec in
         let items = ref [] in
         let add name extra =
@@ -81,11 +139,19 @@ let classify payload =
           match Wire.Gossip.decode_kind dec with
           | Wire.Gossip.Update ->
             let _ = Wire.Decoder.uint dec in
-            let _ = Wire.Decoder.string dec in
+            Wire.Decoder.skip_string dec;
             add "update" 1
           | Wire.Gossip.Digest ->
-            let _ = Vclock.decode dec in
+            let _ = Vclock.decode_any dec in
             add "digest" 1
+          | Wire.Gossip.Digest_delta ->
+            let pairs = Wire.Decoder.uint dec in
+            for _ = 1 to pairs do
+              let _ = Wire.Decoder.uint dec in
+              let _ = Wire.Decoder.uint dec in
+              ()
+            done;
+            add "digest-delta" 1
           | Wire.Gossip.Repair_request ->
             let _ = Wire.Decoder.uint dec in
             let _ = Wire.Decoder.uint dec in
@@ -98,9 +164,25 @@ let classify payload =
               Wire.Decoder.list dec (fun dec ->
                   let _ = Wire.Decoder.uint dec in
                   let _ = Wire.Decoder.uint dec in
-                  let _ = Wire.Decoder.string dec in
+                  Wire.Decoder.skip_string dec;
                   incr k)
             in
+            add "repair" !k
+          | Wire.Gossip.Repair_runs ->
+            let _ = Wire.Decoder.uint dec in
+            let runs = Wire.Decoder.uint dec in
+            let k = ref 0 in
+            for _ = 1 to runs do
+              let _ = Wire.Decoder.uint dec in
+              let _ = Wire.Decoder.uint dec in
+              let c = Wire.Decoder.uint dec in
+              if c > Wire.Decoder.remaining dec then
+                raise (Wire.Decoder.Malformed "repair-runs: bad payload count");
+              for _ = 1 to c do
+                Wire.Decoder.skip_string dec
+              done;
+              k := !k + c
+            done;
             add "repair" !k
           | Wire.Gossip.Hello ->
             let _ = Wire.Decoder.uint dec in
@@ -123,8 +205,11 @@ module Make (S : Store_intf.S) : sig
 
   val tick : state -> state
   (** Advance the gossip round counter and queue a digest broadcast (the
-      store then [has_pending]). Called by the simulator's gossip driver;
-      deliberately {e not} a logged input — see the module comment. *)
+      store then [has_pending]) — unless, under wire v2, the digest would
+      repeat the last one sent and no full digest is due, in which case
+      the round stays quiet and the elision is counted. Called by the
+      simulator's gossip driver; deliberately {e not} a logged input —
+      see the module comment. *)
 
   val settled : state array -> bool
   (** Whether the given (live member) states have converged: nobody has
@@ -147,6 +232,11 @@ module Make (S : Store_intf.S) : sig
   val orphans : state -> int
   (** Logged payloads beyond the contiguous applied prefix (received
       out-of-order, waiting for a gap to fill). *)
+
+  val emit_version : state -> Wire.Version.t
+  (** The frame version this replica currently emits: the global
+      {!Haec_wire.Wire.Version.current} at [init] time, downgraded to
+      [V1] — permanently — the first time a v1 envelope is received. *)
 
   val epoch : state -> int
   (** Highest membership epoch announced by or to this replica; 0 until
@@ -192,23 +282,33 @@ end = struct
     s.Store_intf.dup_payloads <- 0;
     s.Store_intf.repair_applied <- 0;
     s.Store_intf.memberships <- 0;
-    s.Store_intf.membership_bytes <- 0
+    s.Store_intf.membership_bytes <- 0;
+    s.Store_intf.digest_deltas <- 0;
+    s.Store_intf.digests_elided <- 0
 
   type peer = {
     view : Vclock.t;  (** pointwise max of every digest heard from this peer *)
     push_due : int;  (** earliest round a repair may be pushed to them *)
     push_backoff : int;
+    defer : Int_set.t;
+        (** origins whose push toward this peer already waited one digest
+            cycle for the origin itself to serve it (wire v2 only) *)
   }
 
   (* control items queued for the next broadcast; a digest is a marker,
      not a snapshot — the [have] vector is read at send time so it always
-     reflects the updates travelling in the same payload *)
+     reflects the updates travelling in the same payload. Under wire v2
+     the marker resolves at send time to a full digest, a delta against
+     the last digest sent, or nothing; [force_full] (membership traffic)
+     pins it to a full digest. *)
   type out_item =
-    | Out_digest
+    | Out_digest of { force_full : bool }
     | Out_request of { dst : int; origin : int; from_seq : int }
     | Out_repair of { dst : int; items : (int * int * string) list }
     | Out_hello of int  (** membership epoch being announced *)
     | Out_goodbye of int
+
+  let is_digest = function Out_digest _ -> true | _ -> false
 
   type state = {
     n : int;
@@ -224,6 +324,9 @@ end = struct
     outq_rev : out_item list;
     epoch : int;  (** highest membership epoch seen *)
     away : Int_set.t;  (** peers that said goodbye *)
+    emit : Wire.Version.t;  (** see [emit_version] *)
+    last_sent_digest : Vclock.t option;  (** [have] as of the last digest sent *)
+    last_full_round : int;  (** round of the last full digest sent *)
   }
 
   let name = "anti-entropy(" ^ S.name ^ ")"
@@ -240,7 +343,10 @@ end = struct
     for p = 0 to n - 1 do
       if p <> me then
         peers :=
-          Int_map.add p { view = Vclock.zero ~n; push_due = 0; push_backoff = 1 } !peers
+          Int_map.add p
+            { view = Vclock.zero ~n; push_due = 0; push_backoff = 1;
+              defer = Int_set.empty }
+            !peers
     done;
     {
       n;
@@ -256,6 +362,9 @@ end = struct
       outq_rev = [];
       epoch = 0;
       away = Int_set.empty;
+      emit = Wire.Version.current ();
+      last_sent_digest = None;
+      last_full_round = 0;
     }
 
   let inner t = t.inner
@@ -266,6 +375,8 @@ end = struct
 
   let orphans t = t.logged - Vclock.sum t.have
 
+  let emit_version t = t.emit
+
   let epoch t = t.epoch
 
   let knows_departed t ~peer = Int_set.mem peer t.away
@@ -275,8 +386,9 @@ end = struct
       t with
       epoch = max epoch t.epoch;
       outq_rev =
-        Out_digest :: Out_hello epoch
-        :: List.filter (function Out_digest -> false | _ -> true) t.outq_rev;
+        Out_digest { force_full = true }
+        :: Out_hello epoch
+        :: List.filter (fun o -> not (is_digest o)) t.outq_rev;
     }
 
   let announce_leave ~epoch t =
@@ -325,12 +437,29 @@ end = struct
       cascade (log_add t ~origin ~seq payload) ~origin
     end
 
+  (* the sender of an update or repair item demonstrably holds the
+     payloads it sent: lift our view of its contiguous prefix without
+     waiting for its next digest, suppressing duplicate pushes (and
+     enabling productive requests) one round earlier. [from_seq] must
+     attach to the prefix we already credit the peer with, else the
+     evidence is non-contiguous and proves nothing about the prefix. *)
+  let note_peer_has t ~peer ~origin ~from_seq ~upto =
+    match Int_map.find_opt peer t.peers with
+    | None -> t
+    | Some p ->
+      let cur = Vclock.get p.view origin in
+      if from_seq > cur || upto <= cur then t
+      else
+        let view = Vclock.raise_to p.view origin upto in
+        { t with peers = Int_map.add peer { p with view } t.peers }
+
   (* a batch of [origin]'s stream starting at [from_seq]: consecutive
-     logged payloads, at most [repair_batch] — stopping at the first gap
+     logged payloads, at most {!repair_batch} — stopping at the first gap
      never sends less than the contiguous prefix the requester is missing *)
   let batch_from t ~origin ~from_seq =
+    let cap = repair_batch () in
     let rec go seq acc count =
-      if count = repair_batch then List.rev acc
+      if count = cap then List.rev acc
       else
         match log_find t ~origin ~seq with
         | None -> List.rev acc
@@ -363,22 +492,55 @@ end = struct
       if !behind = [] then
         (* caught up: forgive the backoff so the next divergence is
            repaired promptly *)
-        (t, { view; push_due = t.rounds; push_backoff = 1 })
-      else if t.rounds >= p.push_due then begin
-        let items =
-          List.concat_map
-            (fun o -> batch_from t ~origin:o ~from_seq:(Vclock.get view o))
-            !behind
+        (t, { view; push_due = t.rounds; push_backoff = 1; defer = Int_set.empty })
+      else begin
+        (* under v2, a replica that is not the origin holds its push for
+           one digest cycle — the origin heard the same digest and serves
+           its own stream first; we only step in if the peer is still
+           behind at its next digest *)
+        let ready, wait =
+          match t.emit with
+          | Wire.Version.V1 -> (!behind, [])
+          | Wire.Version.V2 ->
+            List.partition (fun o -> o = t.me || Int_set.mem o p.defer) !behind
         in
-        let t = { t with outq_rev = Out_repair { dst = sender; items } :: t.outq_rev } in
-        ( t,
-          {
-            view;
-            push_due = t.rounds + p.push_backoff;
-            push_backoff = min (2 * p.push_backoff) max_backoff;
-          } )
+        if ready <> [] && t.rounds >= p.push_due then begin
+          let items =
+            List.concat_map
+              (fun o -> batch_from t ~origin:o ~from_seq:(Vclock.get view o))
+              ready
+          in
+          let t =
+            if items = [] then t
+            else { t with outq_rev = Out_repair { dst = sender; items } :: t.outq_rev }
+          in
+          (* send-side optimism (v2): credit the peer with what was just
+             pushed, so a stale or duplicated digest cannot re-trigger the
+             same push. If the frame is lost the peer stays behind, sees us
+             ahead in our next (periodic) digest, and its repair request —
+             answered ungated — closes the gap; the push path never fires
+             for these seqs again, the request path always will *)
+          let view =
+            match t.emit with
+            | Wire.Version.V1 -> view
+            | Wire.Version.V2 ->
+              List.fold_left
+                (fun v (o, seq, _) -> Vclock.raise_to v o (seq + 1))
+                view items
+          in
+          ( t,
+            {
+              view;
+              push_due = t.rounds + p.push_backoff;
+              push_backoff = min (2 * p.push_backoff) (max_backoff ());
+              defer = Int_set.of_list wait;
+            } )
+        end
+        else
+          (* blocked by backoff or everything deferred: whatever is still
+             missing at the peer's next digest is then fair game *)
+          (t, { p with view; defer = Int_set.of_list !behind })
       end
-      else (t, { p with view })
     in
     let t = { t with peers = Int_map.add sender p t.peers } in
     (* request what they have and we lack, per-origin backoff *)
@@ -399,7 +561,9 @@ end = struct
                 :: t.contents.outq_rev;
               req_due = Int_map.add o (t.contents.rounds + backoff) t.contents.req_due;
               req_backoff =
-                Int_map.add o (min (2 * backoff) max_backoff) t.contents.req_backoff;
+                Int_map.add o
+                  (min (2 * backoff) (max_backoff ()))
+                  t.contents.req_backoff;
             }
         end
       end
@@ -411,17 +575,52 @@ end = struct
       raise
         (Wire.Decoder.Malformed (Printf.sprintf "anti-entropy %s: replica %d" what r))
 
-  let receive_item t ~sender dec =
+  (* [v2] says the enclosing envelope was a v2 frame: the broadcast-
+     exploiting rules (view inference, opportunistic repair ingestion)
+     apply only then, keeping the v1 protocol behaviour byte-for-byte and
+     step-for-step what it was *)
+  let receive_item t ~sender ~v2 dec =
     match Wire.Gossip.decode_kind dec with
     | Wire.Gossip.Update ->
       let seq = Wire.Decoder.uint dec in
       let payload = Wire.Decoder.string dec in
       check_replica t "update" sender;
+      let t =
+        if v2 then
+          (* a sender's own stream is contiguous by construction *)
+          note_peer_has t ~peer:sender ~origin:sender ~from_seq:0 ~upto:(seq + 1)
+        else t
+      in
       ingest t ~origin:sender ~seq ~payload ~via_repair:false
     | Wire.Gossip.Digest ->
-      let clock = Vclock.decode dec in
+      let clock = Vclock.decode_any dec in
       check_replica t "digest" sender;
       on_digest t ~sender clock
+    | Wire.Gossip.Digest_delta ->
+      (* only the entries that changed since the sender's last digest,
+         as (index-gap, absolute value) pairs; reconstruct a full clock
+         against our current view of the sender — entrywise max keeps
+         this loss- and reorder-safe, since entries only ever grow *)
+      check_replica t "digest-delta" sender;
+      let p =
+        match Int_map.find_opt sender t.peers with
+        | Some p -> p
+        | None -> raise (Wire.Decoder.Malformed "anti-entropy digest-delta: bad sender")
+      in
+      let pairs = Wire.Decoder.uint dec in
+      if pairs > t.n then
+        raise (Wire.Decoder.Malformed "anti-entropy digest-delta: too many entries");
+      let clock = ref p.view in
+      let idx = ref (-1) in
+      for _ = 1 to pairs do
+        let gap = Wire.Decoder.uint dec in
+        let v = Wire.Decoder.uint dec in
+        idx := !idx + 1 + gap;
+        if !idx >= t.n then
+          raise (Wire.Decoder.Malformed "anti-entropy digest-delta: index out of range");
+        clock := Vclock.raise_to !clock !idx v
+      done;
+      on_digest t ~sender !clock
     | Wire.Gossip.Repair_request ->
       let dst = Wire.Decoder.uint dec in
       let origin = Wire.Decoder.uint dec in
@@ -446,11 +645,51 @@ end = struct
       in
       check_replica t "repair" dst;
       List.iter (fun (origin, _, _) -> check_replica t "repair" origin) items;
+      let t =
+        if v2 then
+          List.fold_left
+            (fun t (origin, seq, _) ->
+              note_peer_has t ~peer:sender ~origin ~from_seq:seq ~upto:(seq + 1))
+            t items
+        else t
+      in
       if dst <> t.me then t
       else
         List.fold_left
           (fun t (origin, seq, payload) -> ingest t ~origin ~seq ~payload ~via_repair:true)
           t items
+    | Wire.Gossip.Repair_runs ->
+      (* one merged repair toward [dst]: per-origin runs of consecutive
+         seqs. The bytes reached every replica, so even when [dst] is a
+         third party we ingest what we ourselves lack (the log dedups),
+         and we credit the sender with holding the runs *)
+      let dst = Wire.Decoder.uint dec in
+      let runs = Wire.Decoder.uint dec in
+      if runs > Wire.Decoder.remaining dec then
+        raise (Wire.Decoder.Malformed "anti-entropy repair-runs: bad run count");
+      check_replica t "repair-runs" dst;
+      let t = ref t in
+      for _ = 1 to runs do
+        let origin = Wire.Decoder.uint dec in
+        let from_seq = Wire.Decoder.uint dec in
+        let count = Wire.Decoder.uint dec in
+        if count > Wire.Decoder.remaining dec then
+          raise (Wire.Decoder.Malformed "anti-entropy repair-runs: bad payload count");
+        check_replica !t "repair-runs" origin;
+        t :=
+          note_peer_has !t ~peer:sender ~origin ~from_seq ~upto:(from_seq + count);
+        (* the destination is about to receive these too (same broadcast),
+           so a third party observing the repair need not push the same
+           prefix again; if the dst's link actually dropped the frame, its
+           own requests — answered ungated — and the periodic full digests
+           restore progress *)
+        t := note_peer_has !t ~peer:dst ~origin ~from_seq ~upto:(from_seq + count);
+        for j = 0 to count - 1 do
+          let payload = Wire.Decoder.string dec in
+          t := ingest !t ~origin ~seq:(from_seq + j) ~payload ~via_repair:true
+        done
+      done;
+      !t
     | Wire.Gossip.Hello ->
       let epoch = Wire.Decoder.uint dec in
       check_replica t "hello" sender;
@@ -463,9 +702,8 @@ end = struct
           Int_map.add sender { p with push_due = t.rounds; push_backoff = 1 } t.peers
       in
       let outq_rev =
-        if List.exists (function Out_digest -> true | _ -> false) t.outq_rev then
-          t.outq_rev
-        else Out_digest :: t.outq_rev
+        if List.exists is_digest t.outq_rev then t.outq_rev
+        else Out_digest { force_full = true } :: t.outq_rev
       in
       { t with peers; outq_rev; epoch = max epoch t.epoch;
                away = Int_set.remove sender t.away }
@@ -479,12 +717,29 @@ end = struct
     (* fold the envelope's items in order through the state; [Wire.decode]
        checks the whole input was consumed *)
     Wire.decode payload (fun dec ->
+        let v2 = Wire.Decoder.peek dec = 0 in
+        let t =
+          if v2 then begin
+            let _ = Wire.Decoder.uint dec in
+            let v = Wire.Decoder.uint dec in
+            (match Wire.Version.of_int v with
+            | Some Wire.Version.V2 -> ()
+            | _ ->
+              raise (Wire.Decoder.Malformed "anti-entropy envelope: unknown version"));
+            t
+          end
+          else if t.emit = Wire.Version.V1 then t
+          else
+            (* sticky downgrade: a peer that talks v1 may not understand
+               v2 layouts, so from here on neither do we emit them *)
+            { t with emit = Wire.Version.V1 }
+        in
         let count = Wire.Decoder.uint dec in
         if count > Wire.Decoder.remaining dec then
           raise (Wire.Decoder.Malformed "anti-entropy envelope: item count exceeds input");
         let t = ref t in
         for _ = 1 to count do
-          t := receive_item !t ~sender dec
+          t := receive_item !t ~sender ~v2 dec
         done;
         !t)
 
@@ -496,8 +751,38 @@ end = struct
 
   let tick t =
     let t = { t with rounds = t.rounds + 1 } in
-    if List.exists (function Out_digest -> true | _ -> false) t.outq_rev then t
-    else { t with outq_rev = Out_digest :: t.outq_rev }
+    if List.exists is_digest t.outq_rev then t
+    else if
+      (* v2 elision: nothing changed since the last digest went out and no
+         periodic full digest is due — stay quiet this round *)
+      t.emit = Wire.Version.V2
+      && t.rounds - t.last_full_round < full_digest_every ()
+      && (match t.last_sent_digest with
+         | Some d -> Vclock.equal d t.have
+         | None -> false)
+      && not (S.has_pending t.inner)
+    then begin
+      (stats ()).Store_intf.digests_elided <-
+        (stats ()).Store_intf.digests_elided + 1;
+      t
+    end
+    else { t with outq_rev = Out_digest { force_full = false } :: t.outq_rev }
+
+  (* group per-destination repair payloads — already deduplicated and
+     sorted by (origin, seq) — into runs of consecutive seqs per origin *)
+  let to_runs items =
+    let rec go acc cur = function
+      | [] -> List.rev (match cur with None -> acc | Some r -> r :: acc)
+      | (origin, seq, payload) :: rest -> (
+        match cur with
+        | Some (o, from_seq, ps_rev, next) when o = origin && seq = next ->
+          go acc (Some (o, from_seq, payload :: ps_rev, next + 1)) rest
+        | Some r -> go (r :: acc) (Some (origin, seq, [ payload ], seq + 1)) rest
+        | None -> go acc (Some (origin, seq, [ payload ], seq + 1)) rest)
+    in
+    List.map
+      (fun (origin, from_seq, ps_rev, _) -> (origin, from_seq, List.rev ps_rev))
+      (go [] None items)
 
   let send t =
     if not (has_pending t) then invalid_arg "Anti_entropy.send: nothing pending";
@@ -513,16 +798,81 @@ end = struct
       end
       else (t, None)
     in
-    (* collapse to a single digest: every marker reads the same [have] *)
+    let v2 = t.emit = Wire.Version.V2 in
     let outs = List.rev t.outq_rev in
-    let digest = List.exists (function Out_digest -> true | _ -> false) outs in
-    let outs = List.filter (function Out_digest -> false | _ -> true) outs in
+    let digest_marker = List.exists is_digest outs in
+    let force_full =
+      List.exists (function Out_digest { force_full } -> force_full | _ -> false) outs
+    in
+    (* merge the round's repairs per destination and deduplicate: several
+       digests (or requests) in one round routinely ask for overlapping
+       prefixes, and one copy serves them all *)
+    let repair_dsts =
+      List.filter_map (function Out_repair { dst; _ } -> Some dst | _ -> None) outs
+      |> List.sort_uniq compare
+    in
+    let merged_repair dst =
+      List.concat_map
+        (function Out_repair { dst = d; items } when d = dst -> items | _ -> [])
+        outs
+      |> List.sort_uniq (fun (o1, s1, _) (o2, s2, _) -> compare (o1, s1) (o2, s2))
+    in
+    let repair_packets =
+      if not v2 then List.map (fun dst -> (dst, merged_repair dst)) repair_dsts
+      else begin
+        (* under v2 every receiver opportunistically ingests any repair in
+           the broadcast, whoever it is addressed to — so a payload already
+           present for one destination need not repeat for another *)
+        let seen = Hashtbl.create 64 in
+        List.filter_map
+          (fun dst ->
+            let items =
+              List.filter
+                (fun (o, s, _) ->
+                  if Hashtbl.mem seen (o, s) then false
+                  else begin
+                    Hashtbl.add seen (o, s) ();
+                    true
+                  end)
+                (merged_repair dst)
+            in
+            if items = [] then None else Some (dst, items))
+          repair_dsts
+      end
+    in
+    let outs =
+      List.filter (function Out_digest _ | Out_repair _ -> false | _ -> true) outs
+    in
+    (* resolve the digest marker against [have] as it is now — after the
+       update above ticked it *)
+    let digest_mode =
+      if not digest_marker then `Absent
+      else if not v2 then `Full
+      else if
+        force_full
+        || t.last_sent_digest = None
+        || t.rounds - t.last_full_round >= full_digest_every ()
+      then `Full
+      else
+        match t.last_sent_digest with
+        | Some d when Vclock.equal d t.have -> `Elide
+        | Some d -> `Delta d
+        | None -> `Full
+    in
     let count =
-      (if update = None then 0 else 1) + (if digest then 1 else 0) + List.length outs
+      (if update = None then 0 else 1)
+      + (match digest_mode with `Full | `Delta _ -> 1 | `Absent | `Elide -> 0)
+      + List.length outs + List.length repair_packets
     in
     let st = stats () in
     let payload =
       Wire.encode (fun enc ->
+          if v2 then begin
+            (* envelope version marker: a v1 envelope starts with its item
+               count, which is always >= 1 *)
+            Wire.Encoder.uint enc 0;
+            Wire.Encoder.uint enc (Wire.Version.to_int Wire.Version.V2)
+          end;
           Wire.Encoder.uint enc count;
           let mark = ref (Wire.Encoder.size_bytes enc) in
           let bytes () =
@@ -539,15 +889,35 @@ end = struct
             Wire.Encoder.string enc payload;
             st.Store_intf.updates <- st.Store_intf.updates + 1;
             st.Store_intf.update_bytes <- st.Store_intf.update_bytes + bytes ());
-          if digest then begin
+          (match digest_mode with
+          | `Absent -> ()
+          | `Elide ->
+            st.Store_intf.digests_elided <- st.Store_intf.digests_elided + 1
+          | `Full ->
             Wire.Gossip.encode_kind enc Wire.Gossip.Digest;
-            Vclock.encode enc t.have;
+            if v2 then Vclock.encode_c enc t.have else Vclock.encode enc t.have;
             st.Store_intf.digests <- st.Store_intf.digests + 1;
             st.Store_intf.digest_bytes <- st.Store_intf.digest_bytes + bytes ()
-          end;
+          | `Delta prev ->
+            Wire.Gossip.encode_kind enc Wire.Gossip.Digest_delta;
+            let changed = ref [] in
+            for i = t.n - 1 downto 0 do
+              if Vclock.get t.have i <> Vclock.get prev i then
+                changed := i :: !changed
+            done;
+            Wire.Encoder.uint enc (List.length !changed);
+            let last = ref (-1) in
+            List.iter
+              (fun i ->
+                Wire.Encoder.uint enc (i - !last - 1);
+                Wire.Encoder.uint enc (Vclock.get t.have i);
+                last := i)
+              !changed;
+            st.Store_intf.digest_deltas <- st.Store_intf.digest_deltas + 1;
+            st.Store_intf.digest_bytes <- st.Store_intf.digest_bytes + bytes ());
           List.iter
             (function
-              | Out_digest -> ()
+              | Out_digest _ | Out_repair _ -> ()
               | Out_request { dst; origin; from_seq } ->
                 Wire.Gossip.encode_kind enc Wire.Gossip.Repair_request;
                 Wire.Encoder.uint enc dst;
@@ -555,17 +925,6 @@ end = struct
                 Wire.Encoder.uint enc from_seq;
                 st.Store_intf.requests <- st.Store_intf.requests + 1;
                 st.Store_intf.request_bytes <- st.Store_intf.request_bytes + bytes ()
-              | Out_repair { dst; items } ->
-                Wire.Gossip.encode_kind enc Wire.Gossip.Repair;
-                Wire.Encoder.uint enc dst;
-                Wire.Encoder.list enc
-                  (fun enc (origin, seq, payload) ->
-                    Wire.Encoder.uint enc origin;
-                    Wire.Encoder.uint enc seq;
-                    Wire.Encoder.string enc payload)
-                  items;
-                st.Store_intf.repairs <- st.Store_intf.repairs + 1;
-                st.Store_intf.repair_bytes <- st.Store_intf.repair_bytes + bytes ()
               | Out_hello epoch ->
                 Wire.Gossip.encode_kind enc Wire.Gossip.Hello;
                 Wire.Encoder.uint enc epoch;
@@ -576,9 +935,49 @@ end = struct
                 Wire.Encoder.uint enc epoch;
                 st.Store_intf.memberships <- st.Store_intf.memberships + 1;
                 st.Store_intf.membership_bytes <- st.Store_intf.membership_bytes + bytes ())
-            outs)
+            outs;
+          List.iter
+            (fun (dst, items) ->
+              if v2 then begin
+                Wire.Gossip.encode_kind enc Wire.Gossip.Repair_runs;
+                Wire.Encoder.uint enc dst;
+                let runs = to_runs items in
+                Wire.Encoder.uint enc (List.length runs);
+                List.iter
+                  (fun (origin, from_seq, payloads) ->
+                    Wire.Encoder.uint enc origin;
+                    Wire.Encoder.uint enc from_seq;
+                    Wire.Encoder.uint enc (List.length payloads);
+                    List.iter (Wire.Encoder.string enc) payloads)
+                  runs
+              end
+              else begin
+                Wire.Gossip.encode_kind enc Wire.Gossip.Repair;
+                Wire.Encoder.uint enc dst;
+                Wire.Encoder.list enc
+                  (fun enc (origin, seq, payload) ->
+                    Wire.Encoder.uint enc origin;
+                    Wire.Encoder.uint enc seq;
+                    Wire.Encoder.string enc payload)
+                  items
+              end;
+              st.Store_intf.repairs <- st.Store_intf.repairs + 1;
+              st.Store_intf.repair_bytes <- st.Store_intf.repair_bytes + bytes ())
+            repair_packets)
     in
-    ({ t with outq_rev = [] }, payload)
+    let t =
+      {
+        t with
+        outq_rev = [];
+        last_sent_digest =
+          (match digest_mode with
+          | `Full | `Delta _ -> Some t.have
+          | `Absent | `Elide -> t.last_sent_digest);
+        last_full_round =
+          (match digest_mode with `Full -> t.rounds | _ -> t.last_full_round);
+      }
+    in
+    (t, payload)
 
   (* reach(o): the longest contiguous prefix of origin [o]'s stream that
      the union of the given logs can reconstruct. On a static set this is

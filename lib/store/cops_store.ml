@@ -13,17 +13,30 @@ type update_record = {
   deps : Dot.Set.t;  (** nearest dependencies (global dots) *)
 }
 
+(* A v1 batch is a record list, so it starts with a count >= 1 ([send]
+   refuses an empty pending queue). A v2 batch prepends the marker
+   [0x00, 2] and compresses each record's dependency set; the update's
+   clocks compress through {!Mvr_object.encode_update} under either
+   version. Decoding dispatches on the leading byte, so either side can
+   read either batch. *)
+
 let encode_record enc r =
   Dot.encode enc r.dot;
   Wire.Encoder.uint enc r.obj;
   Mvr_object.encode_update enc r.u;
   Dot.encode_set enc r.deps
 
-let decode_record dec =
+let encode_record_v2 enc r =
+  Dot.encode enc r.dot;
+  Wire.Encoder.uint enc r.obj;
+  Mvr_object.encode_update enc r.u;
+  Dot.encode_set_c enc r.deps
+
+let decode_record ~v2 dec =
   let dot = Dot.decode dec in
   let obj = Wire.Decoder.uint dec in
   let u = Mvr_object.decode_update dec in
-  let deps = Dot.decode_set dec in
+  let deps = if v2 then Dot.decode_set_any dec else Dot.decode_set dec in
   { dot; obj; u; deps }
 
 type state = {
@@ -154,12 +167,39 @@ let has_pending t = t.pending <> []
 let send t =
   if not (has_pending t) then invalid_arg "Cops_store.send: nothing pending";
   let payload =
-    Wire.encode (fun enc -> Wire.Encoder.list enc encode_record (List.rev t.pending))
+    Wire.encode (fun enc ->
+        let records = List.rev t.pending in
+        (* the marked batch costs 2 bytes up front and compresses only
+           the dependency sets (the update's clocks compress under either
+           layout), so emit it exactly when the sets pay for the marker *)
+        let saves =
+          Wire.Version.current () = Wire.Version.V2
+          && List.fold_left (fun a r -> a + Dot.set_c_delta r.deps) 2 records < 0
+        in
+        if not saves then Wire.Encoder.list enc encode_record records
+        else begin
+          Wire.Encoder.uint enc 0;
+          Wire.Encoder.uint enc 2;
+          Wire.Encoder.list enc encode_record_v2 records
+        end)
   in
   ({ t with pending = [] }, payload)
 
 let receive t ~sender:_ payload =
-  let records = Wire.decode payload (fun dec -> Wire.Decoder.list dec decode_record) in
+  let records =
+    Wire.decode payload (fun dec ->
+        if Wire.Decoder.peek dec <> 0 then
+          Wire.Decoder.list dec (decode_record ~v2:false)
+        else begin
+          ignore (Wire.Decoder.uint dec);
+          (match Wire.Decoder.uint dec with
+          | 2 -> ()
+          | v ->
+            raise
+              (Wire.Decoder.Malformed (Printf.sprintf "unknown batch version %d" v)));
+          Wire.Decoder.list dec (decode_record ~v2:true)
+        end)
+  in
   List.iter
     (fun r ->
       if r.dot.Dot.replica < 0 || r.dot.Dot.replica >= t.n then

@@ -45,13 +45,19 @@ let visible_dots t =
   done;
   !acc
 
+(* The clock codec is the only version-dependent part: v2 emits the
+   compressed self-describing form, and [decode_update] accepts either
+   via the marker byte, so mixed-version peers interoperate without any
+   per-connection negotiation state. *)
 let encode_update enc u =
-  Vclock.encode enc u.vv;
+  (match Wire.Version.current () with
+  | Wire.Version.V1 -> Vclock.encode enc u.vv
+  | Wire.Version.V2 -> Vclock.encode_c enc u.vv);
   Dot.encode enc u.dot;
   Value.encode enc u.value
 
 let decode_update dec =
-  let vv = Vclock.decode dec in
+  let vv = Vclock.decode_any dec in
   let dot = Dot.decode dec in
   let value = Value.decode dec in
   { vv; dot; value }
@@ -75,11 +81,13 @@ let join a b =
 
 let encode enc t =
   Wire.Encoder.uint enc t.n;
-  Vclock.encode enc t.cc;
+  (match Wire.Version.current () with
+  | Wire.Version.V1 -> Vclock.encode enc t.cc
+  | Wire.Version.V2 -> Vclock.encode_c enc t.cc);
   Wire.Encoder.list enc encode_update t.sibs
 
 let decode dec =
   let n = Wire.Decoder.uint dec in
-  let cc = Vclock.decode dec in
+  let cc = Vclock.decode_any dec in
   let sibs = Wire.Decoder.list dec decode_update in
   { n; cc; sibs }

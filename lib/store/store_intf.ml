@@ -56,6 +56,10 @@ type gossip_stats = {
       (** previously missing payloads obtained through a repair *)
   mutable memberships : int;  (** hello/goodbye membership items sent *)
   mutable membership_bytes : int;
+  mutable digest_deltas : int;
+      (** wire-v2 delta digests sent in place of full digests *)
+  mutable digests_elided : int;
+      (** gossip rounds whose digest was suppressed as redundant (v2) *)
 }
 
 let fresh_gossip_stats () =
@@ -72,6 +76,8 @@ let fresh_gossip_stats () =
     repair_applied = 0;
     memberships = 0;
     membership_bytes = 0;
+    digest_deltas = 0;
+    digests_elided = 0;
   }
 
 let copy_gossip_stats s =
@@ -88,6 +94,8 @@ let copy_gossip_stats s =
     repair_applied = s.repair_applied;
     memberships = s.memberships;
     membership_bytes = s.membership_bytes;
+    digest_deltas = s.digest_deltas;
+    digests_elided = s.digests_elided;
   }
 
 type witness = {

@@ -27,3 +27,20 @@ module Map : Map.S with type key = t
 val encode_set : Wire.Encoder.t -> Set.t -> unit
 
 val decode_set : Wire.Decoder.t -> Set.t
+
+val encode_set_c : Wire.Encoder.t -> Set.t -> unit
+(** Compressed set: bit-packs replicas and seqs when that beats the
+    {!encode_set} pair list. The two layouts are distinguished by a
+    leading zero, which the v1 layout also uses for the empty set — so
+    this encoding is only safe inside containers that already carry a
+    version marker (e.g. a v2 update batch); {!decode_set} cannot read
+    it and vice versa. *)
+
+val decode_set_any : Wire.Decoder.t -> Set.t
+(** Reads either {!encode_set_c} layout. Only call where the enclosing
+    frame guarantees the compressed grammar (see {!encode_set_c}). *)
+
+val set_c_delta : Set.t -> int
+(** Bytes {!encode_set_c} adds (positive) or saves (negative) relative
+    to {!encode_set}, so a caller can decide whether a version-marked
+    container paying per-frame marker bytes is worth it. *)

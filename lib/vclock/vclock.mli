@@ -68,9 +68,28 @@ val compare : t -> t -> int
 val sum : t -> int
 (** Sum of components: the number of events the clock accounts for. *)
 
+val raise_to : t -> int -> int -> t
+(** [raise_to t i x] is [t] with component [i] lifted to at least [x]
+    (returned physically unchanged when already there). The entrywise-max
+    update anti-entropy peers apply when a message proves its sender holds
+    a prefix. *)
+
 val encode : Wire.Encoder.t -> t -> unit
 
 val decode : Wire.Decoder.t -> t
+
+val encode_c : Wire.Encoder.t -> t -> unit
+(** Wire-v2 compressed clock: one pass computes the raw (v1), run-length,
+    and bit-packed sizes and emits the smallest, so the result is never
+    larger than {!encode}. Compressed layouts lead with a 0x00 marker — a
+    byte no v1 clock starts with ([n >= 1]) — keeping the stream
+    self-describing; raw fallback is byte-identical to v1. Requires a
+    non-empty clock. *)
+
+val decode_any : Wire.Decoder.t -> t
+(** Decode either {!encode} or {!encode_c} output (the marker byte
+    disambiguates). Raises [Wire.Decoder.Malformed] on structural errors,
+    including implausibly large run-length totals. *)
 
 val encode_delta : Wire.Encoder.t -> prev:t -> t -> unit
 (** Encode the clock as entrywise differences against [prev], which must
@@ -85,5 +104,15 @@ val encode_delta : Wire.Encoder.t -> prev:t -> t -> unit
 val decode_delta : Wire.Decoder.t -> prev:t -> t
 (** Inverse of {!encode_delta} against the same [prev]. Raises
     [Wire.Decoder.Malformed] on a size mismatch. *)
+
+val encode_delta_c : Wire.Encoder.t -> prev:t -> t -> unit
+(** Wire-v2 delta: lists only the changed entries as (gap, increment)
+    pairs behind a 0x00 marker when that is smaller than the dense
+    {!encode_delta} form, which stays the fallback (byte-identical to v1).
+    Same [prev] contract as {!encode_delta}. *)
+
+val decode_delta_any : Wire.Decoder.t -> prev:t -> t
+(** Decode either {!encode_delta} or {!encode_delta_c} output against the
+    same [prev]. *)
 
 val pp : Format.formatter -> t -> unit

@@ -6,7 +6,38 @@
 
     Integers use LEB128 varints (7 payload bits per byte); signed integers
     are zigzag-mapped first, so small magnitudes of either sign stay short.
-    Lists and strings are length-prefixed. *)
+    Lists and strings are length-prefixed.
+
+    {b Frame versions.} [V1] is the layout above. [V2] adds compressed
+    layouts — bit-packed / run-length vector clocks, sparse delta vectors,
+    delta digests, grouped repair runs — each self-describing behind a
+    leading [0x00] marker byte, a position where every v1 encoding puts a
+    varint that is at least 1. Decoders are therefore version-agnostic
+    (anything decodes both formats); {!Version} only governs what gets
+    {e emitted}. *)
+
+module Version : sig
+  type t = V1 | V2
+
+  val to_int : t -> int
+
+  val of_int : int -> t option
+
+  val name : t -> string
+
+  val current : unit -> t
+  (** The process-global emission default, initially [V2]. Read when a
+      replica state is created or a message encoded. *)
+
+  val set : t -> unit
+  (** Set the global default. Call once at startup, before worker domains
+      spawn. *)
+
+  val scoped : t -> (unit -> 'a) -> 'a
+  (** [scoped v f] runs [f] with the default set to [v], restoring the
+      previous default on return or exception. For experiments comparing
+      v1 against v2 in one process. *)
+end
 
 module Encoder : sig
   type t
@@ -19,6 +50,12 @@ module Encoder : sig
   val uint_array : t -> int array -> unit
   (** Length-prefixed array of varints, fused into a single reservation
       and write loop. Requires non-negative entries. *)
+
+  val packed_array : t -> int array -> width:int -> unit
+  (** Fixed-width bit packing, little-endian bit order, {e no} length
+      prefix — the caller frames [Array.length] itself. Requires
+      [1 <= width <= 56] and every entry within [width] bits (raises
+      [Invalid_argument] otherwise). *)
 
   val int : t -> int -> unit
   (** Zigzag + LEB128; accepts any int. *)
@@ -47,6 +84,8 @@ end
 
 module Decoder : sig
   type t
+  (** A [pos, limit) window over a shared input string; sub-decoders
+      ({!sub}) are views into the parent's bytes, never copies. *)
 
   exception Malformed of string
   (** Raised when the input cannot be decoded: truncation, varint overflow,
@@ -54,13 +93,38 @@ module Decoder : sig
 
   val of_string : string -> t
 
+  val of_sub : string -> pos:int -> len:int -> t
+  (** A decoder over the window [\[pos, pos+len)] of the string, without
+      copying. Raises [Invalid_argument] if the window is out of bounds. *)
+
   val uint : t -> int
+
+  val uint_array : t -> int array
+  (** Fused inverse of {!Encoder.uint_array}: one length read, one bounds
+      check, one tight loop. *)
+
+  val packed_array : t -> n:int -> width:int -> int array
+  (** Inverse of {!Encoder.packed_array} for [n] entries of [width] bits.
+      The byte budget is validated before allocating. *)
 
   val int : t -> int
 
   val bool : t -> bool
 
   val string : t -> string
+
+  val skip_string : t -> unit
+  (** Advance past a length-prefixed string without copying it — the
+      zero-copy path for classifiers that only need the envelope shape. *)
+
+  val sub : t -> int -> t
+  (** [sub t len] is a child decoder viewing the next [len] bytes; the
+      parent skips past them. Raises [Malformed] if fewer remain. *)
+
+  val peek : t -> int
+  (** The next byte without consuming it. Raises [Malformed] at end of
+      input. The v2 format dispatch: a leading [0x00] marks a compressed
+      layout, anything else is a v1 varint. *)
 
   val list : t -> (t -> 'a) -> 'a list
 
@@ -94,7 +158,9 @@ module Frame : sig
   (** Reflected IEEE CRC-32 of the bytes, in [0, 2^32). *)
 
   val seal : string -> string
-  (** Length-prefixed payload followed by its CRC-32. *)
+  (** Length-prefixed payload followed by its CRC-32. Runs through the
+      pooled per-domain scratch encoder, so sealing allocates nothing
+      beyond the result. *)
 
   val unseal : string -> string
   (** Inverse of {!seal}. Raises {!Decoder.Malformed} on truncation,
@@ -111,9 +177,21 @@ module Gossip : sig
       batched {!Repair} payloads answering them. Dynamic membership adds
       two control kinds: {!Hello} announces a replica entering the set at
       a given epoch (a joiner's first digest rides with it, triggering the
-      bootstrap state transfer), {!Goodbye} announces a graceful leave. *)
+      bootstrap state transfer), {!Goodbye} announces a graceful leave.
+      Wire v2 adds two more: {!Digest_delta} carries only the [have]
+      entries that changed since the sender's last digest, and
+      {!Repair_runs} carries one merged per-peer repair as per-origin runs
+      of consecutive sequence numbers. *)
 
-  type kind = Update | Digest | Repair_request | Repair | Hello | Goodbye
+  type kind =
+    | Update
+    | Digest
+    | Repair_request
+    | Repair
+    | Hello
+    | Goodbye
+    | Digest_delta
+    | Repair_runs
 
   val tag : kind -> int
 

@@ -84,9 +84,15 @@ let test_duplicates_dropped () =
    shows new progress: a digest that merely repeats a known-stale view is
    suppressed (backoff doubling), but one whose clock has advanced — the
    peer applied something since we last looked — resets the backoff and
-   queues a push immediately instead of waiting out the old deadline. *)
+   queues a push immediately instead of waiting out the old deadline.
+   Pinned to wire v1: under v2 a push optimistically credits the peer, so
+   the re-push this test drives is replaced by the requester path (covered
+   by the wire-v2 protocol tests). *)
 let test_push_backoff_forgiven_on_progress () =
-  let a = AE.init ~n:2 ~me:0 and b = AE.init ~n:2 ~me:1 in
+  let a, b =
+    Wire.Version.scoped Wire.Version.V1 (fun () ->
+        (AE.init ~n:2 ~me:0, AE.init ~n:2 ~me:1))
+  in
   let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 1)) in
   let a, p1 = AE.send a in
   let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 2)) in

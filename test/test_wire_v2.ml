@@ -1,0 +1,278 @@
+(* Wire v2: compressed clocks and dot sets, version negotiation, and
+   frame-level fuzzing of both envelope generations. The chaos harness
+   treats a [Malformed] that escapes the CRC frame check as a hard
+   error, so the decoding contract tested here is: valid frames of
+   either version decode, every truncation raises [Malformed], and no
+   input ever crashes or silently misdecodes past the checksum. *)
+
+open Helpers
+open Haec
+module Vclock = Clock.Vclock
+module Dot = Clock.Dot
+module AE = Store.Anti_entropy.Make (Store.Mvr_store)
+
+let encoded f = Wire.encode f
+
+let clock_gen =
+  (* mixes the three regimes the chooser discriminates: small dense
+     values (raw wins), constant runs (run-length wins), and large
+     spread values (bit-packing wins) *)
+  QCheck2.Gen.(
+    let* n = 1 -- 24 in
+    let* style = 0 -- 2 in
+    match style with
+    | 0 -> array_size (return n) (0 -- 30)
+    | 1 ->
+      let* v = 0 -- 100_000 in
+      return (Array.make n v)
+    | _ -> array_size (return n) (0 -- 1_000_000))
+
+(* ---------- compressed clocks ---------- *)
+
+let prop_encode_c_roundtrip =
+  q "encode_c/decode_any roundtrip" clock_gen (fun a ->
+      let v = Vclock.of_array a in
+      Vclock.equal v (Wire.decode (encoded (fun e -> Vclock.encode_c e v)) Vclock.decode_any))
+
+let prop_encode_c_never_larger =
+  q "encode_c never beats v1 at being large" clock_gen (fun a ->
+      let v = Vclock.of_array a in
+      String.length (encoded (fun e -> Vclock.encode_c e v))
+      <= String.length (encoded (fun e -> Vclock.encode e v)))
+
+let prop_v1_clock_still_decodes =
+  q "decode_any reads v1 clocks" clock_gen (fun a ->
+      let v = Vclock.of_array a in
+      Vclock.equal v (Wire.decode (encoded (fun e -> Vclock.encode e v)) Vclock.decode_any))
+
+let delta_gen =
+  QCheck2.Gen.(
+    let* prev = clock_gen in
+    let* bumps = array_size (return (Array.length prev)) (0 -- 5) in
+    return (prev, Array.mapi (fun i p -> p + bumps.(i)) prev))
+
+let prop_delta_c_roundtrip =
+  q "encode_delta_c/decode_delta_any roundtrip" delta_gen (fun (p, nxt) ->
+      let prev = Vclock.of_array p and next = Vclock.of_array nxt in
+      Vclock.equal next
+        (Wire.decode
+           (encoded (fun e -> Vclock.encode_delta_c e ~prev next))
+           (fun d -> Vclock.decode_delta_any d ~prev)))
+
+let prop_delta_c_never_larger =
+  q "encode_delta_c never larger than dense" delta_gen (fun (p, nxt) ->
+      let prev = Vclock.of_array p and next = Vclock.of_array nxt in
+      String.length (encoded (fun e -> Vclock.encode_delta_c e ~prev next))
+      <= String.length (encoded (fun e -> Vclock.encode_delta e ~prev next)))
+
+(* the v1 byte layout is a compatibility contract: pin it *)
+let test_v1_golden_bytes () =
+  Alcotest.(check string) "v1 clock bytes" "\x03\x01\x02\x03"
+    (encoded (fun e -> Vclock.encode e (Vclock.of_array [| 1; 2; 3 |])));
+  let s = Dot.Set.of_list [ Dot.make ~replica:0 ~seq:1; Dot.make ~replica:2 ~seq:5 ] in
+  Alcotest.(check string) "v1 dot set bytes" "\x02\x00\x01\x02\x05"
+    (encoded (fun e -> Dot.encode_set e s))
+
+(* ---------- compressed dot sets ---------- *)
+
+let dot_set_gen =
+  QCheck2.Gen.(
+    let* pairs = list_size (0 -- 20) (pair (0 -- 12) (1 -- 100_000)) in
+    return
+      (Dot.Set.of_list (List.map (fun (r, s) -> Dot.make ~replica:r ~seq:s) pairs)))
+
+let prop_dot_set_c_roundtrip =
+  q "encode_set_c/decode_set_any roundtrip" dot_set_gen (fun s ->
+      Dot.Set.equal s
+        (Wire.decode (encoded (fun e -> Dot.encode_set_c e s)) Dot.decode_set_any))
+
+let prop_dot_set_c_delta_exact =
+  q "set_c_delta matches the emitted sizes" dot_set_gen (fun s ->
+      let c = String.length (encoded (fun e -> Dot.encode_set_c e s)) in
+      let v1 = String.length (encoded (fun e -> Dot.encode_set e s)) in
+      c - v1 = Dot.set_c_delta s)
+
+(* ---------- envelope fuzz: truncation and byte flips ---------- *)
+
+(* a small two-replica session, produced under [version], returning every
+   distinct payload the protocol put on the wire: updates, a digest, and
+   a repair batch *)
+let session_payloads version =
+  Wire.Version.scoped version (fun () ->
+      let a = AE.init ~n:2 ~me:0 and b = AE.init ~n:2 ~me:1 in
+      let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 1)) in
+      let a, p1 = AE.send a in
+      let a, _, _ = AE.do_op a ~obj:1 (Model.Op.Write (vi 2)) in
+      let a, lost = AE.send a in
+      let b = AE.receive b ~sender:0 p1 in
+      let b = AE.tick b in
+      let b, digest = AE.send b in
+      let a = AE.receive a ~sender:1 digest in
+      let a, repair = AE.send a in
+      let b = AE.receive b ~sender:0 repair in
+      ignore (a, b);
+      [ p1; lost; digest; repair ])
+
+let expect_malformed ~what payload =
+  let b = AE.init ~n:2 ~me:1 in
+  match AE.receive b ~sender:0 payload with
+  | _ -> Alcotest.failf "%s: expected Malformed" what
+  | exception Wire.Decoder.Malformed _ -> ()
+
+let test_truncation_fuzz () =
+  List.iter
+    (fun version ->
+      List.iteri
+        (fun pi payload ->
+          for len = 0 to String.length payload - 1 do
+            expect_malformed
+              ~what:
+                (Printf.sprintf "%s payload %d cut to %d bytes"
+                   (Wire.Version.name version) pi len)
+              (String.sub payload 0 len)
+          done)
+        (session_payloads version))
+    [ Wire.Version.V1; Wire.Version.V2 ]
+
+let test_sealed_flip_fuzz () =
+  (* a corrupted frame must die at the CRC, whatever the inner version *)
+  List.iter
+    (fun version ->
+      List.iter
+        (fun payload ->
+          let framed = Wire.Frame.seal payload in
+          for i = 0 to String.length framed - 1 do
+            let bs = Bytes.of_string framed in
+            Bytes.set bs i (Char.chr (Char.code (Bytes.get bs i) lxor 0x40));
+            match Wire.Frame.unseal (Bytes.to_string bs) with
+            | exception Wire.Decoder.Malformed _ -> ()
+            | _ -> Alcotest.failf "flipped byte %d of a sealed frame accepted" i
+          done)
+        (session_payloads version))
+    [ Wire.Version.V1; Wire.Version.V2 ]
+
+let prop_receive_total =
+  (* arbitrary bytes: receive either applies or raises Malformed *)
+  q "anti-entropy receive is total" QCheck2.Gen.string (fun s ->
+      let b = AE.init ~n:2 ~me:1 in
+      match AE.receive b ~sender:0 s with
+      | _ -> true
+      | exception Wire.Decoder.Malformed _ -> true)
+
+(* ---------- version negotiation ---------- *)
+
+let drain st =
+  let rec go st acc =
+    if AE.has_pending st then
+      let st, p = AE.send st in
+      go st (p :: acc)
+    else (st, List.rev acc)
+  in
+  go st []
+
+let test_mixed_version_convergence () =
+  (* a speaks v2, b speaks v1: both decode the other, and a's first v1
+     envelope from b downgrades a's own emission — permanently *)
+  let a = Wire.Version.scoped Wire.Version.V2 (fun () -> AE.init ~n:2 ~me:0) in
+  let b = Wire.Version.scoped Wire.Version.V1 (fun () -> AE.init ~n:2 ~me:1) in
+  Alcotest.(check string) "a starts at v2" "v2" (Wire.Version.name (AE.emit_version a));
+  let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 7)) in
+  let a, p = AE.send a in
+  let b = AE.receive b ~sender:0 p in
+  Alcotest.(check int) "b applied a's v2 update" 1 (Vclock.get (AE.have b) 0);
+  let b, _, _ = AE.do_op b ~obj:0 (Model.Op.Write (vi 8)) in
+  let _b, p = AE.send b in
+  let a = AE.receive a ~sender:1 p in
+  Alcotest.(check int) "a applied b's v1 update" 1 (Vclock.get (AE.have a) 1);
+  Alcotest.(check string) "a downgraded to v1" "v1" (Wire.Version.name (AE.emit_version a));
+  (* and the downgrade sticks across further v2-scoped traffic *)
+  let a = Wire.Version.scoped Wire.Version.V2 (fun () -> AE.tick a) in
+  let a, ps = drain a in
+  Alcotest.(check string) "still v1 after tick" "v1" (Wire.Version.name (AE.emit_version a));
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "a's digest is a v1 envelope (count >= 1)" true
+        (String.length p > 0 && p.[0] <> '\x00'))
+    ps
+
+let test_v2_lost_push_requester_path () =
+  (* the companion to the v1-pinned backoff test in test_anti_entropy:
+     under v2 a push optimistically credits the peer, so when the push is
+     lost the stale digest cannot re-trigger it — the gap closes from the
+     requester side instead, once a full digest shows b what it misses *)
+  Wire.Version.scoped Wire.Version.V2 (fun () ->
+      let a = AE.init ~n:2 ~me:0 and b = AE.init ~n:2 ~me:1 in
+      let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (vi 1)) in
+      let a, _lost_update = AE.send a in
+      let b = AE.tick b in
+      let b, digest = AE.send b in
+      let a = AE.receive a ~sender:1 digest in
+      Alcotest.(check bool) "push queued" true (AE.has_pending a);
+      let a, _lost_push = AE.send a in
+      (* a now optimistically believes b is caught up: replaying the same
+         stale digest must not trigger another push *)
+      let a = AE.receive a ~sender:1 digest in
+      Alcotest.(check bool) "stale digest re-push suppressed" false (AE.has_pending a);
+      (* recovery: a's periodic full digest tells b it is behind, and b
+         requests the gap — the answer path is never gated *)
+      let rec converge a b fuel =
+        if fuel = 0 then Alcotest.fail "v2 requester path did not converge";
+        let a = AE.tick a and b = AE.tick b in
+        let a, from_a = drain a in
+        let b = List.fold_left (fun b p -> AE.receive b ~sender:0 p) b from_a in
+        let b, from_b = drain b in
+        let a = List.fold_left (fun a p -> AE.receive a ~sender:1 p) a from_b in
+        if Vclock.equal (AE.have a) (AE.have b) && AE.settled [| a; b |] then (a, b)
+        else converge a b (fuel - 1)
+      in
+      let a, b = converge a b 20 in
+      let _, ra, _ = AE.do_op a ~obj:0 Model.Op.Read in
+      let _, rb, _ = AE.do_op b ~obj:0 Model.Op.Read in
+      Alcotest.(check bool) "reads agree after requester-path repair" true (ra = rb))
+
+(* ---------- tunables ---------- *)
+
+let test_tunable_validation () =
+  let check_invalid name f =
+    match f () with
+    | () -> Alcotest.failf "%s: expected Invalid_argument" name
+    | exception Invalid_argument _ -> ()
+  in
+  check_invalid "repair_batch 0" (fun () -> Store.Anti_entropy.set_repair_batch 0);
+  check_invalid "max_backoff 0" (fun () -> Store.Anti_entropy.set_max_backoff 0);
+  check_invalid "full_digest_every -3" (fun () ->
+      Store.Anti_entropy.set_full_digest_every (-3));
+  (* valid values round-trip, then restore the defaults for the rest of
+     the suite — these are process-wide knobs *)
+  let rb = Store.Anti_entropy.repair_batch ()
+  and mb = Store.Anti_entropy.max_backoff ()
+  and fde = Store.Anti_entropy.full_digest_every () in
+  Store.Anti_entropy.set_repair_batch 7;
+  Store.Anti_entropy.set_max_backoff 9;
+  Store.Anti_entropy.set_full_digest_every 11;
+  Alcotest.(check int) "repair_batch set" 7 (Store.Anti_entropy.repair_batch ());
+  Alcotest.(check int) "max_backoff set" 9 (Store.Anti_entropy.max_backoff ());
+  Alcotest.(check int) "full_digest_every set" 11
+    (Store.Anti_entropy.full_digest_every ());
+  Store.Anti_entropy.set_repair_batch rb;
+  Store.Anti_entropy.set_max_backoff mb;
+  Store.Anti_entropy.set_full_digest_every fde
+
+let suite =
+  ( "wire-v2",
+    [
+      prop_encode_c_roundtrip;
+      prop_encode_c_never_larger;
+      prop_v1_clock_still_decodes;
+      prop_delta_c_roundtrip;
+      prop_delta_c_never_larger;
+      tc "v1 golden bytes" test_v1_golden_bytes;
+      prop_dot_set_c_roundtrip;
+      prop_dot_set_c_delta_exact;
+      tc "truncation fuzz (v1 + v2 envelopes)" test_truncation_fuzz;
+      tc "sealed frame flip fuzz" test_sealed_flip_fuzz;
+      prop_receive_total;
+      tc "mixed versions converge, downgrade sticks" test_mixed_version_convergence;
+      tc "v2 lost push recovered by requester" test_v2_lost_push_requester_path;
+      tc "tunable validation" test_tunable_validation;
+    ] )
