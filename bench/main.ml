@@ -9,7 +9,9 @@
    `dune exec bench/main.exe -- E6 E7` runs only the named experiments;
    `dune exec bench/main.exe -- --micro` runs only the micro + soak
    benchmarks; `--quick` shrinks trial counts and soak sizes for CI smoke
-   runs (the JSON artifact keeps the same shape). *)
+   runs (the JSON artifact keeps the same shape); `--live` adds the
+   live-cluster saturation rows (E25 harness) measured on real OCaml 5
+   domains. *)
 
 open Bechamel
 open Toolkit
@@ -230,7 +232,6 @@ let tests =
     [
       bench_causal_hist;
       bench_session;
-      bench_trace_roundtrip;
       bench_orset_remove;
       bench_hb_compute;
       bench_spec_check;
@@ -241,11 +242,14 @@ let tests =
 
 (* Rows whose fit stayed under the CI r^2 bar in the default group:
    theorem12 runs ~150us/op, so the default quota yields too few samples
-   for a stable OLS slope, and causal-receive sits in the awkward ~1us
-   band where per-batch noise dominates a short quota. They get a group
-   with a larger trial/time budget of their own. *)
+   for a stable OLS slope, causal-receive sits in the awkward ~1us band
+   where per-batch noise dominates a short quota, and trace-decode
+   (~20us/run over a 150-op execution) fit with r^2 0.44 at the default
+   budget. They get a group with a larger trial/time budget of their
+   own. *)
 let tests_mid =
-  Test.make_grouped ~name:"haec" [ bench_causal_receive; bench_theorem12 ]
+  Test.make_grouped ~name:"haec"
+    [ bench_causal_receive; bench_theorem12; bench_trace_roundtrip ]
 
 (* Sub-100ns operations need far more samples before the OLS slope is
    trustworthy: at the default budget the vclock rows fit with r^2 of
@@ -379,7 +383,57 @@ let gossip_json ~quick =
       Haec.Spec.Spec.mvr Haec.Sim.Workload.register_mix 101;
   ]
 
-let run_micro ~quick () =
+(* ---------- live cluster throughput (E25 harness) ---------- *)
+
+(* Real domains on real cores (or, on a starved CI box, time-slicing one
+   core — the rows record whatever the machine actually delivers):
+   saturation ops/s, wall-clock visibility lag and payload bytes per
+   update, for the causal store at 1/2/4 domains and for v1 vs v2 wire
+   at 2 domains. No ns_per_run/r_square fields, so the fit gate and the
+   regression diff skip these rows; they ride in the same artifact for
+   cross-commit eyeballing. *)
+let live_json ~quick =
+  let module Json = Haec.Obs.Json in
+  let module AE = Store.Anti_entropy.Make (Store.Causal_mvr_store) in
+  let module Stack = struct
+    include AE
+
+    let progress = AE.have
+  end in
+  let module C = Live.Cluster.Make (Stack) in
+  let duration = if quick then 0.2 else 0.5 in
+  let run ?(version = Wire.Version.V2) ~n () =
+    Wire.Version.scoped version (fun () ->
+        C.run { Live.Cluster.default with Live.Cluster.replicas = n; duration })
+  in
+  let entry label (res : Live.Cluster.result) =
+    let open Live.Cluster in
+    let p50, p95, p99 = Obs.Metrics.Histogram.percentiles res.lag_ms in
+    let nan_null f = if Float.is_nan f then Json.Null else Json.Num f in
+    ( label,
+      Json.Obj
+        [
+          ("ops_per_sec", Json.Num res.ops_per_sec);
+          ("converged", Json.Num (if res.converged then 1.0 else 0.0));
+          ("lag_ms_p50", nan_null p50);
+          ("lag_ms_p95", nan_null p95);
+          ("lag_ms_p99", nan_null p99);
+          ( "payload_bytes_per_update",
+            Json.Num
+              (if res.total_updates > 0 then
+                 float_of_int res.payload_bytes /. float_of_int res.total_updates
+               else 0.0) );
+          ("stalls", Json.Num (float_of_int res.stalls));
+        ] )
+  in
+  [
+    entry "live/causal-n1" (run ~n:1 ());
+    entry "live/causal-n2" (run ~n:2 ());
+    entry "live/causal-n2-v1" (run ~version:Wire.Version.V1 ~n:2 ());
+    entry "live/causal-n4" (run ~n:4 ());
+  ]
+
+let run_micro ~quick ~live () =
   print_newline ();
   print_endline "Microbenchmarks (Bechamel, monotonic clock)";
   print_endline "===========================================";
@@ -392,17 +446,22 @@ let run_micro ~quick () =
   (* the fast group needs a still-larger budget than its first cut: at
      limit 1000/5000 the encode-update row kept fitting with r^2 ~0.4
      (ROADMAP item 4) because sub-100ns runs spend most of a short quota
-     inside clamped-iteration warm-up. Tripling trials and quota gets
-     every fast row above the 0.7 bar CI now enforces. *)
+     inside clamped-iteration warm-up. Tripling trials and quota got the
+     codec rows above the 0.7 bar CI enforces; mvr-read (a ~100ns hit on
+     a warmed store) still sat at 0.67-0.69 in quick mode, so the quick
+     budget grew again (3000/0.3s -> 6000/1s) to pull it clear of the
+     bar even on a noisy single-core runner. *)
   let cfg_fast =
-    if quick then Benchmark.cfg ~limit:3000 ~quota:(Time.second 0.3) ~kde:None ()
-    else Benchmark.cfg ~limit:15000 ~quota:(Time.second 4.0) ~kde:None ()
+    if quick then Benchmark.cfg ~limit:10000 ~quota:(Time.second 1.5) ~kde:None ()
+    else Benchmark.cfg ~limit:20000 ~quota:(Time.second 5.0) ~kde:None ()
   in
-  (* the mid group exists purely to buy theorem12 (~150us/run) and
-     causal-receive enough samples for r^2 >= 0.7; see tests_mid *)
+  (* the mid group exists purely to buy theorem12 (~150us/run),
+     causal-receive and trace-decode (~80us/run, allocation-heavy, so
+     GC pauses fatten the residuals) enough samples for r^2 >= 0.7; see
+     tests_mid *)
   let cfg_mid =
-    if quick then Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~kde:None ()
-    else Benchmark.cfg ~limit:8000 ~quota:(Time.second 6.0) ~kde:None ()
+    if quick then Benchmark.cfg ~limit:3000 ~quota:(Time.second 3.0) ~kde:None ()
+    else Benchmark.cfg ~limit:10000 ~quota:(Time.second 8.0) ~kde:None ()
   in
   let raw = Benchmark.all cfg instances tests in
   let raw_mid = Benchmark.all cfg_mid instances tests_mid in
@@ -480,6 +539,26 @@ let run_micro ~quick () =
         Printf.printf "%-44s %s\n" name (String.concat "  " (List.map cell fields))
       | _ -> ())
     gossip_rows;
+  let live_rows =
+    if not live then []
+    else begin
+      print_newline ();
+      print_endline "Live cluster saturation (E25 harness, real domains)";
+      print_endline "===================================================";
+      let rows = live_json ~quick in
+      List.iter
+        (fun (name, entry) ->
+          match entry with
+          | Json.Obj fields ->
+            let cell (k, v) =
+              match v with Json.Num f -> Printf.sprintf "%s=%.1f" k f | _ -> ""
+            in
+            Printf.printf "%-44s %s\n" name (String.concat "  " (List.map cell fields))
+          | _ -> ())
+        rows;
+      rows
+    end
+  in
   let doc =
     Json.Obj
       (List.map
@@ -493,7 +572,7 @@ let run_micro ~quick () =
                  ("minor_words_per_run", num (estimate allocs name));
                ] ))
          rows
-      @ soak_rows @ gossip_rows)
+      @ soak_rows @ gossip_rows @ live_rows)
   in
   let oc = open_out "BENCH_results.json" in
   output_string oc (Json.to_string doc);
@@ -520,7 +599,10 @@ let () =
   (match !jobs with Some j -> Util.Par.set_default_domains j | None -> ());
   let micro_only = List.mem "--micro" args in
   let quick = List.mem "--quick" args in
-  let experiment_ids = List.filter (fun a -> a <> "--micro" && a <> "--quick") args in
+  let live = List.mem "--live" args in
+  let experiment_ids =
+    List.filter (fun a -> a <> "--micro" && a <> "--quick" && a <> "--live") args
+  in
   let ppf = Format.std_formatter in
   if not micro_only then begin
     print_endline "Experiment tables (paper figures and theorems; see EXPERIMENTS.md)";
@@ -536,4 +618,4 @@ let () =
         ids);
     Format.pp_print_flush ppf ()
   end;
-  if experiment_ids = [] then run_micro ~quick ()
+  if experiment_ids = [] then run_micro ~quick ~live ()

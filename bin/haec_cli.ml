@@ -1215,6 +1215,202 @@ let trace_cmd =
         $ recovery_arg $ adversarial_arg $ churn_arg $ why $ export $ out $ time_scale
         $ slowest))
 
+(* ---------- serve: live cluster on OCaml 5 domains ---------- *)
+
+let serve_store (module S : Store.Store_intf.S) ~require ~spec ~cfg ~capture_path ~check
+    =
+  let module AE = Store.Anti_entropy.Make (S) in
+  let module Stack = struct
+    include AE
+
+    let progress = AE.have
+  end in
+  let module C = Live.Cluster.Make (Stack) in
+  let res = try Ok (C.run cfg) with Invalid_argument msg -> Error msg in
+  match res with
+  | Error msg -> `Error (false, msg)
+  | Ok res ->
+    let open Live.Cluster in
+    Format.printf "live store=%s replicas=%d duration=%.2fs rate=%s batch=%d wire=%s@."
+      S.name res.cfg.replicas res.cfg.duration
+      (if res.cfg.rate > 0.0 then Printf.sprintf "%.0f/s/replica" res.cfg.rate
+       else "saturation")
+      res.cfg.batch
+      (Wire.Version.name (Wire.Version.current ()));
+    Format.printf
+      "ops=%d (%.0f ops/s aggregate over %.3fs) issued=%d updates=%d converged=%b \
+       (drain %.3fs)@."
+      res.total_ops res.ops_per_sec res.elapsed res.total_issued res.total_updates
+      res.converged res.drain_elapsed;
+    let p50, p95, p99 = Metrics.Histogram.percentiles res.lag_ms in
+    Format.printf "visibility lag ms: p50=%.3f p95=%.3f p99=%.3f max=%.3f (n=%d)@." p50
+      p95 p99
+      (Metrics.Histogram.max_value res.lag_ms)
+      (Metrics.Histogram.count res.lag_ms);
+    Format.printf
+      "frames=%d payload=%dB wire=%dB payload/update=%.1fB stalls=%d queue-peak=%d \
+       pending-peak=%dB@."
+      res.frames res.payload_bytes res.wire_bytes
+      (if res.total_updates > 0 then
+         float_of_int res.payload_bytes /. float_of_int res.total_updates
+       else 0.0)
+      res.stalls res.queue_depth_peak res.pending_bytes_peak;
+    Array.iteri
+      (fun i (r : replica_stats) ->
+        Format.printf
+          "  R%-3d ops=%-8d reads=%-8d updates=%-8d sent=%-6d recv=%-6d stalls=%d@." i
+          r.ops r.reads r.updates r.frames_sent r.frames_recv r.stalls)
+      res.per_replica;
+    (match (capture_path, res.trace) with
+    | Some path, Some exec ->
+      Model.Trace_io.save path exec;
+      Format.printf "captured trace (%d events) written to %s@."
+        (Model.Execution.length exec) path
+    | Some _, None -> ()
+    | None, _ -> ());
+    if not check then `Ok ()
+    else
+      match (res.trace, res.witness) with
+      | Some exec, Some wit ->
+        let report = Sim.Checks.validate ~spec_of:(fun _ -> spec) exec wit in
+        let required =
+          [ ("well-formed", report.Sim.Checks.well_formed);
+            ("complies", report.Sim.Checks.complies);
+          ]
+          @ (match require with
+            | `Causal ->
+              [ ("correct", report.Sim.Checks.correct);
+                ("causal", report.Sim.Checks.causal);
+              ]
+            | `Correct -> [ ("correct", report.Sim.Checks.correct) ]
+            | `Converge -> [])
+        in
+        let failed =
+          List.filter_map
+            (fun (name, r) ->
+              match r with Ok () -> None | Error e -> Some (name ^ ": " ^ e))
+            required
+        in
+        if res.total_ops = 0 then `Error (false, "live check: no operations executed")
+        else if not res.converged then
+          `Error (false, "live check: replicas did not settle within the drain deadline")
+        else if failed <> [] then
+          `Error (false, "live check failed\n  " ^ String.concat "\n  " failed)
+        else begin
+          Format.printf "checkers: %s clean on the captured live trace@."
+            (String.concat ", " (List.map fst required));
+          `Ok ()
+        end
+      | _ -> `Error (false, "live check: run produced no captured trace")
+
+let serve_cmd =
+  let store =
+    Arg.(
+      value & opt store_conv Causal
+      & info [ "store" ] ~doc:"Store: mvr|causal|cops|state|orset|lww|gossip")
+  in
+  let n = Arg.(value & opt int 2 & info [ "replicas"; "n" ] ~doc:"Replica domains") in
+  let duration =
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~doc:"Load-phase wall seconds")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~docv:"OPS"
+          ~doc:
+            "Per-replica target ops/s; 0 = closed-loop saturation. Use a bounded rate \
+             with --capture/--check (capture retains every event in memory).")
+  in
+  let objects = Arg.(value & opt int 64 & info [ "objects" ] ~doc:"Number of objects") in
+  let zipf =
+    Arg.(
+      value & opt float 0.0
+      & info [ "zipf" ] ~docv:"THETA" ~doc:"Key-skew theta (0 = uniform)")
+  in
+  let read_pct =
+    Arg.(
+      value & opt int 50
+      & info [ "read-pct" ] ~docv:"PCT"
+          ~doc:"Percentage of reads in the mix (ignored for orset)")
+  in
+  let batch = Arg.(value & opt int 8 & info [ "batch" ] ~doc:"Client ops per flush") in
+  let gossip_ms =
+    Arg.(
+      value & opt float 1.0
+      & info [ "gossip-ms" ] ~doc:"Wall milliseconds between anti-entropy ticks")
+  in
+  let ring =
+    Arg.(
+      value & opt int 1024
+      & info [ "ring" ] ~doc:"Per-link SPSC ring capacity (rounded up to a power of 2)")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Run seed") in
+  let capture_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "capture" ] ~docv:"FILE"
+          ~doc:"Record the live execution and save it as a replayable trace")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Capture the run and audit it with the same checkers that audit \
+             simulations; non-zero exit on any violation")
+  in
+  let run tuning store n duration rate objects zipf read_pct batch gossip_ms ring seed
+      capture_path check =
+    match apply_tuning tuning with
+    | Error msg -> `Error (false, msg)
+    | Ok () ->
+      let mix =
+        match store with
+        | Orset -> Live.Load.orset_mix
+        | _ -> Live.Load.mix_of_read_pct read_pct
+      in
+      let cfg =
+        {
+          Live.Cluster.replicas = n;
+          seed;
+          objects;
+          mix;
+          zipf;
+          duration;
+          rate;
+          batch;
+          gossip_interval = gossip_ms /. 1000.0;
+          ring_capacity = ring;
+          capture = check || capture_path <> None;
+        }
+      in
+      let go (module S : Store.Store_intf.S) ~require ~spec =
+        serve_store (module S) ~require ~spec ~cfg ~capture_path ~check
+      in
+      (match store with
+      | Mvr -> go (module Store.Mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+      | Causal -> go (module Store.Causal_mvr_store) ~require:`Causal ~spec:Spec.Spec.mvr
+      | Cops -> go (module Store.Cops_store) ~require:`Causal ~spec:Spec.Spec.mvr
+      | State -> go (module Store.State_mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+      | Orset -> go (module Store.Orset_store) ~require:`Correct ~spec:Spec.Spec.orset
+      | Lww -> go (module Store.Lww_store) ~require:`Converge ~spec:Spec.Spec.rw_register
+      | Gossip ->
+        go (module Store.Gossip_relay_store) ~require:`Correct ~spec:Spec.Spec.mvr
+      | Counter | Delayed | Gsp ->
+        `Error (false, "serve supports: mvr|causal|cops|state|orset|lww|gossip"))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run a live cluster: one OCaml domain per replica, sealed wire frames over \
+          lock-free rings, a closed-loop load generator, and optionally a captured \
+          trace audited by the simulation checkers")
+    Term.(
+      ret
+        (const run $ tuning_term $ store $ n $ duration $ rate $ objects $ zipf
+        $ read_pct $ batch $ gossip_ms $ ring $ seed $ capture_arg $ check_arg))
+
 let main =
   let doc = "Limitations of highly-available eventually-consistent data stores, executable" in
   Cmd.group
@@ -1231,6 +1427,7 @@ let main =
       metrics_cmd;
       json_check_cmd;
       trace_cmd;
+      serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -103,6 +103,12 @@ module Sim = struct
   module Telemetry = Haec_sim.Telemetry
 end
 
+module Live = struct
+  module Spsc = Haec_live.Spsc
+  module Load = Haec_live.Load
+  module Cluster = Haec_live.Cluster
+end
+
 module Viz = struct
   module Render = Haec_viz.Render
 end

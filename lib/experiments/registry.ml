@@ -58,6 +58,7 @@ let all =
       run = E23_lag_attribution.run;
     };
     { id = E24_wire_v2.name; title = E24_wire_v2.title; run = E24_wire_v2.run };
+    { id = E25_live.name; title = E25_live.title; run = E25_live.run };
   ]
 
 let find id =

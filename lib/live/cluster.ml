@@ -1,0 +1,682 @@
+open Haec_util
+open Haec_model
+open Haec_wire
+open Haec_vclock
+open Haec_spec
+module Obs = Haec_obs.Metrics
+module Store_intf = Haec_store.Store_intf
+
+module type STACK = sig
+  include Store_intf.S
+
+  val tick : state -> state
+
+  val settled : state array -> bool
+
+  val progress : state -> Vclock.t
+
+  val queue_depth : state -> int
+
+  val pending_bytes : state -> int
+
+  val gossip_stats : unit -> Store_intf.gossip_stats
+
+  val reset_gossip_stats : unit -> unit
+end
+
+type config = {
+  replicas : int;
+  seed : int;
+  objects : int;
+  mix : Load.mix;
+  zipf : float;
+  duration : float;
+  rate : float;
+  batch : int;
+  gossip_interval : float;
+  ring_capacity : int;
+  capture : bool;
+}
+
+let default =
+  {
+    replicas = 2;
+    seed = 42;
+    objects = 64;
+    mix = Load.register_mix;
+    zipf = 0.0;
+    duration = 1.0;
+    rate = 0.0;
+    batch = 8;
+    gossip_interval = 0.001;
+    ring_capacity = 1024;
+    capture = false;
+  }
+
+type replica_stats = {
+  ops : int;
+  issued : int;
+  reads : int;
+  updates : int;
+  frames_sent : int;
+  frames_recv : int;
+  payload_bytes : int;
+  wire_bytes : int;
+  bytes_recv : int;
+  stalls : int;
+  queue_depth_peak : int;
+  pending_bytes_peak : int;
+}
+
+type result = {
+  cfg : config;
+  elapsed : float;
+  drain_elapsed : float;
+  converged : bool;
+  total_ops : int;
+  total_issued : int;
+  total_updates : int;
+  ops_per_sec : float;
+  lag_ms : Obs.Histogram.t;
+  frames : int;
+  payload_bytes : int;
+  wire_bytes : int;
+  max_payload_bytes : int;
+  stalls : int;
+  queue_depth_peak : int;
+  pending_bytes_peak : int;
+  per_replica : replica_stats array;
+  registry : Obs.Registry.t;
+  gossip : Store_intf.gossip_stats;
+  trace : Execution.t option;
+  witness : Abstract.t option;
+}
+
+(* what travels through a ring: the sealed frame, the sender's send
+   counter (message identity for the trace), and the issue time of the
+   oldest client op the frame carries (NaN for pure control traffic) *)
+type frame = { bytes : string; seq : int; issued_at : float }
+
+(* a timestamped local event plus, for do events under capture, the
+   witness the store reported *)
+type tev = { at : float; ev : Event.t; wit : Store_intf.witness option }
+
+let add_gossip dst (src : Store_intf.gossip_stats) =
+  let open Store_intf in
+  dst.digests <- dst.digests + src.digests;
+  dst.digest_bytes <- dst.digest_bytes + src.digest_bytes;
+  dst.repairs <- dst.repairs + src.repairs;
+  dst.repair_bytes <- dst.repair_bytes + src.repair_bytes;
+  dst.requests <- dst.requests + src.requests;
+  dst.request_bytes <- dst.request_bytes + src.request_bytes;
+  dst.updates <- dst.updates + src.updates;
+  dst.update_bytes <- dst.update_bytes + src.update_bytes;
+  dst.dup_payloads <- dst.dup_payloads + src.dup_payloads;
+  dst.repair_applied <- dst.repair_applied + src.repair_applied;
+  dst.memberships <- dst.memberships + src.memberships;
+  dst.membership_bytes <- dst.membership_bytes + src.membership_bytes;
+  dst.digest_deltas <- dst.digest_deltas + src.digest_deltas;
+  dst.digests_elided <- dst.digests_elided + src.digests_elided
+
+module Make (S : STACK) = struct
+  type node = {
+    me : int;
+    n : int;
+    cfg : config;
+    clock : unit -> float;
+    mutable state : S.state;
+    inbox : frame Spsc.t array;  (* indexed by source replica *)
+    outbox : frame Spsc.t array;  (* indexed by destination replica *)
+    rng : Rng.t;
+    samp : Load.sampler;
+    g : Load.gen;
+    mutable send_seq : int;
+    mutable dos : int;
+    mutable reads : int;
+    mutable frames_sent : int;
+    mutable frames_recv : int;
+    mutable payload_bytes : int;
+    mutable wire_bytes : int;
+    mutable bytes_recv : int;
+    mutable stalls : int;
+    mutable max_payload : int;
+    mutable qd_peak : int;
+    mutable pb_peak : int;
+    lag : Obs.Histogram.t;
+    mutable oldest_unflushed : float;  (* NaN when no unflushed update *)
+    mutable last_tick : float;
+    mutable events_rev : tev list;
+    mutable on_full : int -> unit;
+        (* invoked (with the full destination) until the push succeeds;
+           the live loop drains its own inbox — peers blocked pushing to
+           us make progress once we pop, so the mesh cannot deadlock *)
+  }
+
+  let make_node cfg ~me ~clock ~rings =
+    let n = cfg.replicas in
+    {
+      me;
+      n;
+      cfg;
+      clock;
+      state = S.init ~n ~me;
+      inbox = Array.init n (fun src -> rings.(src).(me));
+      outbox = rings.(me);
+      rng = Rng.create (cfg.seed + (me * 1_000_003));
+      samp = Load.sampler ~objects:cfg.objects ~theta:cfg.zipf;
+      g = Load.gen ~replica:me cfg.mix;
+      send_seq = 0;
+      dos = 0;
+      reads = 0;
+      frames_sent = 0;
+      frames_recv = 0;
+      payload_bytes = 0;
+      wire_bytes = 0;
+      bytes_recv = 0;
+      stalls = 0;
+      max_payload = 0;
+      qd_peak = 0;
+      pb_peak = 0;
+      lag = Obs.Histogram.create ();
+      oldest_unflushed = Float.nan;
+      last_tick = 0.0;
+      events_rev = [];
+      on_full = (fun _ -> ());
+    }
+
+  let receive_frame node ~src (f : frame) =
+    node.frames_recv <- node.frames_recv + 1;
+    node.bytes_recv <- node.bytes_recv + String.length f.bytes;
+    let payload = Wire.Frame.unseal f.bytes in
+    let before = Vclock.get (S.progress node.state) src in
+    node.state <- S.receive node.state ~sender:src payload;
+    if
+      Vclock.get (S.progress node.state) src > before
+      && not (Float.is_nan f.issued_at)
+    then Obs.Histogram.observe node.lag ((node.clock () -. f.issued_at) *. 1000.0);
+    if node.cfg.capture then
+      node.events_rev <-
+        {
+          at = node.clock ();
+          ev =
+            Event.Receive
+              { replica = node.me;
+                msg = { Message.sender = src; seq = f.seq; payload } };
+          wit = None;
+        }
+        :: node.events_rev
+
+  let drain node =
+    let got = ref 0 in
+    for src = 0 to node.n - 1 do
+      if src <> node.me then begin
+        let ring = node.inbox.(src) in
+        let more = ref true in
+        while !more do
+          match Spsc.try_pop ring with
+          | None -> more := false
+          | Some f ->
+            incr got;
+            receive_frame node ~src f
+        done
+      end
+    done;
+    !got
+
+  let rec flush node =
+    if S.has_pending node.state then begin
+      let st, payload = S.send node.state in
+      node.state <- st;
+      let seq = node.send_seq in
+      node.send_seq <- seq + 1;
+      let plen = String.length payload in
+      node.payload_bytes <- node.payload_bytes + plen;
+      if plen > node.max_payload then node.max_payload <- plen;
+      node.frames_sent <- node.frames_sent + 1;
+      if node.cfg.capture then
+        node.events_rev <-
+          {
+            at = node.clock ();
+            ev =
+              Event.Send
+                { replica = node.me;
+                  msg = { Message.sender = node.me; seq; payload } };
+            wit = None;
+          }
+          :: node.events_rev;
+      let bytes = Wire.Frame.seal payload in
+      let f = { bytes; seq; issued_at = node.oldest_unflushed } in
+      node.oldest_unflushed <- Float.nan;
+      for dst = 0 to node.n - 1 do
+        if dst <> node.me then begin
+          node.wire_bytes <- node.wire_bytes + String.length bytes;
+          while not (Spsc.try_push node.outbox.(dst) f) do
+            node.stalls <- node.stalls + 1;
+            node.on_full dst
+          done
+        end
+      done;
+      flush node
+    end
+
+  let issue node ~count =
+    for _ = 1 to count do
+      let obj = Load.sample node.samp node.rng in
+      let op = Load.next node.g node.rng in
+      (match op with Op.Read -> node.reads <- node.reads + 1 | _ -> ());
+      if Op.is_update op && Float.is_nan node.oldest_unflushed then
+        node.oldest_unflushed <- node.clock ();
+      let st, rval, wit = S.do_op node.state ~obj op in
+      node.state <- st;
+      node.dos <- node.dos + 1;
+      if node.cfg.capture then
+        node.events_rev <-
+          {
+            at = node.clock ();
+            ev = Event.Do { Event.replica = node.me; obj; op; rval };
+            wit = Some (Lazy.force wit);
+          }
+          :: node.events_rev
+    done
+
+  let maybe_tick node ~now =
+    if now -. node.last_tick >= node.cfg.gossip_interval then begin
+      node.last_tick <- now;
+      node.state <- S.tick node.state;
+      flush node
+    end
+
+  let sample_backpressure node =
+    let qd = S.queue_depth node.state in
+    if qd > node.qd_peak then node.qd_peak <- qd;
+    let pb = S.pending_bytes node.state in
+    if pb > node.pb_peak then node.pb_peak <- pb
+
+  (* phase protocol: 0 = load, 1 = drain (no new client ops, keep
+     gossiping until the coordinator sees global settlement), 2 = stop *)
+  type snap = { s_state : S.state; s_phase : int }
+
+  let live_loop node ~phase ~cell =
+    let cfg = node.cfg in
+    let pacing = cfg.rate > 0.0 in
+    let interval =
+      if pacing then float_of_int cfg.batch /. cfg.rate else 0.0
+    in
+    node.last_tick <- node.clock ();
+    let next_issue = ref (node.clock ()) in
+    let iters = ref 0 in
+    let running = ref true in
+    while !running do
+      incr iters;
+      let got = drain node in
+      let ph = Atomic.get phase in
+      if ph = 0 then begin
+        if not pacing then begin
+          issue node ~count:cfg.batch;
+          flush node
+        end
+        else begin
+          let now = node.clock () in
+          if now >= !next_issue then begin
+            issue node ~count:cfg.batch;
+            flush node;
+            next_issue := !next_issue +. interval;
+            (* descheduled for a while: skip forward instead of bursting *)
+            if !next_issue < now -. (10.0 *. interval) then next_issue := now
+          end
+          else if got = 0 then Domain.cpu_relax ()
+        end
+      end;
+      (* answer control traffic (repairs, requests) promptly even when
+         not issuing *)
+      if got > 0 && S.has_pending node.state then flush node;
+      maybe_tick node ~now:(node.clock ());
+      if ph > 0 || !iters land 1023 = 0 then begin
+        sample_backpressure node;
+        Atomic.set cell (Some { s_state = node.state; s_phase = ph })
+      end;
+      if ph = 1 then begin
+        if S.has_pending node.state then flush node;
+        if got = 0 then Domain.cpu_relax ()
+      end
+      else if ph >= 2 then running := false
+    done
+
+  (* Interleave the per-replica event logs into one execution, ordering
+     by timestamp but never emitting a receive before its send: each
+     step picks the earliest enabled head. An enabled head always
+     exists — a cycle of receives each waiting on a send behind another
+     blocked receive would be a causal cycle, impossible since every
+     send precedes its receives in real time on its own replica — but a
+     blocked fallback keeps the merge total regardless of clock skew.
+     The witness is assembled runner-style in the same pass: each do
+     event's visible (obj, dot) pairs resolve against the self dots of
+     earlier merged do events, giving vis edges that respect H order by
+     construction. *)
+  let assemble ~n results =
+    let per =
+      Array.map
+        (fun (node, _) -> Array.of_list (List.rev node.events_rev))
+        results
+    in
+    let idx = Array.make n 0 in
+    let sent = Hashtbl.create 1024 in
+    let total = Array.fold_left (fun a evs -> a + Array.length evs) 0 per in
+    let events_rev = ref [] in
+    let dot_pos = Hashtbl.create 1024 in
+    let dos_rev = ref [] in
+    let vis = ref [] in
+    let do_count = ref 0 in
+    for _ = 1 to total do
+      let best = ref (-1) in
+      let best_at = ref infinity in
+      let blocked = ref (-1) in
+      let blocked_at = ref infinity in
+      for r = 0 to n - 1 do
+        if idx.(r) < Array.length per.(r) then begin
+          let te = per.(r).(idx.(r)) in
+          let is_blocked =
+            match te.ev with
+            | Event.Receive { msg; _ } ->
+              not (Hashtbl.mem sent (msg.Message.sender, msg.Message.seq))
+            | _ -> false
+          in
+          if is_blocked then begin
+            if te.at < !blocked_at then begin
+              blocked := r;
+              blocked_at := te.at
+            end
+          end
+          else if te.at < !best_at then begin
+            best := r;
+            best_at := te.at
+          end
+        end
+      done;
+      let r = if !best >= 0 then !best else !blocked in
+      let te = per.(r).(idx.(r)) in
+      idx.(r) <- idx.(r) + 1;
+      (match te.ev with
+      | Event.Send { msg; _ } ->
+        Hashtbl.replace sent (msg.Message.sender, msg.Message.seq) ()
+      | Event.Do de ->
+        let j = !do_count in
+        (match te.wit with
+        | Some w ->
+          List.iter
+            (fun key ->
+              match Hashtbl.find_opt dot_pos key with
+              | Some i when i <> j -> vis := (i, j) :: !vis
+              | Some _ | None -> ())
+            w.Store_intf.visible;
+          (match w.Store_intf.self with
+          | Some dot -> Hashtbl.replace dot_pos (de.Event.obj, dot) j
+          | None -> ())
+        | None -> ());
+        dos_rev := de :: !dos_rev;
+        incr do_count
+      | _ -> ());
+      events_rev := te.ev :: !events_rev
+    done;
+    let exec = Execution.of_list ~n (List.rev !events_rev) in
+    let witness =
+      Abstract.create ~n (Array.of_list (List.rev !dos_rev)) ~vis:!vis
+    in
+    (exec, witness)
+
+  let harvest cfg ~elapsed ~drain_elapsed ~converged results =
+    let n = cfg.replicas in
+    let per_replica =
+      Array.map
+        (fun (node, _) ->
+          {
+            ops = node.dos;
+            issued = Load.issued node.g;
+            reads = node.reads;
+            updates = Load.writes node.g;
+            frames_sent = node.frames_sent;
+            frames_recv = node.frames_recv;
+            payload_bytes = node.payload_bytes;
+            wire_bytes = node.wire_bytes;
+            bytes_recv = node.bytes_recv;
+            stalls = node.stalls;
+            queue_depth_peak = node.qd_peak;
+            pending_bytes_peak = node.pb_peak;
+          })
+        results
+    in
+    let sum f = Array.fold_left (fun a r -> a + f r) 0 per_replica in
+    let peak f = Array.fold_left (fun a r -> max a (f r)) 0 per_replica in
+    let total_ops = sum (fun r -> r.ops) in
+    let total_issued = sum (fun r -> r.issued) in
+    let total_updates = sum (fun r -> r.updates) in
+    let frames = sum (fun r -> r.frames_sent) in
+    let payload_bytes = sum (fun r -> r.payload_bytes) in
+    let wire_bytes = sum (fun r -> r.wire_bytes) in
+    let stalls = sum (fun r -> r.stalls) in
+    let max_payload_bytes =
+      Array.fold_left (fun a (node, _) -> max a node.max_payload) 0 results
+    in
+    let queue_depth_peak = peak (fun r -> r.queue_depth_peak) in
+    let pending_bytes_peak = peak (fun r -> r.pending_bytes_peak) in
+    let lag_ms = Obs.Histogram.create () in
+    Array.iter (fun (node, _) -> Obs.Histogram.merge_into lag_ms node.lag) results;
+    let gossip = Store_intf.fresh_gossip_stats () in
+    Array.iter (fun (_, gs) -> add_gossip gossip gs) results;
+    let ops_per_sec =
+      if elapsed > 0.0 then float_of_int total_ops /. elapsed else 0.0
+    in
+    let reg = Obs.Registry.create () in
+    let c name v = Obs.Counter.add (Obs.Registry.counter reg name) v in
+    let g name v = Obs.Gauge.set (Obs.Registry.gauge reg name) v in
+    c "live.ops" total_ops;
+    c "live.issued" total_issued;
+    c "live.updates" total_updates;
+    c "live.frames" frames;
+    c "live.payload_bytes" payload_bytes;
+    c "live.wire_bytes" wire_bytes;
+    c "live.stalls" stalls;
+    g "live.ops_per_sec" ops_per_sec;
+    g "live.converged" (if converged then 1.0 else 0.0);
+    g "ae.queue_depth" (float_of_int queue_depth_peak);
+    g "ae.pending_bytes" (float_of_int pending_bytes_peak);
+    Obs.Registry.register reg "live.lag_ms" (Obs.Registry.Histogram lag_ms);
+    c "gossip.digests" gossip.Store_intf.digests;
+    c "gossip.digest_bytes" gossip.Store_intf.digest_bytes;
+    c "gossip.digest_deltas" gossip.Store_intf.digest_deltas;
+    c "gossip.digests_elided" gossip.Store_intf.digests_elided;
+    c "gossip.repairs" gossip.Store_intf.repairs;
+    c "gossip.repair_bytes" gossip.Store_intf.repair_bytes;
+    c "gossip.requests" gossip.Store_intf.requests;
+    c "gossip.request_bytes" gossip.Store_intf.request_bytes;
+    c "gossip.updates" gossip.Store_intf.updates;
+    c "gossip.update_bytes" gossip.Store_intf.update_bytes;
+    c "gossip.dup_payloads" gossip.Store_intf.dup_payloads;
+    c "gossip.repair_applied" gossip.Store_intf.repair_applied;
+    let trace, witness =
+      if cfg.capture then begin
+        let exec, wit = assemble ~n results in
+        (Some exec, Some wit)
+      end
+      else (None, None)
+    in
+    {
+      cfg;
+      elapsed;
+      drain_elapsed;
+      converged;
+      total_ops;
+      total_issued;
+      total_updates;
+      ops_per_sec;
+      lag_ms;
+      frames;
+      payload_bytes;
+      wire_bytes;
+      max_payload_bytes;
+      stalls;
+      queue_depth_peak;
+      pending_bytes_peak;
+      per_replica;
+      registry = reg;
+      gossip;
+      trace;
+      witness;
+    }
+
+  let validate cfg =
+    if cfg.replicas < 1 then invalid_arg "Cluster.run: replicas must be >= 1";
+    if cfg.objects < 1 then invalid_arg "Cluster.run: objects must be >= 1";
+    if cfg.batch < 1 then invalid_arg "Cluster.run: batch must be >= 1";
+    if cfg.ring_capacity < 2 then
+      invalid_arg "Cluster.run: ring capacity must be >= 2";
+    if not (Float.is_finite cfg.gossip_interval) || cfg.gossip_interval < 0.0
+    then invalid_arg "Cluster.run: gossip interval must be >= 0";
+    if not (Load.is_update_mix cfg.mix) then
+      invalid_arg "Cluster.run: mix never updates, nothing would replicate"
+
+  let run cfg =
+    validate cfg;
+    if cfg.duration <= 0.0 then invalid_arg "Cluster.run: duration must be > 0";
+    let n = cfg.replicas in
+    let rings =
+      Array.init n (fun _ -> Array.init n (fun _ -> Spsc.create cfg.ring_capacity))
+    in
+    let phase = Atomic.make 0 in
+    let cells = Array.init n (fun _ -> Atomic.make None) in
+    let gate = Atomic.make false in
+    let clock = Unix.gettimeofday in
+    let domains =
+      Array.init n (fun me ->
+          Domain.spawn (fun () ->
+              let node = make_node cfg ~me ~clock ~rings in
+              node.on_full <- (fun _ -> ignore (drain node));
+              while not (Atomic.get gate) do
+                Domain.cpu_relax ()
+              done;
+              live_loop node ~phase ~cell:cells.(me);
+              (* gossip stats live in DLS and die with the domain:
+                 snapshot before returning *)
+              (node, S.gossip_stats ())))
+    in
+    let t0 = clock () in
+    Atomic.set gate true;
+    let rec sleep_until t =
+      let now = clock () in
+      if now < t then begin
+        Unix.sleepf (Float.min 0.01 (t -. now));
+        sleep_until t
+      end
+    in
+    sleep_until (t0 +. cfg.duration);
+    let elapsed = clock () -. t0 in
+    Atomic.set phase 1;
+    let t1 = clock () in
+    let deadline = t1 +. Float.max 10.0 (5.0 *. cfg.duration) in
+    (* converged when, twice in a row: every node has published a
+       phase-1 snapshot and the snapshot states are settled. This is
+       exactly data convergence: a phase-1 snapshot of replica i carries
+       every update i will ever issue (logs are monotone and phase 1
+       issues none), so the union over the snapshots covers the whole
+       system, and settledness of the snapshots means every replica
+       already held all of it — an un-broadcast update or an in-flight
+       repair keeps some snapshot unsettled. Ring occupancy is
+       deliberately NOT consulted: under wire v1 the steady state
+       exchanges digest frames forever, so "rings empty" would time the
+       poll out on a converged cluster. *)
+    let converged = ref false in
+    let streak = ref 0 in
+    while (not !converged) && clock () < deadline do
+      Unix.sleepf 0.002;
+      let snaps = Array.map Atomic.get cells in
+      let ok =
+        Array.for_all
+          (function Some s -> s.s_phase >= 1 | None -> false)
+          snaps
+        && S.settled
+             (Array.map
+                (function Some s -> s.s_state | None -> assert false)
+                snaps)
+      in
+      if ok then begin
+        incr streak;
+        if !streak >= 2 then converged := true
+      end
+      else streak := 0
+    done;
+    Atomic.set phase 2;
+    let results = Array.map Domain.join domains in
+    let drain_elapsed = clock () -. t1 in
+    harvest cfg ~elapsed ~drain_elapsed ~converged:!converged results
+
+  let run_inline ?(ops_per_replica = 64) ?(tick_every = 8) cfg =
+    let cfg = { cfg with capture = true; rate = 0.0 } in
+    validate cfg;
+    if ops_per_replica < 1 then
+      invalid_arg "Cluster.run_inline: ops_per_replica must be >= 1";
+    if tick_every < 1 then
+      invalid_arg "Cluster.run_inline: tick_every must be >= 1";
+    S.reset_gossip_stats ();
+    let n = cfg.replicas in
+    let vt = ref 0.0 in
+    let clock () =
+      vt := !vt +. 1e-6;
+      !vt
+    in
+    let rings =
+      Array.init n (fun _ -> Array.init n (fun _ -> Spsc.create cfg.ring_capacity))
+    in
+    let nodes = Array.init n (fun me -> make_node cfg ~me ~clock ~rings) in
+    Array.iter
+      (fun node -> node.on_full <- (fun dst -> ignore (drain nodes.(dst))))
+      nodes;
+    let t0 = Unix.gettimeofday () in
+    for round = 1 to ops_per_replica do
+      Array.iter
+        (fun node ->
+          ignore (drain node);
+          issue node ~count:1;
+          flush node)
+        nodes;
+      if round mod tick_every = 0 then
+        Array.iter
+          (fun node ->
+            node.state <- S.tick node.state;
+            flush node)
+          nodes
+    done;
+    let states () = Array.map (fun node -> node.state) nodes in
+    let quiet () =
+      Array.for_all (fun row -> Array.for_all Spsc.is_empty row) rings
+      && Array.for_all (fun node -> not (S.has_pending node.state)) nodes
+    in
+    let done_ () = quiet () && S.settled (states ()) in
+    let guard = ref 0 in
+    while (not (done_ ())) && !guard < 10_000 do
+      incr guard;
+      Array.iter
+        (fun node ->
+          ignore (drain node);
+          if S.has_pending node.state then flush node)
+        nodes;
+      if quiet () && not (S.settled (states ())) then
+        Array.iter
+          (fun node ->
+            node.state <- S.tick node.state;
+            flush node)
+          nodes
+    done;
+    if not (done_ ()) then failwith "Cluster.run_inline: did not reach quiescence";
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let results =
+      Array.mapi
+        (fun i node ->
+          (* all replicas share this domain's DLS stats: attribute the
+             aggregate once, to replica 0 *)
+          ( node,
+            if i = 0 then S.gossip_stats () else Store_intf.fresh_gossip_stats ()
+          ))
+        nodes
+    in
+    harvest cfg ~elapsed ~drain_elapsed:0.0 ~converged:true results
+end

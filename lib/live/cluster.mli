@@ -1,0 +1,150 @@
+(** Live cluster runtime: N replicas on N OCaml 5 domains, exchanging
+    encoded [Wire.Frame] bytes over {!Spsc} rings, driven by a
+    closed-loop {!Load} generator.
+
+    Each domain owns one replica stack (a store wrapped in
+    [Anti_entropy.Make]) outright — states, RNGs, histograms and event
+    logs are never shared; the only cross-domain traffic is sealed frame
+    bytes through the rings and small atomic snapshot cells the
+    coordinator polls. Metrics follow the same discipline: every domain
+    accumulates into its own counters and histogram, and the harvest
+    merges them after [Domain.join] ({!Haec_obs.Metrics.Histogram.merge_into}),
+    so the hot path carries no contended cache line.
+
+    {b Protocol bytes, not function calls.} A replica broadcasts by
+    [send]ing its stack (one anti-entropy envelope), sealing it with
+    {!Haec_wire.Wire.Frame.seal} (length + CRC-32) and pushing the sealed
+    bytes to every peer's ring; the receiver unseals and [receive]s. The
+    live path therefore exercises the exact encoder, decoder and checksum
+    the socket transport will use — a corrupted ring slot would surface
+    as a [Malformed] frame, not silent divergence.
+
+    {b Auditable.} With [capture] on, every domain timestamps its local
+    events; the harvest interleaves the per-replica logs into one
+    {!Haec_model.Execution.t} (ordering by wall-clock time, but never
+    emitting a [receive] before its [send] — the per-replica orders and
+    the send/receive matching are what well-formedness and the checkers
+    consume; cross-replica timestamp skew cannot produce an invalid
+    interleaving) and assembles the witness abstract execution from the
+    per-op witnesses exactly as the simulator's runner does. The same
+    causal/OCC checkers that audit simulations audit live runs.
+
+    {b Visibility lag} (Definition 17, wall-clock): when an update is
+    issued, its issue time rides in the frame that first carries it; a
+    receiver that advances the sender's contiguous prefix by applying
+    that frame records [now - issued_at]. This measures issue-to-applied
+    latency through batching, the ring, and decode — the live analogue of
+    the simulator's lag histogram. *)
+
+open Haec_model
+open Haec_vclock
+module Obs := Haec_obs.Metrics
+
+(** What the runtime needs from a replica stack: a store
+    ({!Haec_store.Store_intf.S}) extended with the anti-entropy pump and
+    introspection — [Anti_entropy.Make (S)] provides everything except
+    [progress], which is its [have] vector. *)
+module type STACK = sig
+  include Haec_store.Store_intf.S
+
+  val tick : state -> state
+
+  val settled : state array -> bool
+
+  val progress : state -> Vclock.t
+  (** Per-origin contiguous applied prefix; drives lag measurement and
+      convergence detection. *)
+
+  val queue_depth : state -> int
+
+  val pending_bytes : state -> int
+
+  val gossip_stats : unit -> Haec_store.Store_intf.gossip_stats
+
+  val reset_gossip_stats : unit -> unit
+end
+
+type config = {
+  replicas : int;
+  seed : int;
+  objects : int;
+  mix : Load.mix;
+  zipf : float;  (** key-skew theta; 0 = uniform *)
+  duration : float;  (** load-phase wall seconds *)
+  rate : float;
+      (** per-replica target ops/s; [0.] = closed-loop saturation (issue
+          a batch whenever the previous one is processed) *)
+  batch : int;  (** client ops issued per flush *)
+  gossip_interval : float;  (** wall seconds between anti-entropy ticks *)
+  ring_capacity : int;
+  capture : bool;
+      (** record events + witnesses for trace/checker audit. Capture
+          retains every event in memory — pair it with [rate] rather
+          than saturation mode. *)
+}
+
+val default : config
+(** 2 replicas, seed 42, 64 objects, register mix, uniform keys, 1s
+    saturation, batch 8, 1ms gossip, 1024-slot rings, no capture. *)
+
+type replica_stats = {
+  ops : int;  (** do events executed *)
+  issued : int;  (** ops drawn from the load generator *)
+  reads : int;
+  updates : int;
+  frames_sent : int;
+  frames_recv : int;
+  payload_bytes : int;  (** unsealed envelope bytes, counted once per broadcast *)
+  wire_bytes : int;  (** sealed bytes pushed, counted per destination *)
+  bytes_recv : int;
+  stalls : int;  (** ring-full events while pushing *)
+  queue_depth_peak : int;
+  pending_bytes_peak : int;
+}
+
+type result = {
+  cfg : config;
+  elapsed : float;  (** measured load-phase wall seconds *)
+  drain_elapsed : float;
+  converged : bool;
+      (** every replica settled ({!STACK.settled}) within the drain
+          deadline; [false] means the scrape timed out, not that the
+          protocol diverged *)
+  total_ops : int;
+  total_issued : int;
+  total_updates : int;
+  ops_per_sec : float;  (** aggregate, over the load phase *)
+  lag_ms : Obs.Histogram.t;  (** wall-clock visibility lag, milliseconds *)
+  frames : int;
+  payload_bytes : int;
+  wire_bytes : int;
+  max_payload_bytes : int;
+  stalls : int;
+  queue_depth_peak : int;
+  pending_bytes_peak : int;
+  per_replica : replica_stats array;
+  registry : Obs.Registry.t;
+      (** the merged per-domain counters under [live.*] / [ae.*] /
+          [gossip.*] names *)
+  gossip : Haec_store.Store_intf.gossip_stats;
+  trace : Execution.t option;  (** when [capture] *)
+  witness : Haec_spec.Abstract.t option;
+}
+
+module Make (S : STACK) : sig
+  val run : config -> result
+  (** Spawn [replicas] domains, drive the load phase for [duration],
+      then stop issuing and drain until every replica settles (or a
+      deadline passes — see [converged]), join, and harvest.
+      Raises [Invalid_argument] on a nonsensical config. *)
+
+  val run_inline : ?ops_per_replica:int -> ?tick_every:int -> config -> result
+  (** The same node code, single-domain and deterministic: replicas run
+      round-robin on the calling domain under a virtual clock, each
+      issuing exactly [ops_per_replica] ops (one per turn, ignoring
+      [batch] and [rate]), with a gossip tick every [tick_every] rounds,
+      then drain to quiescence. Capture is forced on; the result carries
+      a trace and witness, and two runs with the same config are
+      bit-identical — the live-vs-sim equivalence anchor.
+      Raises [Failure] if quiescence is not reached (a protocol bug). *)
+end

@@ -1,0 +1,51 @@
+type 'a t = {
+  slots : 'a option array;
+  mask : int;
+  head : int Atomic.t;  (** next index to pop; advanced only by the consumer *)
+  tail : int Atomic.t;  (** next index to push; advanced only by the producer *)
+}
+
+let create capacity =
+  if capacity < 0 || capacity > 1 lsl 30 then
+    invalid_arg "Spsc.create: capacity out of range";
+  let cap =
+    let rec up c = if c >= capacity then c else up (c * 2) in
+    up 2
+  in
+  { slots = Array.make cap None; mask = cap - 1; head = Atomic.make 0;
+    tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    (* plain write, published by the atomic store below: the consumer's
+       acquire of [tail] orders this write before its read of the slot *)
+    t.slots.(tail land t.mask) <- Some x;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if head >= tail then None
+  else begin
+    let i = head land t.mask in
+    let x = t.slots.(i) in
+    (* clear before publishing [head]: the producer's acquire of [head]
+       orders the clearing before it reuses the slot, and the ring drops
+       its reference to the element *)
+    t.slots.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end
+
+let length t =
+  let len = Atomic.get t.tail - Atomic.get t.head in
+  if len < 0 then 0 else if len > t.mask + 1 then t.mask + 1 else len
+
+let is_empty t = length t = 0

@@ -1,0 +1,47 @@
+(** Bounded lock-free single-producer/single-consumer ring.
+
+    The live cluster runtime ({!Cluster}) connects every ordered pair of
+    replica domains with one of these, so each ring has exactly one
+    writer domain and one reader domain by construction — the cheapest
+    setting in which a lock-free queue is correct, and the reason this
+    is ~40 lines over [Atomic] rather than a dependency (matching the
+    no-[domainslib] convention of [Util.Par]).
+
+    Memory-model argument (OCaml 5, Dolan et al.): the producer writes
+    the slot plainly and then publishes with an atomic store of [tail];
+    the consumer's atomic load of [tail] synchronizes-with that store,
+    so the slot write happens-before the consumer's plain read. The
+    symmetric argument on [head] orders the consumer's slot clearing
+    before the producer's reuse of the slot. Indices increase
+    monotonically and are masked on access, so a ring survives [2^62]
+    pushes — beyond any run.
+
+    [length] (and through it [is_empty]) reads both indices without
+    mutual atomicity; from a third domain it is a snapshot that may be
+    momentarily stale, which is exactly the tolerance the coordinator's
+    quiescence detection needs (it confirms twice). From the producer or
+    consumer domain it is exact enough for its side: a producer sees
+    [length] as an upper bound on occupancy, a consumer as a lower
+    bound. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity] — capacity is rounded up to a power of two, min 2.
+    Raises [Invalid_argument] if negative or absurdly large (> 2^30). *)
+
+val capacity : 'a t -> int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer side only. [false] when full — the caller decides whether
+    to drain its own inbox, spin, or count a stall; the ring never
+    blocks. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer side only. [None] when empty. The popped slot is cleared so
+    the ring does not retain the element. *)
+
+val length : 'a t -> int
+(** Occupancy estimate; see the module comment for its precision. *)
+
+val is_empty : 'a t -> bool

@@ -93,6 +93,19 @@ module Histogram = struct
     end
 
   let percentiles t = (quantile t 0.5, quantile t 0.95, quantile t 0.99)
+
+  (* buckets are fixed and identical across instances, so a merge is an
+     elementwise sum; count/sum/min/max fold exactly. This is what lets
+     per-domain histograms stay unshared on the hot path and still produce
+     one run-level summary at harvest (live cluster runtime). *)
+  let merge_into dst src =
+    if src.count > 0 then begin
+      dst.count <- dst.count + src.count;
+      dst.sum <- dst.sum +. src.sum;
+      if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+      if src.max_v > dst.max_v then dst.max_v <- src.max_v;
+      Array.iteri (fun i c -> dst.buckets.(i) <- dst.buckets.(i) + c) src.buckets
+    end
 end
 
 module Registry = struct

@@ -70,6 +70,14 @@ module Histogram : sig
   val percentiles : t -> float * float * float
   (** [(p50, p95, p99)] — the standard summary triple; each NaN when
       empty. *)
+
+  val merge_into : t -> t -> unit
+  (** [merge_into dst src] folds [src]'s samples into [dst] ([src] is left
+      untouched). Exact for count, sum, min and max; quantiles of the
+      merged histogram are what they would have been had every sample been
+      observed on [dst] directly (buckets are fixed, so merging is an
+      elementwise sum). Lets producers keep one unshared histogram per
+      domain and combine them at harvest. *)
 end
 
 module Registry : sig

@@ -233,6 +233,20 @@ module Make (S : Store_intf.S) : sig
   (** Logged payloads beyond the contiguous applied prefix (received
       out-of-order, waiting for a gap to fill). *)
 
+  val queue_depth : state -> int
+  (** Control items (digest markers, requests, repairs, membership
+      announcements) queued for the next broadcast — the transformer's
+      outbound backlog. A healthy replica drains to 0 at every [send];
+      sustained growth between sends means the transport is not keeping
+      up with repair traffic (backpressure). *)
+
+  val pending_bytes : state -> int
+  (** Repair payload bytes sitting in the outbound queue (the dominant
+      term of the backlog; control items are O(1) bytes each). Like
+      {!queue_depth} this is a pre-[send] backpressure signal, not a
+      wire-bytes measure — the v2 encoder may still dedup and
+      run-compress these payloads at send time. *)
+
   val emit_version : state -> Wire.Version.t
   (** The frame version this replica currently emits: the global
       {!Haec_wire.Wire.Version.current} at [init] time, downgraded to
@@ -374,6 +388,17 @@ end = struct
   let have t = t.have
 
   let orphans t = t.logged - Vclock.sum t.have
+
+  let queue_depth t = List.length t.outq_rev
+
+  let pending_bytes t =
+    List.fold_left
+      (fun acc item ->
+        match item with
+        | Out_repair { items; _ } ->
+          List.fold_left (fun a (_, _, p) -> a + String.length p) acc items
+        | Out_digest _ | Out_request _ | Out_hello _ | Out_goodbye _ -> acc)
+      0 t.outq_rev
 
   let emit_version t = t.emit
 

@@ -1,0 +1,321 @@
+(* Live cluster runtime: SPSC ring semantics (single- and cross-domain),
+   load-generator distributions, anti-entropy backpressure accessors,
+   histogram merging, and the live-vs-sim equivalence anchor — a
+   deterministic single-domain run whose captured trace the structural
+   and consistency checkers accept, with op counts matching the load
+   generator exactly. *)
+
+open Haec
+module Spsc = Live.Spsc
+module Load = Live.Load
+module Cluster = Live.Cluster
+module Metrics = Obs.Metrics
+
+module AE = Store.Anti_entropy.Make (Store.Causal_mvr_store)
+
+module Stack = struct
+  include AE
+
+  let progress = AE.have
+end
+
+module C = Cluster.Make (Stack)
+
+(* ---------- spsc ring ---------- *)
+
+let test_spsc_single_domain () =
+  let q = Spsc.create 5 in
+  Alcotest.(check int) "capacity rounds up to a power of two" 8 (Spsc.capacity q);
+  Alcotest.(check bool) "fresh ring is empty" true (Spsc.is_empty q);
+  Alcotest.(check (option int)) "pop on empty" None (Spsc.try_pop q);
+  for i = 0 to 7 do
+    Alcotest.(check bool) "push succeeds until full" true (Spsc.try_push q i)
+  done;
+  Alcotest.(check bool) "push on full fails" false (Spsc.try_push q 99);
+  Alcotest.(check int) "length at capacity" 8 (Spsc.length q);
+  for i = 0 to 7 do
+    Alcotest.(check (option int)) "FIFO order" (Some i) (Spsc.try_pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Spsc.try_pop q);
+  (* wrap around several times: indices keep increasing, masking works *)
+  for round = 0 to 99 do
+    Alcotest.(check bool) "wrap push" true (Spsc.try_push q round);
+    Alcotest.(check (option int)) "wrap pop" (Some round) (Spsc.try_pop q)
+  done
+
+let test_spsc_rejects_bad_capacity () =
+  Alcotest.check_raises "negative capacity"
+    (Invalid_argument "Spsc.create: capacity out of range") (fun () ->
+      ignore (Spsc.create (-1)))
+
+let test_spsc_cross_domain () =
+  let q = Spsc.create 64 in
+  let n = 100_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          while not (Spsc.try_push q i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let next = ref 0 in
+  while !next < n do
+    match Spsc.try_pop q with
+    | None -> Domain.cpu_relax ()
+    | Some v ->
+      if v <> !next then
+        Alcotest.failf "out of order: expected %d, popped %d" !next v;
+      incr next
+  done;
+  Domain.join producer;
+  Alcotest.(check bool) "ring empty after join" true (Spsc.is_empty q)
+
+(* ---------- load generator ---------- *)
+
+let test_sampler_uniform_range () =
+  let s = Load.sampler ~objects:16 ~theta:0.0 in
+  let rng = Util.Rng.create 1 in
+  let seen = Array.make 16 0 in
+  for _ = 1 to 4_000 do
+    let k = Load.sample s rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 16);
+    seen.(k) <- seen.(k) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c = 0 then Alcotest.failf "uniform sampler never drew key %d" i)
+    seen
+
+let test_sampler_zipf_skew () =
+  let s = Load.sampler ~objects:100 ~theta:1.2 in
+  let rng = Util.Rng.create 2 in
+  let seen = Array.make 100 0 in
+  for _ = 1 to 10_000 do
+    let k = Load.sample s rng in
+    Alcotest.(check bool) "in range" true (k >= 0 && k < 100);
+    seen.(k) <- seen.(k) + 1
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "head key dominates tail key (%d vs %d)" seen.(0) seen.(99))
+    true
+    (seen.(0) > 10 * (seen.(99) + 1))
+
+let test_sampler_rejects_bad_args () =
+  Alcotest.check_raises "no objects"
+    (Invalid_argument "Load.sampler: objects must be >= 1") (fun () ->
+      ignore (Load.sampler ~objects:0 ~theta:0.0));
+  Alcotest.check_raises "negative theta"
+    (Invalid_argument "Load.sampler: theta must be finite and non-negative")
+    (fun () -> ignore (Load.sampler ~objects:4 ~theta:(-1.0)))
+
+let test_gen_counts_and_unique_writes () =
+  let g = Load.gen ~replica:3 Load.register_mix in
+  let rng = Util.Rng.create 3 in
+  let writes = ref [] in
+  for _ = 1 to 500 do
+    match Load.next g rng with
+    | Model.Op.Write v -> writes := v :: !writes
+    | Model.Op.Read -> ()
+    | op -> Alcotest.failf "register mix produced %a" Model.Op.pp op
+  done;
+  Alcotest.(check int) "issued counts every draw" 500 (Load.issued g);
+  Alcotest.(check int) "writes counts updates" (List.length !writes)
+    (Load.writes g);
+  let distinct = List.sort_uniq compare !writes in
+  Alcotest.(check int) "write values are globally unique"
+    (List.length !writes) (List.length distinct);
+  List.iter
+    (function
+      | Model.Value.Pair (r, _) ->
+        Alcotest.(check int) "write value carries the replica id" 3 r
+      | v -> Alcotest.failf "unexpected write value %s" (Model.Value.to_string v))
+    !writes
+
+(* ---------- anti-entropy backpressure accessors ---------- *)
+
+let test_ae_backpressure_accessors () =
+  let a = AE.init ~n:2 ~me:0 in
+  Alcotest.(check int) "fresh queue is empty" 0 (AE.queue_depth a);
+  Alcotest.(check int) "fresh pending bytes" 0 (AE.pending_bytes a);
+  let a, _, _ = AE.do_op a ~obj:0 (Model.Op.Write (Model.Value.Int 1)) in
+  let a = AE.tick a in
+  Alcotest.(check int) "tick queues one digest marker" 1 (AE.queue_depth a);
+  Alcotest.(check int) "digest markers carry no payload" 0 (AE.pending_bytes a);
+  let a, _ = AE.send a in
+  Alcotest.(check int) "send drains the queue" 0 (AE.queue_depth a);
+  (* a digest from an empty peer makes us queue a repair: payload bytes
+     become pending *)
+  let b = AE.tick (AE.init ~n:2 ~me:1) in
+  let _, digest = AE.send b in
+  let a = AE.receive a ~sender:1 digest in
+  Alcotest.(check bool) "repair queued" true (AE.queue_depth a >= 1);
+  Alcotest.(check bool)
+    (Printf.sprintf "pending bytes positive (%d)" (AE.pending_bytes a))
+    true
+    (AE.pending_bytes a > 0)
+
+(* ---------- histogram merge ---------- *)
+
+let test_histogram_merge () =
+  let a = Metrics.Histogram.create () in
+  let b = Metrics.Histogram.create () in
+  let samples_a = [ 1.0; 4.0; 9.0; 100.0 ] in
+  let samples_b = [ 0.5; 2.0; 250.0 ] in
+  List.iter (Metrics.Histogram.observe a) samples_a;
+  List.iter (Metrics.Histogram.observe b) samples_b;
+  let all = Metrics.Histogram.create () in
+  List.iter (Metrics.Histogram.observe all) (samples_a @ samples_b);
+  Metrics.Histogram.merge_into a b;
+  Alcotest.(check int) "count" (Metrics.Histogram.count all)
+    (Metrics.Histogram.count a);
+  Alcotest.(check (float 1e-9)) "sum" (Metrics.Histogram.sum all)
+    (Metrics.Histogram.sum a);
+  Alcotest.(check (float 0.0)) "min" 0.5 (Metrics.Histogram.min_value a);
+  Alcotest.(check (float 0.0)) "max" 250.0 (Metrics.Histogram.max_value a);
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "q%.2f equals direct observation" q)
+        (Metrics.Histogram.quantile all q)
+        (Metrics.Histogram.quantile a q))
+    [ 0.0; 0.25; 0.5; 0.75; 0.95; 1.0 ];
+  (* merging an empty histogram is a no-op, including on min/max *)
+  let before = Metrics.Histogram.min_value a in
+  Metrics.Histogram.merge_into a (Metrics.Histogram.create ());
+  Alcotest.(check (float 0.0)) "empty merge keeps min" before
+    (Metrics.Histogram.min_value a);
+  Alcotest.(check int) "empty merge keeps count" (Metrics.Histogram.count all)
+    (Metrics.Histogram.count a)
+
+(* ---------- live-vs-sim equivalence (inline, deterministic) ---------- *)
+
+let inline_cfg =
+  {
+    Cluster.default with
+    replicas = 3;
+    seed = 11;
+    objects = 4;
+    ring_capacity = 64;
+  }
+
+let test_inline_counts_match_exactly () =
+  let r = C.run_inline ~ops_per_replica:40 ~tick_every:8 inline_cfg in
+  Alcotest.(check bool) "converged" true r.Cluster.converged;
+  Array.iteri
+    (fun i (p : Cluster.replica_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d executed what the generator issued" i)
+        p.Cluster.issued p.Cluster.ops;
+      Alcotest.(check int)
+        (Printf.sprintf "replica %d issued the configured op count" i)
+        40 p.Cluster.issued)
+    r.Cluster.per_replica;
+  let exec = Option.get r.Cluster.trace in
+  (* the trace's own per-replica do counts agree with the generator *)
+  Array.iteri
+    (fun i (p : Cluster.replica_stats) ->
+      Alcotest.(check int)
+        (Printf.sprintf "trace do-projection of replica %d" i)
+        p.Cluster.ops
+        (List.length (Model.Execution.do_projection exec i)))
+    r.Cluster.per_replica;
+  match Model.Execution.check_well_formed exec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "captured trace not well-formed: %s" e
+
+let test_inline_trace_passes_checkers () =
+  let r = C.run_inline ~ops_per_replica:40 ~tick_every:8 inline_cfg in
+  let exec = Option.get r.Cluster.trace in
+  let witness = Option.get r.Cluster.witness in
+  let report = Sim.Checks.validate exec witness in
+  let demand name = function
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "%s check failed on live trace: %s" name e
+  in
+  demand "well-formed" report.Sim.Checks.well_formed;
+  demand "complies" report.Sim.Checks.complies;
+  demand "correct" report.Sim.Checks.correct;
+  demand "causal" report.Sim.Checks.causal;
+  demand "occ" report.Sim.Checks.occ
+
+let test_inline_is_deterministic () =
+  let r1 = C.run_inline ~ops_per_replica:30 ~tick_every:4 inline_cfg in
+  let r2 = C.run_inline ~ops_per_replica:30 ~tick_every:4 inline_cfg in
+  let bytes r = Model.Trace_io.to_string (Option.get r.Cluster.trace) in
+  Alcotest.(check string) "same config, bit-identical trace" (bytes r1)
+    (bytes r2)
+
+(* ---------- multi-domain smoke ---------- *)
+
+let test_live_two_domains_checker_clean () =
+  let cfg =
+    {
+      Cluster.default with
+      replicas = 2;
+      seed = 5;
+      objects = 8;
+      duration = 0.08;
+      rate = 4_000.0;
+      batch = 4;
+      gossip_interval = 0.0005;
+      capture = true;
+    }
+  in
+  let r = C.run cfg in
+  Alcotest.(check bool)
+    (Printf.sprintf "executed some ops (%d)" r.Cluster.total_ops)
+    true (r.Cluster.total_ops > 0);
+  Alcotest.(check int) "every issued op was executed" r.Cluster.total_issued
+    r.Cluster.total_ops;
+  Alcotest.(check bool) "cluster settled" true r.Cluster.converged;
+  (match
+     Obs.Metrics.Registry.find r.Cluster.registry "live.ops"
+   with
+  | Some (Obs.Metrics.Registry.Counter c) ->
+    Alcotest.(check int) "registry total matches" r.Cluster.total_ops
+      (Obs.Metrics.Counter.value c)
+  | _ -> Alcotest.fail "live.ops counter missing from harvest registry");
+  let exec = Option.get r.Cluster.trace in
+  let witness = Option.get r.Cluster.witness in
+  (match Model.Execution.check_well_formed exec with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "live trace not well-formed: %s" e);
+  let report = Sim.Checks.validate exec witness in
+  (match report.Sim.Checks.causal with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "causal check failed on live trace: %s" e);
+  match report.Sim.Checks.complies with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "compliance failed on live trace: %s" e
+
+let suite =
+  ( "live",
+    [
+      Alcotest.test_case "spsc: single-domain semantics" `Quick
+        test_spsc_single_domain;
+      Alcotest.test_case "spsc: rejects bad capacity" `Quick
+        test_spsc_rejects_bad_capacity;
+      Alcotest.test_case "spsc: cross-domain FIFO stress" `Quick
+        test_spsc_cross_domain;
+      Alcotest.test_case "load: uniform sampler covers the space" `Quick
+        test_sampler_uniform_range;
+      Alcotest.test_case "load: zipf sampler skews to the head" `Quick
+        test_sampler_zipf_skew;
+      Alcotest.test_case "load: sampler validates arguments" `Quick
+        test_sampler_rejects_bad_args;
+      Alcotest.test_case "load: counts and globally unique write values" `Quick
+        test_gen_counts_and_unique_writes;
+      Alcotest.test_case "anti-entropy: backpressure accessors" `Quick
+        test_ae_backpressure_accessors;
+      Alcotest.test_case "histogram: merge_into equals direct observation"
+        `Quick test_histogram_merge;
+      Alcotest.test_case "inline: op counts match the generator exactly" `Quick
+        test_inline_counts_match_exactly;
+      Alcotest.test_case "inline: captured trace passes causal/OCC checkers"
+        `Quick test_inline_trace_passes_checkers;
+      Alcotest.test_case "inline: bit-identical across runs" `Quick
+        test_inline_is_deterministic;
+      Alcotest.test_case "live: two domains, checker-clean capture" `Quick
+        test_live_two_domains_checker_clean;
+    ] )
