@@ -394,17 +394,19 @@ let gossip_json ~quick =
    cross-commit eyeballing. *)
 let live_json ~quick =
   let module Json = Haec.Obs.Json in
-  let module AE = Store.Anti_entropy.Make (Store.Causal_mvr_store) in
-  let module Stack = struct
-    include AE
-
-    let progress = AE.have
-  end in
+  let module Stack = Live.Stack.Volatile (Store.Causal_mvr_store) in
   let module C = Live.Cluster.Make (Stack) in
+  (* fault rows run the durable stack (crash windows need a WAL); the
+     fault-free rows stay volatile so they compare against prior commits *)
+  let module DStack = Live.Stack.Durable (Store.Causal_mvr_store) in
+  let module DC = Live.Cluster.Make (DStack) in
   let duration = if quick then 0.2 else 0.5 in
   let run ?(version = Wire.Version.V2) ~n () =
     Wire.Version.scoped version (fun () ->
         C.run { Live.Cluster.default with Live.Cluster.replicas = n; duration })
+  in
+  let run_faulted ~n cfg_of =
+    DC.run (cfg_of { Live.Cluster.default with Live.Cluster.replicas = n; duration })
   in
   let entry label (res : Live.Cluster.result) =
     let open Live.Cluster in
@@ -424,13 +426,26 @@ let live_json ~quick =
                  float_of_int res.payload_bytes /. float_of_int res.total_updates
                else 0.0) );
           ("stalls", Json.Num (float_of_int res.stalls));
+          ("availability", Json.Num res.availability);
         ] )
+  in
+  let crash_plan =
+    (* one crash-restart of replica 1 in the middle of the load phase,
+       mapped from fractions onto this run's duration *)
+    Sim.Fault_plan.scaled ~factor:duration
+      (Sim.Fault_plan.make
+         ~crashes:[ { Sim.Fault_plan.replica = 1; at = 0.35; recover_at = 0.6 } ]
+         ~horizon:1.0 ())
   in
   [
     entry "live/causal-n1" (run ~n:1 ());
     entry "live/causal-n2" (run ~n:2 ());
     entry "live/causal-n2-v1" (run ~version:Wire.Version.V1 ~n:2 ());
     entry "live/causal-n4" (run ~n:4 ());
+    entry "live/causal-n2-drop1"
+      (run_faulted ~n:2 (fun c -> { c with Live.Cluster.drop_p = 0.01 }));
+    entry "live/causal-n2-crash"
+      (run_faulted ~n:2 (fun c -> { c with Live.Cluster.faults = Some crash_plan }));
   ]
 
 let run_micro ~quick ~live () =

@@ -1218,15 +1218,25 @@ let trace_cmd =
 (* ---------- serve: live cluster on OCaml 5 domains ---------- *)
 
 let serve_store (module S : Store.Store_intf.S) ~require ~spec ~cfg ~capture_path ~check
-    =
-  let module AE = Store.Anti_entropy.Make (S) in
-  let module Stack = struct
-    include AE
-
-    let progress = AE.have
-  end in
-  let module C = Live.Cluster.Make (Stack) in
-  let res = try Ok (C.run cfg) with Invalid_argument msg -> Error msg in
+    ~metrics_path =
+  let chaos_active =
+    cfg.Live.Cluster.faults <> None || cfg.Live.Cluster.drop_p > 0.0
+  in
+  let res =
+    try
+      (* any fault flag selects the durable stack: crash windows need a
+         WAL to recover from, and a chaos run should measure the
+         chaos-ready configuration *)
+      if chaos_active then
+        let module St = Live.Stack.Durable (S) in
+        let module C = Live.Cluster.Make (St) in
+        Ok (C.run cfg)
+      else
+        let module St = Live.Stack.Volatile (S) in
+        let module C = Live.Cluster.Make (St) in
+        Ok (C.run cfg)
+    with Invalid_argument msg -> Error msg
+  in
   match res with
   | Error msg -> `Error (false, msg)
   | Ok res ->
@@ -1248,19 +1258,76 @@ let serve_store (module S : Store.Store_intf.S) ~require ~spec ~cfg ~capture_pat
       (Metrics.Histogram.max_value res.lag_ms)
       (Metrics.Histogram.count res.lag_ms);
     Format.printf
-      "frames=%d payload=%dB wire=%dB payload/update=%.1fB stalls=%d queue-peak=%d \
+      "frames=%d payload=%dB wire=%dB payload/update=%.1fB queue-peak=%d \
        pending-peak=%dB@."
       res.frames res.payload_bytes res.wire_bytes
       (if res.total_updates > 0 then
          float_of_int res.payload_bytes /. float_of_int res.total_updates
        else 0.0)
-      res.stalls res.queue_depth_peak res.pending_bytes_peak;
+      res.queue_depth_peak res.pending_bytes_peak;
+    (* stall rate per destination push: each frame is offered to n-1 rings *)
+    let pushes = res.frames * max 1 (res.cfg.replicas - 1) in
+    let worst = ref None in
+    Array.iteri
+      (fun src (r : replica_stats) ->
+        if
+          r.stalls > 0
+          && match !worst with None -> true | Some (_, w) -> r.stalls > w
+        then worst := Some (src, r.stalls))
+      res.per_replica;
+    Format.printf "ring stalls=%d (%.4f per frame push)%s@." res.stalls
+      (if pushes > 0 then float_of_int res.stalls /. float_of_int pushes else 0.0)
+      (match !worst with
+      | Some (src, v) -> Printf.sprintf ", worst producer R%d (%d)" src v
+      | None -> "");
+    if chaos_active then begin
+      (match res.fault_totals with
+      | Some t ->
+        Format.printf
+          "chaos: drops=%d delays=%d dups=%d corrupts=%d crash-lost=%d+%d \
+           rejected=%d crashes=%d@."
+          t.Live.Faults.drops t.Live.Faults.delays t.Live.Faults.dups
+          t.Live.Faults.corrupts t.Live.Faults.crash_lost
+          (Array.fold_left (fun a (r : replica_stats) -> a + r.crash_lost) 0
+             res.per_replica)
+          res.frames_rejected res.crashes
+      | None -> ());
+      let rp50, rp95, rp99 = Metrics.Histogram.percentiles res.recovery_ms in
+      Format.printf "availability=%.2f%% recovery ms: p50=%.0f p95=%.0f p99=%.0f (n=%d)@."
+        (100.0 *. res.availability) rp50 rp95 rp99
+        (Metrics.Histogram.count res.recovery_ms);
+      Format.printf "outcome: %s@."
+        (match res.outcome with
+        | Healed { degraded_settled } ->
+          if degraded_settled then "healed (settled degraded first)" else "healed"
+        | Diverged why -> "DIVERGED — " ^ why)
+    end;
     Array.iteri
       (fun i (r : replica_stats) ->
         Format.printf
-          "  R%-3d ops=%-8d reads=%-8d updates=%-8d sent=%-6d recv=%-6d stalls=%d@." i
-          r.ops r.reads r.updates r.frames_sent r.frames_recv r.stalls)
+          "  R%-3d ops=%-8d reads=%-8d updates=%-8d sent=%-6d recv=%-6d stalls=%d%s@."
+          i r.ops r.reads r.updates r.frames_sent r.frames_recv r.stalls
+          (if r.crashes > 0 || r.frames_rejected > 0 then
+             Printf.sprintf " crashes=%d rejected=%d lost=%d" r.crashes
+               r.frames_rejected r.crash_lost
+           else ""))
       res.per_replica;
+    (match metrics_path with
+    | Some path ->
+      let meta =
+        [
+          ("kind", Json.Str "live");
+          ("store", Json.Str S.name);
+          ("replicas", Json.Num (float_of_int res.cfg.replicas));
+          ("seed", Json.Num (float_of_int res.cfg.seed));
+          ("chaos", Json.Bool chaos_active);
+        ]
+      in
+      (try
+         Metrics_io.save path (Metrics_io.snapshot ~meta res.registry);
+         Format.printf "metrics snapshot written to %s@." path
+       with Sys_error e -> Format.printf "metrics write failed: %s@." e)
+    | None -> ());
     (match (capture_path, res.trace) with
     | Some path, Some exec ->
       Model.Trace_io.save path exec;
@@ -1293,7 +1360,11 @@ let serve_store (module S : Store.Store_intf.S) ~require ~spec ~cfg ~capture_pat
         in
         if res.total_ops = 0 then `Error (false, "live check: no operations executed")
         else if not res.converged then
-          `Error (false, "live check: replicas did not settle within the drain deadline")
+          `Error
+            ( false,
+              match res.outcome with
+              | Diverged why -> "live check: " ^ why
+              | Healed _ -> assert false )
         else if failed <> [] then
           `Error (false, "live check failed\n  " ^ String.concat "\n  " failed)
         else begin
@@ -1302,6 +1373,117 @@ let serve_store (module S : Store.Store_intf.S) ~require ~spec ~cfg ~capture_pat
           `Ok ()
         end
       | _ -> `Error (false, "live check: run produced no captured trace")
+
+(* fault-spec parsers: windows are fractions of the load phase (1.0 =
+   load-phase end; values past 1.0 reach into the drain) *)
+
+let parse_frac_window s =
+  match String.split_on_char '-' s with
+  | [ f; u ] -> (
+    match (float_of_string_opt f, float_of_string_opt u) with
+    | Some f, Some u when f >= 0.0 && u > f && Float.is_finite u -> Some (f, u)
+    | _ -> None)
+  | _ -> None
+
+let crash_spec_conv =
+  let parse s =
+    let err =
+      `Msg
+        (Printf.sprintf
+           "invalid crash spec %S, expected R:FROM-UNTIL (fractions of the load \
+            phase, e.g. 1:0.35-0.5)"
+           s)
+    in
+    match String.index_opt s ':' with
+    | None -> Error err
+    | Some i -> (
+      let r = String.sub s 0 i in
+      let w = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt r, parse_frac_window w) with
+      | Some r, Some (f, u) when r >= 0 -> Ok (r, f, u)
+      | _ -> Error err)
+  in
+  let print ppf (r, f, u) = Format.fprintf ppf "%d:%g-%g" r f u in
+  Arg.conv ~docv:"R:FROM-UNTIL" (parse, print)
+
+let partition_spec_conv =
+  let parse s =
+    let err =
+      `Msg
+        (Printf.sprintf
+           "invalid partition spec %S, expected A/B:FROM-UNTIL with comma-separated \
+            replica groups (e.g. 0,1/2,3:0.3-0.6)"
+           s)
+    in
+    let group g =
+      let ids = List.map int_of_string_opt (String.split_on_char ',' g) in
+      if List.exists (function None -> true | Some r -> r < 0) ids || ids = [] then
+        None
+      else Some (List.filter_map Fun.id ids)
+    in
+    match String.index_opt s ':' with
+    | None -> Error err
+    | Some i -> (
+      let groups = String.sub s 0 i in
+      let w = String.sub s (i + 1) (String.length s - i - 1) in
+      match (String.split_on_char '/' groups, parse_frac_window w) with
+      | [ a; b ], Some (f, u) -> (
+        match (group a, group b) with
+        | Some a, Some b -> Ok (a, b, f, u)
+        | _ -> Error err)
+      | _ -> Error err)
+  in
+  let print ppf (a, b, f, u) =
+    let ids g = String.concat "," (List.map string_of_int g) in
+    Format.fprintf ppf "%s/%s:%g-%g" (ids a) (ids b) f u
+  in
+  Arg.conv ~docv:"A/B:FROM-UNTIL" (parse, print)
+
+(* merge the chaos draw (authored against horizon 1.0 = one load phase)
+   with the explicit crash/partition windows, validate, then map fractions
+   onto wall seconds. The merged horizon is the latest window end, so
+   explicit specs are never compressed. *)
+let build_live_plan ~seed ~n ~duration ~chaos ~adversarial ~crashes ~partitions =
+  if (not chaos) && crashes = [] && partitions = [] then Ok None
+  else
+    try
+      let base =
+        if chaos then
+          Sim.Fault_plan.random
+            (Util.Rng.create (seed + 0xC4A05))
+            ~n ~horizon:1.0 ~adversarial ()
+        else Sim.Fault_plan.none
+      in
+      let crash_windows =
+        List.map
+          (fun (r, f, u) -> { Sim.Fault_plan.replica = r; at = f; recover_at = u })
+          crashes
+      in
+      let part_links =
+        List.concat_map
+          (fun (a, b, f, u) ->
+            Sim.Fault_plan.partition_links ~a ~b ~from_:f ~until:u)
+          partitions
+      in
+      let horizon =
+        List.fold_left
+          (fun h (_, _, u) -> Float.max h u)
+          (List.fold_left
+             (fun h (_, _, _, u) -> Float.max h u)
+             (Float.max 1.0 base.Sim.Fault_plan.horizon)
+             partitions)
+          crashes
+      in
+      let plan =
+        Sim.Fault_plan.make
+          ~crashes:(base.Sim.Fault_plan.crashes @ crash_windows)
+          ~links:(base.Sim.Fault_plan.links @ part_links)
+          ?corruption:base.Sim.Fault_plan.corruption ?dup:base.Sim.Fault_plan.dup
+          ?reorder:base.Sim.Fault_plan.reorder ~dead:base.Sim.Fault_plan.dead ~n
+          ~horizon ()
+      in
+      Ok (Some (Sim.Fault_plan.scaled plan ~factor:duration))
+    with Invalid_argument msg -> Error msg
 
 let serve_cmd =
   let store =
@@ -1360,56 +1542,130 @@ let serve_cmd =
             "Capture the run and audit it with the same checkers that audit \
              simulations; non-zero exit on any violation")
   in
+  let chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "chaos"; "faults" ]
+          ~doc:
+            "Draw a random fault plan (same generator as the chaos command, mapped \
+             onto the load phase) and run under it; composes with --crash, \
+             --partition and --drop")
+  in
+  let adversarial_arg =
+    Arg.(
+      value & flag
+      & info [ "adversarial" ]
+          ~doc:
+            "With --chaos: also draw duplication, reordering and dead-link faults")
+  in
+  let crash_arg =
+    Arg.(
+      value
+      & opt_all crash_spec_conv []
+      & info [ "crash" ] ~docv:"R:FROM-UNTIL"
+          ~doc:
+            "Crash replica $(i,R) at FROM and restart it (recovering from its WAL) \
+             at UNTIL, both fractions of the load phase (may exceed 1.0 into the \
+             drain). Repeatable.")
+  in
+  let partition_arg =
+    Arg.(
+      value
+      & opt_all partition_spec_conv []
+      & info [ "partition" ] ~docv:"A/B:FROM-UNTIL"
+          ~doc:
+            "Fully partition replica groups $(i,A) and $(i,B) (comma-separated ids) \
+             over the window, fractions of the load phase. Repeatable.")
+  in
+  let drop_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "drop" ] ~docv:"P"
+          ~doc:
+            "Uniform per-delivery drop probability on every link for the whole run, \
+             in [0,1); anti-entropy must repair the losses")
+  in
+  let heal_by_arg =
+    Arg.(
+      value & opt float 0.0
+      & info [ "heal-by" ] ~docv:"SECONDS"
+          ~doc:
+            "Post-heal full-set convergence deadline in wall seconds (0 = automatic); \
+             the run diverges if the full member set has not settled this long after \
+             the last fault heals")
+  in
+  let metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:"Append the run's metrics registry snapshot to $(i,FILE) as JSONL")
+  in
   let run tuning store n duration rate objects zipf read_pct batch gossip_ms ring seed
-      capture_path check =
+      capture_path check chaos adversarial crashes partitions drop_p heal_by
+      metrics_path =
     match apply_tuning tuning with
     | Error msg -> `Error (false, msg)
-    | Ok () ->
-      let mix =
-        match store with
-        | Orset -> Live.Load.orset_mix
-        | _ -> Live.Load.mix_of_read_pct read_pct
-      in
-      let cfg =
-        {
-          Live.Cluster.replicas = n;
-          seed;
-          objects;
-          mix;
-          zipf;
-          duration;
-          rate;
-          batch;
-          gossip_interval = gossip_ms /. 1000.0;
-          ring_capacity = ring;
-          capture = check || capture_path <> None;
-        }
-      in
-      let go (module S : Store.Store_intf.S) ~require ~spec =
-        serve_store (module S) ~require ~spec ~cfg ~capture_path ~check
-      in
-      (match store with
-      | Mvr -> go (module Store.Mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
-      | Causal -> go (module Store.Causal_mvr_store) ~require:`Causal ~spec:Spec.Spec.mvr
-      | Cops -> go (module Store.Cops_store) ~require:`Causal ~spec:Spec.Spec.mvr
-      | State -> go (module Store.State_mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
-      | Orset -> go (module Store.Orset_store) ~require:`Correct ~spec:Spec.Spec.orset
-      | Lww -> go (module Store.Lww_store) ~require:`Converge ~spec:Spec.Spec.rw_register
-      | Gossip ->
-        go (module Store.Gossip_relay_store) ~require:`Correct ~spec:Spec.Spec.mvr
-      | Counter | Delayed | Gsp ->
-        `Error (false, "serve supports: mvr|causal|cops|state|orset|lww|gossip"))
+    | Ok () -> (
+      match build_live_plan ~seed ~n ~duration ~chaos ~adversarial ~crashes ~partitions
+      with
+      | Error msg -> `Error (false, msg)
+      | Ok faults ->
+        let mix =
+          match store with
+          | Orset -> Live.Load.orset_mix
+          | _ -> Live.Load.mix_of_read_pct read_pct
+        in
+        let cfg =
+          {
+            Live.Cluster.replicas = n;
+            seed;
+            objects;
+            mix;
+            zipf;
+            duration;
+            rate;
+            batch;
+            gossip_interval = gossip_ms /. 1000.0;
+            ring_capacity = ring;
+            capture = check || capture_path <> None;
+            faults;
+            drop_p;
+            heal_by;
+          }
+        in
+        let go (module S : Store.Store_intf.S) ~require ~spec =
+          serve_store (module S) ~require ~spec ~cfg ~capture_path ~check
+            ~metrics_path
+        in
+        (match store with
+        | Mvr -> go (module Store.Mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+        | Causal ->
+          go (module Store.Causal_mvr_store) ~require:`Causal ~spec:Spec.Spec.mvr
+        | Cops -> go (module Store.Cops_store) ~require:`Causal ~spec:Spec.Spec.mvr
+        | State ->
+          go (module Store.State_mvr_store) ~require:`Correct ~spec:Spec.Spec.mvr
+        | Orset -> go (module Store.Orset_store) ~require:`Correct ~spec:Spec.Spec.orset
+        | Lww ->
+          go (module Store.Lww_store) ~require:`Converge ~spec:Spec.Spec.rw_register
+        | Gossip ->
+          go (module Store.Gossip_relay_store) ~require:`Correct ~spec:Spec.Spec.mvr
+        | Counter | Delayed | Gsp ->
+          `Error (false, "serve supports: mvr|causal|cops|state|orset|lww|gossip")))
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run a live cluster: one OCaml domain per replica, sealed wire frames over \
-          lock-free rings, a closed-loop load generator, and optionally a captured \
-          trace audited by the simulation checkers")
+          lock-free rings, a closed-loop load generator, optional fault injection \
+          (--chaos, --crash, --partition, --drop), and optionally a captured trace \
+          audited by the simulation checkers")
     Term.(
       ret
         (const run $ tuning_term $ store $ n $ duration $ rate $ objects $ zipf
-        $ read_pct $ batch $ gossip_ms $ ring $ seed $ capture_arg $ check_arg))
+        $ read_pct $ batch $ gossip_ms $ ring $ seed $ capture_arg $ check_arg
+        $ chaos_arg $ adversarial_arg $ crash_arg $ partition_arg $ drop_arg
+        $ heal_by_arg $ metrics_arg))
 
 let main =
   let doc = "Limitations of highly-available eventually-consistent data stores, executable" in

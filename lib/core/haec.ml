@@ -107,6 +107,8 @@ module Live = struct
   module Spsc = Haec_live.Spsc
   module Load = Haec_live.Load
   module Cluster = Haec_live.Cluster
+  module Faults = Haec_live.Faults
+  module Stack = Haec_live.Stack
 end
 
 module Viz = struct

@@ -19,14 +19,7 @@ let name = "E25"
 
 let title = "E25: live cluster — domains, wall-clock lag and wire bytes"
 
-module AE = Store.Anti_entropy.Make (Store.Causal_mvr_store)
-
-module Stack = struct
-  include AE
-
-  let progress = AE.have
-end
-
+module Stack = Live.Stack.Volatile (Store.Causal_mvr_store)
 module C = Live.Cluster.Make (Stack)
 
 let duration = 0.2

@@ -59,6 +59,11 @@ let all =
     };
     { id = E24_wire_v2.name; title = E24_wire_v2.title; run = E24_wire_v2.run };
     { id = E25_live.name; title = E25_live.title; run = E25_live.run };
+    {
+      id = E26_live_chaos.name;
+      title = E26_live_chaos.title;
+      run = E26_live_chaos.run;
+    };
   ]
 
 let find id =

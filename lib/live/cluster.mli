@@ -62,6 +62,16 @@ module type STACK = sig
   val gossip_stats : unit -> Haec_store.Store_intf.gossip_stats
 
   val reset_gossip_stats : unit -> unit
+
+  val recover : state -> state
+  (** Crash recovery: volatile state discarded, rebuilt from whatever the
+      stack keeps durably ({!Haec_store.Store_intf.DURABLE.recover}); the
+      identity for volatile stacks, which therefore cannot run crash
+      plans. *)
+
+  val durable : bool
+  (** Whether {!recover} actually survives a crash — gates crash windows
+      in {!config.faults}. *)
 end
 
 type config = {
@@ -81,11 +91,36 @@ type config = {
       (** record events + witnesses for trace/checker audit. Capture
           retains every event in memory — pair it with [rate] rather
           than saturation mode. *)
+  faults : Haec_sim.Fault_plan.t option;
+      (** fault schedule with times in {e wall seconds relative to the
+          start of the load phase} (map an abstract-horizon plan with
+          {!Haec_sim.Fault_plan.scaled}); crash windows require a durable
+          stack, churn plans are rejected *)
+  drop_p : float;
+      (** uniform per-delivery drop probability on every link for the
+          whole run, independent of [faults]; in [0, 1) *)
+  heal_by : float;
+      (** post-heal full-set convergence deadline in wall seconds,
+          counted from the later of drain start and the plan's last heal;
+          [0.] = automatic ([max 10 (5 * duration)], the no-fault drain
+          deadline) *)
 }
 
 val default : config
 (** 2 replicas, seed 42, 64 objects, register mix, uniform keys, 1s
-    saturation, batch 8, 1ms gossip, 1024-slot rings, no capture. *)
+    saturation, batch 8, 1ms gossip, 1024-slot rings, no capture, no
+    faults. *)
+
+type outcome =
+  | Healed of { degraded_settled : bool }
+      (** the full member set settled twice in a row within the deadline;
+          [degraded_settled] records whether, while faults degraded the
+          cluster, every reachable component also settled twice in a row
+          — the paper's available-under-partition steady state *)
+  | Diverged of string
+      (** the full set missed the post-heal deadline; the string says
+          what was still outstanding. With no faults this means the
+          scrape timed out, not that the protocol diverged. *)
 
 type replica_stats = {
   ops : int;  (** do events executed *)
@@ -94,10 +129,13 @@ type replica_stats = {
   updates : int;
   frames_sent : int;
   frames_recv : int;
+  frames_rejected : int;  (** Malformed at unseal: corrupted in flight *)
   payload_bytes : int;  (** unsealed envelope bytes, counted once per broadcast *)
   wire_bytes : int;  (** sealed bytes pushed, counted per destination *)
   bytes_recv : int;
   stalls : int;  (** ring-full events while pushing *)
+  crashes : int;  (** crash windows this replica fired *)
+  crash_lost : int;  (** inbox frames discarded at restart *)
   queue_depth_peak : int;
   pending_bytes_peak : int;
 }
@@ -106,26 +144,37 @@ type result = {
   cfg : config;
   elapsed : float;  (** measured load-phase wall seconds *)
   drain_elapsed : float;
-  converged : bool;
-      (** every replica settled ({!STACK.settled}) within the drain
-          deadline; [false] means the scrape timed out, not that the
-          protocol diverged *)
+  converged : bool;  (** [outcome] is [Healed] *)
+  outcome : outcome;
+  availability : float;
+      (** 1 - scheduled crash downtime over the load phase / (n *
+          duration); 1 when no fault layer is active *)
   total_ops : int;
   total_issued : int;
   total_updates : int;
   ops_per_sec : float;  (** aggregate, over the load phase *)
   lag_ms : Obs.Histogram.t;  (** wall-clock visibility lag, milliseconds *)
+  recovery_ms : Obs.Histogram.t;
+      (** heal instant to full-set settle, milliseconds: one sample per
+          fired crash window (or one for the plan's last heal when it
+          carried no crashes); empty unless [Healed] under faults *)
   frames : int;
   payload_bytes : int;
   wire_bytes : int;
   max_payload_bytes : int;
   stalls : int;
+  crashes : int;
+  frames_rejected : int;
   queue_depth_peak : int;
   pending_bytes_peak : int;
   per_replica : replica_stats array;
+  fault_totals : Faults.totals option;  (** aggregated injection counts *)
+  fault_links : (int * int * Faults.totals) list;
+      (** the non-zero links as [(src, dst, totals)] *)
   registry : Obs.Registry.t;
       (** the merged per-domain counters under [live.*] / [ae.*] /
-          [gossip.*] names *)
+          [gossip.*] / [faults.*] names, including per-link
+          [live.ring.stall.r<src>_r<dst>] counters *)
   gossip : Haec_store.Store_intf.gossip_stats;
   trace : Execution.t option;  (** when [capture] *)
   witness : Haec_spec.Abstract.t option;

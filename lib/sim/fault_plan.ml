@@ -320,6 +320,76 @@ let active t ~now =
      && (t.crashes <> [] || t.links <> [] || t.corruption <> None || t.dup <> None
         || t.reorder <> None)
 
+(* Multiplying every time field by one positive factor preserves every
+   validation invariant — strict inequalities, window disjointness, and
+   the dead-link graph are all scale-invariant — so the result needs no
+   re-validation. The reorder jitter is a duration and scales too. *)
+let scaled t ~factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Fault_plan.scaled: factor must be positive and finite";
+  {
+    crashes =
+      List.map
+        (fun (c : crash_window) ->
+          { c with at = c.at *. factor; recover_at = c.recover_at *. factor })
+        t.crashes;
+    links =
+      List.map
+        (fun (l : link_fault) ->
+          { l with from_ = l.from_ *. factor; until = l.until *. factor })
+        t.links;
+    corruption =
+      Option.map
+        (fun (c : corruption) ->
+          { c with from_ = c.from_ *. factor; until = c.until *. factor })
+        t.corruption;
+    dup =
+      Option.map
+        (fun (d : dup_window) ->
+          { d with from_ = d.from_ *. factor; until = d.until *. factor })
+        t.dup;
+    reorder =
+      Option.map
+        (fun (r : reorder_window) ->
+          {
+            jitter = r.jitter *. factor;
+            from_ = r.from_ *. factor;
+            until = r.until *. factor;
+          })
+        t.reorder;
+    dead =
+      List.map (fun (d : dead_link) -> { d with from_ = d.from_ *. factor }) t.dead;
+    churn =
+      Option.map
+        (fun c ->
+          {
+            c with
+            joins =
+              List.map (fun (j : join_event) -> { j with at = j.at *. factor }) c.joins;
+            leaves =
+              List.map
+                (fun (l : leave_event) -> { l with at = l.at *. factor })
+                c.leaves;
+          })
+        t.churn;
+    horizon = t.horizon *. factor;
+  }
+
+let partition_links ~a ~b ~from_ ~until =
+  if a = [] || b = [] then
+    invalid_arg "Fault_plan.partition_links: both sides must be non-empty";
+  if List.exists (fun r -> List.mem r b) a then
+    invalid_arg "Fault_plan.partition_links: sides must be disjoint";
+  if from_ < 0.0 || until <= from_ then
+    invalid_arg "Fault_plan.partition_links: need 0 <= from < until";
+  List.concat_map
+    (fun src ->
+      List.concat_map
+        (fun dst ->
+          [ { src; dst; from_; until }; { src = dst; dst = src; from_; until } ])
+        b)
+    a
+
 (* Byte-level mutations of a sealed payload. Every shape either breaks the
    frame structure or flips content bytes the checksum covers; a flip is
    the fallback for the one shape (zeroing) that can be the identity, so

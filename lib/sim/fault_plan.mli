@@ -167,6 +167,22 @@ val active : t -> now:float -> bool
 (** Whether any fault can still strike at or after [now]. A plan with dead
     links is active forever. *)
 
+val scaled : t -> factor:float -> t
+(** Every time field (window bounds, recovery instants, churn instants,
+    the reorder jitter, the horizon) multiplied by [factor] > 0. Scaling
+    preserves validity, so this is how a plan authored against an abstract
+    horizon is mapped onto a live run's wall-clock duration: [scaled plan
+    ~factor:(duration /. plan.horizon)] makes the plan span the load
+    phase in seconds. Raises [Invalid_argument] on a non-positive or
+    non-finite factor. *)
+
+val partition_links : a:int list -> b:int list -> from_:float -> until:float -> link_fault list
+(** The link faults realizing a full bidirectional partition between
+    replica groups [a] and [b] over [\[from_, until)]: one fault per
+    directed cross pair. Feed the result to {!make}, which will reject
+    windows that never heal. Raises [Invalid_argument] if either side is
+    empty, the sides intersect, or the window is empty. *)
+
 val mutate : Rng.t -> string -> string
 (** A random byte-level mutation: flip a byte, truncate, append garbage,
     or zero a short run. Never the identity: the one shape that could

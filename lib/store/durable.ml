@@ -21,7 +21,16 @@ open Haec_model
 
 let auto_checkpoint_every = 32
 
-module Make (S : Store_intf.S) : sig
+(* [Make_tuned] exposes the checkpoint cadence: [Some k] folds the WAL
+   into the snapshot every [k] entries (the simulator default, [Make]);
+   [None] never auto-checkpoints — each checkpoint re-encodes the whole
+   replay history, which is fine at simulator scale but quadratic on the
+   live hot path, where the caller checkpoints explicitly (or never:
+   recovery replays the WAL from genesis, and live runs are short). *)
+module Make_tuned (C : sig
+  val auto_checkpoint_every : int option
+end)
+(S : Store_intf.S) : sig
   include Store_intf.DURABLE
 
   val inject : n:int -> me:int -> S.state -> state
@@ -112,7 +121,9 @@ end = struct
 
   let log t e =
     let t = { t with wal_rev = e :: t.wal_rev; wal_len = t.wal_len + 1 } in
-    if t.wal_len >= auto_checkpoint_every then checkpoint t else t
+    match C.auto_checkpoint_every with
+    | Some every when t.wal_len >= every -> checkpoint t
+    | Some _ | None -> t
 
   let replay_entry inner = function
     | Apply { obj; op } ->
@@ -152,3 +163,10 @@ end = struct
     let inner = S.receive t.inner ~sender payload in
     log { t with inner } (Deliver { sender; payload })
 end
+
+module Make (S : Store_intf.S) =
+  Make_tuned
+    (struct
+      let auto_checkpoint_every = Some auto_checkpoint_every
+    end)
+    (S)
